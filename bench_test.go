@@ -1,0 +1,415 @@
+// Package repro_bench is the benchmark harness: one benchmark family per
+// experiment table of EXPERIMENTS.md (P1-P4 performance tables plus the
+// cost side of E2/E4/E10). Controlled-mode benchmarks report steps/op — the
+// paper's cost model is shared-memory events, and step counts are exactly
+// reproducible — alongside wall-clock ns/op; free-mode benchmarks measure
+// the raw primitives on real goroutines.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package repro_bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/common2"
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/group"
+	"repro/internal/hierarchy"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/universal"
+)
+
+func allIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// --- P1: arbiter latency ---------------------------------------------------
+
+func BenchmarkArbiter(b *testing.B) {
+	for _, shape := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {4, 4}, {2, 8}} {
+		ocnt, gcnt := shape[0], shape[1]
+		n := ocnt + gcnt
+		b.Run(fmt.Sprintf("owners=%d/guests=%d", ocnt, gcnt), func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				arb := arbiter.New("arb", consensus.NewWaitFree[bool]("xc", allIDs(ocnt)))
+				r := sched.NewRun(n, &sched.RoundRobin{})
+				for id := 0; id < ocnt; id++ {
+					r.Spawn(id, func(p *sched.Proc) { arb.Arbitrate(p, arbiter.Owner) })
+				}
+				for id := ocnt; id < n; id++ {
+					r.Spawn(id, func(p *sched.Proc) { arb.Arbitrate(p, arbiter.Guest) })
+				}
+				res := r.Execute(100000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// --- P2: group consensus vs baselines --------------------------------------
+
+func BenchmarkGroupConsensus(b *testing.B) {
+	for _, shape := range [][2]int{{2, 1}, {4, 2}, {6, 2}, {6, 3}, {9, 3}, {12, 4}, {16, 4}} {
+		n, x := shape[0], shape[1]
+		b.Run(fmt.Sprintf("n=%d/x=%d", n, x), func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				gc, err := group.New[int]("gc", n, x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := sched.NewRun(n, &sched.RoundRobin{})
+				r.SpawnAll(func(p *sched.Proc) {
+					if _, err := gc.Propose(p, p.ID()); err != nil {
+						panic(err)
+					}
+				})
+				res := r.Execute(1000000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkGroupVsFlatCAS compares the Figure 5 object against the flat
+// wait-free CAS consensus baseline: the price of asymmetric progress over
+// x-port primitives relative to an unrestricted universal primitive.
+func BenchmarkGroupVsFlatCAS(b *testing.B) {
+	const n = 6
+	b.Run("flat-cas", func(b *testing.B) {
+		var totalSteps int64
+		for i := 0; i < b.N; i++ {
+			c := consensus.NewWaitFree[int]("c", allIDs(n))
+			r := sched.NewRun(n, &sched.RoundRobin{})
+			r.SpawnAll(func(p *sched.Proc) { c.Propose(p, p.ID()) })
+			res := r.Execute(100000)
+			totalSteps += res.TotalSteps
+		}
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+	})
+	b.Run("group-x2", func(b *testing.B) {
+		var totalSteps int64
+		for i := 0; i < b.N; i++ {
+			gc, err := group.New[int]("gc", n, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := sched.NewRun(n, &sched.RoundRobin{})
+			r.SpawnAll(func(p *sched.Proc) {
+				if _, err := gc.Propose(p, p.ID()); err != nil {
+					panic(err)
+				}
+			})
+			res := r.Execute(1000000)
+			totalSteps += res.TotalSteps
+		}
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+	})
+	// The strawman from the Section 6 introduction: a predefined group X
+	// decides, everyone else waits. Same step shape as group consensus when
+	// X participates — but it blocks forever when X is silent (that case is
+	// the E6 group-wait candidate, not benchmarkable).
+	b.Run("naive-wait-for-x", func(b *testing.B) {
+		var totalSteps int64
+		for i := 0; i < b.N; i++ {
+			c := hierarchy.NewGroupWaitCandidate[int]("naive", n)
+			r := sched.NewRun(n, &sched.RoundRobin{})
+			r.SpawnAll(func(p *sched.Proc) { c.Propose(p, p.ID()) })
+			res := r.Execute(100000)
+			totalSteps += res.TotalSteps
+		}
+		b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+	})
+}
+
+// --- P3: obstruction-free consensus, solo vs contended ----------------------
+
+func BenchmarkObstructionFree(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("solo/n=%d", n), func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				c := consensus.NewObstructionFree[int]("of", allIDs(n))
+				r := sched.NewRun(n, sched.Solo{ID: 0})
+				r.Spawn(0, func(p *sched.Proc) { c.Propose(p, 1) })
+				res := r.Execute(1000000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+		b.Run(fmt.Sprintf("contended-then-solo/n=%d", n), func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				c := consensus.NewObstructionFree[int]("of", allIDs(n))
+				r := sched.NewRun(n, &sched.SoloAfter{Inner: &sched.RoundRobin{}, After: 60, ID: 0})
+				r.SpawnAll(func(p *sched.Proc) { c.Propose(p, p.ID()) })
+				res := r.Execute(1000000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkGatedObject measures the (y, x)-live gate: wait-free ports pay
+// O(1); a lone guest pays the quiescence window.
+func BenchmarkGatedObject(b *testing.B) {
+	for _, shape := range [][2]int{{3, 2}, {5, 4}, {9, 8}} {
+		n, x := shape[0], shape[1]
+		b.Run(fmt.Sprintf("y=%d/x=%d", n, x), func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				g := consensus.NewGated[int]("g", allIDs(n), allIDs(x))
+				r := sched.NewRun(n, &sched.RoundRobin{})
+				r.SpawnAll(func(p *sched.Proc) { g.Propose(p, p.ID()) })
+				res := r.Execute(1000000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// --- E4 cost: consensus from an (x+1, x)-live object ------------------------
+
+func BenchmarkHierarchyConstruction(b *testing.B) {
+	for _, x := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("x=%d", x), func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				c := hierarchy.NewConsensusFromGated[int]("t3", x)
+				r := sched.NewRun(x+1, &sched.RoundRobin{})
+				r.SpawnAll(func(p *sched.Proc) { c.Propose(p, p.ID()) })
+				res := r.Execute(1000000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// --- P4: explorer throughput -------------------------------------------------
+
+func BenchmarkExplore(b *testing.B) {
+	b.Run("gated", func(b *testing.B) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			g, err := explore.Explore(explore.GatedModel{}, []int{0, 1}, 100000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = g.Size()
+		}
+		b.ReportMetric(float64(states), "states")
+	})
+	b.Run("of-2rounds", func(b *testing.B) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			g, err := explore.Explore(explore.OFModel{Rounds: 2}, []int{0, 1}, 2000000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = g.Size()
+		}
+		b.ReportMetric(float64(states), "states")
+	})
+	b.Run("tas3", func(b *testing.B) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			g, err := explore.Explore(explore.TASModel{Procs: 3}, []int{0, 1, 1}, 2000000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = g.Size()
+		}
+		b.ReportMetric(float64(states), "states")
+	})
+}
+
+// --- E10 cost: universal construction ---------------------------------------
+
+func BenchmarkUniversal(b *testing.B) {
+	type cmd struct{ Proc, Seq int }
+	for _, cfg := range []struct {
+		name  string
+		n     int
+		group bool
+	}{
+		{"waitfree-cells/n=3", 3, false},
+		{"waitfree-cells/n=6", 6, false},
+		{"group-cells/n=6", 6, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const k = 2
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				var log *universal.Log[cmd]
+				if cfg.group {
+					log = universal.NewLog[cmd](func(i int) universal.Proposer[cmd] {
+						gc, err := group.New[cmd](fmt.Sprintf("c%d", i), cfg.n, 2)
+						if err != nil {
+							panic(err)
+						}
+						return universal.GroupCell[cmd]{ProposeFn: gc.Propose}
+					})
+				} else {
+					log = universal.NewLog[cmd](func(i int) universal.Proposer[cmd] {
+						return consensus.NewWaitFree[cmd](fmt.Sprintf("c%d", i), allIDs(cfg.n))
+					})
+				}
+				r := sched.NewRun(cfg.n, &sched.RoundRobin{})
+				r.SpawnAll(func(p *sched.Proc) {
+					rep := universal.NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + 1 })
+					for seq := 0; seq < k; seq++ {
+						rep.Exec(p, cmd{Proc: p.ID(), Seq: seq})
+					}
+				})
+				res := r.Execute(10000000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N)/float64(cfg.n*2), "steps/cmd")
+		})
+	}
+}
+
+// --- Free-mode primitives: raw atomics on real goroutines -------------------
+
+func BenchmarkFreeModePrimitives(b *testing.B) {
+	b.Run("register-read", func(b *testing.B) {
+		reg := memory.NewRegister("r", 0)
+		p := sched.FreeProc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.Read(p)
+		}
+	})
+	b.Run("register-write", func(b *testing.B) {
+		reg := memory.NewRegister("r", 0)
+		p := sched.FreeProc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.Write(p, i)
+		}
+	})
+	b.Run("counter-faa", func(b *testing.B) {
+		c := memory.NewCounter("c")
+		p := sched.FreeProc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.FetchAdd(p, 1)
+		}
+	})
+	b.Run("counter-faa-parallel", func(b *testing.B) {
+		c := memory.NewCounter("c")
+		b.RunParallel(func(pb *testing.PB) {
+			p := sched.FreeProc(0)
+			for pb.Next() {
+				c.FetchAdd(p, 1)
+			}
+		})
+	})
+	b.Run("once-propose-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			p := sched.FreeProc(0)
+			for pb.Next() {
+				o := memory.NewOnce[int]("o")
+				o.Propose(p, 1)
+			}
+		})
+	})
+}
+
+// BenchmarkFreeModeConsensus measures full consensus objects on real
+// goroutines: n goroutines race one object per iteration.
+func BenchmarkFreeModeConsensus(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("waitfree/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := consensus.NewWaitFree[int]("c", allIDs(n))
+				var wg sync.WaitGroup
+				for id := 0; id < n; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						c.Propose(sched.FreeProc(id), id)
+					}(id)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkCommitAdopt measures the register-only agreement building block.
+func BenchmarkCommitAdopt(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				ca := consensus.NewCommitAdopt[int]("ca", allIDs(n))
+				r := sched.NewRun(n, &sched.RoundRobin{})
+				r.SpawnAll(func(p *sched.Proc) { ca.Run(p, p.ID()) })
+				res := r.Execute(100000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkCommon2 measures the 2-process consensus constructions.
+func BenchmarkCommon2(b *testing.B) {
+	type proposer interface {
+		Propose(p *sched.Proc, v int) int
+	}
+	objs := map[string]func() proposer{
+		"tas":   func() proposer { return common2.NewTASConsensus2[int]("t", 0, 1) },
+		"swap":  func() proposer { return common2.NewSwapConsensus2[int]("s", 0, 1) },
+		"queue": func() proposer { return common2.NewQueueConsensus2[int]("q", 0, 1) },
+		"stack": func() proposer { return common2.NewStackConsensus2[int]("st", 0, 1) },
+	}
+	for name, mk := range objs {
+		b.Run(name, func(b *testing.B) {
+			var totalSteps int64
+			for i := 0; i < b.N; i++ {
+				c := mk()
+				r := sched.NewRun(2, &sched.RoundRobin{})
+				r.SpawnAll(func(p *sched.Proc) { c.Propose(p, p.ID()) })
+				res := r.Execute(10000)
+				totalSteps += res.TotalSteps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkSchedulerOverhead isolates the controlled-mode step machinery.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := sched.NewRun(n, &sched.RoundRobin{})
+				r.SpawnAll(func(p *sched.Proc) {
+					for s := 0; s < 100; s++ {
+						p.Step()
+					}
+				})
+				r.Execute(int64(n*100 + 10))
+			}
+		})
+	}
+}

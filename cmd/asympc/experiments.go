@@ -1,0 +1,372 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/consensus"
+	"repro/internal/group"
+	"repro/internal/hierarchy"
+	"repro/internal/sched"
+	"repro/internal/universal"
+)
+
+func allIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// expArbiter regenerates E1: for each (owners, guests) shape, run the
+// arbiter under round-robin plus seeded random schedules with and without a
+// random single crash, and report safety and termination.
+func expArbiter(seeds int) error {
+	fmt.Println("E1 — arbiter object (Figure 4, Theorem 5)")
+	fmt.Println("owners guests | runs  agree valid  term(all-correct)")
+	for _, shape := range [][2]int{{1, 1}, {1, 3}, {2, 2}, {3, 1}, {2, 4}, {4, 4}} {
+		ocnt, gcnt := shape[0], shape[1]
+		n := ocnt + gcnt
+		runs, agreeOK, validOK, termOK := 0, 0, 0, 0
+		for seed := 0; seed < seeds; seed++ {
+			for _, withCrash := range []bool{false, true} {
+				arb := arbiter.New("arb",
+					consensus.NewWaitFree[bool]("xc", allIDs(ocnt)))
+				var inner sched.Policy = sched.NewRandom(uint64(seed + 1))
+				victim := -1
+				if withCrash {
+					victim = seed % n
+					if victim < ocnt && ocnt == 1 {
+						victim = ocnt // keep one correct owner so termination is promised
+					}
+					inner = &sched.CrashAt{Inner: inner, At: map[int]int64{victim: int64(seed % 7)}}
+				}
+				r := sched.NewRun(n, inner)
+				for id := 0; id < ocnt; id++ {
+					r.Spawn(id, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, arbiter.Owner)) })
+				}
+				for id := ocnt; id < n; id++ {
+					r.Spawn(id, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, arbiter.Guest)) })
+				}
+				res := r.Execute(100000)
+				runs++
+				var winner *arbiter.Role
+				agree, valid, term := true, true, true
+				for id := 0; id < n; id++ {
+					if id == victim {
+						continue
+					}
+					if res.Status[id] != sched.Done {
+						term = false
+						continue
+					}
+					w := res.Values[id].(arbiter.Role)
+					if winner == nil {
+						winner = &w
+					} else if *winner != w {
+						agree = false
+					}
+				}
+				if winner != nil {
+					if *winner == arbiter.Owner && ocnt == 0 {
+						valid = false
+					}
+					if *winner == arbiter.Guest && gcnt == 0 {
+						valid = false
+					}
+				}
+				if agree {
+					agreeOK++
+				}
+				if valid {
+					validOK++
+				}
+				if term {
+					termOK++
+				}
+			}
+		}
+		fmt.Printf("%6d %6d | %5d %5d %5d  %5d\n", ocnt, gcnt, runs, agreeOK, validOK, termOK)
+	}
+	fmt.Println("expected: agree == valid == term == runs in every row")
+	return nil
+}
+
+// expGroup regenerates E2: the asymmetric termination property across n, x
+// and the first participating group y.
+func expGroup(seeds int) error {
+	fmt.Println("E2 — group-based asymmetric consensus (Figure 5, Theorem 6)")
+	fmt.Println("    n  x  m  firstGroup | runs  safeOK  allDecided")
+	for _, shape := range [][2]int{{4, 2}, {6, 2}, {6, 3}, {9, 3}, {12, 4}} {
+		n, x := shape[0], shape[1]
+		m := (n + x - 1) / x
+		for y := 0; y < m; y++ {
+			runs, safeOK, liveOK := 0, 0, 0
+			for seed := 0; seed < seeds; seed++ {
+				gc, err := group.New[int]("gc", n, x)
+				if err != nil {
+					return err
+				}
+				var participants []int
+				for g := y; g < m; g++ {
+					participants = append(participants, gc.Group(g)...)
+				}
+				r := sched.NewRun(n, sched.NewRandom(uint64(seed+1)))
+				for _, id := range participants {
+					r.Spawn(id, func(p *sched.Proc) {
+						v, err := gc.Propose(p, 100+p.ID())
+						if err != nil {
+							panic(err)
+						}
+						p.SetResult(v)
+					})
+				}
+				res := r.Execute(500000)
+				runs++
+				safe, live := true, true
+				var dec *int
+				for _, id := range participants {
+					if res.Status[id] != sched.Done {
+						live = false
+						continue
+					}
+					v := res.Values[id].(int)
+					if dec == nil {
+						dec = &v
+					} else if *dec != v {
+						safe = false
+					}
+				}
+				if dec != nil {
+					okVal := false
+					for _, id := range participants {
+						if *dec == 100+id {
+							okVal = true
+						}
+					}
+					if !okVal {
+						safe = false
+					}
+				}
+				if safe {
+					safeOK++
+				}
+				if live {
+					liveOK++
+				}
+			}
+			fmt.Printf("%5d %2d %2d  %9d | %4d  %6d  %10d\n", n, x, m, y, runs, safeOK, liveOK)
+		}
+	}
+	fmt.Println("expected: safeOK == allDecided == runs in every row")
+	return nil
+}
+
+// expFairness regenerates E3: for every process there is a pattern where its
+// value is decided.
+func expFairness(_ int) error {
+	fmt.Println("E3 — fairness: every process's value can be decided")
+	fmt.Println("    n  x | winners whose value won under their pattern")
+	for _, shape := range [][2]int{{4, 2}, {6, 2}, {9, 3}} {
+		n, x := shape[0], shape[1]
+		won := 0
+		for winner := 0; winner < n; winner++ {
+			gc, err := group.New[int]("gc", n, x)
+			if err != nil {
+				return err
+			}
+			solo := make([]int, 500)
+			for i := range solo {
+				solo[i] = winner
+			}
+			r := sched.NewRun(n, &sched.Script{Seq: solo, Then: &sched.RoundRobin{}})
+			r.SpawnAll(func(p *sched.Proc) {
+				v, err := gc.Propose(p, 100+p.ID())
+				if err != nil {
+					panic(err)
+				}
+				p.SetResult(v)
+			})
+			res := r.Execute(500000)
+			if res.Status[winner] == sched.Done && res.Values[winner].(int) == 100+winner {
+				won++
+			}
+		}
+		fmt.Printf("%5d %2d | %d/%d\n", n, x, won, n)
+	}
+	fmt.Println("expected: n/n in every row")
+	return nil
+}
+
+// expHierarchy regenerates E4 (Theorem 3 lower bound) and E5 (Theorem 2
+// upper-bound shape).
+func expHierarchy(seeds int) error {
+	fmt.Println("E4 — consensus number of (x+1, x)-live objects is >= x+1 (Theorem 3)")
+	fmt.Println("    x | runs  allDecideAgree")
+	for x := 1; x <= 5; x++ {
+		runs, ok := 0, 0
+		for seed := 0; seed < seeds; seed++ {
+			c := hierarchy.NewConsensusFromGated[int]("t3", x)
+			n := x + 1
+			r := sched.NewRun(n, sched.NewRandom(uint64(seed+1)))
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(c.Propose(p, p.ID()))
+			})
+			res := r.Execute(200000)
+			runs++
+			good := true
+			var dec *int
+			for id := 0; id < n; id++ {
+				if res.Status[id] != sched.Done {
+					good = false
+					continue
+				}
+				v := res.Values[id].(int)
+				if dec == nil {
+					dec = &v
+				} else if *dec != v {
+					good = false
+				}
+			}
+			if good {
+				ok++
+			}
+		}
+		fmt.Printf("%5d | %4d  %d\n", x, runs, ok)
+	}
+	fmt.Println("expected: allDecideAgree == runs (wait-free consensus for x+1 processes)")
+	fmt.Println()
+	fmt.Println("E5 — Theorem 2 adversary: promoted guest of an (x+2, x)-live object starves")
+	fmt.Println("    x | promoted-port status under crash(X)+alternation (want starved)")
+	for x := 1; x <= 4; x++ {
+		n := x + 2
+		c := hierarchy.NewGatedPromotionCandidate[int]("t2", n, x)
+		promoted := c.PromotedPort()
+		crash := map[int]int64{}
+		for id := 0; id < x; id++ {
+			crash[id] = 0
+		}
+		r := sched.NewRun(n, &sched.CrashAt{
+			Inner: &sched.Subset{IDs: []int{promoted, promoted + 1}},
+			At:    crash,
+		})
+		r.SpawnAll(func(p *sched.Proc) { p.SetResult(c.Propose(p, p.ID())) })
+		res := r.Execute(30000)
+		fmt.Printf("%5d | %v after %d steps\n", x, res.Status[promoted], res.Steps[promoted])
+	}
+	return nil
+}
+
+// expImpossibility regenerates E6 (Theorem 1 candidates) and E7 (Theorem 4).
+func expImpossibility(_ int) error {
+	fmt.Println("E6 — Theorem 1: every (n,1)-live candidate from (n-1,n-1)-live objects fails")
+
+	fmt.Println("candidate          | violated guarantee          | witness")
+	{ // group-wait
+		const n = 4
+		c := hierarchy.NewGroupWaitCandidate[int]("c1", n)
+		r := sched.NewRun(n, sched.Solo{ID: n - 1})
+		r.Spawn(n-1, func(p *sched.Proc) { p.SetResult(c.Propose(p, p.ID())) })
+		res := r.Execute(20000)
+		fmt.Printf("group-wait         | OF for p%d                   | solo run: %v after %d steps\n",
+			n-1, res.Status[n-1], res.Steps[n-1])
+	}
+	{ // OF-for-all
+		c := hierarchy.NewOFForAllCandidate[int]("c2", 2)
+		r := sched.NewRun(2, &sched.Cycle{Seq: hierarchy.LivelockSchedule(0, 1)})
+		r.SpawnAll(func(p *sched.Proc) { p.SetResult(c.Propose(p, p.ID())) })
+		res := r.Execute(70000)
+		fmt.Printf("OF-for-all         | WF for p0                   | livelock cycle: %v after %d steps\n",
+			res.Status[0], res.Steps[0])
+	}
+	{ // Figure 5 with groups {0..n-2},{n-1}
+		const n = 3
+		c, err := hierarchy.NewGroupAlgCandidate[int]("c3", n)
+		if err != nil {
+			return err
+		}
+		r := sched.NewRun(n, &sched.CrashAt{
+			Inner: &sched.Script{Seq: []int{0, 0, 0}, Then: sched.Solo{ID: n - 1}},
+			At:    map[int]int64{0: 3},
+		})
+		r.Spawn(0, func(p *sched.Proc) {
+			if v, err := c.Propose(p, 0); err == nil {
+				p.SetResult(v)
+			}
+		})
+		r.Spawn(n-1, func(p *sched.Proc) {
+			if v, err := c.Propose(p, n-1); err == nil {
+				p.SetResult(v)
+			}
+		})
+		res := r.Execute(30000)
+		fmt.Printf("figure-5 (2 groups)| OF for p%d                   | owner announce+crash, solo guest: %v\n",
+			n-1, res.Status[n-1])
+	}
+	fmt.Println()
+	fmt.Println("E7 — Theorem 4: OF-for-all + fault-freedom-for-one is impossible")
+	{
+		c := hierarchy.NewOFForAllCandidate[int]("c4", 2)
+		r := sched.NewRun(2, &sched.Cycle{Seq: hierarchy.LivelockSchedule(0, 1)})
+		r.SpawnAll(func(p *sched.Proc) { p.SetResult(c.Propose(p, p.ID())) })
+		res := r.Execute(140000)
+		fmt.Printf("fault-free run (all participate, no crash), periodic schedule:\n")
+		fmt.Printf("  steps: p0=%d p1=%d, decided: %v/%v (want none)\n",
+			res.Steps[0], res.Steps[1], res.HasValue[0], res.HasValue[1])
+	}
+	return nil
+}
+
+// expUniversal regenerates E10: the universal construction over wait-free
+// and over group-based asymmetric consensus cells.
+func expUniversal(_ int) error {
+	fmt.Println("E10 — universal construction (replicated log)")
+	fmt.Println("cells            n  cmds | total-steps steps/cmd allConverged")
+	type cmd struct{ Proc, Seq int }
+	for _, cfg := range []struct {
+		name  string
+		n     int
+		group bool
+	}{
+		{"wait-free", 3, false}, {"wait-free", 6, false}, {"wait-free", 9, false},
+		{"group(x=2)", 4, true}, {"group(x=2)", 6, true}, {"group(x=3)", 9, true},
+	} {
+		const k = 3
+		var log *universal.Log[cmd]
+		if cfg.group {
+			x := 2
+			if cfg.n == 9 {
+				x = 3
+			}
+			log = universal.NewLog[cmd](func(i int) universal.Proposer[cmd] {
+				gc, err := group.New[cmd](fmt.Sprintf("cell%d", i), cfg.n, x)
+				if err != nil {
+					panic(err)
+				}
+				return universal.GroupCell[cmd]{ProposeFn: gc.Propose}
+			})
+		} else {
+			log = universal.NewLog[cmd](func(i int) universal.Proposer[cmd] {
+				return consensus.NewWaitFree[cmd](fmt.Sprintf("cell%d", i), allIDs(cfg.n))
+			})
+		}
+		counts := make([]int, cfg.n)
+		r := sched.NewRun(cfg.n, &sched.RoundRobin{})
+		r.SpawnAll(func(p *sched.Proc) {
+			rep := universal.NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + 1 })
+			var last int
+			for seq := 0; seq < k; seq++ {
+				last = rep.Exec(p, cmd{Proc: p.ID(), Seq: seq})
+			}
+			counts[p.ID()] = last
+		})
+		res := r.Execute(5000000)
+		converged := res.DoneCount() == cfg.n
+		total := res.TotalSteps
+		fmt.Printf("%-14s %3d %5d | %11d %9.1f %t\n",
+			cfg.name, cfg.n, cfg.n*k, total, float64(total)/float64(cfg.n*k), converged)
+	}
+	fmt.Println("expected: allConverged true; group cells cost more steps/cmd than wait-free cells")
+	return nil
+}

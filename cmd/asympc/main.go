@@ -1,0 +1,84 @@
+// Command asympc is the experiment harness for the reproduction of "On
+// Asymmetric Progress Conditions" (Imbs, Raynal, Taubenfeld, PODC 2010).
+//
+// Each subcommand regenerates one experiment family from EXPERIMENTS.md,
+// printing the same tables recorded there. All schedules are deterministic
+// or seeded, so reruns reproduce the recorded rows exactly.
+//
+// Usage:
+//
+//	asympc <experiment> [-seeds N]
+//
+// Experiments:
+//
+//	arbiter        E1  — arbiter safety and termination matrix (Theorem 5)
+//	group          E2  — group consensus asymmetric termination (Theorem 6)
+//	fairness       E3  — every process's value can win
+//	hierarchy      E4/E5 — consensus number of (y, x)-live objects (Thms 2, 3)
+//	impossibility  E6/E7 — Theorem 1 and Theorem 4 candidate failures
+//	valence        E8  — model-checked Lemmas 3, 4, 5 and the livelock pump
+//	common2        E9  — Common2 boundary (Section 3.5)
+//	universal      E10 — universal construction over asymmetric consensus
+//	contract       (y, x)-liveness contracts via the liveness checkers
+//	all            every experiment in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "asympc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("asympc", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 200, "number of random-schedule seeds per configuration")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: asympc [flags] <experiment>")
+		fmt.Fprintln(os.Stderr, "experiments: arbiter group fairness hierarchy impossibility valence common2 universal contract all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment, got %d args", fs.NArg())
+	}
+
+	experiments := map[string]func(seeds int) error{
+		"arbiter":       expArbiter,
+		"group":         expGroup,
+		"fairness":      expFairness,
+		"hierarchy":     expHierarchy,
+		"impossibility": expImpossibility,
+		"valence":       expValence,
+		"common2":       expCommon2,
+		"universal":     expUniversal,
+		"contract":      expContract,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		order := []string{"arbiter", "group", "fairness", "hierarchy",
+			"impossibility", "valence", "common2", "universal", "contract"}
+		for _, n := range order {
+			if err := experiments[n](*seeds); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	exp, ok := experiments[name]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return exp(*seeds)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/common2"
+	"repro/internal/explore"
+	"repro/internal/sched"
+)
+
+// expValence regenerates E8: the Section 3 lemma machinery, model-checked.
+func expValence(_ int) error {
+	fmt.Println("E8 — valence machinery (Section 3.3, Lemmas 3-5), model-checked")
+
+	fmt.Println("model: (2,1)-live gated consensus, inputs (0,1)")
+	g, err := explore.Explore(explore.GatedModel{}, []int{0, 1}, 100000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  reachable states: %d\n", g.Size())
+	fmt.Printf("  Lemma 3 (empty run bivalent):        %v (valence %v)\n",
+		g.InitialValence().Bivalent(), g.InitialValence())
+	dec := g.FindDecider(0, 1000)
+	fmt.Printf("  Lemma 4 (decider for wait-free p0):  found=%v, exhaustive-check=%v\n",
+		dec >= 0, dec >= 0 && g.IsDecider(dec, 0))
+	pairs := g.FindCriticalPairs()
+	sameObj, nonReg := true, true
+	for _, c := range pairs {
+		if c.AccessP.Object != c.AccessQ.Object {
+			sameObj = false
+		}
+		if c.AccessP.IsRegister || c.AccessQ.IsRegister {
+			nonReg = false
+		}
+	}
+	fmt.Printf("  Lemma 5 (critical configurations):   %d found, same-object=%v, non-register=%v\n",
+		len(pairs), sameObj, nonReg)
+	viol, bad := g.CheckAgreement()
+	fmt.Printf("  safety (exhaustive):                 agreement=%v validity=%v\n",
+		!bad, g.CheckValidity([]int{0, 1}))
+	_ = viol
+
+	fmt.Println("model: register-only OF consensus (2 rounds), inputs (0,1)")
+	of, err := explore.Explore(explore.OFModel{Rounds: 2}, []int{0, 1}, 2000000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  reachable states: %d\n", of.Size())
+	fmt.Printf("  Lemma 3 (empty run bivalent):        %v\n", of.InitialValence().Bivalent())
+	pump := of.FindReachable(of.Initial(), func(s explore.State) bool {
+		return explore.AtRoundBoundary(s, 1)
+	})
+	fmt.Printf("  Theorem 4 livelock pump:             found=%v (round-1 boundary, distinct estimates, undecided)\n",
+		pump >= 0)
+	ofViol, ofBad := of.CheckAgreement()
+	fmt.Printf("  safety (exhaustive):                 agreement=%v validity=%v\n",
+		!ofBad, of.CheckValidity([]int{0, 1}))
+	_ = ofViol
+
+	fmt.Println("model: Figure 5 group consensus (2 singleton groups), inputs (0,1)")
+	gm, err := explore.Explore(explore.GroupModel{}, []int{0, 1}, 2000000)
+	if err != nil {
+		return err
+	}
+	gmViol, gmBad := gm.CheckAgreement()
+	_ = gmViol
+	fmt.Printf("  reachable states: %d\n", gm.Size())
+	fmt.Printf("  safety (exhaustive):                 agreement=%v validity=%v\n",
+		!gmBad, gm.CheckValidity([]int{0, 1}))
+	// Theorem 1 consistency: the group object has register critical pairs,
+	// and at each one some process is not solo-live (Lemma 2's escape).
+	regPairs, consistent := 0, true
+	for _, c := range gm.FindCriticalPairs() {
+		if !c.AccessP.IsRegister {
+			continue
+		}
+		regPairs++
+		if gm.SoloDecides(c.StateIdx, 0, 60) && gm.SoloDecides(c.StateIdx, 1, 60) {
+			consistent = false
+		}
+	}
+	fmt.Printf("  Thm 1 consistency:                   %d register critical pairs, "+
+		"all with a non-solo-live process: %v\n", regPairs, consistent)
+	return nil
+}
+
+// expCommon2 regenerates E9: the Common2 boundary of Section 3.5.
+func expCommon2(seeds int) error {
+	fmt.Println("E9 — Common2 (Section 3.5)")
+
+	fmt.Println("2-process consensus constructions (agreement+validity+termination over seeded schedules):")
+	type mk struct {
+		name string
+		new  func() interface {
+			Propose(p *sched.Proc, v int) int
+		}
+	}
+	objs := []mk{
+		{"test&set", func() interface {
+			Propose(p *sched.Proc, v int) int
+		} {
+			return common2.NewTASConsensus2[int]("t", 0, 1)
+		}},
+		{"swap", func() interface {
+			Propose(p *sched.Proc, v int) int
+		} {
+			return common2.NewSwapConsensus2[int]("s", 0, 1)
+		}},
+		{"queue", func() interface {
+			Propose(p *sched.Proc, v int) int
+		} {
+			return common2.NewQueueConsensus2[int]("q", 0, 1)
+		}},
+		{"stack", func() interface {
+			Propose(p *sched.Proc, v int) int
+		} {
+			return common2.NewStackConsensus2[int]("st", 0, 1)
+		}},
+	}
+	for _, o := range objs {
+		ok := 0
+		for seed := 0; seed < seeds; seed++ {
+			c := o.new()
+			r := sched.NewRun(2, sched.NewRandom(uint64(seed+1)))
+			r.SpawnAll(func(p *sched.Proc) { p.SetResult(c.Propose(p, p.ID()+10)) })
+			res := r.Execute(1000)
+			if res.DoneCount() == 2 &&
+				res.Values[0].(int) == res.Values[1].(int) &&
+				(res.Values[0].(int) == 10 || res.Values[0].(int) == 11) {
+				ok++
+			}
+		}
+		fmt.Printf("  %-9s consensus for 2: %d/%d runs correct\n", o.name, ok, seeds)
+	}
+
+	fmt.Println("consensus number boundary (explicit-state, exhaustive):")
+	g2, err := explore.Explore(explore.TASModel{Procs: 2}, []int{0, 1}, 100000)
+	if err != nil {
+		return err
+	}
+	_, bad2 := g2.CheckAgreement()
+	fmt.Printf("  T&S protocol, 2 processes: states=%d agreement-violation=%v (want false)\n",
+		g2.Size(), bad2)
+	g3, err := explore.Explore(explore.TASModel{Procs: 3}, []int{0, 1, 1}, 2000000)
+	if err != nil {
+		return err
+	}
+	v3, bad3 := g3.CheckAgreement()
+	fmt.Printf("  T&S protocol, 3 processes: states=%d agreement-violation=%v (want true; e.g. p%d=%d vs p%d=%d)\n",
+		g3.Size(), bad3, v3.P, v3.VP, v3.Q, v3.VQ)
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command explore runs the explicit-state model checker on the built-in
+// protocol models and prints a valence report in the vocabulary of
+// Section 3.3 of the paper.
+//
+// Usage:
+//
+//	explore [-model gated|of|tas2|tas3] [-in0 v] [-in1 v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/explore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	model := fs.String("model", "gated", "protocol model: gated | of | tas2 | tas3")
+	in0 := fs.Int("in0", 0, "input of process 0")
+	in1 := fs.Int("in1", 1, "input of process 1")
+	rounds := fs.Int("rounds", 2, "round cap for the of model")
+	limit := fs.Int("limit", 2000000, "state budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		p      explore.Protocol
+		inputs []int
+	)
+	switch *model {
+	case "gated":
+		p, inputs = explore.GatedModel{}, []int{*in0, *in1}
+	case "of":
+		p, inputs = explore.OFModel{Rounds: *rounds}, []int{*in0, *in1}
+	case "tas2":
+		p, inputs = explore.TASModel{Procs: 2}, []int{*in0, *in1}
+	case "tas3":
+		p, inputs = explore.TASModel{Procs: 3}, []int{*in0, *in1, *in1}
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+
+	g, err := explore.Explore(p, inputs, *limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s, inputs %v\n", *model, inputs)
+	fmt.Printf("reachable states:  %d\n", g.Size())
+	fmt.Printf("initial valence:   %v\n", g.InitialValence())
+
+	if viol, bad := g.CheckAgreement(); bad {
+		fmt.Printf("agreement:         VIOLATED (state %d: p%d decided %d, p%d decided %d)\n",
+			viol.StateIdx, viol.P, viol.VP, viol.Q, viol.VQ)
+	} else {
+		fmt.Printf("agreement:         holds (exhaustive)\n")
+	}
+	fmt.Printf("validity:          %v (exhaustive)\n", g.CheckValidity(inputs))
+
+	for pid := 0; pid < p.N(); pid++ {
+		if idx := g.FindDecider(pid, 10000); idx >= 0 {
+			fmt.Printf("decider:           p%d is a decider at a bivalent state (index %d)\n", pid, idx)
+		}
+	}
+
+	pairs := g.FindCriticalPairs()
+	fmt.Printf("critical configs:  %d\n", len(pairs))
+	for i, c := range pairs {
+		if i >= 4 {
+			fmt.Printf("  ... %d more\n", len(pairs)-4)
+			break
+		}
+		fmt.Printf("  state %d: p%d and p%d both pending on %q (register=%v)\n",
+			c.StateIdx, c.P, c.Q, c.AccessP.Object, c.AccessP.IsRegister)
+	}
+
+	if *model == "of" {
+		pump := g.FindReachable(g.Initial(), func(s explore.State) bool {
+			return explore.AtRoundBoundary(s, 1)
+		})
+		fmt.Printf("livelock pump:     found=%v\n", pump >= 0)
+	}
+	return nil
+}

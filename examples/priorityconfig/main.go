@@ -1,0 +1,110 @@
+// Priorityconfig: configuration rollout with asymmetric progress — the
+// paper's first motivation ("some processes are more important than others
+// from the object liveness point of view", Section 1.2).
+//
+// An operations team (two privileged coordinators, group 0) and four
+// background agents (groups 1 and 2) must agree on which configuration to
+// roll out. The group-based asymmetric consensus object gives the ops team
+// the strongest position: if any correct ops coordinator participates,
+// everyone decides. But the system is NOT blocked on the ops team — when the
+// ops team is silent, the background agents decide among themselves, because
+// the first *participating* group drives termination.
+//
+// The example plays three scenarios:
+//
+//  1. everyone participates — the ops team's proposal wins the arbitration;
+//  2. the ops team is silent — the agents still decide (this is exactly what
+//     the naive "wait for the privileged set" solution cannot do);
+//  3. one ops coordinator crashes mid-protocol — the survivor drives
+//     everyone to a decision.
+//
+// Run with:
+//
+//	go run ./examples/priorityconfig
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+const n = 6
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("scenario 1: full participation")
+	if err := scenario([]int{0, 1, 2, 3, 4, 5}, nil); err != nil {
+		return err
+	}
+	fmt.Println("\nscenario 2: ops team silent — agents must not block")
+	if err := scenario([]int{2, 3, 4, 5}, nil); err != nil {
+		return err
+	}
+	fmt.Println("\nscenario 3: ops coordinator 0 crashes after 2 steps")
+	if err := scenario([]int{0, 1, 2, 3, 4, 5}, map[int]int64{0: 2}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func scenario(participants []int, crashes map[int]int64) error {
+	// Groups: ops = {0,1}; agents = {2,3}, {4,5}.
+	gc, err := core.NewGroupConsensusWithGroups[string]("cfg",
+		[][]int{{0, 1}, {2, 3}, {4, 5}})
+	if err != nil {
+		return err
+	}
+
+	var policy core.Policy = core.Random(42)
+	if crashes != nil {
+		policy = &sched.CrashAt{Inner: sched.NewRandom(42), At: crashes}
+	}
+	run := core.NewRun(n, policy)
+	for _, id := range participants {
+		run.Spawn(id, func(p *core.Proc) {
+			cfg := fmt.Sprintf("config-v%d", p.ID())
+			decision, err := gc.Propose(p, cfg)
+			if err != nil {
+				panic(err)
+			}
+			p.SetResult(decision)
+		})
+	}
+	res := run.Execute(1_000_000)
+
+	var decision string
+	for _, id := range participants {
+		if res.HasValue[id] {
+			decision = res.Values[id].(string)
+			break
+		}
+	}
+	fmt.Printf("  rolled out: %q\n", decision)
+	for _, id := range participants {
+		role := "agent"
+		if id < 2 {
+			role = "ops"
+		}
+		switch res.Status[id] {
+		case sched.Done:
+			fmt.Printf("  p%d (%s): decided %q\n", id, role, res.Values[id])
+		default:
+			fmt.Printf("  p%d (%s): %v\n", id, role, res.Status[id])
+		}
+	}
+	// Cross-check agreement among deciders.
+	for _, id := range participants {
+		if res.HasValue[id] && res.Values[id].(string) != decision {
+			return fmt.Errorf("agreement violated: %v", res.Values)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package arbiter implements the crash-tolerant arbiter object type
+// introduced in Section 6.1 of Imbs, Raynal and Taubenfeld, "On Asymmetric
+// Progress Conditions" (PODC 2010), following the implementation of Figure 4.
+//
+// An arbiter provides a single operation arbitrate(b), invocable at most once
+// per process, with b ∈ {owner, guest}. It satisfies:
+//
+//   - Termination: if a correct owner invokes arbitrate, or only guests
+//     invoke arbitrate, or some process returns from arbitrate, then every
+//     arbitrate invocation by a correct process terminates.
+//   - Agreement: no two processes return different values.
+//   - Validity: the returned value is Owner or Guest; if no owner (resp.
+//     guest) invokes arbitrate, Owner (resp. Guest) cannot be returned.
+//
+// The implementation assumes at most x owners and uses one wait-free
+// consensus object shared by the owners (an (x, x)-live consensus object in
+// the paper's terminology), two participation registers and a winner
+// register.
+package arbiter
+
+import (
+	"errors"
+
+	"repro/internal/consensus"
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// Role identifies the side a process takes in an arbitration.
+type Role int
+
+// Arbitration roles and results.
+const (
+	Owner Role = iota + 1
+	Guest
+)
+
+// String returns the paper's name for the role.
+func (r Role) String() string {
+	switch r {
+	case Owner:
+		return "owner"
+	case Guest:
+		return "guest"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrAborted is returned by ArbitrateAbortable when the caller's stop
+// predicate fires while the invocation is waiting. It implements the task-T2
+// escape hatch of Figure 5: a guest blocked on a crashed owner can still
+// terminate once a decision is visible elsewhere.
+var ErrAborted = errors.New("arbiter: arbitration aborted by stop predicate")
+
+// Arbiter is a single-shot arbitration object (Figure 4).
+type Arbiter struct {
+	partOwner *memory.Register[bool]
+	partGuest *memory.Register[bool]
+	winner    *memory.OptRegister[Role]
+	xcons     consensus.Object[bool]
+}
+
+// New returns an arbiter whose owners agree through xcons, a wait-free
+// consensus object accessible by the (at most x) owner processes. The name
+// is used for event annotation.
+func New(name string, xcons consensus.Object[bool]) *Arbiter {
+	return &Arbiter{
+		partOwner: memory.NewRegister(name+".part[owner]", false),
+		partGuest: memory.NewRegister(name+".part[guest]", false),
+		winner:    memory.NewOptRegister[Role](name + ".winner"),
+		xcons:     xcons,
+	}
+}
+
+// Arbitrate invokes the operation with the given role and returns the winning
+// role. A guest whose owners announced themselves and then all crashed blocks
+// forever (consuming steps); use ArbitrateAbortable when an external decision
+// signal exists.
+func (a *Arbiter) Arbitrate(p *sched.Proc, role Role) Role {
+	w, _ := a.ArbitrateAbortable(p, role, nil)
+	return w
+}
+
+// ArbitrateAbortable is Arbitrate with an optional stop predicate, polled
+// once per waiting step; when it returns true the invocation gives up and
+// returns ErrAborted. Each poll consumes the steps its own shared reads take.
+func (a *Arbiter) ArbitrateAbortable(p *sched.Proc, role Role, stop func(*sched.Proc) bool) (Role, error) {
+	// Line 01: announce participation.
+	switch role {
+	case Owner:
+		a.partOwner.Write(p, true)
+	case Guest:
+		a.partGuest.Write(p, true)
+	default:
+		panic("arbiter: invalid role") // programmer error
+	}
+
+	if role == Owner {
+		// Lines 02-03: the owners agree on whether guests participate; the
+		// winning side is recorded in WINNER.
+		guestWin := a.xcons.Propose(p, a.partGuest.Read(p))
+		if guestWin {
+			a.winner.Write(p, Guest)
+		} else {
+			a.winner.Write(p, Owner)
+		}
+	} else {
+		// Line 04: a guest defers to the owners when one is visible,
+		// otherwise claims the arbitration for the guests.
+		if a.partOwner.Read(p) {
+			for {
+				if _, ok := a.winner.Read(p); ok {
+					break
+				}
+				if stop != nil && stop(p) {
+					return 0, ErrAborted
+				}
+			}
+		} else {
+			a.winner.Write(p, Guest)
+		}
+	}
+
+	// Line 06: return the recorded winner.
+	w, ok := a.winner.Read(p)
+	if !ok {
+		// Unreachable: every path above either wrote WINNER or observed it.
+		return 0, errors.New("arbiter: winner unset at return (invariant violation)")
+	}
+	return w, nil
+}

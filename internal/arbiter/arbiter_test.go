@@ -1,0 +1,334 @@
+package arbiter
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consensus"
+	"repro/internal/sched"
+)
+
+// newArbiter builds an arbiter whose owners are the given process ids.
+func newArbiter(owners []int) *Arbiter {
+	xc := consensus.NewWaitFree[bool]("xcons", owners)
+	return New("arb", xc)
+}
+
+func ids(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// runArbitration executes an arbitration with the given owners and guests
+// under policy; processes not listed do not participate.
+func runArbitration(n int, owners, guests []int, policy sched.Policy, maxSteps int64) sched.Results {
+	arb := newArbiter(owners)
+	r := sched.NewRun(n, policy)
+	for _, id := range owners {
+		r.Spawn(id, func(p *sched.Proc) {
+			p.SetResult(arb.Arbitrate(p, Owner))
+		})
+	}
+	for _, id := range guests {
+		r.Spawn(id, func(p *sched.Proc) {
+			p.SetResult(arb.Arbitrate(p, Guest))
+		})
+	}
+	return r.Execute(maxSteps)
+}
+
+// checkAgreement verifies no two returned roles differ.
+func checkAgreement(t *testing.T, res sched.Results) {
+	t.Helper()
+	var winner *Role
+	for id := range res.Status {
+		if !res.HasValue[id] {
+			continue
+		}
+		w := res.Values[id].(Role)
+		if winner == nil {
+			winner = &w
+		} else if *winner != w {
+			t.Fatalf("agreement violated: %v", res.Values)
+		}
+	}
+}
+
+func TestOnlyOwnersReturnsOwner(t *testing.T) {
+	// Validity: if no guest invokes arbitrate, guest cannot be returned.
+	res := runArbitration(3, []int{0, 1, 2}, nil, &sched.RoundRobin{}, 10000)
+	for id := 0; id < 3; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("owner %d: %v, want done", id, res.Status[id])
+		}
+		if w := res.Values[id].(Role); w != Owner {
+			t.Errorf("owner %d got %v, want owner", id, w)
+		}
+	}
+}
+
+func TestOnlyGuestsReturnsGuest(t *testing.T) {
+	// Validity + termination: if only guests invoke, all terminate with guest.
+	res := runArbitration(4, nil, []int{2, 3}, &sched.RoundRobin{}, 10000)
+	for _, id := range []int{2, 3} {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("guest %d: %v, want done", id, res.Status[id])
+		}
+		if w := res.Values[id].(Role); w != Guest {
+			t.Errorf("guest %d got %v, want guest", id, w)
+		}
+	}
+	// Note: owners are members of the arbiter's port set but never invoke.
+}
+
+func TestMixedParticipationAgreementRandom(t *testing.T) {
+	// E1 core property check: agreement and validity hold for every random
+	// schedule, every split of owners/guests.
+	property := func(seed uint64, ownerCount, guestCount uint8) bool {
+		ocnt := int(ownerCount%3) + 1
+		gcnt := int(guestCount % 4)
+		n := ocnt + gcnt
+		arb := newArbiter(ids(0, ocnt))
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		for id := 0; id < ocnt; id++ {
+			r.Spawn(id, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+		}
+		for id := ocnt; id < n; id++ {
+			r.Spawn(id, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+		}
+		res := r.Execute(50000)
+		var winner *Role
+		for id := 0; id < n; id++ {
+			if res.Status[id] != sched.Done {
+				return false // a correct owner participates: all must terminate
+			}
+			w := res.Values[id].(Role)
+			if winner == nil {
+				winner = &w
+			} else if *winner != w {
+				return false
+			}
+		}
+		// Validity: the winner side must have participated.
+		if *winner == Guest && gcnt == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTerminationWithCorrectOwner(t *testing.T) {
+	// Termination clause 1: if a correct owner invokes arbitrate, every
+	// invocation by a correct process terminates — even when other owners
+	// crash at adversarial points.
+	for crashStep := int64(0); crashStep <= 4; crashStep++ {
+		arb := newArbiter([]int{0, 1})
+		r := sched.NewRun(4, &sched.CrashAt{
+			Inner: &sched.RoundRobin{},
+			At:    map[int]int64{1: crashStep},
+		})
+		r.Spawn(0, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+		r.Spawn(1, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+		r.Spawn(2, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+		r.Spawn(3, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+		res := r.Execute(50000)
+		for _, id := range []int{0, 2, 3} {
+			if res.Status[id] != sched.Done {
+				t.Errorf("crashStep=%d: correct process %d: %v, want done",
+					crashStep, id, res.Status[id])
+			}
+		}
+		checkAgreement(t, res)
+	}
+}
+
+func TestGuestBlocksWhenAllOwnersCrashAfterAnnouncing(t *testing.T) {
+	// The arbiter's termination guarantee is conditional: when the only
+	// owner announces participation and crashes before the owners' consensus
+	// writes WINNER, a guest waits forever. This is the scenario that makes
+	// task T2 of Figure 5 necessary, and the reason the group algorithm is
+	// not (n, 1)-live (see the hierarchy tests).
+	arb := newArbiter([]int{0})
+	r := sched.NewRun(2, &sched.CrashAt{
+		Inner: &sched.RoundRobin{},
+		At:    map[int]int64{0: 1}, // owner crashes right after PART[owner]←true
+	})
+	r.Spawn(0, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+	r.Spawn(1, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+	res := r.Execute(20000)
+	if res.Status[0] != sched.Crashed {
+		t.Fatalf("owner: %v, want crashed", res.Status[0])
+	}
+	if res.Status[1] != sched.Starved {
+		t.Errorf("guest: %v, want starved (blocked on WINNER)", res.Status[1])
+	}
+}
+
+func TestAbortableUnblocksBlockedGuest(t *testing.T) {
+	// Same blocked-guest scenario, but the stop predicate fires: the guest
+	// returns ErrAborted instead of blocking.
+	arb := newArbiter([]int{0})
+	external := false
+	r := sched.NewRun(2, &sched.CrashAt{
+		Inner: &sched.RoundRobin{},
+		At:    map[int]int64{0: 1},
+	})
+	r.Spawn(0, func(p *sched.Proc) { arb.Arbitrate(p, Owner) })
+	r.Spawn(1, func(p *sched.Proc) {
+		polls := 0
+		_, err := arb.ArbitrateAbortable(p, Guest, func(p *sched.Proc) bool {
+			p.Step() // a poll costs a step, like reading a register
+			polls++
+			external = polls > 5
+			return external
+		})
+		p.SetResult(err)
+	})
+	res := r.Execute(20000)
+	if res.Status[1] != sched.Done {
+		t.Fatalf("guest: %v, want done via abort", res.Status[1])
+	}
+	if err, ok := res.Values[1].(error); !ok || !errors.Is(err, ErrAborted) {
+		t.Errorf("guest error = %v, want ErrAborted", res.Values[1])
+	}
+}
+
+func TestReturnImpliesAllTerminate(t *testing.T) {
+	// Termination clause 3: once some process returns, every correct
+	// participant terminates. Run a prefix where a guest-only arbitration
+	// returns, then have a late guest arrive: it must terminate too.
+	arb := newArbiter([]int{0})
+	r := sched.NewRun(3, &sched.Script{
+		Seq:  repeat(1, 10), // guest 1 completes alone
+		Then: &sched.RoundRobin{},
+	})
+	r.Spawn(1, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+	r.Spawn(2, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+	res := r.Execute(20000)
+	for _, id := range []int{1, 2} {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("guest %d: %v, want done", id, res.Status[id])
+		}
+		if w := res.Values[id].(Role); w != Guest {
+			t.Errorf("guest %d got %v, want guest", id, w)
+		}
+	}
+}
+
+func TestOwnersSeeGuestsWin(t *testing.T) {
+	// If guests announce first (script: guest writes PART[guest] before any
+	// owner reads it), the owners' consensus sees guest participation and
+	// the guests win.
+	arb := newArbiter([]int{0})
+	r := sched.NewRun(2, &sched.Script{
+		Seq:  []int{1, 1}, // guest announces (and reads PART[owner])
+		Then: &sched.RoundRobin{},
+	})
+	r.Spawn(0, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+	r.Spawn(1, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+	res := r.Execute(20000)
+	checkAgreement(t, res)
+	if res.Status[0] == sched.Done {
+		if w := res.Values[0].(Role); w != Guest {
+			t.Errorf("owner saw winner %v, want guest (guest announced first)", w)
+		}
+	}
+}
+
+func TestOwnersWinWhenGuestsLate(t *testing.T) {
+	// Owners complete the arbitration before any guest announces: owners win.
+	arb := newArbiter([]int{0, 1})
+	r := sched.NewRun(3, &sched.Script{
+		Seq:  repeat2(0, 1, 6), // owners run first
+		Then: &sched.RoundRobin{},
+	})
+	for id := 0; id < 2; id++ {
+		r.Spawn(id, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+	}
+	r.Spawn(2, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+	res := r.Execute(20000)
+	checkAgreement(t, res)
+	for id := 0; id < 3; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v, want done", id, res.Status[id])
+		}
+		if w := res.Values[id].(Role); w != Owner {
+			t.Errorf("process %d got %v, want owner", id, w)
+		}
+	}
+}
+
+func TestCrashMatrixSafety(t *testing.T) {
+	// E1 crash sweep: for every single-process crash point in a small grid,
+	// agreement and validity must hold among terminating processes.
+	for victim := 0; victim < 4; victim++ {
+		for crashStep := int64(0); crashStep <= 6; crashStep++ {
+			name := fmt.Sprintf("victim=%d/step=%d", victim, crashStep)
+			t.Run(name, func(t *testing.T) {
+				arb := newArbiter([]int{0, 1})
+				r := sched.NewRun(4, &sched.CrashAt{
+					Inner: &sched.RoundRobin{},
+					At:    map[int]int64{victim: crashStep},
+				})
+				r.Spawn(0, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+				r.Spawn(1, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+				r.Spawn(2, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+				r.Spawn(3, func(p *sched.Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+				res := r.Execute(50000)
+				checkAgreement(t, res)
+				// A correct owner always participates (victim is at most one
+				// of them), so all correct processes must terminate.
+				for id := 0; id < 4; id++ {
+					if id == victim {
+						continue
+					}
+					if res.Status[id] != sched.Done {
+						t.Errorf("correct process %d: %v, want done", id, res.Status[id])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Owner.String() != "owner" || Guest.String() != "guest" || Role(0).String() != "unknown" {
+		t.Error("Role.String misbehaves")
+	}
+}
+
+func TestInvalidRolePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid role did not panic")
+		}
+	}()
+	arb := newArbiter([]int{0})
+	r := sched.NewRun(1, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) { arb.Arbitrate(p, Role(99)) })
+	r.Execute(100)
+}
+
+func repeat(id, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = id
+	}
+	return out
+}
+
+func repeat2(a, b, k int) []int {
+	out := make([]int, 0, 2*k)
+	for i := 0; i < k; i++ {
+		out = append(out, a, b)
+	}
+	return out
+}

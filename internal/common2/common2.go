@@ -1,0 +1,273 @@
+// Package common2 implements the Common2 objects discussed in Section 3.5 of
+// the paper: objects with consensus number 2 that have wait-free n-process
+// implementations from 2-consensus — test&set, fetch&add, swap, queues (and
+// stacks, per the paper's reference [1]).
+//
+// The package provides the objects themselves (over the step-gated memory
+// substrate) and the classic 2-process consensus constructions from each,
+// which witness that their consensus number is at least 2. The matching
+// upper bound — that the same constructions cannot be extended to 3
+// processes — is exhibited by the explicit-state model in internal/explore
+// (TASModel with 3 processes admits an agreement violation).
+//
+// Section 3.5's point is that replacing atomic registers with Common2
+// objects does not invalidate Theorem 1, because (n−1, n−1)-live consensus
+// objects are strictly stronger than every Common2 object for n−1 > 2. The
+// E9 experiment reproduces the two halves of that strictness: Common2
+// objects solve 2-consensus (these constructions) but not 3-consensus (the
+// explorer's counterexample).
+package common2
+
+import (
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// TASConsensus2 is the classic 2-process binary consensus object built from
+// one test&set bit and two preference registers: the test&set winner's value
+// is decided.
+type TASConsensus2[T any] struct {
+	prefer [2]*memory.OptRegister[T]
+	tas    *memory.TestAndSet
+	ids    [2]int
+}
+
+// NewTASConsensus2 returns a consensus object for the two given process ids.
+func NewTASConsensus2[T any](name string, id0, id1 int) *TASConsensus2[T] {
+	c := &TASConsensus2[T]{tas: memory.NewTestAndSet(name + ".tas"), ids: [2]int{id0, id1}}
+	c.prefer[0] = memory.NewOptRegister[T](name + ".prefer0")
+	c.prefer[1] = memory.NewOptRegister[T](name + ".prefer1")
+	return c
+}
+
+// Propose implements the consensus operation; wait-free in 3 steps.
+func (c *TASConsensus2[T]) Propose(p *sched.Proc, v T) T {
+	slot := c.slotOf(p.ID())
+	c.prefer[slot].Write(p, v)
+	if c.tas.Set(p) {
+		return v
+	}
+	// The winner wrote its preference before winning the test&set (program
+	// order), so the read below always succeeds.
+	w, _ := c.prefer[1-slot].Read(p)
+	return w
+}
+
+func (c *TASConsensus2[T]) slotOf(id int) int {
+	switch id {
+	case c.ids[0]:
+		return 0
+	case c.ids[1]:
+		return 1
+	default:
+		panic("common2: process is not a port of this 2-consensus object")
+	}
+}
+
+// SwapConsensus2 is 2-process consensus from a swap register: the first
+// process to swap the sentinel out wins.
+type SwapConsensus2[T any] struct {
+	prefer [2]*memory.OptRegister[T]
+	cell   *memory.CAS[int] // -1 sentinel, else winning slot
+	ids    [2]int
+}
+
+// NewSwapConsensus2 returns a consensus object for the two given ids.
+func NewSwapConsensus2[T any](name string, id0, id1 int) *SwapConsensus2[T] {
+	c := &SwapConsensus2[T]{cell: memory.NewCAS(name+".swap", -1), ids: [2]int{id0, id1}}
+	c.prefer[0] = memory.NewOptRegister[T](name + ".prefer0")
+	c.prefer[1] = memory.NewOptRegister[T](name + ".prefer1")
+	return c
+}
+
+// Propose implements the consensus operation; wait-free in 3 steps.
+func (c *SwapConsensus2[T]) Propose(p *sched.Proc, v T) T {
+	slot := c.slotOfSwap(p.ID())
+	c.prefer[slot].Write(p, v)
+	if old := c.cell.Swap(p, slot); old == -1 {
+		return v
+	}
+	w, _ := c.prefer[1-slot].Read(p)
+	return w
+}
+
+func (c *SwapConsensus2[T]) slotOfSwap(id int) int {
+	switch id {
+	case c.ids[0]:
+		return 0
+	case c.ids[1]:
+		return 1
+	default:
+		panic("common2: process is not a port of this 2-consensus object")
+	}
+}
+
+// Queue is a FIFO queue built from a fetch&add tail, a fetch&add head and an
+// array of write-once slots. Enqueues are wait-free. Dequeue is non-blocking:
+// it claims the next slot and reports false if that slot has not been filled
+// at claim time (sufficient for the consensus construction, where the queue
+// is pre-filled and never refilled).
+type Queue[T any] struct {
+	head  *memory.Counter
+	tail  *memory.Counter
+	slots []*memory.Once[T]
+}
+
+// NewQueue returns an empty queue with the given slot capacity.
+func NewQueue[T any](name string, capacity int) *Queue[T] {
+	q := &Queue[T]{
+		head:  memory.NewCounter(name + ".head"),
+		tail:  memory.NewCounter(name + ".tail"),
+		slots: make([]*memory.Once[T], capacity),
+	}
+	for i := range q.slots {
+		q.slots[i] = memory.NewOnce[T](name + ".slot")
+	}
+	return q
+}
+
+// Enq appends v; wait-free (2 steps). It panics if capacity is exceeded
+// (programmer error: capacity is part of the constructor contract).
+func (q *Queue[T]) Enq(p *sched.Proc, v T) {
+	t := q.tail.FetchAdd(p, 1)
+	if int(t) >= len(q.slots) {
+		panic("common2: queue capacity exceeded")
+	}
+	q.slots[t].Propose(p, v)
+}
+
+// Deq claims the next slot and returns its value, or false if the queue had
+// no filled slot there.
+func (q *Queue[T]) Deq(p *sched.Proc) (T, bool) {
+	h := q.head.FetchAdd(p, 1)
+	if int(h) >= len(q.slots) {
+		var zero T
+		return zero, false
+	}
+	return q.slots[h].TryGet(p)
+}
+
+// QueueConsensus2 is 2-process consensus from a pre-filled queue: the queue
+// initially holds a single token; the process that dequeues it wins.
+type QueueConsensus2[T any] struct {
+	prefer [2]*memory.OptRegister[T]
+	q      *Queue[bool]
+	ids    [2]int
+	primed bool
+}
+
+// NewQueueConsensus2 returns a consensus object for the two given ids.
+func NewQueueConsensus2[T any](name string, id0, id1 int) *QueueConsensus2[T] {
+	c := &QueueConsensus2[T]{q: NewQueue[bool](name+".q", 4), ids: [2]int{id0, id1}}
+	c.prefer[0] = memory.NewOptRegister[T](name + ".prefer0")
+	c.prefer[1] = memory.NewOptRegister[T](name + ".prefer1")
+	// Pre-fill with the winner token outside any run (initial state).
+	init := sched.FreeProc(-1)
+	c.q.Enq(init, true)
+	c.primed = true
+	return c
+}
+
+// Propose implements the consensus operation; wait-free in 4 steps.
+func (c *QueueConsensus2[T]) Propose(p *sched.Proc, v T) T {
+	slot := c.slotOfQueue(p.ID())
+	c.prefer[slot].Write(p, v)
+	if _, won := c.q.Deq(p); won {
+		return v
+	}
+	w, _ := c.prefer[1-slot].Read(p)
+	return w
+}
+
+func (c *QueueConsensus2[T]) slotOfQueue(id int) int {
+	switch id {
+	case c.ids[0]:
+		return 0
+	case c.ids[1]:
+		return 1
+	default:
+		panic("common2: process is not a port of this 2-consensus object")
+	}
+}
+
+// Stack is a Treiber stack over the compare&swap register: a lock-free LIFO.
+// Push and pop retry on interference, so the stack is lock-free (some
+// process always makes progress), which is all the consensus construction
+// and the experiments need.
+type Stack[T any] struct {
+	head *memory.CAS[*stackNode[T]]
+}
+
+type stackNode[T any] struct {
+	v    T
+	next *stackNode[T]
+}
+
+// NewStack returns an empty stack.
+func NewStack[T any](name string) *Stack[T] {
+	return &Stack[T]{head: memory.NewCAS[*stackNode[T]](name+".head", nil)}
+}
+
+// Push adds v on top.
+func (s *Stack[T]) Push(p *sched.Proc, v T) {
+	for {
+		h := s.head.Load(p)
+		if s.head.CompareAndSwap(p, h, &stackNode[T]{v: v, next: h}) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value, or false when empty.
+func (s *Stack[T]) Pop(p *sched.Proc) (T, bool) {
+	for {
+		h := s.head.Load(p)
+		if h == nil {
+			var zero T
+			return zero, false
+		}
+		if s.head.CompareAndSwap(p, h, h.next) {
+			return h.v, true
+		}
+	}
+}
+
+// StackConsensus2 is 2-process consensus from a pre-filled stack: the stack
+// initially holds one token; the process that pops it wins.
+type StackConsensus2[T any] struct {
+	prefer [2]*memory.OptRegister[T]
+	st     *Stack[bool]
+	ids    [2]int
+}
+
+// NewStackConsensus2 returns a consensus object for the two given ids.
+func NewStackConsensus2[T any](name string, id0, id1 int) *StackConsensus2[T] {
+	c := &StackConsensus2[T]{st: NewStack[bool](name + ".st"), ids: [2]int{id0, id1}}
+	c.prefer[0] = memory.NewOptRegister[T](name + ".prefer0")
+	c.prefer[1] = memory.NewOptRegister[T](name + ".prefer1")
+	init := sched.FreeProc(-1)
+	c.st.Push(init, true)
+	return c
+}
+
+// Propose implements the consensus operation.
+func (c *StackConsensus2[T]) Propose(p *sched.Proc, v T) T {
+	slot := c.slotOfStack(p.ID())
+	c.prefer[slot].Write(p, v)
+	if _, won := c.st.Pop(p); won {
+		return v
+	}
+	w, _ := c.prefer[1-slot].Read(p)
+	return w
+}
+
+func (c *StackConsensus2[T]) slotOfStack(id int) int {
+	switch id {
+	case c.ids[0]:
+		return 0
+	case c.ids[1]:
+		return 1
+	default:
+		panic("common2: process is not a port of this 2-consensus object")
+	}
+}

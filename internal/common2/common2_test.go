@@ -1,0 +1,243 @@
+package common2
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+// proposer2 is a 2-port consensus object under test.
+type proposer2 interface {
+	Propose(p *sched.Proc, v int) int
+}
+
+// checkConsensus2 runs the 2-process object under every seeded schedule and
+// verifies agreement, validity and wait-free termination.
+func checkConsensus2(t *testing.T, name string, mk func() proposer2) {
+	t.Helper()
+	property := func(seed uint64) bool {
+		c := mk()
+		r := sched.NewRun(2, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()+10))
+		})
+		res := r.Execute(1000)
+		if res.Status[0] != sched.Done || res.Status[1] != sched.Done {
+			return false // wait-free termination
+		}
+		v0, v1 := res.Values[0].(int), res.Values[1].(int)
+		if v0 != v1 {
+			return false // agreement
+		}
+		return v0 == 10 || v0 == 11 // validity
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestTASConsensus2(t *testing.T) {
+	checkConsensus2(t, "tas", func() proposer2 { return NewTASConsensus2[int]("tas", 0, 1) })
+}
+
+func TestSwapConsensus2(t *testing.T) {
+	checkConsensus2(t, "swap", func() proposer2 { return NewSwapConsensus2[int]("swap", 0, 1) })
+}
+
+func TestQueueConsensus2(t *testing.T) {
+	checkConsensus2(t, "queue", func() proposer2 { return NewQueueConsensus2[int]("queue", 0, 1) })
+}
+
+func TestStackConsensus2(t *testing.T) {
+	checkConsensus2(t, "stack", func() proposer2 { return NewStackConsensus2[int]("stack", 0, 1) })
+}
+
+func TestConsensus2SurvivesSoloRuns(t *testing.T) {
+	// Wait-freedom: each process decides its own value when running alone.
+	constructors := map[string]func() proposer2{
+		"tas":   func() proposer2 { return NewTASConsensus2[int]("t", 0, 1) },
+		"swap":  func() proposer2 { return NewSwapConsensus2[int]("s", 0, 1) },
+		"queue": func() proposer2 { return NewQueueConsensus2[int]("q", 0, 1) },
+		"stack": func() proposer2 { return NewStackConsensus2[int]("st", 0, 1) },
+	}
+	for name, mk := range constructors {
+		for solo := 0; solo < 2; solo++ {
+			t.Run(fmt.Sprintf("%s/solo=%d", name, solo), func(t *testing.T) {
+				c := mk()
+				r := sched.NewRun(2, sched.Solo{ID: solo})
+				r.Spawn(solo, func(p *sched.Proc) {
+					p.SetResult(c.Propose(p, p.ID()+10))
+				})
+				res := r.Execute(1000)
+				if res.Status[solo] != sched.Done {
+					t.Fatalf("solo proposer: %v, want done", res.Status[solo])
+				}
+				if got := res.Values[solo].(int); got != solo+10 {
+					t.Errorf("solo proposer decided %d, want its own %d", got, solo+10)
+				}
+			})
+		}
+	}
+}
+
+func TestConsensus2PortRestriction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-port propose did not panic")
+		}
+	}()
+	c := NewTASConsensus2[int]("t", 0, 1)
+	r := sched.NewRun(3, &sched.RoundRobin{})
+	r.Spawn(2, func(p *sched.Proc) { c.Propose(p, 5) })
+	r.Execute(100)
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]("q", 16)
+	r := sched.NewRun(1, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) {
+		for i := 0; i < 5; i++ {
+			q.Enq(p, i*10)
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := q.Deq(p)
+			if !ok || v != i*10 {
+				t.Errorf("Deq #%d = (%d, %v), want (%d, true)", i, v, ok, i*10)
+			}
+		}
+		if _, ok := q.Deq(p); ok {
+			t.Error("Deq on empty queue returned ok")
+		}
+	})
+	r.Execute(10000)
+}
+
+func TestQueueConcurrentEnqueuesAllLand(t *testing.T) {
+	property := func(seed uint64) bool {
+		q := NewQueue[int]("q", 32)
+		const n = 4
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			q.Enq(p, p.ID())
+			q.Enq(p, p.ID()+100)
+		})
+		res := r.Execute(10000)
+		if res.DoneCount() != n {
+			return false
+		}
+		// Drain: exactly 2n items, each process's items in its program order.
+		drain := sched.NewRun(1, &sched.RoundRobin{})
+		ok := true
+		drain.Spawn(0, func(p *sched.Proc) {
+			firstSeen := map[int]bool{}
+			count := 0
+			for {
+				v, got := q.Deq(p)
+				if !got {
+					break
+				}
+				count++
+				if v < 100 {
+					firstSeen[v] = true
+				} else if !firstSeen[v-100] {
+					ok = false // second enqueue dequeued before first
+				}
+			}
+			if count != 2*n {
+				ok = false
+			}
+		})
+		drain.Execute(10000)
+		return ok
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-capacity Enq did not panic")
+		}
+	}()
+	q := NewQueue[int]("q", 1)
+	r := sched.NewRun(1, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) {
+		q.Enq(p, 1)
+		q.Enq(p, 2)
+	})
+	r.Execute(100)
+}
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack[int]("s")
+	r := sched.NewRun(1, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) {
+		for i := 0; i < 5; i++ {
+			s.Push(p, i)
+		}
+		for i := 4; i >= 0; i-- {
+			v, ok := s.Pop(p)
+			if !ok || v != i {
+				t.Errorf("Pop = (%d, %v), want (%d, true)", v, ok, i)
+			}
+		}
+		if _, ok := s.Pop(p); ok {
+			t.Error("Pop on empty stack returned ok")
+		}
+	})
+	r.Execute(10000)
+}
+
+func TestStackConcurrentPushPopConserved(t *testing.T) {
+	property := func(seed uint64) bool {
+		s := NewStack[int]("s")
+		const n = 4
+		popped := make([][]int, n)
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			s.Push(p, p.ID())
+			if v, ok := s.Pop(p); ok {
+				popped[p.ID()] = append(popped[p.ID()], v)
+			}
+		})
+		res := r.Execute(100000)
+		if res.DoneCount() != n {
+			return false
+		}
+		// Conservation: every popped value was pushed, no duplicates among
+		// pops plus remaining stack contents.
+		seen := map[int]int{}
+		for _, vs := range popped {
+			for _, v := range vs {
+				seen[v]++
+			}
+		}
+		drain := sched.NewRun(1, &sched.RoundRobin{})
+		drain.Spawn(0, func(p *sched.Proc) {
+			for {
+				v, ok := s.Pop(p)
+				if !ok {
+					break
+				}
+				seen[v]++
+			}
+		})
+		drain.Execute(10000)
+		if len(seen) != n {
+			return false
+		}
+		for v, cnt := range seen {
+			if cnt != 1 || v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,354 @@
+// Package consensus implements the consensus base objects of the paper:
+//
+//   - WaitFree: an (x, x)-live consensus object — wait-free consensus among a
+//     set of ports, built on a compare&swap decision cell (consensus number
+//     +inf), the base object assumed by Section 6 of the paper;
+//   - ObstructionFree: an (n, 0)-live consensus object built from atomic
+//     read/write registers only, via rounds of commit-adopt (the possibility
+//     result of Herlihy, Luchangco and Moir cited as [8]);
+//   - Gated: a genuine (y, x)-live consensus object — wait-free for the x
+//     processes of X, obstruction-free but NOT wait-free for the y−x guests,
+//     realized by an interference gate over per-port activity counters;
+//   - CommitAdopt: the register-only agreement building block used by
+//     ObstructionFree.
+//
+// Every object is single-shot: each port may invoke Propose at most once
+// (ObstructionFree and Gated tolerate benign re-invocation by returning the
+// decided value).
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// Object is a single-shot consensus object over values of type T. Propose
+// submits v and returns the decided value. Implementations guarantee validity
+// (the decision is some proposed value) and agreement (all invocations return
+// the same value); their termination guarantees differ and are documented
+// per type — that difference is the subject of the paper.
+type Object[T comparable] interface {
+	Propose(p *sched.Proc, v T) T
+}
+
+// ports maps process ids to dense slots and enforces access restriction:
+// (y, x)-live objects can be accessed by the y processes of Y only.
+type ports struct {
+	ids  []int
+	slot map[int]int
+}
+
+func newPorts(ids []int) ports {
+	ps := ports{ids: append([]int(nil), ids...), slot: make(map[int]int, len(ids))}
+	for i, id := range ids {
+		ps.slot[id] = i
+	}
+	return ps
+}
+
+// slotOf returns the dense slot of process id, panicking on a port violation.
+// Accessing an object through a port one does not own is a programmer error
+// (like indexing out of range), not a runtime condition, so it panics.
+func (ps ports) slotOf(id int) int {
+	s, ok := ps.slot[id]
+	if !ok {
+		panic(fmt.Sprintf("consensus: process %d is not a port of this object (ports %v)", id, ps.ids))
+	}
+	return s
+}
+
+// WaitFree is an (x, x)-live consensus object: wait-free consensus among the
+// given ports, implemented with a single compare&swap decision cell. Any
+// correct port's Propose returns after exactly one step regardless of the
+// behaviour of other processes.
+type WaitFree[T comparable] struct {
+	ps  ports
+	dec *memory.Once[T]
+}
+
+var _ Object[int] = (*WaitFree[int])(nil)
+
+// NewWaitFree returns a wait-free consensus object accessible by the listed
+// ports. An empty port list grants access to every process.
+func NewWaitFree[T comparable](name string, portIDs []int) *WaitFree[T] {
+	return &WaitFree[T]{ps: newPorts(portIDs), dec: memory.NewOnce[T](name)}
+}
+
+// Ports returns the ids allowed to access the object (nil means all).
+func (c *WaitFree[T]) Ports() []int { return append([]int(nil), c.ps.ids...) }
+
+// Propose implements Object. Wait-free: one step.
+func (c *WaitFree[T]) Propose(p *sched.Proc, v T) T {
+	if len(c.ps.ids) > 0 {
+		c.ps.slotOf(p.ID())
+	}
+	return c.dec.Propose(p, v)
+}
+
+// caEntry is a phase-2 commit-adopt record.
+type caEntry[T comparable] struct {
+	val  T
+	flag bool // true: the writer saw a unanimous phase 1
+	set  bool
+}
+
+// CommitAdopt is Gafni's commit-adopt object built from registers only. Run
+// returns (value, true) when the caller may commit, and (value, false) when
+// it must adopt the value into its next attempt. It guarantees:
+//
+//   - validity: the returned value was proposed by some participant;
+//   - agreement: if any participant commits v, every participant returns v;
+//   - convergence: if all participants propose the same v, all commit v;
+//   - wait-freedom: O(n) steps.
+type CommitAdopt[T comparable] struct {
+	ps ports
+	a1 []*memory.OptRegister[T]
+	a2 []*memory.Register[caEntry[T]]
+}
+
+// NewCommitAdopt returns a commit-adopt object for the listed ports.
+func NewCommitAdopt[T comparable](name string, portIDs []int) *CommitAdopt[T] {
+	n := len(portIDs)
+	ca := &CommitAdopt[T]{
+		ps: newPorts(portIDs),
+		a1: make([]*memory.OptRegister[T], n),
+		a2: make([]*memory.Register[caEntry[T]], n),
+	}
+	for i := 0; i < n; i++ {
+		ca.a1[i] = memory.NewOptRegister[T](name + ".a1")
+		ca.a2[i] = memory.NewRegister(name+".a2", caEntry[T]{})
+	}
+	return ca
+}
+
+// Run executes the two commit-adopt phases for process p proposing v.
+func (ca *CommitAdopt[T]) Run(p *sched.Proc, v T) (T, bool) {
+	i := ca.ps.slotOf(p.ID())
+
+	// Phase 1: publish the proposal, then collect. If only one distinct
+	// value is visible, carry it flagged into phase 2; otherwise carry the
+	// value of the smallest occupied slot (a deterministic choice, which
+	// gives convergence across rounds in the obstruction-free construction).
+	ca.a1[i].Write(p, v)
+	var (
+		seenVal  T
+		seenAny  bool
+		multiple bool
+	)
+	for j := range ca.a1 {
+		w, ok := ca.a1[j].Read(p)
+		if !ok {
+			continue
+		}
+		if !seenAny {
+			seenVal, seenAny = w, true
+		} else if w != seenVal {
+			multiple = true
+		}
+	}
+	if !seenAny {
+		// Impossible: slot i was written above. Defensive fallback.
+		seenVal = v
+	}
+	ent := caEntry[T]{val: seenVal, flag: !multiple, set: true}
+	ca.a2[i].Write(p, ent)
+
+	// Phase 2: collect. All flagged => commit; some flagged => adopt the
+	// flagged value; none flagged => adopt own phase-2 value.
+	var (
+		flagged    T
+		hasFlagged bool
+		allFlagged = true
+	)
+	for j := range ca.a2 {
+		e := ca.a2[j].Read(p)
+		if !e.set {
+			continue
+		}
+		if e.flag {
+			flagged, hasFlagged = e.val, true
+		} else {
+			allFlagged = false
+		}
+	}
+	if hasFlagged && allFlagged {
+		return flagged, true
+	}
+	if hasFlagged {
+		return flagged, false
+	}
+	return ent.val, false
+}
+
+// ObstructionFree is an (n, 0)-live consensus object built from atomic
+// registers only: rounds of commit-adopt plus a decision register. Any
+// process that eventually runs in isolation for long enough decides (it
+// reaches a round beyond every other process's last write and commits), but
+// an adversary interleaving two processes with different estimates can
+// prevent decision forever — obstruction-freedom, not wait-freedom.
+type ObstructionFree[T comparable] struct {
+	name string
+	ps   ports
+	dec  *memory.OptRegister[T]
+
+	rounds *roundTable[T]
+}
+
+var _ Object[int] = (*ObstructionFree[int])(nil)
+
+// NewObstructionFree returns a register-only obstruction-free consensus
+// object for the listed ports.
+func NewObstructionFree[T comparable](name string, portIDs []int) *ObstructionFree[T] {
+	return &ObstructionFree[T]{
+		name:   name,
+		ps:     newPorts(portIDs),
+		dec:    memory.NewOptRegister[T](name + ".dec"),
+		rounds: newRoundTable[T](name, portIDs),
+	}
+}
+
+// Propose implements Object. Obstruction-free termination.
+func (c *ObstructionFree[T]) Propose(p *sched.Proc, v T) T {
+	c.ps.slotOf(p.ID())
+	est := v
+	for r := 0; ; r++ {
+		if d, ok := c.dec.Read(p); ok {
+			return d
+		}
+		val, commit := c.rounds.get(r).Run(p, est)
+		if commit {
+			c.dec.Write(p, val)
+			return val
+		}
+		est = val
+	}
+}
+
+// Gated is a (y, x)-live consensus object. The x ports of X decide with a
+// single wait-free compare&swap. The y−x guest ports run an interference
+// gate: a guest returns only after observing a window in which fewer than
+// Tolerance other ports of the object took steps (per-port activity counters
+// around its attempt). With the default Tolerance of 1 this is
+// obstruction-freedom: a guest running in isolation returns after one
+// attempt, while two guests interleaved step-by-step starve each other
+// forever — exactly the adversary of the paper's Theorem 2 proof. A larger
+// Tolerance k gives k-obstruction-freedom (Section 1.1, citing [13, 14]):
+// any group of at most k guests running without outside interference
+// terminates, while k+1 interleaved guests starve. Agreement and validity
+// are untouched: the single decision cell decides.
+type Gated[T comparable] struct {
+	ps        ports
+	wf        map[int]bool
+	tolerance int
+	dec       *memory.Once[T]
+	act       []*memory.Counter
+}
+
+var _ Object[int] = (*Gated[int])(nil)
+
+// NewGated returns a (y, x)-live consensus object with port set Y = portIDs
+// and wait-free set X = wfIDs (which must be a subset of portIDs; violations
+// are programmer errors and panic). Guests are obstruction-free
+// (Tolerance 1).
+func NewGated[T comparable](name string, portIDs, wfIDs []int) *Gated[T] {
+	return NewGatedK[T](name, portIDs, wfIDs, 1)
+}
+
+// NewGatedK is NewGated with guest termination weakened from
+// obstruction-freedom to k-obstruction-freedom: a guest returns once fewer
+// than k other ports interfere with its window. k must be >= 1.
+func NewGatedK[T comparable](name string, portIDs, wfIDs []int, k int) *Gated[T] {
+	if k < 1 {
+		panic(fmt.Sprintf("consensus: gate tolerance must be >= 1, got %d", k))
+	}
+	g := &Gated[T]{
+		ps:        newPorts(portIDs),
+		wf:        make(map[int]bool, len(wfIDs)),
+		tolerance: k,
+		dec:       memory.NewOnce[T](name + ".dec"),
+		act:       make([]*memory.Counter, len(portIDs)),
+	}
+	for i := range g.act {
+		g.act[i] = memory.NewCounter(name + ".act")
+	}
+	for _, id := range wfIDs {
+		g.ps.slotOf(id) // validate X ⊆ Y
+		g.wf[id] = true
+	}
+	return g
+}
+
+// Y returns the object's port ids.
+func (g *Gated[T]) Y() []int { return append([]int(nil), g.ps.ids...) }
+
+// X returns the ids with wait-free termination.
+func (g *Gated[T]) X() []int {
+	out := make([]int, 0, len(g.wf))
+	for _, id := range g.ps.ids {
+		if g.wf[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Propose implements Object: wait-free for ports in X, (Tolerance)-
+// obstruction-free for the remaining guests.
+func (g *Gated[T]) Propose(p *sched.Proc, v T) T {
+	slot := g.ps.slotOf(p.ID())
+	if g.wf[p.ID()] {
+		g.act[slot].FetchAdd(p, 1)
+		return g.dec.Propose(p, v)
+	}
+	before := make([]int64, len(g.act))
+	for {
+		g.collectOthers(p, slot, before)
+		g.act[slot].FetchAdd(p, 1)
+		d := g.dec.Propose(p, v)
+		moved := 0
+		for i, c := range g.act {
+			if i == slot {
+				continue
+			}
+			if c.Read(p) != before[i] {
+				moved++
+			}
+		}
+		if moved < g.tolerance {
+			return d
+		}
+	}
+}
+
+func (g *Gated[T]) collectOthers(p *sched.Proc, slot int, dst []int64) {
+	for i, c := range g.act {
+		if i == slot {
+			continue
+		}
+		dst[i] = c.Read(p)
+	}
+}
+
+// Restricted wraps a consensus object, exposing it through a subset of its
+// ports. It realizes the restriction arguments of Theorem 3: an (n, x)-live
+// object restricted to x+1 processes is an (x+1, x)-live object, and
+// preventing the extra processes from participating preserves the bound.
+type Restricted[T comparable] struct {
+	inner Object[T]
+	ps    ports
+}
+
+var _ Object[int] = (*Restricted[int])(nil)
+
+// NewRestricted returns obj exposed through the given subset of ports only.
+func NewRestricted[T comparable](obj Object[T], portIDs []int) *Restricted[T] {
+	return &Restricted[T]{inner: obj, ps: newPorts(portIDs)}
+}
+
+// Propose implements Object, enforcing the restricted port set.
+func (r *Restricted[T]) Propose(p *sched.Proc, v T) T {
+	r.ps.slotOf(p.ID())
+	return r.inner.Propose(p, v)
+}

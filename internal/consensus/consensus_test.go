@@ -1,0 +1,459 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+func ids(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// checkAgreementValidity verifies the two safety properties of consensus on a
+// finished run: all decided values equal, and the decision was proposed.
+func checkAgreementValidity(t *testing.T, res sched.Results, proposals []int) {
+	t.Helper()
+	var decided *int
+	for id := range res.Status {
+		if !res.HasValue[id] {
+			continue
+		}
+		v := res.Values[id].(int)
+		if decided == nil {
+			decided = &v
+		} else if *decided != v {
+			t.Fatalf("agreement violated: %v", res.Values)
+		}
+	}
+	if decided == nil {
+		return
+	}
+	for _, pv := range proposals {
+		if pv == *decided {
+			return
+		}
+	}
+	t.Fatalf("validity violated: decided %d not in proposals %v", *decided, proposals)
+}
+
+func TestWaitFreeDecidesInOneStep(t *testing.T) {
+	c := NewWaitFree[int]("c", ids(3))
+	r := sched.NewRun(3, &sched.RoundRobin{})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(c.Propose(p, p.ID()))
+	})
+	res := r.Execute(100)
+	for id := 0; id < 3; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v, want done", id, res.Status[id])
+		}
+		if res.Steps[id] != 1 {
+			t.Errorf("wait-free propose took %d steps for process %d, want 1", res.Steps[id], id)
+		}
+	}
+	checkAgreementValidity(t, res, []int{0, 1, 2})
+}
+
+func TestWaitFreeAgreementRandom(t *testing.T) {
+	property := func(seed uint64) bool {
+		c := NewWaitFree[int]("c", ids(5))
+		r := sched.NewRun(5, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()*7))
+		})
+		res := r.Execute(1000)
+		first := res.Values[0].(int)
+		for id := 1; id < 5; id++ {
+			if res.Values[id].(int) != first {
+				return false
+			}
+		}
+		return first%7 == 0 && first >= 0 && first < 35
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaitFreePortRestriction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("propose through a non-port did not panic")
+		}
+	}()
+	c := NewWaitFree[int]("c", []int{0, 1})
+	r := sched.NewRun(3, &sched.RoundRobin{})
+	r.Spawn(2, func(p *sched.Proc) {
+		c.Propose(p, 1)
+	})
+	r.Execute(100)
+}
+
+func TestWaitFreeSurvivesCrashes(t *testing.T) {
+	// Wait-freedom: process 2 decides even when 0 and 1 crash immediately.
+	c := NewWaitFree[int]("c", ids(3))
+	r := sched.NewRun(3, &sched.CrashAt{
+		Inner: &sched.RoundRobin{},
+		At:    map[int]int64{0: 0, 1: 0},
+	})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(c.Propose(p, p.ID()))
+	})
+	res := r.Execute(100)
+	if res.Status[2] != sched.Done {
+		t.Fatalf("process 2: %v, want done", res.Status[2])
+	}
+	if got := res.Values[2].(int); got != 2 {
+		t.Errorf("decided %d, want its own value 2 (others crashed before stepping)", got)
+	}
+}
+
+func TestCommitAdoptConvergence(t *testing.T) {
+	// All propose the same value => all commit it.
+	ca := NewCommitAdopt[int]("ca", ids(4))
+	r := sched.NewRun(4, &sched.RoundRobin{})
+	r.SpawnAll(func(p *sched.Proc) {
+		v, committed := ca.Run(p, 9)
+		p.SetResult([2]int{v, boolToInt(committed)})
+	})
+	res := r.Execute(1000)
+	for id := 0; id < 4; id++ {
+		out := res.Values[id].([2]int)
+		if out[0] != 9 || out[1] != 1 {
+			t.Errorf("process %d: (value=%d, committed=%d), want (9, 1)", id, out[0], out[1])
+		}
+	}
+}
+
+func TestCommitAdoptSoloCommits(t *testing.T) {
+	ca := NewCommitAdopt[int]("ca", ids(3))
+	r := sched.NewRun(3, sched.Solo{ID: 1})
+	r.Spawn(1, func(p *sched.Proc) {
+		v, committed := ca.Run(p, 5)
+		p.SetResult([2]int{v, boolToInt(committed)})
+	})
+	res := r.Execute(1000)
+	out := res.Values[1].([2]int)
+	if out[0] != 5 || out[1] != 1 {
+		t.Errorf("solo run: (value=%d, committed=%d), want (5, 1)", out[0], out[1])
+	}
+}
+
+// TestCommitAdoptAgreement checks the key commit-adopt property under random
+// schedules: if any process commits v, every process returns v.
+func TestCommitAdoptAgreement(t *testing.T) {
+	property := func(seed uint64) bool {
+		const n = 4
+		ca := NewCommitAdopt[int]("ca", ids(n))
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			v, committed := ca.Run(p, p.ID())
+			p.SetResult([2]int{v, boolToInt(committed)})
+		})
+		res := r.Execute(10000)
+		var committedVal *int
+		for id := 0; id < n; id++ {
+			out := res.Values[id].([2]int)
+			if out[0] < 0 || out[0] >= n {
+				return false // validity
+			}
+			if out[1] == 1 {
+				if committedVal != nil && *committedVal != out[0] {
+					return false
+				}
+				v := out[0]
+				committedVal = &v
+			}
+		}
+		if committedVal == nil {
+			return true
+		}
+		for id := 0; id < n; id++ {
+			if out := res.Values[id].([2]int); out[0] != *committedVal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObstructionFreeSoloDecides(t *testing.T) {
+	// (n, 0)-liveness possibility (cited as [8], Section 1.2): a process
+	// running alone decides using registers only.
+	for _, n := range []int{1, 2, 4, 8} {
+		c := NewObstructionFree[int]("of", ids(n))
+		r := sched.NewRun(n, sched.Solo{ID: 0})
+		r.Spawn(0, func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, 42))
+		})
+		res := r.Execute(100000)
+		if res.Status[0] != sched.Done {
+			t.Fatalf("n=%d: solo proposer %v, want done", n, res.Status[0])
+		}
+		if got := res.Values[0].(int); got != 42 {
+			t.Errorf("n=%d: decided %d, want 42", n, got)
+		}
+	}
+}
+
+func TestObstructionFreeContendedThenSolo(t *testing.T) {
+	// Contention for a while, then a solo window: the isolated process must
+	// decide, and its decision must be a proposed value.
+	for _, n := range []int{2, 3, 5} {
+		c := NewObstructionFree[int]("of", ids(n))
+		r := sched.NewRun(n, &sched.SoloAfter{Inner: &sched.RoundRobin{}, After: 50, ID: 0})
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()+100))
+		})
+		res := r.Execute(100000)
+		if res.Status[0] != sched.Done {
+			t.Fatalf("n=%d: isolated process %v, want done", n, res.Status[0])
+		}
+		got := res.Values[0].(int)
+		if got < 100 || got >= 100+n {
+			t.Errorf("n=%d: decided %d, not a proposed value", n, got)
+		}
+	}
+}
+
+func TestObstructionFreeAgreementRandom(t *testing.T) {
+	property := func(seed uint64) bool {
+		const n = 3
+		c := NewObstructionFree[int]("of", ids(n))
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+		res := r.Execute(50000)
+		var dec *int
+		for id := 0; id < n; id++ {
+			if res.Status[id] != sched.Done {
+				continue // random schedules may starve; only safety here
+			}
+			v := res.Values[id].(int)
+			if v < 0 || v >= n {
+				return false
+			}
+			if dec == nil {
+				dec = &v
+			} else if *dec != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObstructionFreeAllDecideAfterDecision(t *testing.T) {
+	// "As soon as a value has been decided by a process, any process can
+	// decide the very same value" (Section 2 remark): after a solo window
+	// lets process 0 decide, every other process decides too.
+	const n = 3
+	c := NewObstructionFree[int]("of", ids(n))
+	r := sched.NewRun(n, &sched.SoloAfter{Inner: &sched.RoundRobin{}, After: 30, ID: 0})
+	decidedBy0 := make(chan int, 1)
+	r.Spawn(0, func(p *sched.Proc) {
+		v := c.Propose(p, 7)
+		decidedBy0 <- v
+		p.SetResult(v)
+	})
+	for id := 1; id < n; id++ {
+		r.Spawn(id, func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+	}
+	// After process 0 is done, SoloAfter halts everyone else (they starve in
+	// this schedule), so run a second phase: fresh run not possible on same
+	// object with same procs — instead verify via a round-robin tail.
+	r2policy := &sched.SoloAfter{Inner: &sched.RoundRobin{}, After: 30, ID: 0}
+	_ = r2policy
+	res := r.Execute(100000)
+	if res.Status[0] != sched.Done {
+		t.Fatalf("process 0: %v, want done", res.Status[0])
+	}
+	v0 := <-decidedBy0
+	// Now let the starved processes re-propose on the decided object from a
+	// fresh run; they must return the already-decided value immediately.
+	r2 := sched.NewRun(n, &sched.RoundRobin{})
+	for id := 1; id < n; id++ {
+		r2.Spawn(id, func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+	}
+	res2 := r2.Execute(100000)
+	for id := 1; id < n; id++ {
+		if res2.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v, want done", id, res2.Status[id])
+		}
+		if got := res2.Values[id].(int); got != v0 {
+			t.Errorf("process %d decided %d, want %d", id, got, v0)
+		}
+	}
+}
+
+func TestGatedWaitFreePortsAreWaitFree(t *testing.T) {
+	// X ports decide in O(1) steps even under perfect contention.
+	g := NewGated[int]("g", ids(4), []int{0, 1})
+	r := sched.NewRun(4, &sched.RoundRobin{})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(g.Propose(p, p.ID()))
+	})
+	res := r.Execute(100000)
+	for _, id := range []int{0, 1} {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("wait-free port %d: %v, want done", id, res.Status[id])
+		}
+		if res.Steps[id] > 2 {
+			t.Errorf("wait-free port %d took %d steps, want <= 2", id, res.Steps[id])
+		}
+	}
+}
+
+func TestGatedTwoGuestsStarveUnderAlternation(t *testing.T) {
+	// The Theorem 2 adversary: the wait-free ports crash before stepping and
+	// two guests alternate steps forever — neither ever observes isolation,
+	// so neither returns. This is the behaviour that separates (y, x)-live
+	// from (y, x+1)-live objects.
+	g := NewGated[int]("g", ids(4), []int{0, 1})
+	r := sched.NewRun(4, &sched.CrashAt{
+		Inner: &sched.Subset{IDs: []int{2, 3}},
+		At:    map[int]int64{0: 0, 1: 0},
+	})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(g.Propose(p, p.ID()))
+	})
+	res := r.Execute(20000)
+	for _, id := range []int{2, 3} {
+		if res.Status[id] != sched.Starved {
+			t.Errorf("guest %d: %v, want starved under step-by-step alternation", id, res.Status[id])
+		}
+	}
+}
+
+func TestGatedSoloGuestDecides(t *testing.T) {
+	// Obstruction-freedom for guests: a guest running alone returns.
+	g := NewGated[int]("g", ids(4), []int{0, 1})
+	r := sched.NewRun(4, sched.Solo{ID: 3})
+	r.Spawn(3, func(p *sched.Proc) {
+		p.SetResult(g.Propose(p, 33))
+	})
+	res := r.Execute(10000)
+	if res.Status[3] != sched.Done {
+		t.Fatalf("solo guest: %v, want done", res.Status[3])
+	}
+	if got := res.Values[3].(int); got != 33 {
+		t.Errorf("solo guest decided %d, want 33", got)
+	}
+}
+
+func TestGatedGuestDecidesAfterWaitFreePortsFinish(t *testing.T) {
+	// Theorem 3 (possibility half) mechanism: once the X ports complete
+	// their wait-free propose and stop stepping, a single guest observes
+	// quiescence and returns — even under round-robin with the X ports.
+	g := NewGated[int]("g", ids(3), []int{0, 1})
+	r := sched.NewRun(3, &sched.RoundRobin{})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(g.Propose(p, p.ID()))
+	})
+	res := r.Execute(10000)
+	for id := 0; id < 3; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v, want done (single guest must finish)", id, res.Status[id])
+		}
+	}
+	checkAgreementValidity(t, res, []int{0, 1, 2})
+}
+
+func TestGatedAgreementValidityRandom(t *testing.T) {
+	property := func(seed uint64) bool {
+		const n = 5
+		g := NewGated[int]("g", ids(n), []int{0, 1})
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(g.Propose(p, p.ID()))
+		})
+		res := r.Execute(30000)
+		var dec *int
+		for id := 0; id < n; id++ {
+			if res.Status[id] != sched.Done {
+				continue
+			}
+			v := res.Values[id].(int)
+			if v < 0 || v >= n {
+				return false
+			}
+			if dec == nil {
+				dec = &v
+			} else if *dec != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatedXYAccessors(t *testing.T) {
+	g := NewGated[int]("g", []int{3, 5, 7, 9}, []int{5, 9})
+	gotY := g.Y()
+	if len(gotY) != 4 || gotY[0] != 3 || gotY[3] != 9 {
+		t.Errorf("Y = %v, want [3 5 7 9]", gotY)
+	}
+	gotX := g.X()
+	if len(gotX) != 2 || gotX[0] != 5 || gotX[1] != 9 {
+		t.Errorf("X = %v, want [5 9]", gotX)
+	}
+}
+
+func TestGatedXMustBeSubsetOfY(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("X ⊄ Y did not panic")
+		}
+	}()
+	NewGated[int]("g", []int{0, 1}, []int{2})
+}
+
+func TestRestrictedEnforcesPorts(t *testing.T) {
+	inner := NewWaitFree[int]("c", ids(4))
+	restr := NewRestricted[int](inner, []int{0, 1})
+
+	r := sched.NewRun(4, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) {
+		p.SetResult(restr.Propose(p, 5))
+	})
+	res := r.Execute(100)
+	if got := res.Values[0].(int); got != 5 {
+		t.Errorf("restricted propose decided %d, want 5", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("propose through restricted-out port did not panic")
+		}
+	}()
+	r2 := sched.NewRun(4, &sched.RoundRobin{})
+	r2.Spawn(3, func(p *sched.Proc) { restr.Propose(p, 1) })
+	r2.Execute(100)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,132 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestKGatedTwoGuestsFinishWithTolerance2 verifies the k-obstruction-freedom
+// generalization (Section 1.1, [13, 14]): with tolerance 2, two guests
+// alternating step-by-step — the schedule that starves tolerance-1 guests —
+// both terminate, because each observes only one interfering port.
+func TestKGatedTwoGuestsFinishWithTolerance2(t *testing.T) {
+	g := NewGatedK[int]("g", ids(4), []int{0, 1}, 2)
+	r := sched.NewRun(4, &sched.CrashAt{
+		Inner: &sched.Subset{IDs: []int{2, 3}},
+		At:    map[int]int64{0: 0, 1: 0},
+	})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(g.Propose(p, p.ID()))
+	})
+	res := r.Execute(50000)
+	for _, id := range []int{2, 3} {
+		if res.Status[id] != sched.Done {
+			t.Errorf("guest %d: %v, want done under 2-obstruction-freedom", id, res.Status[id])
+		}
+	}
+	if res.HasValue[2] && res.HasValue[3] && res.Values[2] != res.Values[3] {
+		t.Errorf("agreement violated: %v", res.Values)
+	}
+}
+
+// TestKGatedThreeGuestsStarveWithTolerance2 verifies the matching upper
+// bound: three interleaved guests exceed tolerance 2 and starve.
+func TestKGatedThreeGuestsStarveWithTolerance2(t *testing.T) {
+	g := NewGatedK[int]("g", ids(5), []int{0, 1}, 2)
+	r := sched.NewRun(5, &sched.CrashAt{
+		Inner: &sched.Subset{IDs: []int{2, 3, 4}},
+		At:    map[int]int64{0: 0, 1: 0},
+	})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(g.Propose(p, p.ID()))
+	})
+	res := r.Execute(30000)
+	starved := 0
+	for _, id := range []int{2, 3, 4} {
+		if res.Status[id] == sched.Starved {
+			starved++
+		}
+	}
+	if starved == 0 {
+		t.Errorf("no guest starved among three interleaved guests (statuses %v)", res.Status)
+	}
+}
+
+// TestKGatedSweep checks the k boundary across tolerances: k interleaved
+// guests finish, k+1 include a starver.
+func TestKGatedSweep(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			// Exactly k guests interleaving: all must finish.
+			nGuests := k
+			n := 1 + nGuests // one wait-free port (crashed) + guests
+			guests := make([]int, 0, nGuests)
+			for id := 1; id <= nGuests; id++ {
+				guests = append(guests, id)
+			}
+			g := NewGatedK[int]("g", ids(n), []int{0}, k)
+			r := sched.NewRun(n, &sched.CrashAt{
+				Inner: &sched.Subset{IDs: guests},
+				At:    map[int]int64{0: 0},
+			})
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(g.Propose(p, p.ID()))
+			})
+			res := r.Execute(100000)
+			for _, id := range guests {
+				if res.Status[id] != sched.Done {
+					t.Errorf("k=%d: guest %d %v, want done", k, id, res.Status[id])
+				}
+			}
+
+			// k+1 guests interleaving: someone starves.
+			nGuests2 := k + 1
+			n2 := 1 + nGuests2
+			guests2 := make([]int, 0, nGuests2)
+			for id := 1; id <= nGuests2; id++ {
+				guests2 = append(guests2, id)
+			}
+			g2 := NewGatedK[int]("g2", ids(n2), []int{0}, k)
+			r2 := sched.NewRun(n2, &sched.CrashAt{
+				Inner: &sched.Subset{IDs: guests2},
+				At:    map[int]int64{0: 0},
+			})
+			r2.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(g2.Propose(p, p.ID()))
+			})
+			res2 := r2.Execute(30000)
+			starved := 0
+			for _, id := range guests2 {
+				if res2.Status[id] == sched.Starved {
+					starved++
+				}
+			}
+			if starved == 0 {
+				t.Errorf("k=%d: no guest starved among %d interleaved guests", k, nGuests2)
+			}
+		})
+	}
+}
+
+func TestKGatedSoloAlwaysDecides(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		g := NewGatedK[int]("g", ids(4), []int{0}, k)
+		r := sched.NewRun(4, sched.Solo{ID: 3})
+		r.Spawn(3, func(p *sched.Proc) { p.SetResult(g.Propose(p, 9)) })
+		res := r.Execute(10000)
+		if res.Status[3] != sched.Done || res.Values[3].(int) != 9 {
+			t.Errorf("k=%d: solo guest %v value %v", k, res.Status[3], res.Values[3])
+		}
+	}
+}
+
+func TestKGatedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tolerance 0 accepted")
+		}
+	}()
+	NewGatedK[int]("g", ids(2), []int{0}, 0)
+}

@@ -1,0 +1,30 @@
+package consensus
+
+import "sync"
+
+// roundTable lazily allocates the unbounded array of per-round commit-adopt
+// objects used by ObstructionFree. Growing the table is a structural
+// (implementation-level) action, not an algorithm step, so it takes no
+// scheduler step; the commit-adopt operations themselves are fully stepped.
+type roundTable[T comparable] struct {
+	name  string
+	ports []int
+
+	mu sync.Mutex
+	ca []*CommitAdopt[T]
+}
+
+func newRoundTable[T comparable](name string, portIDs []int) *roundTable[T] {
+	return &roundTable[T]{name: name, ports: append([]int(nil), portIDs...)}
+}
+
+// get returns the commit-adopt object for round r, allocating rounds up to r
+// on demand.
+func (t *roundTable[T]) get(r int) *CommitAdopt[T] {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.ca) <= r {
+		t.ca = append(t.ca, NewCommitAdopt[T](t.name+".ca", t.ports))
+	}
+	return t.ca[r]
+}

@@ -1,0 +1,141 @@
+// Package core is the public facade of the asymmetric-progress library, the
+// reproduction of Imbs, Raynal and Taubenfeld, "On Asymmetric Progress
+// Conditions" (PODC 2010).
+//
+// # Overview
+//
+// The paper studies objects whose termination guarantee differs per process.
+// A consensus object is (y, x)-live when y processes may access it, x of
+// them with wait-free termination and the remaining y−x with
+// obstruction-free termination. This library provides:
+//
+//   - the simulated asynchronous crash-prone system the paper assumes
+//     (Runtime / sched): processes take scheduler-granted atomic steps, the
+//     scheduling policy is the adversary, crashes are injectable, runs are
+//     reproducible;
+//   - the base objects (memory, consensus): atomic registers, wait-free
+//     (x, x)-live consensus, register-only obstruction-free consensus, and
+//     genuine (y, x)-live gated consensus objects;
+//   - the paper's two algorithms: the crash-tolerant arbiter object
+//     (Figure 4, NewArbiter) and n-process consensus with group-based
+//     asymmetric progress (Figure 5, NewGroupConsensus);
+//   - the hierarchy machinery of Theorems 1–4 (internal/hierarchy), the
+//     Section 3 valence formalism as an explicit-state model checker
+//     (internal/explore), progress-condition checkers (internal/liveness),
+//     Common2 objects (internal/common2), and a consensus-based universal
+//     construction (internal/universal).
+//
+// # Quick start
+//
+//	gc, err := core.NewGroupConsensus[string]("cfg", 6, 2) // 3 groups of 2
+//	if err != nil { ... }
+//	run := core.NewRun(6, core.RoundRobin())
+//	run.SpawnAll(func(p *core.Proc) {
+//	    v, err := gc.Propose(p, fmt.Sprintf("proposal-%d", p.ID()))
+//	    if err != nil { panic(err) }
+//	    p.SetResult(v)
+//	})
+//	res := run.Execute(1_000_000)
+//
+// Every process that the progress condition covers decides the same,
+// validly proposed value; the schedule, crash pattern and step counts are
+// under test control. See the examples directory for complete programs.
+package core
+
+import (
+	"repro/internal/arbiter"
+	"repro/internal/consensus"
+	"repro/internal/group"
+	"repro/internal/sched"
+)
+
+// Proc is the handle a simulated process uses to take steps; see sched.Proc.
+type Proc = sched.Proc
+
+// Run is a controlled execution of simulated processes; see sched.Run.
+type Run = sched.Run
+
+// Results reports the outcome of a controlled run; see sched.Results.
+type Results = sched.Results
+
+// Policy is a scheduling adversary; see sched.Policy.
+type Policy = sched.Policy
+
+// Role is an arbitration role; see arbiter.Role.
+type Role = arbiter.Role
+
+// Arbitration roles re-exported from the arbiter package.
+const (
+	Owner = arbiter.Owner
+	Guest = arbiter.Guest
+)
+
+// NewRun creates a controlled run of n processes under policy.
+func NewRun(n int, policy Policy) *Run { return sched.NewRun(n, policy) }
+
+// RoundRobin returns the perfect-contention scheduling policy.
+func RoundRobin() Policy { return &sched.RoundRobin{} }
+
+// Random returns a seeded random scheduling policy (reproducible).
+func Random(seed uint64) Policy { return sched.NewRandom(seed) }
+
+// Solo returns the policy that grants every step to process id.
+func Solo(id int) Policy { return sched.Solo{ID: id} }
+
+// CrashAt returns a policy that crashes each process pid listed in at once
+// it has taken at[pid] steps, scheduling round-robin otherwise.
+func CrashAt(at map[int]int64) Policy {
+	return &sched.CrashAt{Inner: &sched.RoundRobin{}, At: at}
+}
+
+// FreeProc returns a free-mode process handle for running algorithms on raw
+// goroutines (benchmarks, production-style use).
+func FreeProc(id int) *Proc { return sched.FreeProc(id) }
+
+// ConsensusObject is a single-shot consensus object; see consensus.Object.
+type ConsensusObject[T comparable] = consensus.Object[T]
+
+// NewWaitFreeConsensus returns an (x, x)-live — wait-free, port-restricted —
+// consensus object for the given ports (empty = all processes).
+func NewWaitFreeConsensus[T comparable](name string, ports []int) ConsensusObject[T] {
+	return consensus.NewWaitFree[T](name, ports)
+}
+
+// NewObstructionFreeConsensus returns an (n, 0)-live consensus object built
+// from atomic registers only.
+func NewObstructionFreeConsensus[T comparable](name string, ports []int) ConsensusObject[T] {
+	return consensus.NewObstructionFree[T](name, ports)
+}
+
+// NewYXLiveConsensus returns a genuine (y, x)-live consensus object: ports
+// lists Y, wfPorts ⊆ ports lists X. Guests are obstruction-free but not
+// wait-free.
+func NewYXLiveConsensus[T comparable](name string, ports, wfPorts []int) ConsensusObject[T] {
+	return consensus.NewGated[T](name, ports, wfPorts)
+}
+
+// Arbiter is the crash-tolerant arbiter object of Figure 4; see
+// arbiter.Arbiter.
+type Arbiter = arbiter.Arbiter
+
+// NewArbiter returns an arbiter whose (at most x) owners are the given
+// process ids; the owners' internal consensus object is created for them.
+func NewArbiter(name string, owners []int) *Arbiter {
+	return arbiter.New(name, consensus.NewWaitFree[bool](name+".xcons", owners))
+}
+
+// GroupConsensus is the Figure 5 consensus object with group-based
+// asymmetric progress; see group.Consensus.
+type GroupConsensus[T comparable] = group.Consensus[T]
+
+// NewGroupConsensus returns a group-based asymmetric consensus object for
+// processes 0..n-1 partitioned into consecutive groups of size x.
+func NewGroupConsensus[T comparable](name string, n, x int) (*GroupConsensus[T], error) {
+	return group.New[T](name, n, x)
+}
+
+// NewGroupConsensusWithGroups returns a group-based asymmetric consensus
+// object over an explicit ordered partition (most important group first).
+func NewGroupConsensusWithGroups[T comparable](name string, groups [][]int) (*GroupConsensus[T], error) {
+	return group.NewWithGroups[T](name, groups)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	gc, err := NewGroupConsensus[string]("cfg", 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := NewRun(6, RoundRobin())
+	run.SpawnAll(func(p *Proc) {
+		v, err := gc.Propose(p, fmt.Sprintf("proposal-%d", p.ID()))
+		if err != nil {
+			panic(err)
+		}
+		p.SetResult(v)
+	})
+	res := run.Execute(1000000)
+	var dec *string
+	for id := 0; id < 6; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v", id, res.Status[id])
+		}
+		v := res.Values[id].(string)
+		if dec == nil {
+			dec = &v
+		} else if *dec != v {
+			t.Fatalf("agreement violated: %v", res.Values)
+		}
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	ports := []int{0, 1, 2}
+	wf := NewWaitFreeConsensus[int]("wf", ports)
+	of := NewObstructionFreeConsensus[int]("of", ports)
+	yx := NewYXLiveConsensus[int]("yx", ports, []int{0})
+	arb := NewArbiter("arb", []int{0})
+	if wf == nil || of == nil || yx == nil || arb == nil {
+		t.Fatal("constructor returned nil")
+	}
+
+	run := NewRun(3, Random(7))
+	run.SpawnAll(func(p *Proc) {
+		p.SetResult(wf.Propose(p, p.ID()))
+	})
+	res := run.Execute(1000)
+	if res.DoneCount() != 3 {
+		t.Fatalf("wait-free consensus statuses: %v", res.Status)
+	}
+
+	run2 := NewRun(3, Solo(1))
+	run2.Spawn(1, func(p *Proc) {
+		p.SetResult(of.Propose(p, 42))
+	})
+	res2 := run2.Execute(100000)
+	if res2.Values[1].(int) != 42 {
+		t.Fatalf("OF solo decided %v", res2.Values[1])
+	}
+}
+
+func TestFacadeArbiterAndRoles(t *testing.T) {
+	arb := NewArbiter("arb", []int{0})
+	run := NewRun(2, RoundRobin())
+	run.Spawn(0, func(p *Proc) { p.SetResult(arb.Arbitrate(p, Owner)) })
+	run.Spawn(1, func(p *Proc) { p.SetResult(arb.Arbitrate(p, Guest)) })
+	res := run.Execute(10000)
+	if res.DoneCount() != 2 {
+		t.Fatalf("statuses: %v", res.Status)
+	}
+	if res.Values[0].(Role) != res.Values[1].(Role) {
+		t.Fatalf("arbiter disagreement: %v", res.Values)
+	}
+}
+
+func TestFacadeCrashAtAndExplicitGroups(t *testing.T) {
+	gc, err := NewGroupConsensusWithGroups[int]("g", [][]int{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := NewRun(3, CrashAt(map[int]int64{1: 4}))
+	run.SpawnAll(func(p *Proc) {
+		v, err := gc.Propose(p, p.ID())
+		if err != nil {
+			panic(err)
+		}
+		p.SetResult(v)
+	})
+	res := run.Execute(200000)
+	for _, id := range []int{0, 2} {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v", id, res.Status[id])
+		}
+	}
+}
+
+func TestFreeProcFacade(t *testing.T) {
+	p := FreeProc(3)
+	if p.ID() != 3 {
+		t.Fatalf("FreeProc id = %d", p.ID())
+	}
+}

@@ -1,0 +1,161 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestCrashMatrixSafety sweeps every single-victim crash point over a grid
+// of configurations and schedules: agreement and validity must hold among
+// deciders in every cell, and — when the victim is outside group 0 — every
+// correct process must decide (the progress condition's premise holds, since
+// group 0 participates with all members correct).
+func TestCrashMatrixSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is slow")
+	}
+	for _, shape := range [][2]int{{4, 2}, {6, 3}} {
+		n, x := shape[0], shape[1]
+		for victim := 0; victim < n; victim++ {
+			for crashStep := int64(0); crashStep <= 12; crashStep += 2 {
+				for _, seed := range []uint64{1, 7} {
+					name := fmt.Sprintf("n=%d,x=%d,victim=%d,step=%d,seed=%d",
+						n, x, victim, crashStep, seed)
+					t.Run(name, func(t *testing.T) {
+						c, err := New[int]("gc", n, x)
+						if err != nil {
+							t.Fatal(err)
+						}
+						r := sched.NewRun(n, &sched.CrashAt{
+							Inner: sched.NewRandom(seed),
+							At:    map[int]int64{victim: crashStep},
+						})
+						r.SpawnAll(func(p *sched.Proc) {
+							v, err := c.Propose(p, 100+p.ID())
+							if err != nil {
+								panic(err)
+							}
+							p.SetResult(v)
+						})
+						res := r.Execute(300000)
+
+						var dec *int
+						for id := 0; id < n; id++ {
+							if !res.HasValue[id] {
+								continue
+							}
+							v := res.Values[id].(int)
+							if v < 100 || v >= 100+n {
+								t.Fatalf("validity violated: %d", v)
+							}
+							if dec == nil {
+								dec = &v
+							} else if *dec != v {
+								t.Fatalf("agreement violated: %v", res.Values)
+							}
+						}
+						if victim >= x {
+							// Group 0 fully correct: everyone correct decides.
+							for id := 0; id < n; id++ {
+								if id != victim && res.Status[id] != sched.Done {
+									t.Fatalf("correct process %d: %v, want done",
+										id, res.Status[id])
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDoubleCrashSafety crashes two victims at staggered points; safety must
+// still hold, and liveness when both victims are outside group 0.
+func TestDoubleCrashSafety(t *testing.T) {
+	const n, x = 6, 2
+	for v1 := 0; v1 < n; v1++ {
+		for v2 := v1 + 1; v2 < n; v2++ {
+			t.Run(fmt.Sprintf("victims=%d,%d", v1, v2), func(t *testing.T) {
+				c, err := New[int]("gc", n, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := sched.NewRun(n, &sched.CrashAt{
+					Inner: &sched.RoundRobin{},
+					At:    map[int]int64{v1: 3, v2: 6},
+				})
+				r.SpawnAll(func(p *sched.Proc) {
+					v, err := c.Propose(p, 100+p.ID())
+					if err != nil {
+						panic(err)
+					}
+					p.SetResult(v)
+				})
+				res := r.Execute(300000)
+				var dec *int
+				for id := 0; id < n; id++ {
+					if !res.HasValue[id] {
+						continue
+					}
+					v := res.Values[id].(int)
+					if v < 100 || v >= 100+n {
+						t.Fatalf("validity violated: %d", v)
+					}
+					if dec == nil {
+						dec = &v
+					} else if *dec != v {
+						t.Fatalf("agreement violated: %v", res.Values)
+					}
+				}
+				if v1 >= x { // both victims outside group 0
+					for id := 0; id < n; id++ {
+						if id != v1 && id != v2 && res.Status[id] != sched.Done {
+							t.Fatalf("correct process %d: %v, want done", id, res.Status[id])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartialParticipationMatrix sweeps all contiguous participant suffixes
+// under multiple seeds: any suffix starting at a group boundary satisfies
+// the progress condition's premise, so all its processes must decide.
+func TestPartialParticipationMatrix(t *testing.T) {
+	const n, x = 9, 3
+	for firstPid := 0; firstPid < n; firstPid += x { // group boundaries
+		for _, seed := range []uint64{3, 11, 29} {
+			t.Run(fmt.Sprintf("from=%d,seed=%d", firstPid, seed), func(t *testing.T) {
+				c, err := New[int]("gc", n, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := sched.NewRun(n, sched.NewRandom(seed))
+				for id := firstPid; id < n; id++ {
+					r.Spawn(id, func(p *sched.Proc) {
+						v, err := c.Propose(p, 100+p.ID())
+						if err != nil {
+							panic(err)
+						}
+						p.SetResult(v)
+					})
+				}
+				res := r.Execute(300000)
+				for id := firstPid; id < n; id++ {
+					if res.Status[id] != sched.Done {
+						t.Fatalf("participant %d: %v, want done", id, res.Status[id])
+					}
+				}
+				// The decision must come from a participant.
+				dec := res.Values[firstPid].(int)
+				if dec < 100+firstPid || dec >= 100+n {
+					t.Fatalf("decided %d, not a participant's value", dec)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package group implements the n-process consensus algorithm with
+// group-based asymmetric progress of Section 6 (Figure 5) of Imbs, Raynal and
+// Taubenfeld, "On Asymmetric Progress Conditions" (PODC 2010).
+//
+// The n processes are partitioned into m = ⌈n/x⌉ ordered groups; each group
+// owns an (x, x)-live (wait-free, x-port) consensus object, and adjacent
+// group prefixes are arbitrated by the crash-tolerant arbiter objects of
+// package arbiter. The resulting consensus object satisfies validity,
+// agreement, and the asymmetric termination property:
+//
+//	If y is the first group in which some process invokes Propose (no
+//	process of a group before y participates) and some correct process of
+//	group y participates, then every correct participating process decides.
+//
+// The algorithm is also fair: for every process there is an asynchrony and
+// failure pattern in which that process's value is decided (exercised by the
+// fairness tests).
+package group
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/consensus"
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// ErrInvariant reports a violation of an internal invariant proved in the
+// paper (e.g. reading ⊥ from a register the proof of Lemma 10 shows must be
+// set). It indicates a bug in this implementation, never a legal run.
+var ErrInvariant = errors.New("group: internal invariant violated")
+
+// Consensus is the Figure 5 consensus object for n processes partitioned
+// into ordered groups.
+type Consensus[T comparable] struct {
+	groups  [][]int
+	groupOf map[int]int
+
+	val    *memory.OptArray[T]   // VAL[1..m]
+	gxcons []consensus.Object[T] // GXCONS[1..m]
+	arbs   []*arbiter.Arbiter    // ARBITER[1..m-1]
+	arbVal *memory.OptArray[T]   // ARB_VAL[1..m]
+}
+
+// New returns a consensus object for processes 0..n-1 partitioned into
+// consecutive groups of size x (the last group may be smaller): group g holds
+// processes g*x .. min((g+1)*x, n)-1. It returns an error if n < 1 or x < 1.
+func New[T comparable](name string, n, x int) (*Consensus[T], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("group: n must be >= 1, got %d", n)
+	}
+	if x < 1 {
+		return nil, fmt.Errorf("group: x must be >= 1, got %d", x)
+	}
+	var groups [][]int
+	for lo := 0; lo < n; lo += x {
+		hi := lo + x
+		if hi > n {
+			hi = n
+		}
+		g := make([]int, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			g = append(g, id)
+		}
+		groups = append(groups, g)
+	}
+	return NewWithGroups[T](name, groups)
+}
+
+// NewWithGroups returns a consensus object for an explicit ordered partition:
+// groups[0] is the most important group. Every process id must appear in
+// exactly one group. The per-group (x, x)-live consensus objects and the
+// arbiters' owner consensus objects are created internally.
+func NewWithGroups[T comparable](name string, groups [][]int) (*Consensus[T], error) {
+	if len(groups) == 0 {
+		return nil, errors.New("group: at least one group is required")
+	}
+	c := &Consensus[T]{
+		groups:  make([][]int, len(groups)),
+		groupOf: make(map[int]int),
+		val:     memory.NewOptArray[T](name+".VAL", len(groups)),
+		gxcons:  make([]consensus.Object[T], len(groups)),
+		arbVal:  memory.NewOptArray[T](name+".ARB_VAL", len(groups)),
+	}
+	for g, members := range groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("group: group %d is empty", g)
+		}
+		c.groups[g] = append([]int(nil), members...)
+		for _, id := range members {
+			if prev, dup := c.groupOf[id]; dup {
+				return nil, fmt.Errorf("group: process %d in both group %d and group %d", id, prev, g)
+			}
+			c.groupOf[id] = g
+		}
+		c.gxcons[g] = consensus.NewWaitFree[T](fmt.Sprintf("%s.GXCONS[%d]", name, g), members)
+	}
+	c.arbs = make([]*arbiter.Arbiter, len(groups)-1)
+	for g := range c.arbs {
+		// ARBITER[g] is owned by the processes of group g; its guests are
+		// the processes of the later groups. The owners' consensus object is
+		// an (x, x)-live object restricted to group g.
+		xc := consensus.NewWaitFree[bool](fmt.Sprintf("%s.XCONS[%d]", name, g), groups[g])
+		c.arbs[g] = arbiter.New(fmt.Sprintf("%s.ARBITER[%d]", name, g), xc)
+	}
+	return c, nil
+}
+
+// NumGroups returns m, the number of groups.
+func (c *Consensus[T]) NumGroups() int { return len(c.groups) }
+
+// Group returns the members of group g (most important group first).
+func (c *Consensus[T]) Group(g int) []int { return append([]int(nil), c.groups[g]...) }
+
+// GroupOf returns the group index of process id, or -1 if id is not a
+// participant.
+func (c *Consensus[T]) GroupOf(id int) int {
+	g, ok := c.groupOf[id]
+	if !ok {
+		return -1
+	}
+	return g
+}
+
+// decided is the task-T2 predicate of Figure 5: the algorithm has decided
+// once ARB_VAL[1] is set.
+func (c *Consensus[T]) decided(p *sched.Proc) bool {
+	_, ok := c.arbVal.Read(p, 0)
+	return ok
+}
+
+// Propose submits v on behalf of process p and returns the decided value.
+// Termination follows the group-based asymmetric progress condition (see the
+// package comment); under failure patterns outside that condition Propose may
+// consume steps forever, which in controlled runs surfaces as a Starved
+// process. An error is returned only on an internal invariant violation.
+func (c *Consensus[T]) Propose(p *sched.Proc, v T) (T, error) {
+	y, ok := c.groupOf[p.ID()]
+	if !ok {
+		panic(fmt.Sprintf("group: process %d is not a member of any group", p.ID())) // programmer error
+	}
+	m := len(c.groups)
+
+	// Line 02: agree inside the group, record the group's value.
+	gv := c.gxcons[y].Propose(p, v)
+	c.val.Write(p, y, gv)
+
+	// Competition #1 (lines 03-09): install a value into ARB_VAL[y].
+	if y == m-1 {
+		c.arbVal.Write(p, y, gv)
+	} else {
+		winner, err := c.arbs[y].ArbitrateAbortable(p, arbiter.Owner, c.decided)
+		if errors.Is(err, arbiter.ErrAborted) {
+			return c.await(p)
+		}
+		if err != nil {
+			return *new(T), err
+		}
+		if winner == arbiter.Owner {
+			c.arbVal.Write(p, y, gv)
+		} else {
+			// The guests of ARBITER[y] won; they wrote ARB_VAL[y+1] before
+			// announcing themselves (program order, Lemma 10), so it is set.
+			w, ok := c.arbVal.Read(p, y+1)
+			if !ok {
+				return *new(T), fmt.Errorf("%w: ARB_VAL[%d] unset while guests won ARBITER[%d]", ErrInvariant, y+1, y)
+			}
+			c.arbVal.Write(p, y, w)
+		}
+	}
+
+	// Competition #2 (lines 10-18): cascade the value down to ARB_VAL[1],
+	// arbitrating as a guest against each more important group.
+	for l := y - 1; l >= 0; l-- {
+		winner, err := c.arbs[l].ArbitrateAbortable(p, arbiter.Guest, c.decided)
+		if errors.Is(err, arbiter.ErrAborted) {
+			// Task T2: someone else already installed ARB_VAL[1].
+			return c.await(p)
+		}
+		if err != nil {
+			return *new(T), err
+		}
+		if winner == arbiter.Guest {
+			w, ok := c.arbVal.Read(p, l+1)
+			if !ok {
+				return *new(T), fmt.Errorf("%w: ARB_VAL[%d] unset in guest cascade", ErrInvariant, l+1)
+			}
+			c.arbVal.Write(p, l, w)
+		} else {
+			w, ok := c.val.Read(p, l)
+			if !ok {
+				return *new(T), fmt.Errorf("%w: VAL[%d] unset while owners won ARBITER[%d]", ErrInvariant, l, l)
+			}
+			c.arbVal.Write(p, l, w)
+		}
+	}
+
+	return c.await(p)
+}
+
+// await is task T2 of Figure 5: wait until ARB_VAL[1] is set and return it.
+// When called after the caller's own cascade completed, the first read
+// already succeeds.
+func (c *Consensus[T]) await(p *sched.Proc) (T, error) {
+	for {
+		if w, ok := c.arbVal.Read(p, 0); ok {
+			return w, nil
+		}
+	}
+}
+
+// Snapshot is one process's view of the ARB_VAL array, per the remark of
+// Section 6.3: "if needed by an application, the full array ARB_VAL[1..m]
+// could be returned as result". Decided is always set; the later entries may
+// or may not be, depending on asynchrony.
+type Snapshot[T comparable] struct {
+	// Decided is ARB_VAL[1], the consensus decision.
+	Decided T
+	// Values[g] is ARB_VAL[g+1] as this process read it.
+	Values []T
+	// Set[g] reports whether Values[g] was set at read time.
+	Set []bool
+}
+
+// ProposeAll is Propose extended with the Section 6.3 remark: it returns the
+// caller's view of the whole ARB_VAL array. The paper's guarantee, checked
+// by the tests: two views agree on index 1, and on every index where both
+// are set.
+func (c *Consensus[T]) ProposeAll(p *sched.Proc, v T) (Snapshot[T], error) {
+	if _, err := c.Propose(p, v); err != nil {
+		return Snapshot[T]{}, err
+	}
+	m := len(c.groups)
+	snap := Snapshot[T]{Values: make([]T, m), Set: make([]bool, m)}
+	for g := 0; g < m; g++ {
+		snap.Values[g], snap.Set[g] = c.arbVal.Read(p, g)
+	}
+	if !snap.Set[0] {
+		return Snapshot[T]{}, fmt.Errorf("%w: ARB_VAL[1] unset after decision", ErrInvariant)
+	}
+	snap.Decided = snap.Values[0]
+	return snap, nil
+}

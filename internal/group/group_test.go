@@ -1,0 +1,378 @@
+package group
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+// propose makes a standard proposer body: process id proposes base+id.
+func propose(c *Consensus[int], base int) func(*sched.Proc) {
+	return func(p *sched.Proc) {
+		v, err := c.Propose(p, base+p.ID())
+		if err != nil {
+			panic(err) // surfaces through Execute and fails the test loudly
+		}
+		p.SetResult(v)
+	}
+}
+
+// checkSafety verifies agreement among deciders and validity against the
+// participant set.
+func checkSafety(t *testing.T, res sched.Results, participants []int, base int) {
+	t.Helper()
+	var dec *int
+	for _, id := range participants {
+		if !res.HasValue[id] {
+			continue
+		}
+		v := res.Values[id].(int)
+		if dec == nil {
+			dec = &v
+		} else if *dec != v {
+			t.Fatalf("agreement violated: %v", res.Values)
+		}
+	}
+	if dec == nil {
+		return
+	}
+	for _, id := range participants {
+		if *dec == base+id {
+			return
+		}
+	}
+	t.Fatalf("validity violated: decided %d, participants %v (base %d)", *dec, participants, base)
+}
+
+func TestAllParticipateAllDecide(t *testing.T) {
+	// Full participation, no crashes: y = 1, so every correct participant
+	// decides (Lemma 10 with y = first group).
+	for _, tc := range []struct{ n, x int }{
+		{1, 1}, {2, 1}, {2, 2}, {4, 2}, {5, 2}, {6, 2}, {6, 3}, {9, 3}, {12, 4}, {7, 3},
+	} {
+		t.Run(fmt.Sprintf("n=%d,x=%d", tc.n, tc.x), func(t *testing.T) {
+			c, err := New[int]("gc", tc.n, tc.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := sched.NewRun(tc.n, &sched.RoundRobin{})
+			r.SpawnAll(propose(c, 100))
+			res := r.Execute(500000)
+			all := make([]int, tc.n)
+			for i := range all {
+				all[i] = i
+			}
+			for id := 0; id < tc.n; id++ {
+				if res.Status[id] != sched.Done {
+					t.Fatalf("process %d: %v, want done", id, res.Status[id])
+				}
+			}
+			checkSafety(t, res, all, 100)
+		})
+	}
+}
+
+func TestAsymmetricTermination(t *testing.T) {
+	// The core E2 property (Lemma 10): for each y, when no process of a
+	// group before y participates and group y has a correct participant, all
+	// correct participants decide. Participants: groups y..m-1.
+	const n, x = 9, 3 // m = 3 groups
+	for y := 0; y < 3; y++ {
+		t.Run(fmt.Sprintf("firstGroup=%d", y), func(t *testing.T) {
+			c, err := New[int]("gc", n, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var participants []int
+			for g := y; g < c.NumGroups(); g++ {
+				participants = append(participants, c.Group(g)...)
+			}
+			r := sched.NewRun(n, &sched.RoundRobin{})
+			for _, id := range participants {
+				r.Spawn(id, propose(c, 100))
+			}
+			res := r.Execute(500000)
+			for _, id := range participants {
+				if res.Status[id] != sched.Done {
+					t.Fatalf("y=%d: participant %d: %v, want done", y, id, res.Status[id])
+				}
+			}
+			checkSafety(t, res, participants, 100)
+		})
+	}
+}
+
+func TestAsymmetricTerminationWithCrashesInFirstGroup(t *testing.T) {
+	// Group 0 participates but some of its members crash; as long as one
+	// correct member of the first participating group remains, everyone
+	// correct decides.
+	const n, x = 6, 3
+	c, err := New[int]("gc", n, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sched.NewRun(n, &sched.CrashAt{
+		Inner: &sched.RoundRobin{},
+		At:    map[int]int64{0: 2, 1: 5}, // two of group 0's three members crash
+	})
+	r.SpawnAll(propose(c, 100))
+	res := r.Execute(500000)
+	for id := 2; id < n; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("correct process %d: %v, want done", id, res.Status[id])
+		}
+	}
+	checkSafety(t, res, []int{0, 1, 2, 3, 4, 5}, 100)
+}
+
+func TestTaskT2RescuesGuestBlockedOnCrashedMiddleGroup(t *testing.T) {
+	// The scenario that makes task T2 of Figure 5 necessary: groups are
+	// {0},{1},{2} (x=1, m=3). Group 0's process is correct. Group 1's
+	// process announces itself as owner of ARBITER[1] and crashes before
+	// writing WINNER. Group 2's process blocks as a guest of ARBITER[1] —
+	// but process 0 completes the cascade and installs ARB_VAL[1], so
+	// process 2 must decide via the T2 escape rather than starve.
+	c, err := New[int]("gc", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 1 (group 1): steps are GXCONS.propose(1), VAL[1]←, then
+	// ARBITER[1].arbitrate(owner) starts with PART[owner]←true (step 3).
+	// Crash it right after that announcement.
+	r := sched.NewRun(3, &sched.CrashAt{
+		Inner: &sched.RoundRobin{},
+		At:    map[int]int64{1: 3},
+	})
+	r.SpawnAll(propose(c, 100))
+	res := r.Execute(500000)
+	if res.Status[1] != sched.Crashed {
+		t.Fatalf("process 1: %v, want crashed", res.Status[1])
+	}
+	for _, id := range []int{0, 2} {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v, want done (T2 escape)", id, res.Status[id])
+		}
+	}
+	checkSafety(t, res, []int{0, 1, 2}, 100)
+}
+
+func TestNoGuaranteeWhenFirstGroupCrashesAfterAnnouncing(t *testing.T) {
+	// Outside the progress condition: the only process of the first
+	// participating group announces ownership of ARBITER[0] and crashes.
+	// Later-group processes may starve — the algorithm promises nothing
+	// here, and this run shows the condition is tight.
+	c, err := New[int]("gc", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sched.NewRun(2, &sched.CrashAt{
+		Inner: &sched.RoundRobin{},
+		At:    map[int]int64{0: 3}, // after PART[owner]←true on ARBITER[0]
+	})
+	r.SpawnAll(propose(c, 100))
+	res := r.Execute(100000)
+	if res.Status[0] != sched.Crashed {
+		t.Fatalf("process 0: %v, want crashed", res.Status[0])
+	}
+	if res.Status[1] != sched.Starved {
+		t.Errorf("process 1: %v, want starved (outside the progress condition)", res.Status[1])
+	}
+}
+
+func TestAgreementValidityUnderRandomSchedulesAndCrashes(t *testing.T) {
+	// E2 randomized safety sweep: random schedule, random single crash.
+	property := func(seed uint64, victim, crashStep uint8) bool {
+		const n, x = 6, 2
+		c, err := New[int]("gc", n, x)
+		if err != nil {
+			return false
+		}
+		v := int(victim) % n
+		pol := &sched.CrashAt{
+			Inner: sched.NewRandom(seed),
+			At:    map[int]int64{v: int64(crashStep % 40)},
+		}
+		r := sched.NewRun(n, pol)
+		r.SpawnAll(propose(c, 200))
+		res := r.Execute(200000)
+		var dec *int
+		for id := 0; id < n; id++ {
+			if !res.HasValue[id] {
+				continue
+			}
+			got := res.Values[id].(int)
+			if got < 200 || got >= 200+n {
+				return false // validity
+			}
+			if dec == nil {
+				dec = &got
+			} else if *dec != got {
+				return false // agreement
+			}
+		}
+		// Liveness inside the condition: group 0 = {0,1}; if the victim is
+		// not in group 0, both of group 0's members are correct, so every
+		// correct process must decide.
+		if v >= x {
+			for id := 0; id < n; id++ {
+				if id != v && res.Status[id] != sched.Done {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFairnessEveryValueCanWin(t *testing.T) {
+	// E3: the algorithm is fair — for every process there is an asynchrony
+	// and failure pattern in which that process's value is decided. The
+	// pattern: that process runs alone first (its group is then the first
+	// participating group and it wins every arbitration it enters), then
+	// everyone else joins.
+	const n, x = 6, 2
+	for winner := 0; winner < n; winner++ {
+		c, err := New[int]("gc", n, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo := make([]int, 400)
+		for i := range solo {
+			solo[i] = winner
+		}
+		r := sched.NewRun(n, &sched.Script{Seq: solo, Then: &sched.RoundRobin{}})
+		r.SpawnAll(propose(c, 100))
+		res := r.Execute(500000)
+		if res.Status[winner] != sched.Done {
+			t.Fatalf("winner %d: %v, want done", winner, res.Status[winner])
+		}
+		if got := res.Values[winner].(int); got != 100+winner {
+			t.Errorf("process %d ran first but decided %d, want %d", winner, got, 100+winner)
+		}
+	}
+}
+
+func TestLateArrivalsAdoptDecision(t *testing.T) {
+	// Once a value is decided, later proposers from any group return it.
+	const n, x = 4, 2
+	c, err := New[int]("gc", n, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: only group 1 (processes 2, 3) participates and decides.
+	r1 := sched.NewRun(n, &sched.RoundRobin{})
+	r1.Spawn(2, propose(c, 100))
+	r1.Spawn(3, propose(c, 100))
+	res1 := r1.Execute(200000)
+	if res1.Status[2] != sched.Done || res1.Status[3] != sched.Done {
+		t.Fatalf("phase 1 statuses: %v", res1.Status)
+	}
+	want := res1.Values[2].(int)
+	// Phase 2: group 0 arrives late; agreement must hold with the earlier
+	// decision.
+	r2 := sched.NewRun(n, &sched.RoundRobin{})
+	r2.Spawn(0, propose(c, 100))
+	r2.Spawn(1, propose(c, 100))
+	res2 := r2.Execute(200000)
+	for _, id := range []int{0, 1} {
+		if res2.Status[id] != sched.Done {
+			t.Fatalf("late process %d: %v, want done", id, res2.Status[id])
+		}
+		if got := res2.Values[id].(int); got != want {
+			t.Errorf("late process %d decided %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestGroupDecidesItsGXCONSValue(t *testing.T) {
+	// Inside one group, the decision is the group's consensus value: with a
+	// single group (m=1), the first proposer's value wins under round-robin.
+	c, err := New[int]("gc", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sched.NewRun(3, &sched.RoundRobin{})
+	r.SpawnAll(propose(c, 100))
+	res := r.Execute(100000)
+	for id := 0; id < 3; id++ {
+		if got := res.Values[id].(int); got != 100 {
+			t.Errorf("process %d decided %d, want 100 (process 0 proposes first)", id, got)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int]("gc", 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New[int]("gc", 3, 0); err == nil {
+		t.Error("x=0 accepted")
+	}
+	if _, err := NewWithGroups[int]("gc", nil); err == nil {
+		t.Error("empty partition accepted")
+	}
+	if _, err := NewWithGroups[int]("gc", [][]int{{0}, {}}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewWithGroups[int]("gc", [][]int{{0, 1}, {1}}); err == nil {
+		t.Error("duplicate membership accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c, err := New[int]("gc", 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumGroups(); got != 3 {
+		t.Errorf("NumGroups = %d, want 3", got)
+	}
+	if g := c.Group(2); len(g) != 1 || g[0] != 6 {
+		t.Errorf("Group(2) = %v, want [6]", g)
+	}
+	if got := c.GroupOf(4); got != 1 {
+		t.Errorf("GroupOf(4) = %d, want 1", got)
+	}
+	if got := c.GroupOf(99); got != -1 {
+		t.Errorf("GroupOf(99) = %d, want -1", got)
+	}
+}
+
+func TestNonMemberProposePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-member propose did not panic")
+		}
+	}()
+	c, err := NewWithGroups[int]("gc", [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sched.NewRun(3, &sched.RoundRobin{})
+	r.Spawn(2, func(p *sched.Proc) { _, _ = c.Propose(p, 1) })
+	r.Execute(100)
+}
+
+func TestExplicitGroupsWithGaps(t *testing.T) {
+	// Arbitrary ids and group shapes.
+	c, err := NewWithGroups[int]("gc", [][]int{{5}, {0, 3}, {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sched.NewRun(8, &sched.RoundRobin{})
+	for _, id := range []int{5, 0, 3, 7} {
+		r.Spawn(id, propose(c, 100))
+	}
+	res := r.Execute(500000)
+	for _, id := range []int{5, 0, 3, 7} {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v, want done", id, res.Status[id])
+		}
+	}
+	checkSafety(t, res, []int{5, 0, 3, 7}, 100)
+}

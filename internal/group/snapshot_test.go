@@ -1,0 +1,113 @@
+package group
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+// TestProposeAllSnapshotConsistency verifies the Section 6.3 remark: two
+// processes' ARB_VAL views agree on index 1 (always set), and on every index
+// where both views are set.
+func TestProposeAllSnapshotConsistency(t *testing.T) {
+	property := func(seed uint64) bool {
+		const n, x = 6, 2
+		c, err := New[int]("gc", n, x)
+		if err != nil {
+			return false
+		}
+		snaps := make([]Snapshot[int], n)
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			s, err := c.ProposeAll(p, 100+p.ID())
+			if err != nil {
+				panic(err)
+			}
+			snaps[p.ID()] = s
+		})
+		res := r.Execute(500000)
+		if res.DoneCount() != n {
+			return false
+		}
+		m := c.NumGroups()
+		for i := 0; i < n; i++ {
+			if !snaps[i].Set[0] || snaps[i].Decided != snaps[0].Decided {
+				return false // index 1 must be set and agreed
+			}
+			for j := i + 1; j < n; j++ {
+				for g := 0; g < m; g++ {
+					if snaps[i].Set[g] && snaps[j].Set[g] &&
+						snaps[i].Values[g] != snaps[j].Values[g] {
+						return false // both set => equal
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProposeAllSingleGroup exercises the degenerate m=1 shape.
+func TestProposeAllSingleGroup(t *testing.T) {
+	c, err := New[int]("gc", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sched.NewRun(3, &sched.RoundRobin{})
+	r.SpawnAll(func(p *sched.Proc) {
+		s, err := c.ProposeAll(p, 100+p.ID())
+		if err != nil {
+			panic(err)
+		}
+		p.SetResult(s.Decided)
+	})
+	res := r.Execute(100000)
+	for id := 0; id < 3; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("process %d: %v", id, res.Status[id])
+		}
+		if got := res.Values[id].(int); got != 100 {
+			t.Errorf("process %d decided %d, want 100", id, got)
+		}
+	}
+}
+
+// TestProposeAllLastGroupEntryMatchesItsValue checks that a process of the
+// last group always observes ARB_VAL[m] = its group's value (it wrote it
+// before cascading).
+func TestProposeAllLastGroupEntryMatchesItsValue(t *testing.T) {
+	const n, x = 4, 2
+	c, err := New[int]("gc", n, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NumGroups()
+	r := sched.NewRun(n, &sched.RoundRobin{})
+	var lastSnap Snapshot[int]
+	r.Spawn(2, func(p *sched.Proc) {
+		s, err := c.ProposeAll(p, 300)
+		if err != nil {
+			panic(err)
+		}
+		lastSnap = s
+	})
+	r.Spawn(3, func(p *sched.Proc) {
+		if _, err := c.Propose(p, 400); err != nil {
+			panic(err)
+		}
+	})
+	res := r.Execute(200000)
+	if res.Status[2] != sched.Done {
+		t.Fatalf("process 2: %v", res.Status[2])
+	}
+	if !lastSnap.Set[m-1] {
+		t.Fatal("last-group entry unset in its own member's snapshot")
+	}
+	if got := lastSnap.Values[m-1]; got != 300 && got != 400 {
+		t.Errorf("ARB_VAL[m] = %d, want a last-group value", got)
+	}
+}

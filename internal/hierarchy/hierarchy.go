@@ -1,0 +1,281 @@
+// Package hierarchy implements the constructive and demonstrative content of
+// Sections 3, 4 and 5 of the paper: the (n, x)-liveness hierarchy.
+//
+// Positive direction (Theorem 3, lower bound): an (x+1, x)-live consensus
+// object solves wait-free consensus for x+1 processes — the x processes of X
+// are wait-free by assumption, and once they return (or crash) they stop
+// taking steps on the object, so the single remaining guest eventually runs
+// in isolation with respect to the object and its obstruction-free
+// termination fires. ConsensusFromGated packages this construction.
+//
+// Negative direction (Theorems 1, 2 and 4): impossibilities cannot be
+// executed, but their *shape* can: this package implements the natural
+// candidate constructions that the theorems rule out, together with the
+// adversary schedules from the proofs that exhibit each candidate's failure.
+// Each candidate is a consensus object with a documented *claimed* progress
+// condition; the tests (and the asympc harness) show the claim is violated
+// exactly as the corresponding proof predicts:
+//
+//   - GroupWaitCandidate (Theorem 1): the (n−1)-port wait-free object plus a
+//     waiting n-th process. The n-th process is not obstruction-free — it
+//     blocks forever when running solo.
+//   - OFForAllCandidate (Theorem 1 / Theorem 4): register-only
+//     obstruction-free consensus. No process is wait-free (a periodic
+//     2-process interleaving starves the "wait-free" process forever), and
+//     fault-freedom fails under the same schedule.
+//   - GroupAlgCandidate (Theorem 1): the paper's own Figure 5 algorithm with
+//     groups ⟨{p1..p(n−1)}, {pn}⟩. Its guest is not obstruction-free: an
+//     owner that announces participation and crashes leaves the guest
+//     blocked even in isolation — which is why group-based asymmetric
+//     progress is weaker than (n, 1)-liveness.
+//   - GatedPromotionCandidate (Theorem 2): an (n, x)-live object re-labelled
+//     as (n, x+1)-live. When the x genuine wait-free ports crash, two of the
+//     remaining guests alternating step-by-step starve, so the promoted port
+//     is not wait-free.
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/group"
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// ConsensusFromGated is the Theorem 3 lower-bound construction: a consensus
+// object for the x+1 ports of an (x+1, x)-live base object, wait-free for
+// all x+1 of them in every run (the guest terminates once the X ports stop
+// stepping on the object, which wait-freedom and crash-freedom of their own
+// invocations guarantee).
+type ConsensusFromGated[T comparable] struct {
+	base *consensus.Gated[T]
+}
+
+var _ consensus.Object[int] = (*ConsensusFromGated[int])(nil)
+
+// NewConsensusFromGated builds the construction for ports 0..x. Port x is
+// the guest; ports 0..x-1 form X.
+func NewConsensusFromGated[T comparable](name string, x int) *ConsensusFromGated[T] {
+	y := make([]int, x+1)
+	for i := range y {
+		y[i] = i
+	}
+	return &ConsensusFromGated[T]{base: consensus.NewGated[T](name, y, y[:x])}
+}
+
+// Base returns the underlying (x+1, x)-live object.
+func (c *ConsensusFromGated[T]) Base() *consensus.Gated[T] { return c.base }
+
+// Propose implements consensus.Object.
+func (c *ConsensusFromGated[T]) Propose(p *sched.Proc, v T) T {
+	return c.base.Propose(p, v)
+}
+
+// GroupWaitCandidate is the strawman for Theorem 1: processes 0..n-2 decide
+// through an (n−1, n−1)-live (wait-free) consensus object and publish the
+// decision in a register; process n−1 only waits for the register.
+//
+// Claimed: (n, 1)-liveness with any of 0..n-2 as the wait-free process.
+// Actual: processes 0..n-2 are wait-free, but process n−1 is not even
+// obstruction-free — running solo from the empty run it waits forever.
+type GroupWaitCandidate[T comparable] struct {
+	n    int
+	cons *consensus.WaitFree[T]
+	dec  *memory.OptRegister[T]
+}
+
+var _ consensus.Object[int] = (*GroupWaitCandidate[int])(nil)
+
+// NewGroupWaitCandidate builds the candidate for processes 0..n-1.
+func NewGroupWaitCandidate[T comparable](name string, n int) *GroupWaitCandidate[T] {
+	if n < 2 {
+		panic(fmt.Sprintf("hierarchy: GroupWaitCandidate needs n >= 2, got %d", n))
+	}
+	members := make([]int, n-1)
+	for i := range members {
+		members[i] = i
+	}
+	return &GroupWaitCandidate[T]{
+		n:    n,
+		cons: consensus.NewWaitFree[T](name+".cons", members),
+		dec:  memory.NewOptRegister[T](name + ".dec"),
+	}
+}
+
+// Propose implements consensus.Object.
+func (c *GroupWaitCandidate[T]) Propose(p *sched.Proc, v T) T {
+	if p.ID() != c.n-1 {
+		d := c.cons.Propose(p, v)
+		c.dec.Write(p, d)
+		return d
+	}
+	for {
+		if d, ok := c.dec.Read(p); ok {
+			return d
+		}
+	}
+}
+
+// OFForAllCandidate is register-only obstruction-free consensus presented as
+// a Theorem 1 / Theorem 4 candidate.
+//
+// Claimed (Thm 1 reading): (n, 1)-liveness with process 0 wait-free.
+// Claimed (Thm 4 reading): obstruction-freedom for all plus fault-freedom
+// for process 0.
+// Actual: the periodic two-process interleaving returned by LivelockSchedule
+// starves process 0 (and decides nothing), violating both claims at once.
+type OFForAllCandidate[T comparable] struct {
+	cons *consensus.ObstructionFree[T]
+}
+
+var _ consensus.Object[int] = (*OFForAllCandidate[int])(nil)
+
+// NewOFForAllCandidate builds the candidate for processes 0..n-1.
+func NewOFForAllCandidate[T comparable](name string, n int) *OFForAllCandidate[T] {
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	return &OFForAllCandidate[T]{cons: consensus.NewObstructionFree[T](name, members)}
+}
+
+// Propose implements consensus.Object.
+func (c *OFForAllCandidate[T]) Propose(p *sched.Proc, v T) T {
+	return c.cons.Propose(p, v)
+}
+
+// LivelockSchedule returns the periodic grant pattern under which two
+// processes a and b of a register-only obstruction-free consensus object
+// (the commit-adopt construction of internal/consensus, with a and b holding
+// different estimates) never decide.
+//
+// Per round, each process takes 7 steps: read the decision register, write
+// its phase-1 proposal, collect the two phase-1 slots, write its phase-2
+// entry, collect the two phase-2 slots. The pattern lets b publish a flagged
+// phase-2 entry only after a has already finished collecting phase 2, so a
+// adopts its own (smallest-slot) value while b adopts its flagged one: both
+// leave the round with the same two distinct estimates they entered with,
+// and the situation repeats forever. This is the executable core of the
+// valence-based impossibility proofs: an infinite fault-free run with no
+// decision.
+func LivelockSchedule(a, b int) []int {
+	seq := make([]int, 0, 14)
+	// b: read dec, write a1[b], read a1[slot a], read a1[slot b].
+	for i := 0; i < 4; i++ {
+		seq = append(seq, b)
+	}
+	// a: full round — read dec, write a1[a], read a1 (2), write a2, read a2 (2).
+	for i := 0; i < 7; i++ {
+		seq = append(seq, a)
+	}
+	// b: write a2[b] (flagged), read a2 (2).
+	for i := 0; i < 3; i++ {
+		seq = append(seq, b)
+	}
+	return seq
+}
+
+// GroupAlgCandidate wraps the paper's Figure 5 algorithm with the partition
+// ⟨{0..n-2}, {n-1}⟩ as a Theorem 1 candidate.
+//
+// Claimed: (n, 1)-liveness (wait-free for the first group, obstruction-free
+// for the guest n−1).
+// Actual: the guest is not obstruction-free. If one owner of ARBITER[1]
+// writes PART[owner] and crashes, the guest blocks in the arbitration's wait
+// loop even while running in complete isolation. The group-based asymmetric
+// progress condition the algorithm does satisfy is strictly weaker than
+// (n, 1)-liveness — exactly the gap Theorem 1 proves cannot be closed.
+type GroupAlgCandidate[T comparable] struct {
+	n    int
+	cons *group.Consensus[T]
+}
+
+// NewGroupAlgCandidate builds the candidate for processes 0..n-1.
+func NewGroupAlgCandidate[T comparable](name string, n int) (*GroupAlgCandidate[T], error) {
+	if n < 2 {
+		return nil, fmt.Errorf("hierarchy: GroupAlgCandidate needs n >= 2, got %d", n)
+	}
+	first := make([]int, n-1)
+	for i := range first {
+		first[i] = i
+	}
+	c, err := group.NewWithGroups[T](name, [][]int{first, {n - 1}})
+	if err != nil {
+		return nil, err
+	}
+	return &GroupAlgCandidate[T]{n: n, cons: c}, nil
+}
+
+// Propose submits v; the error mirrors group.Consensus.Propose.
+func (c *GroupAlgCandidate[T]) Propose(p *sched.Proc, v T) (T, error) {
+	return c.cons.Propose(p, v)
+}
+
+// GatedPromotionCandidate is the Theorem 2 candidate: an (n, x)-live object
+// whose first guest is re-labelled as wait-free, claiming (n, x+1)-liveness.
+//
+// Actual: crash the x genuine wait-free ports before they step and alternate
+// the promoted guest with one other guest — the promoted guest never
+// observes isolation and starves, refuting the claim. This is literally the
+// adversary in the proof of Theorem 2 ("the x wait-free processes that
+// access object o fail, while all the other n−x processes access o
+// simultaneously").
+type GatedPromotionCandidate[T comparable] struct {
+	base *consensus.Gated[T]
+	x    int
+}
+
+var _ consensus.Object[int] = (*GatedPromotionCandidate[int])(nil)
+
+// NewGatedPromotionCandidate builds the candidate over ports 0..n-1 with
+// genuine wait-free set 0..x-1 and promoted port x.
+func NewGatedPromotionCandidate[T comparable](name string, n, x int) *GatedPromotionCandidate[T] {
+	if x+2 > n {
+		panic(fmt.Sprintf("hierarchy: need at least two guests (n >= x+2), got n=%d x=%d", n, x))
+	}
+	y := make([]int, n)
+	for i := range y {
+		y[i] = i
+	}
+	return &GatedPromotionCandidate[T]{base: consensus.NewGated[T](name, y, y[:x]), x: x}
+}
+
+// PromotedPort returns the guest port whose wait-freedom is (falsely)
+// claimed.
+func (c *GatedPromotionCandidate[T]) PromotedPort() int { return c.x }
+
+// Propose implements consensus.Object.
+func (c *GatedPromotionCandidate[T]) Propose(p *sched.Proc, v T) T {
+	return c.base.Propose(p, v)
+}
+
+// RestrictToLive restricts an (n, x)-live object to its first x+1 ports,
+// yielding the (x+1, x)-live object used in the Theorem 3 argument ("given
+// an (n, x)-live consensus object, it is possible to restrict it to obtain
+// an (x+1, x)-live consensus object").
+func RestrictToLive[T comparable](obj *consensus.Gated[T]) *consensus.Restricted[T] {
+	x := len(obj.X())
+	y := obj.Y()
+	if x+1 > len(y) {
+		panic("hierarchy: object has no guest to keep")
+	}
+	keep := append(append([]int(nil), obj.X()...), guestsOf(obj)[0])
+	_ = y
+	return consensus.NewRestricted[T](obj, keep)
+}
+
+// guestsOf returns the ports of obj outside X, in port order.
+func guestsOf[T comparable](obj *consensus.Gated[T]) []int {
+	wf := make(map[int]bool)
+	for _, id := range obj.X() {
+		wf[id] = true
+	}
+	var out []int
+	for _, id := range obj.Y() {
+		if !wf[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

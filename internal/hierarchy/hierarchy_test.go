@@ -1,0 +1,304 @@
+package hierarchy
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+// --- E4: Theorem 3, possibility half -------------------------------------
+
+func TestConsensusFromGatedIsWaitFreeForAllPorts(t *testing.T) {
+	// (x+1, x)-live object => wait-free consensus for x+1 processes: under
+	// round-robin (perfect contention) every port, including the guest,
+	// decides.
+	for x := 1; x <= 5; x++ {
+		t.Run(fmt.Sprintf("x=%d", x), func(t *testing.T) {
+			c := NewConsensusFromGated[int]("t3", x)
+			n := x + 1
+			r := sched.NewRun(n, &sched.RoundRobin{})
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(c.Propose(p, p.ID()))
+			})
+			res := r.Execute(100000)
+			var dec *int
+			for id := 0; id < n; id++ {
+				if res.Status[id] != sched.Done {
+					t.Fatalf("port %d: %v, want done", id, res.Status[id])
+				}
+				v := res.Values[id].(int)
+				if dec == nil {
+					dec = &v
+				} else if *dec != v {
+					t.Fatalf("agreement violated: %v", res.Values)
+				}
+			}
+			if *dec < 0 || *dec >= n {
+				t.Fatalf("validity violated: %d", *dec)
+			}
+		})
+	}
+}
+
+func TestConsensusFromGatedSurvivesXCrashes(t *testing.T) {
+	// The guest still decides when every wait-free port crashes (crashed
+	// processes take no steps, so the guest's isolation window arrives).
+	for x := 1; x <= 4; x++ {
+		c := NewConsensusFromGated[int]("t3c", x)
+		n := x + 1
+		crash := map[int]int64{}
+		for id := 0; id < x; id++ {
+			crash[id] = int64(id % 2) // half before any step, half after one
+		}
+		r := sched.NewRun(n, &sched.CrashAt{Inner: &sched.RoundRobin{}, At: crash})
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+		res := r.Execute(100000)
+		if res.Status[x] != sched.Done {
+			t.Fatalf("x=%d: guest %v, want done after X crashed", x, res.Status[x])
+		}
+	}
+}
+
+func TestConsensusFromGatedRandomSchedules(t *testing.T) {
+	property := func(seed uint64) bool {
+		const x = 2
+		c := NewConsensusFromGated[int]("t3r", x)
+		r := sched.NewRun(x+1, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+		res := r.Execute(100000)
+		var dec *int
+		for id := 0; id <= x; id++ {
+			if res.Status[id] != sched.Done {
+				return false
+			}
+			v := res.Values[id].(int)
+			if dec == nil {
+				dec = &v
+			} else if *dec != v {
+				return false
+			}
+		}
+		return *dec >= 0 && *dec <= x
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- E5: Theorem 2, impossibility shape ----------------------------------
+
+func TestGatedPromotionFailsTheorem2Adversary(t *testing.T) {
+	// Crash the x genuine wait-free ports before any step; alternate the
+	// promoted guest with another guest. The promoted port starves: the
+	// object is not (n, x+1)-live.
+	for x := 1; x <= 4; x++ {
+		t.Run(fmt.Sprintf("x=%d", x), func(t *testing.T) {
+			n := x + 2
+			c := NewGatedPromotionCandidate[int]("t2", n, x)
+			promoted := c.PromotedPort()
+			other := promoted + 1
+			crash := map[int]int64{}
+			for id := 0; id < x; id++ {
+				crash[id] = 0
+			}
+			r := sched.NewRun(n, &sched.CrashAt{
+				Inner: &sched.Subset{IDs: []int{promoted, other}},
+				At:    crash,
+			})
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(c.Propose(p, p.ID()))
+			})
+			res := r.Execute(30000)
+			if res.Status[promoted] != sched.Starved {
+				t.Errorf("promoted port %d: %v, want starved (claim of wait-freedom refuted)",
+					promoted, res.Status[promoted])
+			}
+		})
+	}
+}
+
+func TestRestrictToLiveKeepsXPlusOnePorts(t *testing.T) {
+	// Restriction argument of Theorem 3: an (n, x)-live object restricted to
+	// x+1 ports behaves as an (x+1, x)-live object — all restricted ports
+	// decide under contention.
+	c := NewGatedPromotionCandidate[int]("restr", 5, 2)
+	restricted := RestrictToLive[int](c.base)
+	r := sched.NewRun(5, &sched.Subset{IDs: []int{0, 1, 2}})
+	for id := 0; id <= 2; id++ {
+		r.Spawn(id, func(p *sched.Proc) {
+			p.SetResult(restricted.Propose(p, p.ID()))
+		})
+	}
+	res := r.Execute(100000)
+	for id := 0; id <= 2; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("restricted port %d: %v, want done", id, res.Status[id])
+		}
+	}
+}
+
+// --- E6: Theorem 1, impossibility shape ----------------------------------
+
+func TestGroupWaitCandidateWaiterNotObstructionFree(t *testing.T) {
+	// Candidate 1: process n−1 runs completely alone from the empty run and
+	// never returns — (n, 1)-liveness requires obstruction-freedom for it,
+	// so the candidate fails.
+	for _, n := range []int{3, 4, 6} {
+		c := NewGroupWaitCandidate[int]("t1a", n)
+		r := sched.NewRun(n, sched.Solo{ID: n - 1})
+		r.Spawn(n-1, func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+		res := r.Execute(20000)
+		if res.Status[n-1] != sched.Starved {
+			t.Errorf("n=%d: solo waiter %v, want starved", n, res.Status[n-1])
+		}
+	}
+}
+
+func TestGroupWaitCandidateMembersAreWaitFree(t *testing.T) {
+	// The candidate's members really are wait-free (the failure is only at
+	// the extra process) — this is what makes it the natural candidate.
+	const n = 4
+	c := NewGroupWaitCandidate[int]("t1b", n)
+	r := sched.NewRun(n, &sched.Subset{IDs: []int{0, 1, 2}})
+	for id := 0; id < n-1; id++ {
+		r.Spawn(id, func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+	}
+	res := r.Execute(10000)
+	for id := 0; id < n-1; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("member %d: %v, want done", id, res.Status[id])
+		}
+	}
+}
+
+func TestOFForAllCandidateStarvesClaimedWaitFreeProcess(t *testing.T) {
+	// Candidate 2: register-only OF consensus cannot make process 0
+	// wait-free — the periodic livelock schedule starves it forever.
+	c := NewOFForAllCandidate[int]("t1c", 2)
+	r := sched.NewRun(2, &sched.Cycle{Seq: LivelockSchedule(0, 1)})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(c.Propose(p, p.ID()))
+	})
+	res := r.Execute(70000) // 5000 livelock rounds
+	for id := 0; id < 2; id++ {
+		if res.Status[id] != sched.Starved {
+			t.Errorf("process %d: %v, want starved under livelock schedule", id, res.Status[id])
+		}
+	}
+}
+
+func TestGroupAlgCandidateGuestNotObstructionFree(t *testing.T) {
+	// Candidate 3: Figure 5 with groups ⟨{0..n-2}, {n-1}⟩. Owner 0 announces
+	// on ARBITER[1] and crashes; the guest then runs in complete isolation
+	// and still blocks — group-based asymmetric progress is not
+	// (n, 1)-liveness.
+	const n = 3
+	c, err := NewGroupAlgCandidate[int]("t1d", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 0's steps: GXCONS.propose (1), VAL[0]← (2), PART[owner]← (3).
+	// Crash right after the announcement, before the owners' consensus.
+	r := sched.NewRun(n, &sched.CrashAt{
+		Inner: &sched.Script{Seq: []int{0, 0, 0}, Then: sched.Solo{ID: n - 1}},
+		At:    map[int]int64{0: 3},
+	})
+	r.Spawn(0, func(p *sched.Proc) {
+		v, err := c.Propose(p, 0)
+		if err != nil {
+			panic(err)
+		}
+		p.SetResult(v)
+	})
+	r.Spawn(n-1, func(p *sched.Proc) {
+		v, err := c.Propose(p, n-1)
+		if err != nil {
+			panic(err)
+		}
+		p.SetResult(v)
+	})
+	res := r.Execute(30000)
+	if res.Status[0] != sched.Crashed {
+		t.Fatalf("owner: %v, want crashed", res.Status[0])
+	}
+	if res.Status[n-1] != sched.Starved {
+		t.Errorf("guest: %v, want starved in isolation (OF violated)", res.Status[n-1])
+	}
+}
+
+// --- E7: Theorem 4, impossibility shape ----------------------------------
+
+func TestTheorem4FaultFreedomFailsForOFConsensus(t *testing.T) {
+	// Fault-freedom demands a decision when all processes participate and
+	// none crash. The livelock schedule is exactly such a run — both
+	// processes take infinitely many steps — yet nothing is ever decided.
+	c := NewOFForAllCandidate[int]("t4", 2)
+	r := sched.NewRun(2, &sched.Cycle{Seq: LivelockSchedule(0, 1)})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(c.Propose(p, p.ID()))
+	})
+	res := r.Execute(140000)
+	for id := 0; id < 2; id++ {
+		if res.Status[id] != sched.Starved {
+			t.Fatalf("process %d: %v, want starved (fault-free run, no decision)", id, res.Status[id])
+		}
+		if res.HasValue[id] {
+			t.Errorf("process %d decided %v in the livelock run", id, res.Values[id])
+		}
+	}
+	// Both processes took roughly half of the budget each: this is a
+	// fault-free, crash-free, participation-complete run.
+	for id := 0; id < 2; id++ {
+		if res.Steps[id] < 10000 {
+			t.Errorf("process %d took only %d steps; livelock run should be fair", id, res.Steps[id])
+		}
+	}
+}
+
+func TestOFConsensusIsFineOutsideTheLivelock(t *testing.T) {
+	// Sanity check that the livelock is a property of the schedule, not a
+	// broken object: the same object under a solo window decides.
+	c := NewOFForAllCandidate[int]("t4b", 2)
+	r := sched.NewRun(2, &sched.SoloAfter{Inner: &sched.RoundRobin{}, After: 40, ID: 0})
+	r.SpawnAll(func(p *sched.Proc) {
+		p.SetResult(c.Propose(p, p.ID()))
+	})
+	res := r.Execute(100000)
+	if res.Status[0] != sched.Done {
+		t.Fatalf("process 0: %v, want done in solo window", res.Status[0])
+	}
+}
+
+func TestGroupWaitCandidateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=1 accepted")
+		}
+	}()
+	NewGroupWaitCandidate[int]("bad", 1)
+}
+
+func TestGroupAlgCandidateValidation(t *testing.T) {
+	if _, err := NewGroupAlgCandidate[int]("bad", 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestGatedPromotionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=x+1 accepted (needs two guests)")
+		}
+	}()
+	NewGatedPromotionCandidate[int]("bad", 3, 2)
+}

@@ -1,0 +1,241 @@
+// Package liveness turns the paper's progress conditions (Section 1.1 and
+// Section 2) into executable checks over controlled runs.
+//
+// A Scenario abstracts "the algorithm under a schedule": given a policy it
+// builds and executes a fresh controlled run and returns the results. The
+// checkers then quantify over schedules the way each progress condition
+// quantifies over runs:
+//
+//   - wait-freedom for a set X: the processes of X finish under perfect
+//     contention (round-robin), under priority starvation, under seeded
+//     random schedules, and when any other single process crashes at an
+//     arbitrary point;
+//   - obstruction-freedom for a process p: p finishes whenever it is
+//     eventually granted a long enough solo window, from a spread of
+//     contention prefixes;
+//   - fault-freedom: all processes finish when all participate and none
+//     crash, across schedules.
+//
+// A successful check is evidence, not proof: conditions quantify over
+// infinitely many runs and the checkers sample adversarially chosen families
+// (the same families the paper's proofs use). A failed check, however, is a
+// definite counterexample, and the reports carry the violating schedule's
+// description.
+package liveness
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Scenario builds and executes one controlled run of the system under test
+// with the given policy, returning the results. Each call must construct
+// fresh shared objects: the checkers call it once per schedule.
+type Scenario func(policy sched.Policy) sched.Results
+
+// Report is the outcome of a progress-condition check.
+type Report struct {
+	// Condition names the checked condition.
+	Condition string
+	// SchedulesRun counts the schedules exercised.
+	SchedulesRun int
+	// Violations describes every schedule under which the condition failed.
+	Violations []string
+}
+
+// Holds reports whether no violation was found.
+func (r Report) Holds() bool { return len(r.Violations) == 0 }
+
+// String summarizes the report.
+func (r Report) String() string {
+	if r.Holds() {
+		return fmt.Sprintf("%s: holds (%d schedules)", r.Condition, r.SchedulesRun)
+	}
+	return fmt.Sprintf("%s: VIOLATED in %d/%d schedules; first: %s",
+		r.Condition, len(r.Violations), r.SchedulesRun, r.Violations[0])
+}
+
+// Options tunes the schedule families.
+type Options struct {
+	// Budget is the per-run step budget (default 200000).
+	Budget int64
+	// Seeds are the random-schedule seeds (default 1..8).
+	Seeds []uint64
+	// CrashPoints are the per-victim crash step indices tried (default
+	// 0, 1, 3, 7).
+	CrashPoints []int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = 200000
+	}
+	if o.Seeds == nil {
+		o.Seeds = []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	}
+	if o.CrashPoints == nil {
+		o.CrashPoints = []int64{0, 1, 3, 7}
+	}
+	return o
+}
+
+// CheckWaitFree verifies that every process in targets completes under the
+// wait-freedom schedule family: contention, starvation of others, random
+// schedules, and single crashes of each non-target process.
+func CheckWaitFree(s Scenario, n int, targets []int, opts Options) Report {
+	opts = opts.withDefaults()
+	rep := Report{Condition: fmt.Sprintf("wait-freedom for %v", targets)}
+
+	type namedPolicy struct {
+		name string
+		mk   func() sched.Policy
+	}
+	var policies []namedPolicy
+	policies = append(policies,
+		namedPolicy{"round-robin", func() sched.Policy { return &sched.RoundRobin{} }},
+		namedPolicy{"priority-starver", func() sched.Policy { return sched.PriorityStarver{} }},
+	)
+	for _, seed := range opts.Seeds {
+		seed := seed
+		policies = append(policies, namedPolicy{
+			fmt.Sprintf("random(%d)", seed),
+			func() sched.Policy { return sched.NewRandom(seed) },
+		})
+	}
+	targetSet := make(map[int]bool, len(targets))
+	for _, id := range targets {
+		targetSet[id] = true
+	}
+	for victim := 0; victim < n; victim++ {
+		if targetSet[victim] {
+			continue
+		}
+		for _, at := range opts.CrashPoints {
+			victim, at := victim, at
+			policies = append(policies, namedPolicy{
+				fmt.Sprintf("crash(p%d@%d)+round-robin", victim, at),
+				func() sched.Policy {
+					return &sched.CrashAt{Inner: &sched.RoundRobin{}, At: map[int]int64{victim: at}}
+				},
+			})
+		}
+	}
+	// Perfect pairwise alternation among targets: the adversary family from
+	// the Theorem 2 proof ("the other processes access o simultaneously").
+	// Non-members of the pair receive no steps, so only the pair is judged.
+	for i := 0; i < len(targets); i++ {
+		for j := i + 1; j < len(targets); j++ {
+			a, b := targets[i], targets[j]
+			policies = append(policies, namedPolicy{
+				fmt.Sprintf("alternate(p%d,p%d)", a, b),
+				func() sched.Policy { return &sched.Subset{IDs: []int{a, b}} },
+			})
+		}
+	}
+
+	// Wait-freedom promises completion only to processes that keep taking
+	// steps: a target that was starved of grants by the policy itself (zero
+	// or near-zero steps) is exempt; a target that consumed a large share of
+	// the budget without returning is a violation.
+	threshold := opts.Budget / int64(8*max(n, 1))
+	if threshold < 1 {
+		threshold = 1
+	}
+	for _, np := range policies {
+		res := s(np.mk())
+		rep.SchedulesRun++
+		for _, id := range targets {
+			if res.Status[id] == sched.Starved && res.Steps[id] >= threshold {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("schedule %s: process %d is %v after %d steps",
+						np.name, id, res.Status[id], res.Steps[id]))
+			}
+		}
+	}
+	return rep
+}
+
+// CheckObstructionFree verifies that target completes whenever it eventually
+// runs in isolation, across a spread of contention prefixes (including an
+// empty prefix: solo from the start).
+func CheckObstructionFree(s Scenario, target int, opts Options) Report {
+	opts = opts.withDefaults()
+	rep := Report{Condition: fmt.Sprintf("obstruction-freedom for p%d", target)}
+	prefixes := []int64{0, 10, 50, 250, 1000}
+	for _, after := range prefixes {
+		for _, seed := range opts.Seeds[:2] {
+			var inner sched.Policy = sched.NewRandom(seed)
+			if after == 0 {
+				inner = &sched.RoundRobin{}
+			}
+			res := s(&sched.SoloAfter{Inner: inner, After: after, ID: target})
+			rep.SchedulesRun++
+			if res.Status[target] != sched.Done {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("solo-after-%d (seed %d): process %d is %v",
+						after, seed, target, res.Status[target]))
+			}
+		}
+	}
+	return rep
+}
+
+// CheckFaultFree verifies that every process completes when all participate
+// and none crash, across contention and random schedules.
+func CheckFaultFree(s Scenario, n int, opts Options) Report {
+	opts = opts.withDefaults()
+	rep := Report{Condition: "fault-freedom"}
+	type namedPolicy struct {
+		name string
+		mk   func() sched.Policy
+	}
+	policies := []namedPolicy{
+		{"round-robin", func() sched.Policy { return &sched.RoundRobin{} }},
+	}
+	for _, seed := range opts.Seeds {
+		seed := seed
+		policies = append(policies, namedPolicy{
+			fmt.Sprintf("random(%d)", seed),
+			func() sched.Policy { return sched.NewRandom(seed) },
+		})
+	}
+	for _, np := range policies {
+		res := s(np.mk())
+		rep.SchedulesRun++
+		for id := 0; id < n; id++ {
+			if res.Status[id] != sched.Done {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("schedule %s: process %d is %v", np.name, id, res.Status[id]))
+			}
+		}
+	}
+	return rep
+}
+
+// CheckYXLive verifies the full (y, x)-liveness contract of an object whose
+// ports are 0..n-1: wait-freedom for the processes of x, and
+// obstruction-freedom for the remaining ports.
+func CheckYXLive(s Scenario, n int, x []int, opts Options) []Report {
+	xset := make(map[int]bool, len(x))
+	for _, id := range x {
+		xset[id] = true
+	}
+	reports := []Report{CheckWaitFree(s, n, x, opts)}
+	for id := 0; id < n; id++ {
+		if !xset[id] {
+			reports = append(reports, CheckObstructionFree(s, id, opts))
+		}
+	}
+	return reports
+}
+
+// AllHold reports whether every report holds.
+func AllHold(reports []Report) bool {
+	for _, r := range reports {
+		if !r.Holds() {
+			return false
+		}
+	}
+	return true
+}

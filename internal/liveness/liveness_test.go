@@ -1,0 +1,171 @@
+package liveness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/sched"
+)
+
+func allIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// gatedScenario builds a fresh (n, |x|)-live gated object and has everyone
+// propose.
+func gatedScenario(n int, x []int) Scenario {
+	return func(policy sched.Policy) sched.Results {
+		g := consensus.NewGated[int]("g", allIDs(n), x)
+		r := sched.NewRun(n, policy)
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(g.Propose(p, p.ID()))
+		})
+		return r.Execute(200000)
+	}
+}
+
+// waitFreeScenario has everyone propose on a wait-free object.
+func waitFreeScenario(n int) Scenario {
+	return func(policy sched.Policy) sched.Results {
+		c := consensus.NewWaitFree[int]("c", allIDs(n))
+		r := sched.NewRun(n, policy)
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+		return r.Execute(200000)
+	}
+}
+
+// ofScenario has everyone propose on register-only OF consensus.
+func ofScenario(n int) Scenario {
+	return func(policy sched.Policy) sched.Results {
+		c := consensus.NewObstructionFree[int]("c", allIDs(n))
+		r := sched.NewRun(n, policy)
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+		return r.Execute(200000)
+	}
+}
+
+func TestWaitFreeObjectPassesWaitFreeCheck(t *testing.T) {
+	rep := CheckWaitFree(waitFreeScenario(4), 4, allIDs(4), Options{})
+	if !rep.Holds() {
+		t.Errorf("wait-free object failed the check: %s", rep)
+	}
+	if rep.SchedulesRun < 10 {
+		t.Errorf("only %d schedules run", rep.SchedulesRun)
+	}
+}
+
+func TestGatedObjectSatisfiesItsContract(t *testing.T) {
+	// The full (4, 2)-liveness contract of the gated object: wait-freedom
+	// for {0, 1}, obstruction-freedom for 2 and 3.
+	x := []int{0, 1}
+	reports := CheckYXLive(gatedScenario(4, x), 4, x, Options{})
+	for _, rep := range reports {
+		if !rep.Holds() {
+			t.Errorf("(4,2)-live contract violated: %s", rep)
+		}
+	}
+	if !AllHold(reports) {
+		t.Error("AllHold disagrees with individual reports")
+	}
+}
+
+func TestGatedGuestsFailWaitFreeCheck(t *testing.T) {
+	// The discriminating direction: guests of the gated object are NOT
+	// wait-free — the checker must find a violation (two guests under
+	// round-robin starve each other once the wait-free ports crash).
+	n := 4
+	x := []int{0, 1}
+	// Scenario where the X ports crash immediately, leaving two contending
+	// guests.
+	s := func(policy sched.Policy) sched.Results {
+		g := consensus.NewGated[int]("g", allIDs(n), x)
+		crash := &sched.CrashAt{Inner: policy, At: map[int]int64{0: 0, 1: 0}}
+		r := sched.NewRun(n, crash)
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(g.Propose(p, p.ID()))
+		})
+		return r.Execute(30000)
+	}
+	rep := CheckWaitFree(s, n, []int{2, 3}, Options{Budget: 30000})
+	if rep.Holds() {
+		t.Error("guests passed a wait-freedom check; they must not")
+	}
+	// The violation list must mention a starved process.
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "starved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations carry no starvation: %v", rep.Violations)
+	}
+}
+
+func TestOFConsensusPassesObstructionFreeCheck(t *testing.T) {
+	for target := 0; target < 3; target++ {
+		rep := CheckObstructionFree(ofScenario(3), target, Options{})
+		if !rep.Holds() {
+			t.Errorf("OF consensus failed OF check for p%d: %s", target, rep)
+		}
+	}
+}
+
+func TestOFConsensusFaultFreedomViolationFound(t *testing.T) {
+	// Fault-freedom does not hold for register-only OF consensus; the
+	// checker cannot prove that with its standard family (random schedules
+	// rarely livelock), so feed it the livelock schedule family directly.
+	s := func(policy sched.Policy) sched.Results {
+		c := consensus.NewObstructionFree[int]("c", allIDs(2))
+		r := sched.NewRun(2, policy)
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(c.Propose(p, p.ID()))
+		})
+		return r.Execute(30000)
+	}
+	// The adversarial cycle from hierarchy.LivelockSchedule, inlined to
+	// avoid a dependency cycle in the tests: 4×p1, 7×p0, 3×p1 per round.
+	seq := []int{1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1}
+	res := s(&sched.Cycle{Seq: seq})
+	if res.Status[0] == sched.Done || res.Status[1] == sched.Done {
+		t.Error("livelock schedule let a process decide; fault-freedom violation not reproduced")
+	}
+}
+
+func TestFaultFreeCheckOnWaitFreeObject(t *testing.T) {
+	rep := CheckFaultFree(waitFreeScenario(3), 3, Options{})
+	if !rep.Holds() {
+		t.Errorf("wait-free object failed fault-free check: %s", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Condition: "test", SchedulesRun: 5}
+	if !strings.Contains(rep.String(), "holds") {
+		t.Errorf("holding report string: %s", rep)
+	}
+	rep.Violations = append(rep.Violations, "schedule x: process 1 is starved")
+	if !strings.Contains(rep.String(), "VIOLATED") {
+		t.Errorf("violated report string: %s", rep)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Budget == 0 || len(o.Seeds) == 0 || len(o.CrashPoints) == 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	o2 := Options{Budget: 5, Seeds: []uint64{9}, CrashPoints: []int64{2}}.withDefaults()
+	if o2.Budget != 5 || o2.Seeds[0] != 9 || o2.CrashPoints[0] != 2 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}

@@ -1,0 +1,293 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+func controlledRun(t *testing.T, n int, policy sched.Policy, body func(*sched.Proc)) sched.Results {
+	t.Helper()
+	r := sched.NewRun(n, policy)
+	r.SpawnAll(body)
+	return r.Execute(100000)
+}
+
+func TestRegisterReadWrite(t *testing.T) {
+	reg := NewRegister("r", 10)
+	res := controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		if got := reg.Read(p); got != 10 {
+			t.Errorf("initial Read = %d, want 10", got)
+		}
+		reg.Write(p, 20)
+		if got := reg.Read(p); got != 20 {
+			t.Errorf("Read after Write = %d, want 20", got)
+		}
+		p.SetResult(reg.Read(p))
+	})
+	if res.Values[0].(int) != 20 {
+		t.Errorf("final value %v, want 20", res.Values[0])
+	}
+}
+
+func TestRegisterStepAccounting(t *testing.T) {
+	reg := NewRegister("r", 0)
+	res := controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		reg.Write(p, 1)
+		reg.Read(p)
+		reg.Read(p)
+	})
+	if res.Steps[0] != 3 {
+		t.Errorf("3 register ops took %d steps, want 3", res.Steps[0])
+	}
+}
+
+func TestOptRegisterStartsUnset(t *testing.T) {
+	reg := NewOptRegister[string]("opt")
+	controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		if v, ok := reg.Read(p); ok {
+			t.Errorf("fresh OptRegister set to %q", v)
+		}
+		reg.Write(p, "hello")
+		v, ok := reg.Read(p)
+		if !ok || v != "hello" {
+			t.Errorf("Read = (%q, %v), want (hello, true)", v, ok)
+		}
+	})
+}
+
+func TestOnceFirstProposeWins(t *testing.T) {
+	once := NewOnce[int]("dec")
+	// Process 0 goes first under round-robin, so its value must win.
+	res := controlledRun(t, 3, &sched.RoundRobin{}, func(p *sched.Proc) {
+		p.SetResult(once.Propose(p, p.ID()+100))
+	})
+	for id := 0; id < 3; id++ {
+		if got := res.Values[id].(int); got != 100 {
+			t.Errorf("process %d decided %d, want 100", id, got)
+		}
+	}
+}
+
+func TestOnceAgreementUnderRandomSchedules(t *testing.T) {
+	property := func(seed uint64) bool {
+		once := NewOnce[int]("dec")
+		r := sched.NewRun(4, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(once.Propose(p, p.ID()))
+		})
+		res := r.Execute(1000)
+		first := res.Values[0].(int)
+		for id := 1; id < 4; id++ {
+			if res.Values[id].(int) != first {
+				return false
+			}
+		}
+		return first >= 0 && first < 4 // validity
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnceTryGet(t *testing.T) {
+	once := NewOnce[int]("dec")
+	controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		if _, ok := once.TryGet(p); ok {
+			t.Error("TryGet on empty cell returned ok")
+		}
+		once.Propose(p, 7)
+		v, ok := once.TryGet(p)
+		if !ok || v != 7 {
+			t.Errorf("TryGet = (%d, %v), want (7, true)", v, ok)
+		}
+	})
+}
+
+func TestCounterFetchAdd(t *testing.T) {
+	c := NewCounter("c")
+	res := controlledRun(t, 4, &sched.RoundRobin{}, func(p *sched.Proc) {
+		p.SetResult(c.FetchAdd(p, 1))
+	})
+	seen := map[int64]bool{}
+	for id := 0; id < 4; id++ {
+		v := res.Values[id].(int64)
+		if seen[v] {
+			t.Errorf("fetch&add returned duplicate value %d", v)
+		}
+		seen[v] = true
+		if v < 0 || v > 3 {
+			t.Errorf("fetch&add returned out-of-range %d", v)
+		}
+	}
+}
+
+func TestCounterRead(t *testing.T) {
+	c := NewCounter("c")
+	controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		c.FetchAdd(p, 5)
+		c.FetchAdd(p, -2)
+		if got := c.Read(p); got != 3 {
+			t.Errorf("Read = %d, want 3", got)
+		}
+	})
+}
+
+func TestTestAndSetExactlyOneWinner(t *testing.T) {
+	property := func(seed uint64) bool {
+		tas := NewTestAndSet("t")
+		r := sched.NewRun(5, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(tas.Set(p))
+		})
+		res := r.Execute(1000)
+		winners := 0
+		for id := 0; id < 5; id++ {
+			if res.Values[id].(bool) {
+				winners++
+			}
+		}
+		return winners == 1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTestAndSetRead(t *testing.T) {
+	tas := NewTestAndSet("t")
+	controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		if tas.Read(p) {
+			t.Error("fresh T&S reads true")
+		}
+		tas.Set(p)
+		if !tas.Read(p) {
+			t.Error("T&S reads false after Set")
+		}
+	})
+}
+
+func TestCASSemantics(t *testing.T) {
+	cas := NewCAS("c", 0)
+	controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		if !cas.CompareAndSwap(p, 0, 5) {
+			t.Error("CAS(0->5) on fresh register failed")
+		}
+		if cas.CompareAndSwap(p, 0, 9) {
+			t.Error("CAS(0->9) succeeded after value changed")
+		}
+		if got := cas.Load(p); got != 5 {
+			t.Errorf("Load = %d, want 5", got)
+		}
+		if got := cas.Swap(p, 8); got != 5 {
+			t.Errorf("Swap returned %d, want 5", got)
+		}
+		cas.Store(p, 1)
+		if got := cas.Load(p); got != 1 {
+			t.Errorf("Load after Store = %d, want 1", got)
+		}
+	})
+}
+
+func TestCASExactlyOneWinnerUnderContention(t *testing.T) {
+	property := func(seed uint64) bool {
+		cas := NewCAS("c", -1)
+		r := sched.NewRun(4, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			p.SetResult(cas.CompareAndSwap(p, -1, p.ID()))
+		})
+		res := r.Execute(1000)
+		winners := 0
+		for id := 0; id < 4; id++ {
+			if res.Values[id].(bool) {
+				winners++
+			}
+		}
+		return winners == 1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterArrayCollect(t *testing.T) {
+	arr := NewRegisterArray("a", 3, 0)
+	controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		arr.Write(p, 0, 1)
+		arr.Write(p, 2, 3)
+		got := arr.Collect(p)
+		want := []int{1, 0, 3}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Collect[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		if arr.Len() != 3 {
+			t.Errorf("Len = %d, want 3", arr.Len())
+		}
+	})
+}
+
+func TestOptArray(t *testing.T) {
+	arr := NewOptArray[int]("a", 2)
+	controlledRun(t, 1, &sched.RoundRobin{}, func(p *sched.Proc) {
+		if _, ok := arr.Read(p, 1); ok {
+			t.Error("fresh OptArray entry set")
+		}
+		arr.Write(p, 1, 9)
+		v, ok := arr.Read(p, 1)
+		if !ok || v != 9 {
+			t.Errorf("Read(1) = (%d, %v), want (9, true)", v, ok)
+		}
+		if arr.Len() != 2 {
+			t.Errorf("Len = %d, want 2", arr.Len())
+		}
+	})
+}
+
+// TestFreeModeParallelOnce exercises the memory objects with real goroutines
+// (free mode) under the race detector: the Once cell must still have a single
+// winner.
+func TestFreeModeParallelOnce(t *testing.T) {
+	once := NewOnce[int]("dec")
+	const n = 8
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := sched.FreeProc(id)
+			results[id] = once.Propose(p, id)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("free-mode agreement violated: %v", results)
+		}
+	}
+}
+
+func TestFreeModeParallelCounter(t *testing.T) {
+	c := NewCounter("c")
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := sched.FreeProc(id)
+			for j := 0; j < 100; j++ {
+				c.FetchAdd(p, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	p := sched.FreeProc(0)
+	if got := c.Read(p); got != n*100 {
+		t.Errorf("counter = %d, want %d", got, n*100)
+	}
+}

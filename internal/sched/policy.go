@@ -1,0 +1,272 @@
+package sched
+
+import "math/rand/v2"
+
+// View is the adversary's observation of the run: per-process step counts and
+// statuses, plus the total number of granted steps. The slices are owned by
+// the Run and must not be retained or mutated by policies.
+type View struct {
+	Steps  []int64
+	Status []Status
+	Total  int64
+}
+
+// Runnable appends the ids of all runnable processes to dst and returns it.
+func (v View) Runnable(dst []int) []int {
+	for id, s := range v.Status {
+		if s == Runnable {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// NumRunnable returns the number of runnable processes.
+func (v View) NumRunnable() int {
+	n := 0
+	for _, s := range v.Status {
+		if s == Runnable {
+			n++
+		}
+	}
+	return n
+}
+
+// Decision is one scheduling choice: crash the listed processes, then grant
+// one step to Grant (-1 lets the controller pick the lowest runnable id), or
+// halt the run.
+type Decision struct {
+	Grant int
+	Crash []int
+	Halt  bool
+}
+
+// Policy is the scheduling adversary. Next is called once per step with the
+// current view and returns the next decision. Policies may be stateful; a
+// fresh policy value should be used for each run.
+type Policy interface {
+	Next(View) Decision
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(View) Decision
+
+// Next implements Policy.
+func (f PolicyFunc) Next(v View) Decision { return f(v) }
+
+// RoundRobin grants steps to runnable processes in cyclic id order. It is the
+// canonical "perfect contention" adversary: no process ever runs in
+// isolation while another is runnable.
+type RoundRobin struct {
+	next int
+}
+
+var _ Policy = (*RoundRobin)(nil)
+
+// Next implements Policy.
+func (rr *RoundRobin) Next(v View) Decision {
+	n := len(v.Status)
+	for i := 0; i < n; i++ {
+		id := (rr.next + i) % n
+		if v.Status[id] == Runnable {
+			rr.next = id + 1
+			return Decision{Grant: id}
+		}
+	}
+	return Decision{Halt: true}
+}
+
+// Random grants steps uniformly at random among runnable processes, using a
+// seeded PCG generator so runs are reproducible.
+type Random struct {
+	rng *rand.Rand
+	buf []int
+}
+
+var _ Policy = (*Random)(nil)
+
+// NewRandom returns a Random policy seeded with seed.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Next implements Policy.
+func (r *Random) Next(v View) Decision {
+	r.buf = v.Runnable(r.buf[:0])
+	if len(r.buf) == 0 {
+		return Decision{Halt: true}
+	}
+	return Decision{Grant: r.buf[r.rng.IntN(len(r.buf))]}
+}
+
+// Solo grants every step to a single process, halting when it exits. It
+// realizes the "runs in isolation" premise of obstruction-freedom.
+type Solo struct {
+	ID int
+}
+
+var _ Policy = Solo{}
+
+// Next implements Policy.
+func (s Solo) Next(v View) Decision {
+	if s.ID >= 0 && s.ID < len(v.Status) && v.Status[s.ID] == Runnable {
+		return Decision{Grant: s.ID}
+	}
+	return Decision{Halt: true}
+}
+
+// SoloAfter delegates to Inner until After total steps have been granted,
+// then grants only to ID. It realizes "contention, then a long enough solo
+// window", the schedule shape used throughout the obstruction-freedom tests.
+type SoloAfter struct {
+	Inner Policy
+	After int64
+	ID    int
+}
+
+var _ Policy = (*SoloAfter)(nil)
+
+// Next implements Policy.
+func (s *SoloAfter) Next(v View) Decision {
+	if v.Total < s.After {
+		d := s.Inner.Next(v)
+		if !d.Halt {
+			return d
+		}
+		// Inner exhausted early; fall through to the solo phase.
+	}
+	return Solo{ID: s.ID}.Next(v)
+}
+
+// CrashAt crashes each process pid listed in At once it has taken At[pid]
+// steps (0 crashes it before its first step), delegating all other decisions
+// to Inner.
+type CrashAt struct {
+	Inner Policy
+	At    map[int]int64
+
+	fired map[int]bool
+}
+
+var _ Policy = (*CrashAt)(nil)
+
+// Next implements Policy.
+func (c *CrashAt) Next(v View) Decision {
+	if c.fired == nil {
+		c.fired = make(map[int]bool, len(c.At))
+	}
+	var crash []int
+	for pid, at := range c.At {
+		if !c.fired[pid] && pid >= 0 && pid < len(v.Status) &&
+			v.Status[pid] == Runnable && v.Steps[pid] >= at {
+			crash = append(crash, pid)
+			c.fired[pid] = true
+		}
+	}
+	d := c.Inner.Next(v)
+	if len(crash) > 0 {
+		d.Crash = append(crash, d.Crash...)
+	}
+	return d
+}
+
+// Script replays a fixed grant sequence, then delegates to Then (or halts if
+// Then is nil). Entries naming non-runnable processes are skipped.
+type Script struct {
+	Seq  []int
+	Then Policy
+
+	pos int
+}
+
+var _ Policy = (*Script)(nil)
+
+// Next implements Policy.
+func (s *Script) Next(v View) Decision {
+	for s.pos < len(s.Seq) {
+		id := s.Seq[s.pos]
+		s.pos++
+		if id >= 0 && id < len(v.Status) && v.Status[id] == Runnable {
+			return Decision{Grant: id}
+		}
+	}
+	if s.Then != nil {
+		return s.Then.Next(v)
+	}
+	return Decision{Halt: true}
+}
+
+// Subset round-robins among a fixed set of process ids, starving everyone
+// else. It models "no process outside P takes steps" from the definition of
+// x-obstruction-freedom, and the Theorem 2 adversary (only the gated guests
+// of an object run, in perfect alternation).
+type Subset struct {
+	IDs []int
+
+	next int
+}
+
+var _ Policy = (*Subset)(nil)
+
+// Next implements Policy.
+func (s *Subset) Next(v View) Decision {
+	n := len(s.IDs)
+	if n == 0 {
+		return Decision{Halt: true}
+	}
+	for i := 0; i < n; i++ {
+		id := s.IDs[(s.next+i)%n]
+		if id >= 0 && id < len(v.Status) && v.Status[id] == Runnable {
+			s.next = (s.next + i + 1) % n
+			return Decision{Grant: id}
+		}
+	}
+	return Decision{Halt: true}
+}
+
+// Cycle repeats a fixed grant pattern forever, skipping entries that name
+// non-runnable processes and halting when no entry is grantable. It expresses
+// the periodic adversary schedules used in the livelock demonstrations (e.g.
+// the fault-freedom violation of Theorem 4: a repeating interleaving of two
+// correct processes under which register-only obstruction-free consensus
+// never decides).
+type Cycle struct {
+	Seq []int
+
+	pos int
+}
+
+var _ Policy = (*Cycle)(nil)
+
+// Next implements Policy.
+func (c *Cycle) Next(v View) Decision {
+	n := len(c.Seq)
+	if n == 0 {
+		return Decision{Halt: true}
+	}
+	for i := 0; i < n; i++ {
+		id := c.Seq[(c.pos+i)%n]
+		if id >= 0 && id < len(v.Status) && v.Status[id] == Runnable {
+			c.pos = (c.pos + i + 1) % n
+			return Decision{Grant: id}
+		}
+	}
+	return Decision{Halt: true}
+}
+
+// PriorityStarver always grants a step to the runnable process with the
+// highest id, modelling an adversary that perpetually favours some processes
+// over others (used to starve low-priority processes in liveness tests).
+type PriorityStarver struct{}
+
+var _ Policy = PriorityStarver{}
+
+// Next implements Policy.
+func (PriorityStarver) Next(v View) Decision {
+	for id := len(v.Status) - 1; id >= 0; id-- {
+		if v.Status[id] == Runnable {
+			return Decision{Grant: id}
+		}
+	}
+	return Decision{Halt: true}
+}

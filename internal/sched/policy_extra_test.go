@@ -1,0 +1,176 @@
+package sched
+
+import "testing"
+
+func TestCyclePolicyRepeatsPattern(t *testing.T) {
+	r := NewRun(2, &Cycle{Seq: []int{0, 1, 1}})
+	r.RecordTrace()
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(100)
+	want := []int{0, 1, 1, 0, 1, 1, 0, 1, 1}
+	for i, w := range want {
+		if res.Trace[i] != w {
+			t.Fatalf("trace[%d] = %d, want %d (trace %v)", i, res.Trace[i], w, res.Trace[:len(want)])
+		}
+	}
+}
+
+func TestCyclePolicySkipsExitedProcesses(t *testing.T) {
+	r := NewRun(2, &Cycle{Seq: []int{0, 1}})
+	r.Spawn(0, func(p *Proc) { p.Step() }) // exits after one step
+	r.Spawn(1, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(100)
+	if res.Status[0] != Done || res.Status[1] != Done {
+		t.Fatalf("statuses %v, want both done", res.Status)
+	}
+}
+
+func TestCyclePolicyEmptyHalts(t *testing.T) {
+	r := NewRun(1, &Cycle{})
+	r.Spawn(0, func(p *Proc) { p.Step() })
+	res := r.Execute(100)
+	if res.Status[0] != Starved {
+		t.Errorf("status %v, want starved under empty cycle", res.Status[0])
+	}
+}
+
+func TestViewHelpers(t *testing.T) {
+	v := View{
+		Steps:  []int64{1, 2, 3},
+		Status: []Status{Runnable, Done, Runnable},
+	}
+	if got := v.NumRunnable(); got != 2 {
+		t.Errorf("NumRunnable = %d, want 2", got)
+	}
+	ids := v.Runnable(nil)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Errorf("Runnable = %v, want [0 2]", ids)
+	}
+}
+
+func TestPolicyFuncAdapter(t *testing.T) {
+	calls := 0
+	policy := PolicyFunc(func(v View) Decision {
+		calls++
+		if calls > 3 {
+			return Decision{Halt: true}
+		}
+		return Decision{Grant: 0}
+	})
+	r := NewRun(1, policy)
+	r.Spawn(0, func(p *Proc) {
+		for {
+			p.Step()
+		}
+	})
+	res := r.Execute(100)
+	if res.Status[0] != Starved {
+		t.Errorf("status %v, want starved after policy halt", res.Status[0])
+	}
+	if res.Steps[0] != 3 {
+		t.Errorf("steps = %d, want 3", res.Steps[0])
+	}
+}
+
+func TestCrashViaPolicyDecision(t *testing.T) {
+	// A policy can crash directly through Decision.Crash.
+	step := 0
+	policy := PolicyFunc(func(v View) Decision {
+		step++
+		if step == 3 {
+			return Decision{Grant: 1, Crash: []int{0}}
+		}
+		return Decision{Grant: step % 2}
+	})
+	r := NewRun(2, policy)
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(1000)
+	if res.Status[0] != Crashed {
+		t.Errorf("process 0: %v, want crashed", res.Status[0])
+	}
+	if res.Status[1] != Done {
+		t.Errorf("process 1: %v, want done", res.Status[1])
+	}
+}
+
+func TestSoloAfterFallsThroughWhenInnerHalts(t *testing.T) {
+	// Inner halts immediately; SoloAfter must still run its solo phase.
+	p := &SoloAfter{
+		Inner: PolicyFunc(func(View) Decision { return Decision{Halt: true} }),
+		After: 100,
+		ID:    0,
+	}
+	r := NewRun(2, p)
+	r.SpawnAll(func(pr *Proc) { pr.Step() })
+	res := r.Execute(100)
+	if res.Status[0] != Done {
+		t.Errorf("solo target %v, want done", res.Status[0])
+	}
+}
+
+func TestScriptHaltsWithoutThen(t *testing.T) {
+	r := NewRun(1, &Script{Seq: []int{0, 0}})
+	r.Spawn(0, func(p *Proc) {
+		for {
+			p.Step()
+		}
+	})
+	res := r.Execute(100)
+	if res.Steps[0] != 2 {
+		t.Errorf("steps = %d, want 2 (script exhausted, no Then)", res.Steps[0])
+	}
+}
+
+func TestSubsetEmptyHalts(t *testing.T) {
+	r := NewRun(1, &Subset{})
+	r.Spawn(0, func(p *Proc) { p.Step() })
+	res := r.Execute(100)
+	if res.Status[0] != Starved {
+		t.Errorf("status %v, want starved", res.Status[0])
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	r := NewRun(1, &RoundRobin{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Spawn did not panic")
+		}
+	}()
+	r.Spawn(5, func(p *Proc) {})
+}
+
+func TestExecuteTwicePanics(t *testing.T) {
+	r := NewRun(1, &RoundRobin{})
+	r.Spawn(0, func(p *Proc) { p.Step() })
+	r.Execute(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Execute did not panic")
+		}
+	}()
+	r.Execute(10)
+}
+
+func TestSpawnAfterExecutePanics(t *testing.T) {
+	r := NewRun(1, &RoundRobin{})
+	r.Execute(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn after Execute did not panic")
+		}
+	}()
+	r.Spawn(0, func(p *Proc) {})
+}

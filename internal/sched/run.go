@@ -1,0 +1,265 @@
+package sched
+
+import "fmt"
+
+// Run is a controlled execution of n simulated processes under a scheduling
+// Policy. Register process bodies with Spawn, then call Execute.
+//
+// The controller owns the step token: exactly one process executes between
+// two scheduling decisions, so every code region between two Proc.Step calls
+// is a single atomic event, matching the event model of the paper.
+type Run struct {
+	policy Policy
+	procs  []*Proc
+	fns    []func(*Proc)
+	yield  chan yieldMsg
+
+	status  []Status
+	stepsV  []int64
+	total   int64
+	trace   []int
+	record  bool
+	started bool
+}
+
+// NewRun creates a controlled run of n processes scheduled by policy.
+func NewRun(n int, policy Policy) *Run {
+	r := &Run{
+		policy: policy,
+		procs:  make([]*Proc, n),
+		fns:    make([]func(*Proc), n),
+		yield:  make(chan yieldMsg),
+		status: make([]Status, n),
+		stepsV: make([]int64, n),
+	}
+	for i := range r.procs {
+		r.procs[i] = &Proc{id: i, run: r, grant: make(chan grantMsg)}
+		r.status[i] = Runnable
+	}
+	return r
+}
+
+// RecordTrace enables recording of the granted-step sequence, returned in
+// Results.Trace.
+func (r *Run) RecordTrace() { r.record = true }
+
+// Proc returns the Proc handle for process id, e.g. to install an OnEvent
+// logger before Execute.
+func (r *Run) Proc(id int) *Proc { return r.procs[id] }
+
+// Spawn registers fn as the body of process id. A process with no body is
+// immediately Done. Spawn panics if called after Execute or with an invalid
+// id (programmer error).
+func (r *Run) Spawn(id int, fn func(*Proc)) {
+	if r.started {
+		panic("sched: Spawn after Execute")
+	}
+	if id < 0 || id >= len(r.fns) {
+		panic(fmt.Sprintf("sched: Spawn id %d out of range [0,%d)", id, len(r.fns)))
+	}
+	r.fns[id] = fn
+}
+
+// SpawnAll registers fn for every process that has no body yet.
+func (r *Run) SpawnAll(fn func(*Proc)) {
+	for i, f := range r.fns {
+		if f == nil {
+			r.Spawn(i, fn)
+		}
+	}
+}
+
+// Results reports the outcome of a controlled run.
+type Results struct {
+	// Status[i] is the final state of process i.
+	Status []Status
+	// Steps[i] is the number of steps granted to process i.
+	Steps []int64
+	// Values[i] is the value process i recorded with SetResult (nil if none).
+	Values []any
+	// HasValue[i] reports whether process i called SetResult.
+	HasValue []bool
+	// TotalSteps is the total number of granted steps.
+	TotalSteps int64
+	// Trace is the granted pid sequence if RecordTrace was enabled.
+	Trace []int
+}
+
+// DoneCount returns the number of processes that completed normally.
+func (res Results) DoneCount() int {
+	n := 0
+	for _, s := range res.Status {
+		if s == Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Execute starts all processes and schedules them until every process has
+// exited or maxSteps steps have been granted. Processes still runnable when
+// the budget is exhausted (or the policy halts) are unwound and marked
+// Starved. Execute re-panics any unexpected panic raised by a process body,
+// after terminating every other goroutine.
+func (r *Run) Execute(maxSteps int64) Results {
+	if r.started {
+		panic("sched: Execute called twice")
+	}
+	r.started = true
+
+	live := 0
+	for id, fn := range r.fns {
+		if fn == nil {
+			r.status[id] = Done
+			continue
+		}
+		live++
+		go r.wrapper(r.procs[id], fn)
+	}
+
+	var procPanic any
+	hasPanic := false
+
+	// Absorb the initial yield from every started process: each one runs its
+	// local prologue concurrently and parks at its first Step (or exits
+	// immediately if it takes no steps). From here on, exactly one process
+	// executes between two grants, so each grant is one atomic event.
+	for i, started := 0, live; i < started; i++ {
+		msg := <-r.yield
+		if msg.exited {
+			live--
+			r.setExitStatus(msg)
+			if msg.hasPanic {
+				procPanic, hasPanic = msg.panicVal, true
+			}
+		}
+	}
+
+	for live > 0 && !hasPanic {
+		v := View{Steps: r.stepsV, Status: r.status, Total: r.total}
+		d := r.policy.Next(v)
+		if d.Halt || r.total >= maxSteps {
+			break
+		}
+		for _, cid := range d.Crash {
+			if cid >= 0 && cid < len(r.status) && r.status[cid] == Runnable {
+				msg := r.kill(cid, killCrash)
+				live--
+				if msg.hasPanic {
+					procPanic, hasPanic = msg.panicVal, true
+				}
+			}
+		}
+		if live == 0 || hasPanic {
+			break
+		}
+		gid := r.pickRunnable(d.Grant)
+		if gid < 0 {
+			break
+		}
+		r.procs[gid].grant <- grantMsg{}
+		msg := <-r.yield
+		r.total++
+		r.stepsV[gid]++
+		if r.record {
+			r.trace = append(r.trace, gid)
+		}
+		if msg.exited {
+			live--
+			r.setExitStatus(msg)
+			if msg.hasPanic {
+				procPanic, hasPanic = msg.panicVal, true
+			}
+		}
+	}
+
+	// Unwind every process that is still runnable.
+	for id := range r.status {
+		if r.status[id] == Runnable && r.fns[id] != nil && !r.exited(id) {
+			msg := r.kill(id, killHalt)
+			if msg.hasPanic && !hasPanic {
+				procPanic, hasPanic = msg.panicVal, true
+			}
+		}
+	}
+
+	if hasPanic {
+		panic(procPanic)
+	}
+
+	res := Results{
+		Status:     append([]Status(nil), r.status...),
+		Steps:      append([]int64(nil), r.stepsV...),
+		Values:     make([]any, len(r.procs)),
+		HasValue:   make([]bool, len(r.procs)),
+		TotalSteps: r.total,
+		Trace:      r.trace,
+	}
+	for i, p := range r.procs {
+		res.Values[i] = p.result
+		res.HasValue[i] = p.hasResult
+	}
+	return res
+}
+
+// exited reports whether process id has already been accounted as exited.
+func (r *Run) exited(id int) bool {
+	return r.status[id] != Runnable
+}
+
+// kill delivers a kill grant to a parked runnable process and consumes its
+// exit yield, updating its status.
+func (r *Run) kill(id int, reason killReason) yieldMsg {
+	r.procs[id].grant <- grantMsg{kill: reason}
+	msg := <-r.yield
+	if !msg.exited {
+		// The process body swallowed the exit signal (it must not); keep
+		// delivering until it exits so Execute never leaks goroutines.
+		for !msg.exited {
+			r.procs[id].grant <- grantMsg{kill: reason}
+			msg = <-r.yield
+		}
+	}
+	r.setExitStatus(msg)
+	return msg
+}
+
+func (r *Run) setExitStatus(msg yieldMsg) {
+	switch msg.reason {
+	case killCrash:
+		r.status[msg.id] = Crashed
+	case killHalt:
+		r.status[msg.id] = Starved
+	default:
+		r.status[msg.id] = Done
+	}
+}
+
+// pickRunnable validates the policy's grant choice, falling back to the
+// lowest-id runnable process if the choice is invalid.
+func (r *Run) pickRunnable(want int) int {
+	if want >= 0 && want < len(r.status) && r.status[want] == Runnable {
+		return want
+	}
+	for id, s := range r.status {
+		if s == Runnable {
+			return id
+		}
+	}
+	return -1
+}
+
+func (r *Run) wrapper(p *Proc, fn func(*Proc)) {
+	defer func() {
+		rec := recover()
+		msg := yieldMsg{id: p.id, exited: true}
+		if es, ok := rec.(exitSignal); ok {
+			msg.reason = es.reason
+		} else if rec != nil {
+			msg.panicVal = rec
+			msg.hasPanic = true
+		}
+		r.yield <- msg
+	}()
+	fn(p)
+}

@@ -1,0 +1,170 @@
+// Package sched provides the process runtime used by every algorithm in this
+// repository.
+//
+// The paper's computational model (Section 2 and Section 3.3 of Imbs, Raynal
+// and Taubenfeld, "On Asymmetric Progress Conditions", PODC 2010) is a set of
+// n asynchronous sequential processes that communicate through shared objects
+// and may crash. A run is a sequence of events, each event being one atomic
+// step of one process. Progress conditions quantify over runs:
+//
+//   - wait-freedom: an operation by a correct process terminates in every run
+//     in which that process keeps taking steps;
+//   - obstruction-freedom: an operation terminates in every run that grants
+//     the process a long enough window of steps in isolation;
+//   - fault-freedom: the goal is reached in runs where every process
+//     participates and none crash.
+//
+// To make those conditions testable, this package executes each simulated
+// process in its own goroutine but serializes shared-memory events through a
+// controller: before each shared access the process calls Proc.Step, which
+// blocks until a scheduling Policy grants that process its next event. The
+// policy is the adversary: it chooses interleavings, injects crashes, and can
+// starve processes. Runs are deterministic for deterministic policies (random
+// policies are seeded), so every experiment in this repository is exactly
+// reproducible.
+//
+// Two execution modes share the same algorithm code:
+//
+//   - Controlled mode (NewRun): steps are granted one at a time by a Policy.
+//   - Free mode (FreeProc): Step only counts steps; goroutines run with real
+//     parallelism over the atomics in internal/memory. Used for benchmarks.
+//
+// Crash injection is delivered as an internal panic that unwinds the process
+// function; NewRun's wrapper recovers it and marks the process Crashed. The
+// panic value never escapes Execute. This keeps algorithm code free of error
+// plumbing on every shared access, matching the paper's pseudo-code, while
+// guaranteeing that no goroutine outlives Execute.
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Status describes the final (or current) state of a simulated process.
+type Status int
+
+// Process states. A process is Runnable until it returns (Done), is crashed
+// by the policy (Crashed), or is still runnable when the run halts (Starved).
+const (
+	Runnable Status = iota + 1
+	Done
+	Crashed
+	Starved
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Done:
+		return "done"
+	case Crashed:
+		return "crashed"
+	case Starved:
+		return "starved"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+type killReason int
+
+const (
+	killNone killReason = iota
+	killCrash
+	killHalt
+)
+
+// exitSignal is the internal panic value used to unwind a process when the
+// controller crashes or halts it. It never escapes this package.
+type exitSignal struct {
+	reason killReason
+}
+
+type grantMsg struct {
+	kill killReason
+}
+
+type yieldMsg struct {
+	id       int
+	exited   bool
+	reason   killReason
+	panicVal any
+	hasPanic bool
+}
+
+// Event is an annotation emitted by shared-memory operations when a logger is
+// installed on the Proc (see Proc.OnEvent). Seq is the per-process step count
+// at the time of the event.
+type Event struct {
+	Pid    int
+	Seq    int64
+	Kind   string
+	Object string
+	Value  any
+}
+
+// Proc is the handle a simulated process uses to take steps and to report its
+// result. A Proc is bound either to a controlled Run or to free mode.
+type Proc struct {
+	id    int
+	run   *Run
+	grant chan grantMsg
+	steps atomic.Int64
+
+	result    any
+	hasResult bool
+
+	// OnEvent, if non-nil, receives an Event for every annotated
+	// shared-memory operation performed by this process. Set it before the
+	// run starts; it is invoked from the process goroutine while the process
+	// holds the step token (controlled mode) so it needs no locking there.
+	OnEvent func(Event)
+}
+
+// ID returns the process identifier (its index in the run).
+func (p *Proc) ID() int { return p.id }
+
+// Steps returns the number of steps this process has taken so far.
+func (p *Proc) Steps() int64 { return p.steps.Load() }
+
+// SetResult records the value this process decided or computed; it is
+// surfaced in Results.Values after the run.
+func (p *Proc) SetResult(v any) {
+	p.result = v
+	p.hasResult = true
+}
+
+// Step requests permission for the next shared-memory event. In controlled
+// mode it blocks until the policy grants this process a step; if the policy
+// crashed or halted the process, Step unwinds the process function. In free
+// mode it only increments the step counter.
+func (p *Proc) Step() {
+	if p.run == nil {
+		p.steps.Add(1)
+		return
+	}
+	p.run.yield <- yieldMsg{id: p.id}
+	g := <-p.grant
+	if g.kill != killNone {
+		panic(exitSignal{reason: g.kill})
+	}
+	p.steps.Add(1)
+}
+
+// Record emits an Event to the process logger, if one is installed.
+func (p *Proc) Record(kind, object string, value any) {
+	if p.OnEvent == nil {
+		return
+	}
+	p.OnEvent(Event{Pid: p.id, Seq: p.steps.Load(), Kind: kind, Object: object, Value: value})
+}
+
+// FreeProc returns a Proc in free mode: Step never blocks and there is no
+// controller. Use it to run algorithms at full speed on real goroutines, e.g.
+// in benchmarks. The caller owns goroutine lifecycles.
+func FreeProc(id int) *Proc {
+	return &Proc{id: id}
+}

@@ -1,0 +1,376 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinGrantsAllProcesses(t *testing.T) {
+	const n = 4
+	r := NewRun(n, &RoundRobin{})
+	r.RecordTrace()
+	counts := make([]int64, n)
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+		counts[p.ID()] = p.Steps()
+	})
+	res := r.Execute(1000)
+	for id, s := range res.Status {
+		if s != Done {
+			t.Fatalf("process %d: status %v, want done", id, s)
+		}
+	}
+	for id, c := range counts {
+		// 5 explicit steps plus the initial grant that started the body is
+		// not counted by Steps (only Step() calls count).
+		if c != 5 {
+			t.Errorf("process %d took %d steps, want 5", id, c)
+		}
+	}
+	if res.TotalSteps < 5*n {
+		t.Errorf("total steps %d, want >= %d", res.TotalSteps, 5*n)
+	}
+	// Round-robin: the first n entries of the trace (after initial grants)
+	// must cycle through all processes.
+	seen := map[int]bool{}
+	for _, pid := range res.Trace[:n] {
+		seen[pid] = true
+	}
+	if len(seen) != n {
+		t.Errorf("first %d grants hit %d distinct processes, want %d", n, len(seen), n)
+	}
+}
+
+func TestSoloStarvesOthers(t *testing.T) {
+	r := NewRun(3, Solo{ID: 1})
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(1000)
+	if res.Status[1] != Done {
+		t.Fatalf("solo process: status %v, want done", res.Status[1])
+	}
+	for _, id := range []int{0, 2} {
+		if res.Status[id] != Starved {
+			t.Errorf("process %d: status %v, want starved", id, res.Status[id])
+		}
+		if res.Steps[id] != 0 {
+			t.Errorf("process %d took %d steps, want 0", id, res.Steps[id])
+		}
+	}
+}
+
+func TestCrashAtUnwindsProcess(t *testing.T) {
+	reached := false
+	r := NewRun(2, &CrashAt{Inner: &RoundRobin{}, At: map[int]int64{0: 3}})
+	r.Spawn(0, func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Step()
+		}
+		reached = true
+	})
+	r.Spawn(1, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(1000)
+	if res.Status[0] != Crashed {
+		t.Fatalf("process 0: status %v, want crashed", res.Status[0])
+	}
+	if reached {
+		t.Error("crashed process ran to completion")
+	}
+	if res.Status[1] != Done {
+		t.Errorf("process 1: status %v, want done", res.Status[1])
+	}
+	if res.Steps[0] > 4 {
+		t.Errorf("crashed process took %d steps, want <= 4", res.Steps[0])
+	}
+}
+
+func TestCrashAtZeroCrashesBeforeFirstStep(t *testing.T) {
+	r := NewRun(2, &CrashAt{Inner: &RoundRobin{}, At: map[int]int64{1: 0}})
+	took := false
+	r.Spawn(0, func(p *Proc) { p.Step() })
+	r.Spawn(1, func(p *Proc) {
+		p.Step()
+		took = true
+	})
+	res := r.Execute(100)
+	if res.Status[1] != Crashed {
+		t.Fatalf("process 1: status %v, want crashed", res.Status[1])
+	}
+	if took {
+		t.Error("process 1 took a step despite crash-at-0")
+	}
+}
+
+func TestMaxStepsStarvesSpinners(t *testing.T) {
+	r := NewRun(2, &RoundRobin{})
+	r.Spawn(0, func(p *Proc) {
+		for { // spin forever
+			p.Step()
+		}
+	})
+	r.Spawn(1, func(p *Proc) { p.Step() })
+	res := r.Execute(50)
+	if res.Status[0] != Starved {
+		t.Errorf("spinner: status %v, want starved", res.Status[0])
+	}
+	if res.Status[1] != Done {
+		t.Errorf("finisher: status %v, want done", res.Status[1])
+	}
+	if res.TotalSteps > 50 {
+		t.Errorf("total steps %d exceeds budget 50", res.TotalSteps)
+	}
+}
+
+func TestSetResultSurfacesValues(t *testing.T) {
+	r := NewRun(3, &RoundRobin{})
+	r.SpawnAll(func(p *Proc) {
+		p.Step()
+		p.SetResult(p.ID() * 10)
+	})
+	res := r.Execute(100)
+	for id := 0; id < 3; id++ {
+		if !res.HasValue[id] {
+			t.Fatalf("process %d has no value", id)
+		}
+		if got := res.Values[id].(int); got != id*10 {
+			t.Errorf("process %d value = %d, want %d", id, got, id*10)
+		}
+	}
+}
+
+func TestUnexpectedPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Execute did not re-panic a process panic")
+		}
+	}()
+	r := NewRun(2, &RoundRobin{})
+	r.Spawn(0, func(p *Proc) {
+		p.Step()
+		panic("boom")
+	})
+	r.Spawn(1, func(p *Proc) {
+		for {
+			p.Step()
+		}
+	})
+	r.Execute(100)
+}
+
+func TestRandomPolicyIsDeterministic(t *testing.T) {
+	runOnce := func(seed uint64) []int {
+		r := NewRun(4, NewRandom(seed))
+		r.RecordTrace()
+		r.SpawnAll(func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Step()
+			}
+		})
+		res := r.Execute(10000)
+		return res.Trace
+	}
+	a, b := runOnce(42), runOnce(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := runOnce(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestRandomPolicyEventuallyGrantsEveryone(t *testing.T) {
+	property := func(seed uint64) bool {
+		const n = 5
+		r := NewRun(n, NewRandom(seed))
+		done := make([]bool, n)
+		r.SpawnAll(func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Step()
+			}
+			done[p.ID()] = true
+		})
+		res := r.Execute(10000)
+		for id := 0; id < n; id++ {
+			if res.Status[id] != Done || !done[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoloAfterSwitchesPhases(t *testing.T) {
+	r := NewRun(3, &SoloAfter{Inner: &RoundRobin{}, After: 9, ID: 2})
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(200)
+	if res.Status[2] != Done {
+		t.Errorf("solo target: status %v, want done", res.Status[2])
+	}
+	for _, id := range []int{0, 1} {
+		if res.Status[id] != Starved {
+			t.Errorf("process %d: status %v, want starved after solo switch", id, res.Status[id])
+		}
+		if res.Steps[id] > 4 {
+			t.Errorf("process %d took %d steps before switch, want <= 4", id, res.Steps[id])
+		}
+	}
+}
+
+func TestScriptReplaysSequence(t *testing.T) {
+	r := NewRun(2, &Script{Seq: []int{0, 0, 0, 1, 1, 0}, Then: &RoundRobin{}})
+	r.RecordTrace()
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(100)
+	want := []int{0, 0, 0, 1, 1, 0}
+	for i, w := range want {
+		if res.Trace[i] != w {
+			t.Fatalf("trace[%d] = %d, want %d (trace %v)", i, res.Trace[i], w, res.Trace)
+		}
+	}
+	if res.DoneCount() != 2 {
+		t.Errorf("done count = %d, want 2", res.DoneCount())
+	}
+}
+
+func TestSubsetStarvesNonMembers(t *testing.T) {
+	r := NewRun(4, &Subset{IDs: []int{1, 3}})
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(1000)
+	for _, id := range []int{1, 3} {
+		if res.Status[id] != Done {
+			t.Errorf("member %d: status %v, want done", id, res.Status[id])
+		}
+	}
+	for _, id := range []int{0, 2} {
+		if res.Status[id] != Starved || res.Steps[id] != 0 {
+			t.Errorf("non-member %d: status %v steps %d, want starved with 0 steps",
+				id, res.Status[id], res.Steps[id])
+		}
+	}
+}
+
+func TestPriorityStarverFavoursHighestID(t *testing.T) {
+	r := NewRun(3, PriorityStarver{})
+	r.RecordTrace()
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(100)
+	// Process 2 must fully finish before process 1 gets a grant.
+	first1 := -1
+	last2 := -1
+	for i, pid := range res.Trace {
+		if pid == 1 && first1 == -1 {
+			first1 = i
+		}
+		if pid == 2 {
+			last2 = i
+		}
+	}
+	if first1 != -1 && last2 != -1 && first1 < last2 {
+		t.Errorf("process 1 granted at %d before process 2 finished at %d", first1, last2)
+	}
+}
+
+func TestFreeProcStepCountsOnly(t *testing.T) {
+	p := FreeProc(7)
+	for i := 0; i < 42; i++ {
+		p.Step()
+	}
+	if p.ID() != 7 {
+		t.Errorf("ID = %d, want 7", p.ID())
+	}
+	if p.Steps() != 42 {
+		t.Errorf("Steps = %d, want 42", p.Steps())
+	}
+}
+
+func TestEmptyBodiesAreDone(t *testing.T) {
+	r := NewRun(3, &RoundRobin{})
+	r.Spawn(1, func(p *Proc) { p.Step() })
+	res := r.Execute(100)
+	if res.Status[0] != Done || res.Status[2] != Done {
+		t.Errorf("bodyless processes not done: %v", res.Status)
+	}
+	if res.Status[1] != Done {
+		t.Errorf("process 1: status %v, want done", res.Status[1])
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Runnable:  "runnable",
+		Done:      "done",
+		Crashed:   "crashed",
+		Starved:   "starved",
+		Status(9): "Status(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestEventRecording(t *testing.T) {
+	r := NewRun(1, &RoundRobin{})
+	var events []Event
+	r.Proc(0).OnEvent = func(e Event) { events = append(events, e) }
+	r.Spawn(0, func(p *Proc) {
+		p.Step()
+		p.Record("read", "R", 5)
+		p.Step()
+		p.Record("write", "R", 6)
+	})
+	r.Execute(100)
+	if len(events) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(events))
+	}
+	if events[0].Kind != "read" || events[0].Object != "R" || events[0].Value.(int) != 5 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Seq <= events[0].Seq {
+		t.Errorf("event seq not increasing: %d then %d", events[0].Seq, events[1].Seq)
+	}
+}

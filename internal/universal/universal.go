@@ -1,0 +1,126 @@
+// Package universal implements a consensus-based universal construction in
+// the style of Herlihy's universality result ([7], "any concurrent object
+// defined by a sequential specification can be wait-free implemented using
+// wait-free consensus objects and atomic registers"), which Section 3.2 of
+// the paper leans on.
+//
+// A Log is an unbounded sequence of single-shot consensus cells. Replicas
+// agree on the command occupying each log position and apply the agreed
+// commands, in order, to a deterministic state machine. The progress of the
+// construction is exactly the progress of the consensus cells it is given:
+//
+//   - with wait-free cells (consensus.WaitFree) the construction is
+//     lock-free: a replica's command may lose individual positions, but some
+//     replica commits a command at every position;
+//   - with group-based asymmetric cells (group.Consensus via an adapter) the
+//     construction inherits the paper's group-based asymmetric progress —
+//     this is the replicated-log example's configuration.
+package universal
+
+import (
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Proposer is the single-shot consensus interface a log cell must provide.
+// It matches consensus.Object and the group.Consensus adapter below.
+type Proposer[C comparable] interface {
+	Propose(p *sched.Proc, v C) C
+}
+
+// Log is an unbounded replicated log: position i is decided by a dedicated
+// single-shot consensus cell.
+type Log[C comparable] struct {
+	newCell func(i int) Proposer[C]
+
+	mu    sync.Mutex
+	cells []Proposer[C]
+}
+
+// NewLog returns a log whose cell i is created on demand by newCell(i).
+func NewLog[C comparable](newCell func(i int) Proposer[C]) *Log[C] {
+	return &Log[C]{newCell: newCell}
+}
+
+// cell returns the consensus cell for position i, creating cells lazily.
+// Growth is a structural action (no scheduler step), like the round table in
+// internal/consensus.
+func (l *Log[C]) cell(i int) Proposer[C] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.cells) <= i {
+		l.cells = append(l.cells, l.newCell(len(l.cells)))
+	}
+	return l.cells[i]
+}
+
+// Replica is one process's view of a replicated state machine driven by a
+// shared Log. Each process must use its own Replica (replicas hold local
+// state); all replicas of one machine share the same Log.
+type Replica[S any, C comparable] struct {
+	log   *Log[C]
+	apply func(S, C) S
+	state S
+	pos   int
+}
+
+// NewReplica returns a replica over log with the given initial state and
+// deterministic apply function.
+func NewReplica[S any, C comparable](log *Log[C], initial S, apply func(S, C) S) *Replica[S, C] {
+	return &Replica[S, C]{log: log, apply: apply, state: initial}
+}
+
+// Exec agrees on a log position for cmd and returns the machine state right
+// after cmd applies. Commands must be globally unique (e.g. carry the
+// proposing process id), since equality is how a replica recognizes that its
+// own command won a position.
+func (r *Replica[S, C]) Exec(p *sched.Proc, cmd C) S {
+	for {
+		won := r.log.cell(r.pos).Propose(p, cmd)
+		r.state = r.apply(r.state, won)
+		r.pos++
+		if won == cmd {
+			return r.state
+		}
+	}
+}
+
+// Sync applies every command already decided up to position limit (exclusive)
+// without proposing anything, bringing a read-only replica up to date. It
+// returns the current state.
+func (r *Replica[S, C]) Sync(p *sched.Proc, limit int, noop C) S {
+	for r.pos < limit {
+		won := r.log.cell(r.pos).Propose(p, noop)
+		r.state = r.apply(r.state, won)
+		r.pos++
+	}
+	return r.state
+}
+
+// State returns the replica's current local state.
+func (r *Replica[S, C]) State() S { return r.state }
+
+// Pos returns the next log position this replica will contend for.
+func (r *Replica[S, C]) Pos() int { return r.pos }
+
+// GroupCell adapts a group.Consensus-style Propose (which returns an error
+// only on internal invariant violations) to the Proposer interface. The
+// adapter panics on such an error, which surfaces through sched.Run and
+// fails the experiment loudly — an invariant violation is a bug, not a
+// run-time condition.
+type GroupCell[C comparable] struct {
+	// ProposeFn is the underlying group-consensus propose.
+	ProposeFn func(p *sched.Proc, v C) (C, error)
+}
+
+var _ Proposer[int] = GroupCell[int]{}
+
+// Propose implements Proposer.
+func (g GroupCell[C]) Propose(p *sched.Proc, v C) C {
+	out, err := g.ProposeFn(p, v)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

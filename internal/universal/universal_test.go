@@ -1,0 +1,221 @@
+package universal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consensus"
+	"repro/internal/group"
+	"repro/internal/sched"
+)
+
+// cmd is a uniquely-tagged counter command.
+type cmd struct {
+	Proc int
+	Seq  int
+	Add  int
+}
+
+func allIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func waitFreeLog(n int) *Log[cmd] {
+	return NewLog[cmd](func(i int) Proposer[cmd] {
+		return consensus.NewWaitFree[cmd](fmt.Sprintf("cell%d", i), allIDs(n))
+	})
+}
+
+func TestSingleReplicaAppliesInOrder(t *testing.T) {
+	log := waitFreeLog(1)
+	r := sched.NewRun(1, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) {
+		rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+		s1 := rep.Exec(p, cmd{Proc: 0, Seq: 1, Add: 5})
+		s2 := rep.Exec(p, cmd{Proc: 0, Seq: 2, Add: 7})
+		if s1 != 5 || s2 != 12 {
+			t.Errorf("states (%d, %d), want (5, 12)", s1, s2)
+		}
+		if rep.Pos() != 2 {
+			t.Errorf("pos = %d, want 2", rep.Pos())
+		}
+	})
+	r.Execute(10000)
+}
+
+func TestReplicasConvergeUnderContention(t *testing.T) {
+	// n replicas each execute k increment commands; all final states must
+	// reflect all n*k commands (sum), and each replica's observed state
+	// after its own last command must include its own contribution.
+	const n, k = 4, 3
+	log := waitFreeLog(n)
+	finals := make([]int, n)
+	r := sched.NewRun(n, &sched.RoundRobin{})
+	r.SpawnAll(func(p *sched.Proc) {
+		rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+		var last int
+		for seq := 0; seq < k; seq++ {
+			last = rep.Exec(p, cmd{Proc: p.ID(), Seq: seq, Add: 1})
+		}
+		finals[p.ID()] = last
+	})
+	res := r.Execute(500000)
+	for id := 0; id < n; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("replica %d: %v, want done", id, res.Status[id])
+		}
+		if finals[id] < k || finals[id] > n*k {
+			t.Errorf("replica %d final state %d out of range [%d, %d]", id, finals[id], k, n*k)
+		}
+	}
+}
+
+func TestLogIsSameForAllReplicas(t *testing.T) {
+	// Linearized history: replay the log after the run; every replica's
+	// commands appear exactly once, in its program order.
+	property := func(seed uint64) bool {
+		const n, k = 3, 2
+		log := waitFreeLog(n)
+		r := sched.NewRun(n, sched.NewRandom(seed))
+		r.SpawnAll(func(p *sched.Proc) {
+			rep := NewReplica[string, cmd](log, "", func(s string, c cmd) string {
+				return s + fmt.Sprintf("(%d:%d)", c.Proc, c.Seq)
+			})
+			for seq := 0; seq < k; seq++ {
+				rep.Exec(p, cmd{Proc: p.ID(), Seq: seq})
+			}
+		})
+		res := r.Execute(500000)
+		if res.DoneCount() != n {
+			return false
+		}
+		// Replay with a read-only replica.
+		replay := sched.NewRun(1, &sched.RoundRobin{})
+		var history string
+		replay.Spawn(0, func(p *sched.Proc) {
+			rep := NewReplica[string, cmd](log, "", func(s string, c cmd) string {
+				return s + fmt.Sprintf("(%d:%d)", c.Proc, c.Seq)
+			})
+			// All n*k commands have been decided; noop commands (Proc: -1)
+			// may pad the tail.
+			history = rep.Sync(p, n*k, cmd{Proc: -1})
+		})
+		replay.Execute(100000)
+		for id := 0; id < n; id++ {
+			var idxs []int
+			for seq := 0; seq < k; seq++ {
+				i := strings.Index(history, fmt.Sprintf("(%d:%d)", id, seq))
+				if i < 0 {
+					return false // command lost
+				}
+				idxs = append(idxs, i)
+			}
+			if !sort.IntsAreSorted(idxs) {
+				return false // program order violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniversalOverGroupConsensus(t *testing.T) {
+	// E10: the universal construction over group-based asymmetric consensus
+	// cells — a replicated counter whose progress follows the paper's
+	// asymmetric condition. Full participation here, so everyone finishes.
+	const n, x, k = 4, 2, 2
+	log := NewLog[cmd](func(i int) Proposer[cmd] {
+		gc, err := group.New[cmd](fmt.Sprintf("cell%d", i), n, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return GroupCell[cmd]{ProposeFn: gc.Propose}
+	})
+	finals := make([]int, n)
+	r := sched.NewRun(n, &sched.RoundRobin{})
+	r.SpawnAll(func(p *sched.Proc) {
+		rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+		var last int
+		for seq := 0; seq < k; seq++ {
+			last = rep.Exec(p, cmd{Proc: p.ID(), Seq: seq, Add: 1})
+		}
+		finals[p.ID()] = last
+	})
+	res := r.Execute(2000000)
+	for id := 0; id < n; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("replica %d: %v, want done", id, res.Status[id])
+		}
+		if finals[id] < k || finals[id] > n*k {
+			t.Errorf("replica %d final %d out of range", id, finals[id])
+		}
+	}
+}
+
+func TestUniversalOverGroupConsensusCrashTolerance(t *testing.T) {
+	// A non-first-group replica crashes mid-run; the rest keep committing
+	// (the first group stays correct, satisfying the progress condition for
+	// every cell).
+	const n, x, k = 4, 2, 2
+	log := NewLog[cmd](func(i int) Proposer[cmd] {
+		gc, err := group.New[cmd](fmt.Sprintf("cell%d", i), n, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return GroupCell[cmd]{ProposeFn: gc.Propose}
+	})
+	r := sched.NewRun(n, &sched.CrashAt{
+		Inner: &sched.RoundRobin{},
+		At:    map[int]int64{3: 25},
+	})
+	r.SpawnAll(func(p *sched.Proc) {
+		rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+		for seq := 0; seq < k; seq++ {
+			rep.Exec(p, cmd{Proc: p.ID(), Seq: seq, Add: 1})
+		}
+	})
+	res := r.Execute(2000000)
+	if res.Status[3] != sched.Crashed {
+		t.Fatalf("replica 3: %v, want crashed", res.Status[3])
+	}
+	for id := 0; id < 3; id++ {
+		if res.Status[id] != sched.Done {
+			t.Fatalf("replica %d: %v, want done despite the crash", id, res.Status[id])
+		}
+	}
+}
+
+func TestSyncReadsDecidedPrefix(t *testing.T) {
+	log := waitFreeLog(2)
+	r := sched.NewRun(2, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) {
+		rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+		rep.Exec(p, cmd{Proc: 0, Seq: 0, Add: 3})
+		rep.Exec(p, cmd{Proc: 0, Seq: 1, Add: 4})
+	})
+	res := r.Execute(100000)
+	if res.Status[0] != sched.Done {
+		t.Fatal("writer did not finish")
+	}
+	r2 := sched.NewRun(2, &sched.RoundRobin{})
+	r2.Spawn(1, func(p *sched.Proc) {
+		rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+		got := rep.Sync(p, 2, cmd{Proc: -1})
+		if got != 7 {
+			t.Errorf("Sync state = %d, want 7", got)
+		}
+		if rep.State() != 7 {
+			t.Errorf("State() = %d, want 7", rep.State())
+		}
+	})
+	r2.Execute(100000)
+}
