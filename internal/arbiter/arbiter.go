@@ -53,11 +53,12 @@ func (r Role) String() string {
 // terminate once a decision is visible elsewhere.
 var ErrAborted = errors.New("arbiter: arbitration aborted by stop predicate")
 
-// Arbiter is a single-shot arbitration object (Figure 4).
+// Arbiter is a single-shot arbitration object (Figure 4). Its registers are
+// embedded by value so constructing an arbiter is a single allocation.
 type Arbiter struct {
-	partOwner *memory.Register[bool]
-	partGuest *memory.Register[bool]
-	winner    *memory.OptRegister[Role]
+	partOwner memory.Register[bool]
+	partGuest memory.Register[bool]
+	winner    memory.OptRegister[Role]
 	xcons     consensus.Object[bool]
 }
 
@@ -65,12 +66,11 @@ type Arbiter struct {
 // consensus object accessible by the (at most x) owner processes. The name
 // is used for event annotation.
 func New(name string, xcons consensus.Object[bool]) *Arbiter {
-	return &Arbiter{
-		partOwner: memory.NewRegister(name+".part[owner]", false),
-		partGuest: memory.NewRegister(name+".part[guest]", false),
-		winner:    memory.NewOptRegister[Role](name + ".winner"),
-		xcons:     xcons,
-	}
+	a := &Arbiter{xcons: xcons}
+	a.partOwner.Init(name+".part[owner]", false)
+	a.partGuest.Init(name+".part[guest]", false)
+	a.winner.Init(name + ".winner")
+	return a
 }
 
 // Arbitrate invokes the operation with the given role and returns the winning

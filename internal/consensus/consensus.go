@@ -34,29 +34,28 @@ type Object[T comparable] interface {
 }
 
 // ports maps process ids to dense slots and enforces access restriction:
-// (y, x)-live objects can be accessed by the y processes of Y only.
+// (y, x)-live objects can be accessed by the y processes of Y only. Port
+// sets are small (a handful of process ids), so slot lookup is a linear
+// scan: cheaper than a map in both construction and lookup, and
+// allocation-free beyond the id slice itself.
 type ports struct {
-	ids  []int
-	slot map[int]int
+	ids []int
 }
 
 func newPorts(ids []int) ports {
-	ps := ports{ids: append([]int(nil), ids...), slot: make(map[int]int, len(ids))}
-	for i, id := range ids {
-		ps.slot[id] = i
-	}
-	return ps
+	return ports{ids: append([]int(nil), ids...)}
 }
 
 // slotOf returns the dense slot of process id, panicking on a port violation.
 // Accessing an object through a port one does not own is a programmer error
 // (like indexing out of range), not a runtime condition, so it panics.
 func (ps ports) slotOf(id int) int {
-	s, ok := ps.slot[id]
-	if !ok {
-		panic(fmt.Sprintf("consensus: process %d is not a port of this object (ports %v)", id, ps.ids))
+	for i, pid := range ps.ids {
+		if pid == id {
+			return i
+		}
 	}
-	return s
+	panic(fmt.Sprintf("consensus: process %d is not a port of this object (ports %v)", id, ps.ids))
 }
 
 // WaitFree is an (x, x)-live consensus object: wait-free consensus among the
@@ -65,7 +64,7 @@ func (ps ports) slotOf(id int) int {
 // behaviour of other processes.
 type WaitFree[T comparable] struct {
 	ps  ports
-	dec *memory.Once[T]
+	dec memory.Once[T]
 }
 
 var _ Object[int] = (*WaitFree[int])(nil)
@@ -73,7 +72,9 @@ var _ Object[int] = (*WaitFree[int])(nil)
 // NewWaitFree returns a wait-free consensus object accessible by the listed
 // ports. An empty port list grants access to every process.
 func NewWaitFree[T comparable](name string, portIDs []int) *WaitFree[T] {
-	return &WaitFree[T]{ps: newPorts(portIDs), dec: memory.NewOnce[T](name)}
+	c := &WaitFree[T]{ps: newPorts(portIDs)}
+	c.dec.Init(name)
+	return c
 }
 
 // Ports returns the ids allowed to access the object (nil means all).

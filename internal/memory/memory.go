@@ -8,7 +8,15 @@
 // Every operation takes the invoking process handle and charges exactly one
 // scheduler step before performing the access, so that in controlled runs
 // each operation is one atomic event of the run, exactly as in the paper's
-// event model. In free mode the operations are ordinary lock-free atomics.
+// event model. In free mode the operations are ordinary linearizable
+// primitives on real goroutines.
+//
+// The operations are engineered for a zero-allocation hot path: value-typed
+// registers serialize with a mutex instead of boxing values behind atomic
+// pointers (in controlled runs the scheduler already serializes accesses,
+// and in free mode the critical section is a few instructions), and every
+// event annotation is guarded by Proc.Tracing so that values are boxed only
+// when a logger is installed.
 package memory
 
 import (
@@ -22,41 +30,54 @@ import (
 // type T. The zero value holds the zero value of T.
 type Register[T any] struct {
 	name string
-	v    atomic.Pointer[T]
+	mu   sync.Mutex
+	v    T
 }
 
 // NewRegister returns a register initialized to init. The name is used only
 // for event annotation.
 func NewRegister[T any](name string, init T) *Register[T] {
-	r := &Register[T]{name: name}
-	r.v.Store(&init)
-	return r
+	return &Register[T]{name: name, v: init}
+}
+
+// Init (re)initializes an embedded register in place to init, naming it for
+// event annotation. Composite objects embed registers by value and call Init
+// from their constructors, so building them costs one allocation.
+func (r *Register[T]) Init(name string, init T) {
+	r.name = name
+	r.v = init
 }
 
 // Read returns the current value. It is one atomic step.
 func (r *Register[T]) Read(p *sched.Proc) T {
 	p.Step()
-	ptr := r.v.Load()
-	var out T
-	if ptr != nil {
-		out = *ptr
+	r.mu.Lock()
+	out := r.v
+	r.mu.Unlock()
+	if p.Tracing() {
+		p.Record("read", r.name, out)
 	}
-	p.Record("read", r.name, out)
 	return out
 }
 
 // Write stores v. It is one atomic step.
 func (r *Register[T]) Write(p *sched.Proc, v T) {
 	p.Step()
-	r.v.Store(&v)
-	p.Record("write", r.name, v)
+	r.mu.Lock()
+	r.v = v
+	r.mu.Unlock()
+	if p.Tracing() {
+		p.Record("write", r.name, v)
+	}
 }
 
 // OptRegister is an atomic register that starts unset (the paper's ⊥ initial
 // value) and can be written any number of times.
 type OptRegister[T any] struct {
 	name string
-	v    atomic.Pointer[T]
+	mu   sync.Mutex
+	v    T
+	set  bool
 }
 
 // NewOptRegister returns an unset register named name.
@@ -64,24 +85,39 @@ func NewOptRegister[T any](name string) *OptRegister[T] {
 	return &OptRegister[T]{name: name}
 }
 
+// Init (re)initializes an embedded register in place to unset, naming it for
+// event annotation.
+func (r *OptRegister[T]) Init(name string) {
+	r.name = name
+	var zero T
+	r.v, r.set = zero, false
+}
+
 // Read returns the current value and whether the register has been written.
 func (r *OptRegister[T]) Read(p *sched.Proc) (T, bool) {
 	p.Step()
-	ptr := r.v.Load()
-	var out T
-	if ptr == nil {
-		p.Record("read", r.name, nil)
-		return out, false
+	r.mu.Lock()
+	out, ok := r.v, r.set
+	r.mu.Unlock()
+	if p.Tracing() {
+		if ok {
+			p.Record("read", r.name, out)
+		} else {
+			p.Record("read", r.name, nil)
+		}
 	}
-	p.Record("read", r.name, *ptr)
-	return *ptr, true
+	return out, ok
 }
 
 // Write stores v.
 func (r *OptRegister[T]) Write(p *sched.Proc, v T) {
 	p.Step()
-	r.v.Store(&v)
-	p.Record("write", r.name, v)
+	r.mu.Lock()
+	r.v, r.set = v, true
+	r.mu.Unlock()
+	if p.Tracing() {
+		p.Record("write", r.name, v)
+	}
 }
 
 // Once is a write-once cell: the first Propose wins and every Propose returns
@@ -90,7 +126,9 @@ func (r *OptRegister[T]) Write(p *sched.Proc, v T) {
 // base objects that the paper assumes in Section 6.
 type Once[T any] struct {
 	name string
-	v    atomic.Pointer[T]
+	mu   sync.Mutex
+	v    T
+	set  bool
 }
 
 // NewOnce returns an empty cell named name.
@@ -98,28 +136,45 @@ func NewOnce[T any](name string) *Once[T] {
 	return &Once[T]{name: name}
 }
 
+// Init (re)initializes an embedded cell in place to empty, naming it for
+// event annotation.
+func (o *Once[T]) Init(name string) {
+	o.name = name
+	var zero T
+	o.v, o.set = zero, false
+}
+
 // Propose installs v if the cell is empty and returns the cell's value. One
 // atomic step (a compare-and-swap followed by a load of the same cell is a
 // single read-modify-write event).
 func (o *Once[T]) Propose(p *sched.Proc, v T) T {
 	p.Step()
-	o.v.CompareAndSwap(nil, &v)
-	out := *o.v.Load()
-	p.Record("propose", o.name, out)
+	o.mu.Lock()
+	if !o.set {
+		o.v, o.set = v, true
+	}
+	out := o.v
+	o.mu.Unlock()
+	if p.Tracing() {
+		p.Record("propose", o.name, out)
+	}
 	return out
 }
 
 // TryGet returns the cell's value if it has been decided.
 func (o *Once[T]) TryGet(p *sched.Proc) (T, bool) {
 	p.Step()
-	ptr := o.v.Load()
-	var out T
-	if ptr == nil {
-		p.Record("tryget", o.name, nil)
-		return out, false
+	o.mu.Lock()
+	out, ok := o.v, o.set
+	o.mu.Unlock()
+	if p.Tracing() {
+		if ok {
+			p.Record("tryget", o.name, out)
+		} else {
+			p.Record("tryget", o.name, nil)
+		}
 	}
-	p.Record("tryget", o.name, *ptr)
-	return *ptr, true
+	return out, ok
 }
 
 // Counter is a fetch&add register (a Common2 object, consensus number 2).
@@ -137,7 +192,9 @@ func NewCounter(name string) *Counter {
 func (c *Counter) FetchAdd(p *sched.Proc, delta int64) int64 {
 	p.Step()
 	out := c.v.Add(delta) - delta
-	p.Record("fetchadd", c.name, out)
+	if p.Tracing() {
+		p.Record("fetchadd", c.name, out)
+	}
 	return out
 }
 
@@ -145,7 +202,9 @@ func (c *Counter) FetchAdd(p *sched.Proc, delta int64) int64 {
 func (c *Counter) Read(p *sched.Proc) int64 {
 	p.Step()
 	out := c.v.Load()
-	p.Record("read", c.name, out)
+	if p.Tracing() {
+		p.Record("read", c.name, out)
+	}
 	return out
 }
 
@@ -166,7 +225,9 @@ func NewTestAndSet(name string) *TestAndSet {
 func (t *TestAndSet) Set(p *sched.Proc) bool {
 	p.Step()
 	won := t.v.CompareAndSwap(false, true)
-	p.Record("testandset", t.name, won)
+	if p.Tracing() {
+		p.Record("testandset", t.name, won)
+	}
 	return won
 }
 
@@ -174,7 +235,9 @@ func (t *TestAndSet) Set(p *sched.Proc) bool {
 func (t *TestAndSet) Read(p *sched.Proc) bool {
 	p.Step()
 	out := t.v.Load()
-	p.Record("read", t.name, out)
+	if p.Tracing() {
+		p.Record("read", t.name, out)
+	}
 	return out
 }
 
@@ -204,7 +267,9 @@ func (c *CAS[T]) CompareAndSwap(p *sched.Proc, old, new T) bool {
 		c.v = new
 	}
 	c.mu.Unlock()
-	p.Record("cas", c.name, ok)
+	if p.Tracing() {
+		p.Record("cas", c.name, ok)
+	}
 	return ok
 }
 
@@ -214,7 +279,9 @@ func (c *CAS[T]) Load(p *sched.Proc) T {
 	c.mu.Lock()
 	out := c.v
 	c.mu.Unlock()
-	p.Record("read", c.name, out)
+	if p.Tracing() {
+		p.Record("read", c.name, out)
+	}
 	return out
 }
 
@@ -224,7 +291,9 @@ func (c *CAS[T]) Store(p *sched.Proc, v T) {
 	c.mu.Lock()
 	c.v = v
 	c.mu.Unlock()
-	p.Record("write", c.name, v)
+	if p.Tracing() {
+		p.Record("write", c.name, v)
+	}
 }
 
 // Swap atomically replaces the value and returns the previous one (the
@@ -235,21 +304,23 @@ func (c *CAS[T]) Swap(p *sched.Proc, v T) T {
 	out := c.v
 	c.v = v
 	c.mu.Unlock()
-	p.Record("swap", c.name, out)
+	if p.Tracing() {
+		p.Record("swap", c.name, out)
+	}
 	return out
 }
 
 // RegisterArray is a fixed-size array of atomic registers, the SWMR/MWMR
 // array shape used by the collect-based algorithms (commit-adopt, arbiters).
 type RegisterArray[T any] struct {
-	regs []*Register[T]
+	regs []Register[T]
 }
 
 // NewRegisterArray returns an array of n registers all initialized to init.
 func NewRegisterArray[T any](name string, n int, init T) *RegisterArray[T] {
-	a := &RegisterArray[T]{regs: make([]*Register[T], n)}
+	a := &RegisterArray[T]{regs: make([]Register[T], n)}
 	for i := range a.regs {
-		a.regs[i] = NewRegister(name, init)
+		a.regs[i].Init(name, init)
 	}
 	return a
 }
@@ -267,8 +338,8 @@ func (a *RegisterArray[T]) Write(p *sched.Proc, i int, v T) { a.regs[i].Write(p,
 // collect, not an atomic snapshot, exactly as in the paper's algorithms).
 func (a *RegisterArray[T]) Collect(p *sched.Proc) []T {
 	out := make([]T, len(a.regs))
-	for i, r := range a.regs {
-		out[i] = r.Read(p)
+	for i := range a.regs {
+		out[i] = a.regs[i].Read(p)
 	}
 	return out
 }
@@ -276,14 +347,14 @@ func (a *RegisterArray[T]) Collect(p *sched.Proc) []T {
 // OptArray is a fixed-size array of initially-unset atomic registers (the
 // VAL[1..m] / ARB_VAL[1..m] shape of Figure 5).
 type OptArray[T any] struct {
-	regs []*OptRegister[T]
+	regs []OptRegister[T]
 }
 
 // NewOptArray returns an array of n unset registers.
 func NewOptArray[T any](name string, n int) *OptArray[T] {
-	a := &OptArray[T]{regs: make([]*OptRegister[T], n)}
+	a := &OptArray[T]{regs: make([]OptRegister[T], n)}
 	for i := range a.regs {
-		a.regs[i] = NewOptRegister[T](name)
+		a.regs[i].Init(name)
 	}
 	return a
 }

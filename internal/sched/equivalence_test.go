@@ -1,0 +1,345 @@
+package sched
+
+// Cross-engine equivalence: every scenario below is executed twice, once on
+// the legacy channel-based controller (legacy_test.go) and once on the
+// coroutine engine with direct handoff and batched grant windows (run.go).
+// The two runs must produce bit-identical traces, statuses, per-process step
+// counts, totals and results. This is the safety net for the handoff
+// rewrite: batching and inline decisions must never change which process
+// takes which step.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// stepper is the body-facing subset of *Proc shared by both engines, so one
+// body function can drive either.
+type stepper interface {
+	ID() int
+	Step()
+	Steps() int64
+	SetResult(v any)
+}
+
+var (
+	_ stepper = (*Proc)(nil)
+	_ stepper = (*legacyProc)(nil)
+)
+
+// body kinds, keyed per process id by the scenarios.
+type bodyKind int
+
+const (
+	bodyNone   bodyKind = iota // no body registered (immediately Done)
+	bodySteps                  // takes `arg` steps, then returns
+	bodySpin                   // steps forever (starved or crashed)
+	bodyResult                 // takes `arg` steps, records a result, returns
+	bodyZero                   // returns without taking any step
+)
+
+type bodySpec struct {
+	kind bodyKind
+	arg  int
+}
+
+func makeBody(spec bodySpec) func(stepper) {
+	switch spec.kind {
+	case bodySteps:
+		return func(p stepper) {
+			for i := 0; i < spec.arg; i++ {
+				p.Step()
+			}
+		}
+	case bodySpin:
+		return func(p stepper) {
+			for {
+				p.Step()
+			}
+		}
+	case bodyResult:
+		return func(p stepper) {
+			for i := 0; i < spec.arg; i++ {
+				p.Step()
+			}
+			p.SetResult(p.ID()*100 + spec.arg)
+		}
+	case bodyZero:
+		return func(p stepper) {}
+	default:
+		return nil
+	}
+}
+
+type scenario struct {
+	name     string
+	n        int
+	policy   func() Policy // fresh policy per engine
+	bodies   []bodySpec    // len n; zero value means bodySteps with default
+	maxSteps int64
+}
+
+func defaultBodies(n, steps int) []bodySpec {
+	out := make([]bodySpec, n)
+	for i := range out {
+		out[i] = bodySpec{kind: bodySteps, arg: steps + i}
+	}
+	return out
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{
+			name: "roundrobin/even", n: 4,
+			policy:   func() Policy { return &RoundRobin{} },
+			bodies:   defaultBodies(4, 5),
+			maxSteps: 1000,
+		},
+		{
+			name: "roundrobin/budget-starve", n: 3,
+			policy:   func() Policy { return &RoundRobin{} },
+			bodies:   []bodySpec{{kind: bodySpin}, {kind: bodySteps, arg: 2}, {kind: bodyZero}},
+			maxSteps: 37,
+		},
+		{
+			name: "random/seeded", n: 5,
+			policy:   func() Policy { return NewRandom(12345) },
+			bodies:   defaultBodies(5, 7),
+			maxSteps: 10000,
+		},
+		{
+			name: "random/seeded-starve", n: 4,
+			policy:   func() Policy { return NewRandom(99) },
+			bodies:   []bodySpec{{kind: bodySteps, arg: 4}, {kind: bodySpin}, {kind: bodyResult, arg: 6}, {kind: bodySteps, arg: 3}},
+			maxSteps: 64,
+		},
+		{
+			name: "solo/window", n: 3,
+			policy:   func() Policy { return Solo{ID: 1} },
+			bodies:   defaultBodies(3, 9),
+			maxSteps: 1000,
+		},
+		{
+			name: "solo/budget", n: 2,
+			policy:   func() Policy { return Solo{ID: 0} },
+			bodies:   []bodySpec{{kind: bodySpin}, {kind: bodySteps, arg: 1}},
+			maxSteps: 25,
+		},
+		{
+			name: "soloafter/switch", n: 3,
+			policy: func() Policy {
+				return &SoloAfter{Inner: &RoundRobin{}, After: 9, ID: 2}
+			},
+			bodies:   defaultBodies(3, 50),
+			maxSteps: 200,
+		},
+		{
+			name: "soloafter/inner-halts", n: 2,
+			policy: func() Policy {
+				return &SoloAfter{
+					Inner: PolicyFunc(func(View) Decision { return Decision{Halt: true} }),
+					After: 100, ID: 0,
+				}
+			},
+			bodies:   defaultBodies(2, 3),
+			maxSteps: 100,
+		},
+		{
+			name: "crashat/mid-run", n: 3,
+			policy: func() Policy {
+				return &CrashAt{Inner: &RoundRobin{}, At: map[int]int64{0: 3}}
+			},
+			bodies:   defaultBodies(3, 10),
+			maxSteps: 1000,
+		},
+		{
+			name: "crashat/before-first-step", n: 2,
+			policy: func() Policy {
+				return &CrashAt{Inner: &RoundRobin{}, At: map[int]int64{1: 0}}
+			},
+			bodies:   defaultBodies(2, 4),
+			maxSteps: 100,
+		},
+		{
+			name: "crashat/inside-solo-window", n: 2,
+			policy: func() Policy {
+				return &CrashAt{Inner: Solo{ID: 0}, At: map[int]int64{0: 5}}
+			},
+			bodies:   []bodySpec{{kind: bodySpin}, {kind: bodySteps, arg: 2}},
+			maxSteps: 1000,
+		},
+		{
+			name: "crashat/two-victims-one-decision", n: 4,
+			policy: func() Policy {
+				return &CrashAt{Inner: &RoundRobin{}, At: map[int]int64{1: 2, 2: 2}}
+			},
+			bodies:   defaultBodies(4, 8),
+			maxSteps: 1000,
+		},
+		{
+			name: "crashat/victim-in-script-tail", n: 3,
+			policy: func() Policy {
+				return &CrashAt{
+					Inner: &Script{Seq: []int{0, 0, 0, 0, 0, 1, 0}, Then: Solo{ID: 2}},
+					At:    map[int]int64{0: 3},
+				}
+			},
+			bodies:   defaultBodies(3, 20),
+			maxSteps: 100,
+		},
+		{
+			name: "script/runs-and-skips", n: 3,
+			policy: func() Policy {
+				return &Script{Seq: []int{0, 0, 1, 1, 1, 2, 0, 0, 2, 2}, Then: &RoundRobin{}}
+			},
+			bodies:   defaultBodies(3, 6),
+			maxSteps: 1000,
+		},
+		{
+			name: "script/entries-past-exit", n: 2,
+			policy: func() Policy {
+				// Process 0 exits after 2 steps; the remaining 0-entries must
+				// be skipped identically by both engines.
+				return &Script{Seq: []int{0, 0, 0, 0, 1, 0, 1}, Then: nil}
+			},
+			bodies:   []bodySpec{{kind: bodySteps, arg: 2}, {kind: bodySteps, arg: 5}},
+			maxSteps: 100,
+		},
+		{
+			name: "subset/alternation-then-solo", n: 4,
+			policy:   func() Policy { return &Subset{IDs: []int{1, 3}} },
+			bodies:   []bodySpec{{kind: bodySteps, arg: 4}, {kind: bodySteps, arg: 3}, {kind: bodySteps, arg: 4}, {kind: bodySteps, arg: 9}},
+			maxSteps: 1000,
+		},
+		{
+			name: "cycle/pattern", n: 2,
+			policy:   func() Policy { return &Cycle{Seq: []int{0, 1, 1}} },
+			bodies:   defaultBodies(2, 6),
+			maxSteps: 100,
+		},
+		{
+			name: "cycle/one-exits-early", n: 2,
+			policy:   func() Policy { return &Cycle{Seq: []int{0, 1}} },
+			bodies:   []bodySpec{{kind: bodySteps, arg: 1}, {kind: bodySteps, arg: 5}},
+			maxSteps: 100,
+		},
+		{
+			name: "prioritystarver", n: 3,
+			policy:   func() Policy { return PriorityStarver{} },
+			bodies:   defaultBodies(3, 4),
+			maxSteps: 100,
+		},
+		{
+			name: "results/values-and-zero-step", n: 4,
+			policy:   func() Policy { return &RoundRobin{} },
+			bodies:   []bodySpec{{kind: bodyResult, arg: 3}, {kind: bodyZero}, {kind: bodyNone}, {kind: bodyResult, arg: 5}},
+			maxSteps: 100,
+		},
+	}
+}
+
+// runNew executes a scenario on the production engine.
+func runNew(sc scenario) Results {
+	r := NewRun(sc.n, sc.policy())
+	r.RecordTrace()
+	for id, spec := range sc.bodies {
+		if body := makeBody(spec); body != nil {
+			r.Spawn(id, func(p *Proc) { body(p) })
+		}
+	}
+	return r.Execute(sc.maxSteps)
+}
+
+// runLegacy executes a scenario on the legacy engine.
+func runLegacy(sc scenario) Results {
+	r := newLegacyRun(sc.n, sc.policy())
+	r.recordTrace()
+	for id, spec := range sc.bodies {
+		if body := makeBody(spec); body != nil {
+			r.spawn(id, func(p *legacyProc) { body(p) })
+		}
+	}
+	return r.execute(sc.maxSteps)
+}
+
+func TestEngineEquivalence(t *testing.T) {
+	for _, sc := range scenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			legacy := runLegacy(sc)
+			fast := runNew(sc)
+			if !reflect.DeepEqual(legacy.Trace, fast.Trace) {
+				t.Errorf("traces diverge:\n  legacy: %v\n  fast:   %v", legacy.Trace, fast.Trace)
+			}
+			if !reflect.DeepEqual(legacy.Status, fast.Status) {
+				t.Errorf("statuses diverge: legacy %v, fast %v", legacy.Status, fast.Status)
+			}
+			if !reflect.DeepEqual(legacy.Steps, fast.Steps) {
+				t.Errorf("step counts diverge: legacy %v, fast %v", legacy.Steps, fast.Steps)
+			}
+			if legacy.TotalSteps != fast.TotalSteps {
+				t.Errorf("total steps diverge: legacy %d, fast %d", legacy.TotalSteps, fast.TotalSteps)
+			}
+			if !reflect.DeepEqual(legacy.Values, fast.Values) ||
+				!reflect.DeepEqual(legacy.HasValue, fast.HasValue) {
+				t.Errorf("results diverge: legacy %v/%v, fast %v/%v",
+					legacy.Values, legacy.HasValue, fast.Values, fast.HasValue)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceRandomSweep fuzzes the comparison across many seeds
+// and shapes under the Random policy, the one policy whose decisions depend
+// on nothing but the view and its seed.
+func TestEngineEquivalenceRandomSweep(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for seed := uint64(0); seed < 20; seed++ {
+			sc := scenario{
+				n:        n,
+				policy:   func() Policy { return NewRandom(seed) },
+				bodies:   defaultBodies(n, 3+int(seed%5)),
+				maxSteps: int64(10 + seed*7),
+			}
+			legacy := runLegacy(sc)
+			fast := runNew(sc)
+			if !reflect.DeepEqual(legacy.Trace, fast.Trace) {
+				t.Fatalf("n=%d seed=%d: traces diverge:\n  legacy: %v\n  fast:   %v",
+					n, seed, legacy.Trace, fast.Trace)
+			}
+			if !reflect.DeepEqual(legacy.Status, fast.Status) || legacy.TotalSteps != fast.TotalSteps {
+				t.Fatalf("n=%d seed=%d: outcomes diverge: legacy %v/%d, fast %v/%d",
+					n, seed, legacy.Status, legacy.TotalSteps, fast.Status, fast.TotalSteps)
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceCrashSweep sweeps the crash step of a single victim
+// across the whole run under contention, covering crash-before-first-step,
+// mid-run crashes and crashes that never fire.
+func TestEngineEquivalenceCrashSweep(t *testing.T) {
+	for victim := 0; victim < 3; victim++ {
+		for at := int64(0); at <= 8; at++ {
+			sc := scenario{
+				n: 3,
+				policy: func() Policy {
+					return &CrashAt{Inner: &RoundRobin{}, At: map[int]int64{victim: at}}
+				},
+				bodies:   defaultBodies(3, 6),
+				maxSteps: 200,
+			}
+			legacy := runLegacy(sc)
+			fast := runNew(sc)
+			label := fmt.Sprintf("victim=%d at=%d", victim, at)
+			if !reflect.DeepEqual(legacy.Trace, fast.Trace) {
+				t.Fatalf("%s: traces diverge:\n  legacy: %v\n  fast:   %v", label, legacy.Trace, fast.Trace)
+			}
+			if !reflect.DeepEqual(legacy.Status, fast.Status) ||
+				!reflect.DeepEqual(legacy.Steps, fast.Steps) {
+				t.Fatalf("%s: outcomes diverge: legacy %v %v, fast %v %v",
+					label, legacy.Status, legacy.Steps, fast.Status, fast.Steps)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package sched
+
+// This file preserves the original channel-based controller engine as a
+// test-only reference implementation. The production engine in run.go moves
+// the step token between process coroutines directly; this one is the
+// one-goroutine-per-process, one-channel-round-trip-per-step engine the
+// repository started with. equivalence_test.go replays identical policies
+// and process bodies through both engines and requires identical traces,
+// statuses, step counts and results.
+//
+// The legacy engine grants exactly one step per decision and presents
+// View.MaxCount == 1 to policies, so batching policies degenerate to their
+// single-step behaviour, exactly as the original engine saw them.
+
+import "fmt"
+
+type legacyGrantMsg struct {
+	kill killReason
+}
+
+type legacyYieldMsg struct {
+	id       int
+	exited   bool
+	reason   killReason
+	panicVal any
+	hasPanic bool
+}
+
+// legacyProc is the process handle of the legacy engine. It implements
+// stepper (see equivalence_test.go), the body-facing subset of *Proc.
+type legacyProc struct {
+	id    int
+	run   *legacyRun
+	grant chan legacyGrantMsg
+	steps int64
+
+	result    any
+	hasResult bool
+}
+
+func (p *legacyProc) ID() int      { return p.id }
+func (p *legacyProc) Steps() int64 { return p.steps }
+func (p *legacyProc) SetResult(v any) {
+	p.result = v
+	p.hasResult = true
+}
+
+func (p *legacyProc) Step() {
+	p.run.yield <- legacyYieldMsg{id: p.id}
+	g := <-p.grant
+	if g.kill != killNone {
+		panic(exitSignal{reason: g.kill})
+	}
+	p.steps++
+}
+
+// legacyRun is the original controller: a dedicated goroutine per process,
+// a shared yield channel into the controller and a grant channel per
+// process, two goroutine wake-ups per step.
+type legacyRun struct {
+	policy Policy
+	procs  []*legacyProc
+	fns    []func(*legacyProc)
+	yield  chan legacyYieldMsg
+
+	status []Status
+	stepsV []int64
+	total  int64
+	trace  []int
+	record bool
+}
+
+func newLegacyRun(n int, policy Policy) *legacyRun {
+	r := &legacyRun{
+		policy: policy,
+		procs:  make([]*legacyProc, n),
+		fns:    make([]func(*legacyProc), n),
+		yield:  make(chan legacyYieldMsg),
+		status: make([]Status, n),
+		stepsV: make([]int64, n),
+	}
+	for i := range r.procs {
+		r.procs[i] = &legacyProc{id: i, run: r, grant: make(chan legacyGrantMsg)}
+		r.status[i] = Runnable
+	}
+	return r
+}
+
+func (r *legacyRun) recordTrace() { r.record = true }
+
+func (r *legacyRun) spawn(id int, fn func(*legacyProc)) {
+	if id < 0 || id >= len(r.fns) {
+		panic(fmt.Sprintf("legacy: spawn id %d out of range", id))
+	}
+	r.fns[id] = fn
+}
+
+func (r *legacyRun) execute(maxSteps int64) Results {
+	live := 0
+	for id, fn := range r.fns {
+		if fn == nil {
+			r.status[id] = Done
+			continue
+		}
+		live++
+		go r.wrapper(r.procs[id], fn)
+	}
+
+	var procPanic any
+	hasPanic := false
+
+	for i, started := 0, live; i < started; i++ {
+		msg := <-r.yield
+		if msg.exited {
+			live--
+			r.setExitStatus(msg)
+			if msg.hasPanic {
+				procPanic, hasPanic = msg.panicVal, true
+			}
+		}
+	}
+
+	for live > 0 && !hasPanic {
+		v := View{Steps: r.stepsV, Status: r.status, Total: r.total, MaxCount: 1}
+		d := r.policy.Next(v)
+		if d.Halt || r.total >= maxSteps {
+			break
+		}
+		for _, cid := range d.Crash {
+			if cid >= 0 && cid < len(r.status) && r.status[cid] == Runnable {
+				msg := r.kill(cid, killCrash)
+				live--
+				if msg.hasPanic {
+					procPanic, hasPanic = msg.panicVal, true
+				}
+			}
+		}
+		if live == 0 || hasPanic {
+			break
+		}
+		gid := r.pickRunnable(d.Grant)
+		if gid < 0 {
+			break
+		}
+		r.procs[gid].grant <- legacyGrantMsg{}
+		msg := <-r.yield
+		r.total++
+		r.stepsV[gid]++
+		if r.record {
+			r.trace = append(r.trace, gid)
+		}
+		if msg.exited {
+			live--
+			r.setExitStatus(msg)
+			if msg.hasPanic {
+				procPanic, hasPanic = msg.panicVal, true
+			}
+		}
+	}
+
+	for id := range r.status {
+		if r.status[id] == Runnable && r.fns[id] != nil {
+			msg := r.kill(id, killHalt)
+			if msg.hasPanic && !hasPanic {
+				procPanic, hasPanic = msg.panicVal, true
+			}
+		}
+	}
+
+	if hasPanic {
+		panic(procPanic)
+	}
+
+	res := Results{
+		Status:     append([]Status(nil), r.status...),
+		Steps:      append([]int64(nil), r.stepsV...),
+		Values:     make([]any, len(r.procs)),
+		HasValue:   make([]bool, len(r.procs)),
+		TotalSteps: r.total,
+		Trace:      append([]int(nil), r.trace...),
+	}
+	for i, p := range r.procs {
+		res.Values[i] = p.result
+		res.HasValue[i] = p.hasResult
+	}
+	return res
+}
+
+func (r *legacyRun) kill(id int, reason killReason) legacyYieldMsg {
+	r.procs[id].grant <- legacyGrantMsg{kill: reason}
+	msg := <-r.yield
+	for !msg.exited {
+		r.procs[id].grant <- legacyGrantMsg{kill: reason}
+		msg = <-r.yield
+	}
+	r.setExitStatus(msg)
+	return msg
+}
+
+func (r *legacyRun) setExitStatus(msg legacyYieldMsg) {
+	switch msg.reason {
+	case killCrash:
+		r.status[msg.id] = Crashed
+	case killHalt:
+		r.status[msg.id] = Starved
+	default:
+		r.status[msg.id] = Done
+	}
+}
+
+func (r *legacyRun) pickRunnable(want int) int {
+	if want >= 0 && want < len(r.status) && r.status[want] == Runnable {
+		return want
+	}
+	for id, s := range r.status {
+		if s == Runnable {
+			return id
+		}
+	}
+	return -1
+}
+
+func (r *legacyRun) wrapper(p *legacyProc, fn func(*legacyProc)) {
+	defer func() {
+		rec := recover()
+		msg := legacyYieldMsg{id: p.id, exited: true}
+		if es, ok := rec.(exitSignal); ok {
+			msg.reason = es.reason
+		} else if rec != nil {
+			msg.panicVal = rec
+			msg.hasPanic = true
+		}
+		r.yield <- msg
+	}()
+	fn(p)
+}

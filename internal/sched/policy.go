@@ -1,14 +1,25 @@
 package sched
 
-import "math/rand/v2"
+import (
+	"math"
+	"math/rand/v2"
+)
 
 // View is the adversary's observation of the run: per-process step counts and
 // statuses, plus the total number of granted steps. The slices are owned by
 // the Run and must not be retained or mutated by policies.
+//
+// MaxCount is the largest grant window the caller can deliver for this
+// decision (at least 1; the engine sets it to the remaining step budget, and
+// delegating policies lower it before consulting an inner policy). A policy
+// whose decision consumes per-step state (like Script) must not return a
+// Count beyond MaxCount, or its state would run ahead of the steps actually
+// granted.
 type View struct {
-	Steps  []int64
-	Status []Status
-	Total  int64
+	Steps    []int64
+	Status   []Status
+	Total    int64
+	MaxCount int64
 }
 
 // Runnable appends the ids of all runnable processes to dst and returns it.
@@ -32,17 +43,33 @@ func (v View) NumRunnable() int {
 	return n
 }
 
+// MaxWindow is the Decision.Count value meaning "grant the process every
+// following step until it exits or the budget runs out". A policy may return
+// it whenever its future decisions are forced (e.g. a solo run); the engine
+// clamps every window to the remaining step budget.
+const MaxWindow = math.MaxInt64
+
 // Decision is one scheduling choice: crash the listed processes, then grant
-// one step to Grant (-1 lets the controller pick the lowest runnable id), or
-// halt the run.
+// Grant (-1 lets the engine pick the lowest runnable id) a window of steps,
+// or halt the run.
+//
+// Count is the size of the grant window: the number of consecutive steps the
+// process may take before the policy is consulted again (values <= 1 mean
+// exactly one step). A window ends early if the process exits, and is capped
+// by the run's remaining step budget. Because only the granted process takes
+// steps inside a window, a policy must only return Count > 1 when its next
+// Count-1 decisions would necessarily re-grant the same process; the batched
+// run is then step-for-step identical to the unbatched one, but the steps
+// inside the window cost no scheduling work at all.
 type Decision struct {
 	Grant int
+	Count int64
 	Crash []int
 	Halt  bool
 }
 
-// Policy is the scheduling adversary. Next is called once per step with the
-// current view and returns the next decision. Policies may be stateful; a
+// Policy is the scheduling adversary. Next is called once per decision with
+// the current view and returns the next decision. Policies may be stateful; a
 // fresh policy value should be used for each run.
 type Policy interface {
 	Next(View) Decision
@@ -56,7 +83,8 @@ func (f PolicyFunc) Next(v View) Decision { return f(v) }
 
 // RoundRobin grants steps to runnable processes in cyclic id order. It is the
 // canonical "perfect contention" adversary: no process ever runs in
-// isolation while another is runnable.
+// isolation while another is runnable. Once a single process remains
+// runnable, its steps are granted as one window.
 type RoundRobin struct {
 	next int
 }
@@ -66,14 +94,25 @@ var _ Policy = (*RoundRobin)(nil)
 // Next implements Policy.
 func (rr *RoundRobin) Next(v View) Decision {
 	n := len(v.Status)
+	grant := -1
 	for i := 0; i < n; i++ {
 		id := (rr.next + i) % n
-		if v.Status[id] == Runnable {
-			rr.next = id + 1
-			return Decision{Grant: id}
+		if v.Status[id] != Runnable {
+			continue
 		}
+		if grant < 0 {
+			grant = id
+			continue
+		}
+		// A second runnable process exists: contention, single step.
+		rr.next = grant + 1
+		return Decision{Grant: grant}
 	}
-	return Decision{Halt: true}
+	if grant < 0 {
+		return Decision{Halt: true}
+	}
+	rr.next = grant + 1
+	return Decision{Grant: grant, Count: MaxWindow}
 }
 
 // Random grants steps uniformly at random among runnable processes, using a
@@ -100,7 +139,8 @@ func (r *Random) Next(v View) Decision {
 }
 
 // Solo grants every step to a single process, halting when it exits. It
-// realizes the "runs in isolation" premise of obstruction-freedom.
+// realizes the "runs in isolation" premise of obstruction-freedom. The whole
+// solo run is granted as one window.
 type Solo struct {
 	ID int
 }
@@ -110,7 +150,7 @@ var _ Policy = Solo{}
 // Next implements Policy.
 func (s Solo) Next(v View) Decision {
 	if s.ID >= 0 && s.ID < len(v.Status) && v.Status[s.ID] == Runnable {
-		return Decision{Grant: s.ID}
+		return Decision{Grant: s.ID, Count: MaxWindow}
 	}
 	return Decision{Halt: true}
 }
@@ -129,8 +169,17 @@ var _ Policy = (*SoloAfter)(nil)
 // Next implements Policy.
 func (s *SoloAfter) Next(v View) Decision {
 	if v.Total < s.After {
-		d := s.Inner.Next(v)
+		// Cap the window Inner may claim so the phase switch happens at
+		// exactly After total steps, as it would one decision at a time.
+		iv := v
+		if iv.MaxCount > s.After-v.Total {
+			iv.MaxCount = s.After - v.Total
+		}
+		d := s.Inner.Next(iv)
 		if !d.Halt {
+			if d.Count > iv.MaxCount {
+				d.Count = iv.MaxCount
+			}
 			return d
 		}
 		// Inner exhausted early; fall through to the solo phase.
@@ -156,22 +205,38 @@ func (c *CrashAt) Next(v View) Decision {
 		c.fired = make(map[int]bool, len(c.At))
 	}
 	var crash []int
+	iv := v
 	for pid, at := range c.At {
-		if !c.fired[pid] && pid >= 0 && pid < len(v.Status) &&
-			v.Status[pid] == Runnable && v.Steps[pid] >= at {
+		if c.fired[pid] || pid < 0 || pid >= len(v.Status) || v.Status[pid] != Runnable {
+			continue
+		}
+		if v.Steps[pid] >= at {
 			crash = append(crash, pid)
 			c.fired[pid] = true
+			continue
+		}
+		// Pending crash: cap the window Inner may claim so a decision point
+		// lands exactly when pid reaches its crash step. Only the granted
+		// process advances inside a window, so this is conservative for
+		// every other pid and exact for the grantee.
+		if dist := at - v.Steps[pid]; dist < iv.MaxCount {
+			iv.MaxCount = dist
 		}
 	}
-	d := c.Inner.Next(v)
+	d := c.Inner.Next(iv)
 	if len(crash) > 0 {
 		d.Crash = append(crash, d.Crash...)
+	}
+	if d.Count > iv.MaxCount {
+		d.Count = iv.MaxCount
 	}
 	return d
 }
 
 // Script replays a fixed grant sequence, then delegates to Then (or halts if
-// Then is nil). Entries naming non-runnable processes are skipped.
+// Then is nil). Entries naming non-runnable processes are skipped. A run of
+// consecutive grants to the same process (with entries for non-runnable
+// processes in between) is granted as one window.
 type Script struct {
 	Seq  []int
 	Then Policy
@@ -186,9 +251,27 @@ func (s *Script) Next(v View) Decision {
 	for s.pos < len(s.Seq) {
 		id := s.Seq[s.pos]
 		s.pos++
-		if id >= 0 && id < len(v.Status) && v.Status[id] == Runnable {
-			return Decision{Grant: id}
+		if id < 0 || id >= len(v.Status) || v.Status[id] != Runnable {
+			continue
 		}
+		// Consume the following entries this same process would be granted,
+		// up to the window the caller can deliver: only the granted process
+		// runs inside the window, so the statuses seen here cannot change
+		// until a different runnable process comes up in the sequence.
+		count := int64(1)
+		for s.pos < len(s.Seq) && count < v.MaxCount {
+			nid := s.Seq[s.pos]
+			if nid == id {
+				s.pos++
+				count++
+				continue
+			}
+			if nid >= 0 && nid < len(v.Status) && v.Status[nid] == Runnable {
+				break
+			}
+			s.pos++ // entry for a non-runnable process: skipped either way
+		}
+		return Decision{Grant: id, Count: count}
 	}
 	if s.Then != nil {
 		return s.Then.Next(v)
@@ -199,7 +282,8 @@ func (s *Script) Next(v View) Decision {
 // Subset round-robins among a fixed set of process ids, starving everyone
 // else. It models "no process outside P takes steps" from the definition of
 // x-obstruction-freedom, and the Theorem 2 adversary (only the gated guests
-// of an object run, in perfect alternation).
+// of an object run, in perfect alternation). Once a single member remains
+// runnable, its steps are granted as one window.
 type Subset struct {
 	IDs []int
 
@@ -218,10 +302,26 @@ func (s *Subset) Next(v View) Decision {
 		id := s.IDs[(s.next+i)%n]
 		if id >= 0 && id < len(v.Status) && v.Status[id] == Runnable {
 			s.next = (s.next + i + 1) % n
-			return Decision{Grant: id}
+			d := Decision{Grant: id}
+			if !idsHaveOtherRunnable(s.IDs, id, v) {
+				d.Count = MaxWindow
+			}
+			return d
 		}
 	}
 	return Decision{Halt: true}
+}
+
+// idsHaveOtherRunnable reports whether ids names a runnable process other
+// than id. When it does not, every future decision over ids is forced to
+// re-grant id while it stays runnable, so the grant can be batched.
+func idsHaveOtherRunnable(ids []int, id int, v View) bool {
+	for _, other := range ids {
+		if other != id && other >= 0 && other < len(v.Status) && v.Status[other] == Runnable {
+			return true
+		}
+	}
+	return false
 }
 
 // Cycle repeats a fixed grant pattern forever, skipping entries that name
@@ -229,7 +329,8 @@ func (s *Subset) Next(v View) Decision {
 // the periodic adversary schedules used in the livelock demonstrations (e.g.
 // the fault-freedom violation of Theorem 4: a repeating interleaving of two
 // correct processes under which register-only obstruction-free consensus
-// never decides).
+// never decides). Once its pattern names a single runnable process, that
+// process's steps are granted as one window.
 type Cycle struct {
 	Seq []int
 
@@ -248,7 +349,11 @@ func (c *Cycle) Next(v View) Decision {
 		id := c.Seq[(c.pos+i)%n]
 		if id >= 0 && id < len(v.Status) && v.Status[id] == Runnable {
 			c.pos = (c.pos + i + 1) % n
-			return Decision{Grant: id}
+			d := Decision{Grant: id}
+			if !idsHaveOtherRunnable(c.Seq, id, v) {
+				d.Count = MaxWindow
+			}
+			return d
 		}
 	}
 	return Decision{Halt: true}
@@ -257,6 +362,8 @@ func (c *Cycle) Next(v View) Decision {
 // PriorityStarver always grants a step to the runnable process with the
 // highest id, modelling an adversary that perpetually favours some processes
 // over others (used to starve low-priority processes in liveness tests).
+// Since the highest runnable id can only change when the granted process
+// exits, every grant is a whole window.
 type PriorityStarver struct{}
 
 var _ Policy = PriorityStarver{}
@@ -265,7 +372,7 @@ var _ Policy = PriorityStarver{}
 func (PriorityStarver) Next(v View) Decision {
 	for id := len(v.Status) - 1; id >= 0; id-- {
 		if v.Status[id] == Runnable {
-			return Decision{Grant: id}
+			return Decision{Grant: id, Count: MaxWindow}
 		}
 	}
 	return Decision{Halt: true}

@@ -1,18 +1,46 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+	"iter"
+)
+
+// verdict is the routing state of the step token. It is owned by whichever
+// control point (a process inside Proc.Step, or the Execute loop) currently
+// holds control.
+type verdict int
+
+const (
+	// vRun: a process is running inside its grant window; nothing to route.
+	vRun verdict = iota
+	// vGrant: a grant (nextGid, nextCount) awaits delivery.
+	vGrant
+	// vCrash: the pending decision (routed*) contains crashes; control must
+	// cascade down to the Execute loop, which delivers them with every
+	// process parked, preserving the crash-before-grant unwind order.
+	vCrash
+	// vEnd: the run is over; control cascades down to the Execute loop,
+	// which unwinds every runnable process.
+	vEnd
+)
 
 // Run is a controlled execution of n simulated processes under a scheduling
 // Policy. Register process bodies with Spawn, then call Execute.
 //
-// The controller owns the step token: exactly one process executes between
+// The engine owns a single step token: exactly one process executes between
 // two scheduling decisions, so every code region between two Proc.Step calls
-// is a single atomic event, matching the event model of the paper.
+// is a single atomic event, matching the event model of the paper. Processes
+// are coroutines, and the token moves between them by direct coroutine
+// switches: the yielding process invokes the policy inline and either keeps
+// the token (self-grant, no switch at all), resumes the granted process
+// directly (one switch), or lets control cascade back down the chain of
+// suspended resumers until it reaches the granted process. All scheduler
+// state (statuses, step counts, the trace) is guarded by the token, so the
+// engine needs no locks and no channels.
 type Run struct {
 	policy Policy
-	procs  []*Proc
+	seats  []Proc
 	fns    []func(*Proc)
-	yield  chan yieldMsg
 
 	status  []Status
 	stepsV  []int64
@@ -20,20 +48,36 @@ type Run struct {
 	trace   []int
 	record  bool
 	started bool
+
+	maxSteps int64
+	live     int
+
+	verdict   verdict
+	nextGid   int
+	nextCount int64
+
+	// routed* hold a decision containing crashes while control cascades to
+	// the Execute loop (see vCrash).
+	routedCrash []int
+	routedGrant int
+	routedCount int64
+
+	procPanic any
+	hasPanic  bool
 }
 
 // NewRun creates a controlled run of n processes scheduled by policy.
 func NewRun(n int, policy Policy) *Run {
 	r := &Run{
 		policy: policy,
-		procs:  make([]*Proc, n),
+		seats:  make([]Proc, n),
 		fns:    make([]func(*Proc), n),
-		yield:  make(chan yieldMsg),
 		status: make([]Status, n),
 		stepsV: make([]int64, n),
 	}
-	for i := range r.procs {
-		r.procs[i] = &Proc{id: i, run: r, grant: make(chan grantMsg)}
+	for i := range r.seats {
+		r.seats[i].id = i
+		r.seats[i].run = r
 		r.status[i] = Runnable
 	}
 	return r
@@ -45,7 +89,7 @@ func (r *Run) RecordTrace() { r.record = true }
 
 // Proc returns the Proc handle for process id, e.g. to install an OnEvent
 // logger before Execute.
-func (r *Run) Proc(id int) *Proc { return r.procs[id] }
+func (r *Run) Proc(id int) *Proc { return &r.seats[id] }
 
 // Spawn registers fn as the body of process id. A process with no body is
 // immediately Done. Spawn panics if called after Execute or with an invalid
@@ -100,138 +144,271 @@ func (res Results) DoneCount() int {
 // exited or maxSteps steps have been granted. Processes still runnable when
 // the budget is exhausted (or the policy halts) are unwound and marked
 // Starved. Execute re-panics any unexpected panic raised by a process body,
-// after terminating every other goroutine.
+// after terminating every other process.
 func (r *Run) Execute(maxSteps int64) Results {
 	if r.started {
 		panic("sched: Execute called twice")
 	}
 	r.started = true
+	r.maxSteps = maxSteps
 
-	live := 0
+	// Start every process body as a coroutine and run it to its first Step
+	// (or to completion, if it takes no steps). This is the prologue barrier:
+	// no policy decision is made until every process has parked, so each
+	// subsequent grant is one atomic event.
 	for id, fn := range r.fns {
 		if fn == nil {
 			r.status[id] = Done
 			continue
 		}
-		live++
-		go r.wrapper(r.procs[id], fn)
-	}
-
-	var procPanic any
-	hasPanic := false
-
-	// Absorb the initial yield from every started process: each one runs its
-	// local prologue concurrently and parks at its first Step (or exits
-	// immediately if it takes no steps). From here on, exactly one process
-	// executes between two grants, so each grant is one atomic event.
-	for i, started := 0, live; i < started; i++ {
-		msg := <-r.yield
-		if msg.exited {
-			live--
-			r.setExitStatus(msg)
-			if msg.hasPanic {
-				procPanic, hasPanic = msg.panicVal, true
-			}
-		}
-	}
-
-	for live > 0 && !hasPanic {
-		v := View{Steps: r.stepsV, Status: r.status, Total: r.total}
-		d := r.policy.Next(v)
-		if d.Halt || r.total >= maxSteps {
-			break
-		}
-		for _, cid := range d.Crash {
-			if cid >= 0 && cid < len(r.status) && r.status[cid] == Runnable {
-				msg := r.kill(cid, killCrash)
-				live--
-				if msg.hasPanic {
-					procPanic, hasPanic = msg.panicVal, true
+		r.live++
+		p := &r.seats[id]
+		body := fn
+		p.resume, p.cancel = iter.Pull(func(yieldFn func(struct{}) bool) {
+			p.yieldFn = yieldFn
+			defer func() {
+				rec := recover()
+				if es, ok := rec.(exitSignal); ok {
+					p.exitReason = es.reason
+					return
 				}
-			}
+				if rec != nil {
+					// An unexpected panic from the body (or its defers):
+					// record the first one; Execute re-panics it after the
+					// unwind. The coroutine itself exits cleanly so that no
+					// process outlives Execute.
+					if !r.hasPanic {
+						r.procPanic, r.hasPanic = rec, true
+					}
+				}
+			}()
+			body(p)
+		})
+	}
+	r.verdict = vRun // prologue Steps park without routing
+	for id := range r.fns {
+		if r.fns[id] == nil {
+			continue
 		}
-		if live == 0 || hasPanic {
-			break
+		p := &r.seats[id]
+		if _, alive := p.resume(); !alive {
+			r.accountExit(p)
 		}
-		gid := r.pickRunnable(d.Grant)
-		if gid < 0 {
-			break
-		}
-		r.procs[gid].grant <- grantMsg{}
-		msg := <-r.yield
-		r.total++
-		r.stepsV[gid]++
-		if r.record {
-			r.trace = append(r.trace, gid)
-		}
-		if msg.exited {
-			live--
-			r.setExitStatus(msg)
-			if msg.hasPanic {
-				procPanic, hasPanic = msg.panicVal, true
-			}
+	}
+
+	// Main loop: make the first decision, then route. Control only returns
+	// here when a grant target is parked at this level, when a decision
+	// carries crashes, or when the run ends; ordinary handoffs happen
+	// directly between process coroutines (see Run.await).
+	if r.live == 0 || r.hasPanic {
+		r.verdict = vEnd
+	} else {
+		r.decide()
+	}
+loop:
+	for {
+		switch r.verdict {
+		case vGrant:
+			// At this level every process is parked, so deliver directly.
+			r.resumeProc(&r.seats[r.nextGid])
+		case vCrash:
+			r.execCrashes()
+		case vEnd:
+			break loop
+		default:
+			panic("sched: internal error: token lost by the run engine")
 		}
 	}
 
 	// Unwind every process that is still runnable.
 	for id := range r.status {
-		if r.status[id] == Runnable && r.fns[id] != nil && !r.exited(id) {
-			msg := r.kill(id, killHalt)
-			if msg.hasPanic && !hasPanic {
-				procPanic, hasPanic = msg.panicVal, true
-			}
+		if r.status[id] == Runnable && r.fns[id] != nil {
+			r.stopProc(id, killHalt)
 		}
 	}
 
-	if hasPanic {
-		panic(procPanic)
+	if r.hasPanic {
+		panic(r.procPanic)
 	}
 
 	res := Results{
 		Status:     append([]Status(nil), r.status...),
 		Steps:      append([]int64(nil), r.stepsV...),
-		Values:     make([]any, len(r.procs)),
-		HasValue:   make([]bool, len(r.procs)),
+		Values:     make([]any, len(r.seats)),
+		HasValue:   make([]bool, len(r.seats)),
 		TotalSteps: r.total,
-		Trace:      r.trace,
+		Trace:      append([]int(nil), r.trace...),
 	}
-	for i, p := range r.procs {
-		res.Values[i] = p.result
-		res.HasValue[i] = p.hasResult
+	for i := range r.seats {
+		res.Values[i] = r.seats[i].result
+		res.HasValue[i] = r.seats[i].hasResult
 	}
 	return res
 }
 
-// exited reports whether process id has already been accounted as exited.
-func (r *Run) exited(id int) bool {
-	return r.status[id] != Runnable
+func (r *Run) view() View {
+	maxCount := r.maxSteps - r.total
+	if maxCount < 1 {
+		maxCount = 1
+	}
+	return View{Steps: r.stepsV, Status: r.status, Total: r.total, MaxCount: maxCount}
 }
 
-// kill delivers a kill grant to a parked runnable process and consumes its
-// exit yield, updating its status.
-func (r *Run) kill(id int, reason killReason) yieldMsg {
-	r.procs[id].grant <- grantMsg{kill: reason}
-	msg := <-r.yield
-	if !msg.exited {
-		// The process body swallowed the exit signal (it must not); keep
-		// delivering until it exits so Execute never leaks goroutines.
-		for !msg.exited {
-			r.procs[id].grant <- grantMsg{kill: reason}
-			msg = <-r.yield
+// noteStep charges one granted step to p. Called by the token holder only.
+func (r *Run) noteStep(p *Proc) {
+	r.total++
+	r.stepsV[p.id]++
+	if r.record {
+		r.trace = append(r.trace, p.id)
+	}
+}
+
+// decide consults the policy once and routes its decision: a plain grant
+// becomes vGrant, a decision that crashes a runnable process is routed to
+// the Execute loop (vCrash), and a halt or exhausted budget ends the run.
+// Called by whichever control point holds the token.
+func (r *Run) decide() {
+	d := r.policy.Next(r.view())
+	if d.Halt || r.total >= r.maxSteps {
+		r.verdict = vEnd
+		return
+	}
+	for _, cid := range d.Crash {
+		if cid >= 0 && cid < len(r.status) && r.status[cid] == Runnable {
+			r.verdict = vCrash
+			r.routedCrash = d.Crash
+			r.routedGrant = d.Grant
+			r.routedCount = d.Count
+			return
 		}
 	}
-	r.setExitStatus(msg)
-	return msg
+	r.grantTo(d.Grant, d.Count)
 }
 
-func (r *Run) setExitStatus(msg yieldMsg) {
-	switch msg.reason {
+// grantTo validates and stages a grant window as the pending verdict. A
+// batched Count only applies to the policy's own chosen grantee: if the
+// choice was invalid (e.g. the grantee crashed in the same decision) and the
+// engine fell back to another process, that process gets a single step, as
+// it would have under one-decision-at-a-time scheduling.
+func (r *Run) grantTo(grant int, count int64) {
+	gid := r.pickRunnable(grant)
+	if gid < 0 {
+		r.verdict = vEnd
+		return
+	}
+	w := int64(1)
+	if count > 1 && gid == grant {
+		w = count
+		if left := r.maxSteps - r.total; w > left {
+			w = left
+		}
+	}
+	r.verdict = vGrant
+	r.nextGid = gid
+	r.nextCount = w
+}
+
+// execCrashes runs at the Execute loop, where every process is parked:
+// deliver the routed decision's crashes in order, then stage its grant.
+func (r *Run) execCrashes() {
+	crash, grant, count := r.routedCrash, r.routedGrant, r.routedCount
+	r.routedCrash = nil
+	for _, cid := range crash {
+		if cid >= 0 && cid < len(r.status) && r.status[cid] == Runnable {
+			r.stopProc(cid, killCrash)
+		}
+	}
+	if r.live == 0 || r.hasPanic {
+		r.verdict = vEnd
+		return
+	}
+	r.grantTo(grant, count)
+}
+
+// decideFrom invokes the policy inline on behalf of the yielding process p,
+// which holds the step token. It returns true when the decision re-granted
+// p itself: the new window is open, its first step charged, and the token
+// never moved.
+func (r *Run) decideFrom(p *Proc) bool {
+	r.decide()
+	if r.verdict == vGrant && r.nextGid == p.id {
+		r.verdict = vRun
+		p.remaining = r.nextCount - 1
+		r.noteStep(p)
+		return true
+	}
+	return false
+}
+
+// await parks p until its next grant. While parked, p doubles as a control
+// point of the token-routing chain: a grant for a parked process is
+// delivered by resuming it directly, and anything else (a grant for a
+// process blocked deeper in the chain, routed crashes, the end of the run)
+// is passed down by suspending, which returns control to p's most recent
+// resumer. await returns when p is granted, and unwinds p with the internal
+// exit signal when p is killed.
+func (r *Run) await(p *Proc) {
+	for {
+		if r.verdict == vGrant {
+			if r.nextGid == p.id {
+				r.verdict = vRun
+				p.remaining = r.nextCount - 1
+				r.noteStep(p)
+				return
+			}
+			if q := &r.seats[r.nextGid]; q.parked {
+				r.resumeProc(q)
+				continue
+			}
+		}
+		p.parked = true
+		alive := p.yieldFn(struct{}{})
+		p.parked = false
+		if !alive || p.killed != killNone {
+			if p.killed == killNone {
+				p.killed = killHalt
+			}
+			panic(exitSignal{reason: p.killed})
+		}
+	}
+}
+
+// resumeProc hands the token to the parked process q. When q's coroutine
+// finishes instead of suspending, the current control point accounts the
+// exit and makes the follow-up decision inline.
+func (r *Run) resumeProc(q *Proc) {
+	q.parked = false
+	if _, alive := q.resume(); !alive {
+		r.accountExit(q)
+		if r.live == 0 || r.hasPanic {
+			r.verdict = vEnd
+			return
+		}
+		r.decide()
+	}
+}
+
+// stopProc unwinds the parked runnable process id with the given kill reason
+// and accounts its exit. The victim's body (including its defers) runs to
+// completion before stopProc returns, so the step token never interleaves
+// with a dying process.
+func (r *Run) stopProc(id int, reason killReason) {
+	p := &r.seats[id]
+	p.killed = reason
+	p.cancel()
+	r.accountExit(p)
+}
+
+// accountExit records the final status of an exited process.
+func (r *Run) accountExit(p *Proc) {
+	r.live--
+	switch p.exitReason {
 	case killCrash:
-		r.status[msg.id] = Crashed
+		r.status[p.id] = Crashed
 	case killHalt:
-		r.status[msg.id] = Starved
+		r.status[p.id] = Starved
 	default:
-		r.status[msg.id] = Done
+		r.status[p.id] = Done
 	}
 }
 
@@ -247,19 +424,4 @@ func (r *Run) pickRunnable(want int) int {
 		}
 	}
 	return -1
-}
-
-func (r *Run) wrapper(p *Proc, fn func(*Proc)) {
-	defer func() {
-		rec := recover()
-		msg := yieldMsg{id: p.id, exited: true}
-		if es, ok := rec.(exitSignal); ok {
-			msg.reason = es.reason
-		} else if rec != nil {
-			msg.panicVal = rec
-			msg.hasPanic = true
-		}
-		r.yield <- msg
-	}()
-	fn(p)
 }

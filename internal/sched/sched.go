@@ -15,25 +15,38 @@
 //     participates and none crash.
 //
 // To make those conditions testable, this package executes each simulated
-// process in its own goroutine but serializes shared-memory events through a
-// controller: before each shared access the process calls Proc.Step, which
-// blocks until a scheduling Policy grants that process its next event. The
-// policy is the adversary: it chooses interleavings, injects crashes, and can
-// starve processes. Runs are deterministic for deterministic policies (random
-// policies are seeded), so every experiment in this repository is exactly
-// reproducible.
+// process as a coroutine and serializes shared-memory events through a single
+// step token: before each shared access the process calls Proc.Step, which
+// suspends it until a scheduling Policy grants that process its next event.
+// The policy is the adversary: it chooses interleavings, injects crashes, and
+// can starve processes. Runs are deterministic for deterministic policies
+// (random policies are seeded), so every experiment in this repository is
+// exactly reproducible.
+//
+// The engine is built for throughput:
+//
+//   - Direct decision handoff: the policy's Next is invoked inline by the
+//     yielding process while it still holds the token. When the decision
+//     grants the same process again, the step completes with no suspension at
+//     all; otherwise the token moves to the next process through a coroutine
+//     switch (no goroutine parking, no channels, no OS futexes).
+//   - Batched grant windows: a Decision may carry Count > 1, letting a policy
+//     grant a whole window of consecutive steps in one decision. Steps inside
+//     a window cost a few arithmetic operations each.
+//   - Zero-allocation stepping: the no-logger, no-trace hot path performs no
+//     heap allocations per step.
 //
 // Two execution modes share the same algorithm code:
 //
-//   - Controlled mode (NewRun): steps are granted one at a time by a Policy.
+//   - Controlled mode (NewRun): steps are granted by a Policy as above.
 //   - Free mode (FreeProc): Step only counts steps; goroutines run with real
-//     parallelism over the atomics in internal/memory. Used for benchmarks.
+//     parallelism over the primitives in internal/memory. Used for benchmarks.
 //
 // Crash injection is delivered as an internal panic that unwinds the process
-// function; NewRun's wrapper recovers it and marks the process Crashed. The
-// panic value never escapes Execute. This keeps algorithm code free of error
-// plumbing on every shared access, matching the paper's pseudo-code, while
-// guaranteeing that no goroutine outlives Execute.
+// function; the coroutine wrapper recovers it and marks the process Crashed.
+// The panic value never escapes Execute. This keeps algorithm code free of
+// error plumbing on every shared access, matching the paper's pseudo-code,
+// while guaranteeing that no process coroutine outlives Execute.
 package sched
 
 import (
@@ -78,21 +91,9 @@ const (
 )
 
 // exitSignal is the internal panic value used to unwind a process when the
-// controller crashes or halts it. It never escapes this package.
+// scheduler crashes or halts it. It never escapes this package.
 type exitSignal struct {
 	reason killReason
-}
-
-type grantMsg struct {
-	kill killReason
-}
-
-type yieldMsg struct {
-	id       int
-	exited   bool
-	reason   killReason
-	panicVal any
-	hasPanic bool
 }
 
 // Event is an annotation emitted by shared-memory operations when a logger is
@@ -111,24 +112,52 @@ type Event struct {
 type Proc struct {
 	id    int
 	run   *Run
-	grant chan grantMsg
 	steps atomic.Int64
+
+	// Coroutine plumbing, valid only in controlled mode. resume and cancel
+	// are the pull/stop functions of the process coroutine; yieldFn is the
+	// coroutine's yield, valid while the body is running.
+	resume  func() (struct{}, bool)
+	cancel  func()
+	yieldFn func(struct{}) bool
+
+	// remaining counts the steps left in the currently open grant window;
+	// while positive, Step completes without consulting the policy.
+	remaining int64
+	// parked is true while the process is suspended at its yield awaiting a
+	// grant, i.e. it may be resumed directly by any control point.
+	parked bool
+	// entered records that the process has reached its first Step (the
+	// prologue barrier has been passed).
+	entered bool
+	// killed is set (by the token holder) just before a process is unwound,
+	// so Step knows to raise the exit signal; exitReason is what the wrapper
+	// observed when the body finally unwound.
+	killed     killReason
+	exitReason killReason
 
 	result    any
 	hasResult bool
 
 	// OnEvent, if non-nil, receives an Event for every annotated
 	// shared-memory operation performed by this process. Set it before the
-	// run starts; it is invoked from the process goroutine while the process
-	// holds the step token (controlled mode) so it needs no locking there.
+	// run starts; it is invoked while the process holds the step token
+	// (controlled mode) so it needs no locking there.
 	OnEvent func(Event)
 }
 
 // ID returns the process identifier (its index in the run).
 func (p *Proc) ID() int { return p.id }
 
-// Steps returns the number of steps this process has taken so far.
-func (p *Proc) Steps() int64 { return p.steps.Load() }
+// Steps returns the number of steps this process has taken so far. In
+// controlled mode the count lives in the run's bookkeeping (updated under
+// the step token); in free mode it is an atomic counter.
+func (p *Proc) Steps() int64 {
+	if p.run != nil {
+		return p.run.stepsV[p.id]
+	}
+	return p.steps.Load()
+}
 
 // SetResult records the value this process decided or computed; it is
 // surfaced in Results.Values after the run.
@@ -138,32 +167,56 @@ func (p *Proc) SetResult(v any) {
 }
 
 // Step requests permission for the next shared-memory event. In controlled
-// mode it blocks until the policy grants this process a step; if the policy
-// crashed or halted the process, Step unwinds the process function. In free
-// mode it only increments the step counter.
+// mode it suspends the process until the policy grants its next step; if the
+// policy crashed or halted the process, Step unwinds the process function. In
+// free mode it only increments the step counter.
+//
+// The common paths are cheap: a step inside an open grant window is a few
+// arithmetic operations, and a step whose decision re-grants the same process
+// completes without suspending at all.
 func (p *Proc) Step() {
-	if p.run == nil {
+	r := p.run
+	if r == nil {
 		p.steps.Add(1)
 		return
 	}
-	p.run.yield <- yieldMsg{id: p.id}
-	g := <-p.grant
-	if g.kill != killNone {
-		panic(exitSignal{reason: g.kill})
+	if p.remaining > 0 {
+		p.remaining--
+		r.noteStep(p)
+		return
 	}
-	p.steps.Add(1)
+	if !p.entered {
+		// First Step: park at the prologue barrier without consulting the
+		// policy; Execute starts every process before the first grant.
+		p.entered = true
+	} else if p.killed == killNone {
+		// Direct handoff: this process still holds the step token, so it
+		// invokes the policy inline. If the decision grants this process
+		// again, the token never moves and no suspension happens.
+		if r.decideFrom(p) {
+			return
+		}
+	}
+	r.await(p)
 }
 
-// Record emits an Event to the process logger, if one is installed.
+// Tracing reports whether an event logger is installed on this process. Call
+// sites that build Record payloads should check it first, so that the
+// no-logger hot path never boxes values or allocates.
+func (p *Proc) Tracing() bool { return p.OnEvent != nil }
+
+// Record emits an Event to the process logger, if one is installed. Callers
+// on hot paths should guard the call with Tracing so the value is boxed only
+// when a logger will actually observe it.
 func (p *Proc) Record(kind, object string, value any) {
 	if p.OnEvent == nil {
 		return
 	}
-	p.OnEvent(Event{Pid: p.id, Seq: p.steps.Load(), Kind: kind, Object: object, Value: value})
+	p.OnEvent(Event{Pid: p.id, Seq: p.Steps(), Kind: kind, Object: object, Value: value})
 }
 
 // FreeProc returns a Proc in free mode: Step never blocks and there is no
-// controller. Use it to run algorithms at full speed on real goroutines, e.g.
+// scheduler. Use it to run algorithms at full speed on real goroutines, e.g.
 // in benchmarks. The caller owns goroutine lifecycles.
 func FreeProc(id int) *Proc {
 	return &Proc{id: id}

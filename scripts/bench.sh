@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# bench.sh — run the P1–P4 benchmark families and emit a BENCH_<n>.json
+# snapshot at the repo root, seeding the performance trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh [benchtime]
+#
+# benchtime defaults to 1s; pass e.g. "100x" for a quick smoke snapshot.
+# The snapshot number <n> is one past the highest existing BENCH_<n>.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+
+n=0
+for f in BENCH_*.json; do
+  [ -e "$f" ] || continue
+  num="${f#BENCH_}"
+  num="${num%.json}"
+  case "$num" in
+    *[!0-9]*) continue ;;
+  esac
+  if [ "$num" -ge "$n" ]; then
+    n=$((num + 1))
+  fi
+done
+out="BENCH_${n}.json"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (-benchtime=$benchtime) ..." >&2
+go test -run xxx -bench 'BenchmarkArbiter|BenchmarkGroupConsensus|BenchmarkGroupVsFlatCAS|BenchmarkObstructionFree|BenchmarkGatedObject|BenchmarkHierarchyConstruction|BenchmarkExplore|BenchmarkUniversal' \
+  -benchmem -benchtime="$benchtime" . | tee "$raw" >&2
+go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/sched/ | tee -a "$raw" >&2
+
+# Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
+# has the shape:
+#   BenchmarkName/sub-8  1234  567 ns/op  [8.00 steps/op]  90 B/op  2 allocs/op
+GO_VERSION="$(go version | awk '{print $3}')" \
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+BEGIN {
+  print "{"
+  printf "  \"date\": \"%s\",\n", date
+  printf "  \"commit\": \"%s\",\n", commit
+  printf "  \"go\": \"%s\",\n", ENVIRON["GO_VERSION"]
+  print  "  \"benchmarks\": ["
+  first = 1
+}
+/^Benchmark/ {
+  name = $1; iters = $2
+  ns = ""; steps = ""; bytes = ""; allocs = ""; extra = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op")     ns = $i
+    if ($(i+1) == "steps/op")  steps = $i
+    if ($(i+1) == "steps/cmd") steps = $i
+    if ($(i+1) == "states")    extra = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (!first) print ","
+  first = 0
+  printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
+  if (ns != "")     printf ", \"ns_per_op\": %s", ns
+  if (steps != "")  printf ", \"steps_per_op\": %s", steps
+  if (extra != "")  printf ", \"states\": %s", extra
+  if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+  printf "}"
+}
+END {
+  print ""
+  print "  ]"
+  print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2
