@@ -4,13 +4,38 @@
 //
 // Usage:
 //
-//	explore [-model gated|of|tas2|tas3] [-in0 v] [-in1 v]
+//	explore [-model NAME] [-workers N] [-inputs CSV] [-rounds R] [-limit S]
+//
+// Built-in models (-model):
+//
+//	gated  — the (2,1)-live gated consensus object (E8's Lemma 3-5 model)
+//	group  — the Figure 5 group consensus, two singleton groups
+//	of     — register-only obstruction-free consensus, round cap -rounds
+//	of8    — shorthand for of with an 8-round cap
+//	tas2 … tas6 — the test&set consensus protocol for 2…6 processes
+//	          (consensus number 2: tas2 is correct, tas3+ violate agreement)
+//
+// -workers selects the exploration engine: 1 runs the sequential BFS, >1
+// runs the sharded parallel engine with that many goroutines, 0 uses one
+// per CPU. The report is identical for every worker count — state indices
+// never appear in it, only numbering-independent counts and verdicts — so
+// `explore -workers 1` and `explore -workers 8` outputs can be diffed, which
+// is exactly what the CI explore-smoke job does. Timing and throughput go
+// to stderr.
+//
+// -inputs is a comma-separated per-process input assignment. Without it the
+// pre-parallel CLI default applies: process 0 proposes -in0 and every other
+// process proposes -in1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/explore"
 )
@@ -22,45 +47,84 @@ func main() {
 	}
 }
 
+// newModel resolves a -model name; isOF marks the obstruction-free models,
+// whose reports include the livelock-pump search.
+func newModel(name string, rounds int) (p explore.Protocol, isOF bool, err error) {
+	switch name {
+	case "gated":
+		return explore.GatedModel{}, false, nil
+	case "group":
+		return explore.GroupModel{}, false, nil
+	case "of":
+		return explore.OFModel{Rounds: rounds}, true, nil
+	case "of8":
+		return explore.OFModel{Rounds: 8}, true, nil
+	case "tas2", "tas3", "tas4", "tas5", "tas6":
+		procs, _ := strconv.Atoi(strings.TrimPrefix(name, "tas"))
+		return explore.TASModel{Procs: procs}, false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown model %q", name)
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
-	model := fs.String("model", "gated", "protocol model: gated | of | tas2 | tas3")
-	in0 := fs.Int("in0", 0, "input of process 0")
-	in1 := fs.Int("in1", 1, "input of process 1")
+	model := fs.String("model", "gated", "protocol model: gated | group | of | of8 | tas2..tas6")
+	inputsCSV := fs.String("inputs", "", "comma-separated per-process inputs (default: alternating 0,1,...)")
+	in0 := fs.Int("in0", 0, "input of process 0 (ignored when -inputs is set)")
+	in1 := fs.Int("in1", 1, "input of every other process (ignored when -inputs is set)")
 	rounds := fs.Int("rounds", 2, "round cap for the of model")
 	limit := fs.Int("limit", 2000000, "state budget")
+	workers := fs.Int("workers", 1, "exploration workers: 1 = sequential engine, >1 = parallel engine, 0 = one per CPU")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var (
-		p      explore.Protocol
-		inputs []int
-	)
-	switch *model {
-	case "gated":
-		p, inputs = explore.GatedModel{}, []int{*in0, *in1}
-	case "of":
-		p, inputs = explore.OFModel{Rounds: *rounds}, []int{*in0, *in1}
-	case "tas2":
-		p, inputs = explore.TASModel{Procs: 2}, []int{*in0, *in1}
-	case "tas3":
-		p, inputs = explore.TASModel{Procs: 3}, []int{*in0, *in1, *in1}
-	default:
-		return fmt.Errorf("unknown model %q", *model)
-	}
-
-	g, err := explore.Explore(p, inputs, *limit)
+	p, isOF, err := newModel(*model, *rounds)
 	if err != nil {
 		return err
 	}
+
+	inputs := make([]int, p.N())
+	if *inputsCSV != "" {
+		parts := strings.Split(*inputsCSV, ",")
+		if len(parts) != p.N() {
+			return fmt.Errorf("-inputs has %d values, model %s needs %d", len(parts), *model, p.N())
+		}
+		for i, s := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("-inputs: %v", err)
+			}
+			inputs[i] = v
+		}
+	} else {
+		// Compatibility default (matches the pre-parallel CLI): process 0
+		// gets -in0, every other process gets -in1.
+		inputs[0] = *in0
+		for i := 1; i < len(inputs); i++ {
+			inputs[i] = *in1
+		}
+	}
+
+	t0 := time.Now()
+	g, err := explore.ExploreParallel(p, inputs, *limit, *workers)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	fmt.Fprintf(os.Stderr, "explored %d states in %v (%.0f states/s, workers=%d)\n",
+		g.Size(), elapsed, float64(g.Size())/elapsed.Seconds(), *workers)
+
+	// Everything below is numbering-independent: counts, valences and
+	// verdicts only, never state indices, so reports diff clean across
+	// engines and worker counts.
 	fmt.Printf("model %s, inputs %v\n", *model, inputs)
 	fmt.Printf("reachable states:  %d\n", g.Size())
 	fmt.Printf("initial valence:   %v\n", g.InitialValence())
 
-	if viol, bad := g.CheckAgreement(); bad {
-		fmt.Printf("agreement:         VIOLATED (state %d: p%d decided %d, p%d decided %d)\n",
-			viol.StateIdx, viol.P, viol.VP, viol.Q, viol.VQ)
+	if _, bad := g.CheckAgreement(); bad {
+		fmt.Printf("agreement:         VIOLATED (some reachable state has two conflicting decisions)\n")
 	} else {
 		fmt.Printf("agreement:         holds (exhaustive)\n")
 	}
@@ -68,22 +132,30 @@ func run(args []string) error {
 
 	for pid := 0; pid < p.N(); pid++ {
 		if idx := g.FindDecider(pid, 10000); idx >= 0 {
-			fmt.Printf("decider:           p%d is a decider at a bivalent state (index %d)\n", pid, idx)
+			fmt.Printf("decider:           p%d is a decider at a bivalent state (exhaustive check: %v)\n",
+				pid, g.IsDecider(idx, pid))
 		}
 	}
 
 	pairs := g.FindCriticalPairs()
 	fmt.Printf("critical configs:  %d\n", len(pairs))
-	for i, c := range pairs {
-		if i >= 4 {
-			fmt.Printf("  ... %d more\n", len(pairs)-4)
-			break
-		}
-		fmt.Printf("  state %d: p%d and p%d both pending on %q (register=%v)\n",
-			c.StateIdx, c.P, c.Q, c.AccessP.Object, c.AccessP.IsRegister)
+	// Aggregate by (p, q, objects) — the multiset is numbering-independent.
+	agg := map[string]int{}
+	for _, c := range pairs {
+		agg[fmt.Sprintf("p%d/p%d pending on %q (register=%v) and %q (register=%v)",
+			c.P, c.Q, c.AccessP.Object, c.AccessP.IsRegister,
+			c.AccessQ.Object, c.AccessQ.IsRegister)]++
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s: %d\n", k, agg[k])
 	}
 
-	if *model == "of" {
+	if isOF {
 		pump := g.FindReachable(g.Initial(), func(s explore.State) bool {
 			return explore.AtRoundBoundary(s, 1)
 		})

@@ -1,10 +1,5 @@
 package explore
 
-import (
-	"fmt"
-	"strings"
-)
-
 // Arbiter-model roles. Decision values returned by the model: 0 = the owner
 // side won, 1 = the guest side won.
 const (
@@ -59,15 +54,21 @@ type arbState struct {
 	procs     []arbProc
 }
 
-// Key implements State.
-func (s arbState) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%t,%t,%d,%d|", s.partOwner, s.partGuest, s.winner, s.xcons)
+// AppendKey implements State. The role assignment is constant over a run,
+// so the key covers the shared registers and each process's control state
+// (-1 values shifted up by one).
+func (s arbState) AppendKey(dst []byte) []byte {
+	dst = append(dst,
+		boolByte(s.partOwner), boolByte(s.partGuest),
+		byte(s.winner+1), byte(s.xcons+1))
 	for _, p := range s.procs {
-		fmt.Fprintf(&b, "%d,%t,%d;", p.pc, p.seenPart, p.decided)
+		dst = append(dst, byte(p.pc), boolByte(p.seenPart), byte(p.decided+1))
 	}
-	return b.String()
+	return dst
 }
+
+// Key implements State.
+func (s arbState) Key() string { return keyString(s) }
 
 func (s arbState) clone() arbState {
 	s.procs = append([]arbProc(nil), s.procs...)

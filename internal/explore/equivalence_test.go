@@ -1,0 +1,186 @@
+package explore
+
+// Cross-engine equivalence: every scenario below is explored twice, once by
+// the sequential BFS (Explore) and once by the sharded worker-pool engine
+// (ExploreParallel), and the two graphs are compared bit-for-bit after
+// canonical renumbering. The engines may number nodes differently — the
+// parallel engine's numbering depends on scheduling — but the graphs
+// themselves must be isomorphic under the canonical order (BFS from the
+// initial state, successors in pid order), with identical state keys,
+// valences, analysis verdicts, decider states and critical configurations.
+// This is the safety net for the sharded rewrite: batching, striping and
+// work stealing must never change what is reachable or what it means.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// canonicalOrder returns the graph's node indices in canonical order: BFS
+// from the initial state, expanding successors in pid order. Every reachable
+// node appears exactly once, so the order is a bijection that depends only
+// on the graph structure, not on the engine's internal numbering.
+func canonicalOrder(g *Graph) (order []int, pos map[int]int) {
+	pos = map[int]int{g.Initial(): 0}
+	order = []int{g.Initial()}
+	for i := 0; i < len(order); i++ {
+		for pid := 0; pid < g.p.N(); pid++ {
+			s := g.Succ(order[i], pid)
+			if s < 0 {
+				continue
+			}
+			if _, ok := pos[s]; !ok {
+				pos[s] = len(order)
+				order = append(order, s)
+			}
+		}
+	}
+	return order, pos
+}
+
+// canonCritical is a Critical with its state index translated to canonical
+// numbering, for cross-engine comparison.
+type canonCritical struct {
+	State   int
+	P, Q    int
+	AccessP Access
+	AccessQ Access
+}
+
+func canonCriticals(g *Graph, pos map[int]int) []canonCritical {
+	var out []canonCritical
+	for _, c := range g.FindCriticalPairs() {
+		out = append(out, canonCritical{
+			State: pos[c.StateIdx], P: c.P, Q: c.Q,
+			AccessP: c.AccessP, AccessQ: c.AccessQ,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.Q < b.Q
+	})
+	return out
+}
+
+type engineScenario struct {
+	name    string
+	p       Protocol
+	inputs  []int
+	workers int
+}
+
+func equivalenceScenarios() []engineScenario {
+	return []engineScenario{
+		{"gated/mixed", GatedModel{}, []int{0, 1}, 2},
+		{"gated/mixed-flipped", GatedModel{}, []int{1, 0}, 4},
+		{"gated/unanimous", GatedModel{}, []int{1, 1}, 8},
+		{"of/rounds=2", OFModel{Rounds: 2}, []int{0, 1}, 4},
+		{"of/rounds=3", OFModel{Rounds: 3}, []int{0, 1}, 8},
+		{"of/rounds=2-unanimous", OFModel{Rounds: 2}, []int{0, 0}, 2},
+		{"tas2", TASModel{Procs: 2}, []int{0, 1}, 4},
+		{"tas3", TASModel{Procs: 3}, []int{0, 1, 1}, 4},
+		{"tas4", TASModel{Procs: 4}, []int{0, 1, 1, 0}, 4},
+		{"tas5", TASModel{Procs: 5}, []int{0, 1, 1, 0, 1}, 8},
+		{"group/mixed", GroupModel{}, []int{0, 1}, 4},
+		{"group/mixed-flipped", GroupModel{}, []int{1, 0}, 2},
+		{"arbiter/1o1g", ArbiterModel{Roles: []int{ArbOwner, ArbGuest}}, []int{0, 1}, 4},
+		{"arbiter/2o1g", ArbiterModel{Roles: []int{ArbOwner, ArbOwner, ArbGuest}}, []int{0, 1, 1}, 4},
+	}
+}
+
+func TestEngineEquivalence(t *testing.T) {
+	for _, sc := range equivalenceScenarios() {
+		t.Run(fmt.Sprintf("%s/workers=%d", sc.name, sc.workers), func(t *testing.T) {
+			seq, err := Explore(sc.p, sc.inputs, 2000000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := ExploreParallel(sc.p, sc.inputs, 2000000, sc.workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if seq.Size() != par.Size() {
+				t.Fatalf("Size: seq=%d par=%d", seq.Size(), par.Size())
+			}
+			if seq.InitialValence() != par.InitialValence() {
+				t.Fatalf("InitialValence: seq=%v par=%v", seq.InitialValence(), par.InitialValence())
+			}
+
+			// Structural isomorphism under canonical numbering: identical
+			// state keys, valences and successor structure.
+			seqOrder, seqPos := canonicalOrder(seq)
+			parOrder, parPos := canonicalOrder(par)
+			if len(seqOrder) != seq.Size() || len(parOrder) != par.Size() {
+				t.Fatalf("canonical order misses nodes: seq %d/%d, par %d/%d",
+					len(seqOrder), seq.Size(), len(parOrder), par.Size())
+			}
+			var kb1, kb2 []byte
+			for ci := range seqOrder {
+				si, pi := seqOrder[ci], parOrder[ci]
+				kb1 = seq.StateOf(si).AppendKey(kb1[:0])
+				kb2 = par.StateOf(pi).AppendKey(kb2[:0])
+				if !bytes.Equal(kb1, kb2) {
+					t.Fatalf("canonical node %d: key mismatch (seq %v, par %v)", ci, kb1, kb2)
+				}
+				if seq.ValenceOf(si) != par.ValenceOf(pi) {
+					t.Fatalf("canonical node %d: valence seq=%v par=%v",
+						ci, seq.ValenceOf(si), par.ValenceOf(pi))
+				}
+				for pid := 0; pid < sc.p.N(); pid++ {
+					ss, ps := seq.Succ(si, pid), par.Succ(pi, pid)
+					switch {
+					case ss < 0 && ps < 0:
+					case ss < 0 || ps < 0:
+						t.Fatalf("canonical node %d pid %d: enabledness differs", ci, pid)
+					case seqPos[ss] != parPos[ps]:
+						t.Fatalf("canonical node %d pid %d: successor seq→%d par→%d",
+							ci, pid, seqPos[ss], parPos[ps])
+					}
+				}
+			}
+
+			// Analysis verdicts.
+			_, seqBad := seq.CheckAgreement()
+			_, parBad := par.CheckAgreement()
+			if seqBad != parBad {
+				t.Fatalf("CheckAgreement verdict: seq=%v par=%v", seqBad, parBad)
+			}
+			if sv, pv := seq.CheckValidity(sc.inputs), par.CheckValidity(sc.inputs); sv != pv {
+				t.Fatalf("CheckValidity: seq=%v par=%v", sv, pv)
+			}
+
+			// Critical configurations, bit-for-bit under canonical numbering.
+			if sp, pp := canonCriticals(seq, seqPos), canonCriticals(par, parPos); !reflect.DeepEqual(sp, pp) {
+				t.Fatalf("critical configurations differ:\nseq: %+v\npar: %+v", sp, pp)
+			}
+
+			// Decider search: the discipline's walk is key-canonical, so the
+			// found state (or the failure to find one) must agree exactly.
+			for pid := 0; pid < sc.p.N(); pid++ {
+				sd, pd := seq.FindDecider(pid, 10000), par.FindDecider(pid, 10000)
+				switch {
+				case sd < 0 && pd < 0:
+				case sd < 0 || pd < 0:
+					t.Fatalf("FindDecider(p%d): seq=%d par=%d", pid, sd, pd)
+				case seqPos[sd] != parPos[pd]:
+					t.Fatalf("FindDecider(p%d): canonical state seq=%d par=%d",
+						pid, seqPos[sd], parPos[pd])
+				default:
+					if si, pi := seq.IsDecider(sd, pid), par.IsDecider(pd, pid); si != pi {
+						t.Fatalf("IsDecider(p%d): seq=%v par=%v", pid, si, pi)
+					}
+				}
+			}
+		})
+	}
+}

@@ -23,18 +23,46 @@
 // test&set solves 2-process consensus but not 3-process consensus,
 // Section 3.5), and searches for livelock pumps (fault-free non-deciding
 // infinite runs, the executable content of Theorem 4).
+//
+// Two engines build the same graph: Explore is the sequential BFS, and
+// ExploreParallel (parallel.go) shards the interning table and drives a
+// worker pool over per-shard frontier queues. Both produce graphs whose
+// Size, valences and analysis verdicts are identical; only the internal
+// node numbering may differ.
 package explore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 )
 
-// State is a protocol state. Implementations must make Key injective over
-// reachable states.
+// State is a protocol state. Implementations must make the key encoding
+// injective over reachable states.
 type State interface {
+	// AppendKey appends a compact binary encoding of the state to dst and
+	// returns the extended slice. The encoding must be injective over the
+	// reachable states of one exploration (it may omit components that are
+	// constant across the run, such as the input assignment).
+	AppendKey(dst []byte) []byte
+	// Key returns the encoding as a string. It is a compatibility shim over
+	// AppendKey; the engines intern on the binary form.
 	Key() string
+}
+
+// keyString renders a state's binary key as a string; models use it to
+// implement the Key compatibility shim.
+func keyString(s State) string { return string(s.AppendKey(nil)) }
+
+// boolByte encodes a bool as one key byte.
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Access describes the shared object a process's pending event addresses.
@@ -115,19 +143,60 @@ type node struct {
 }
 
 // Graph is the reachable state graph of a protocol under one input
-// assignment, with valences computed.
+// assignment, with valences computed. Graphs are built by Explore or
+// ExploreParallel; the analysis methods are not safe for concurrent use on
+// one Graph (they share a memoized reachability cache), but they parallelize
+// internally over node ranges when the graph was built with multiple
+// workers.
 type Graph struct {
-	p     Protocol
-	nodes []node
-	index map[string]int32
-	init  int32
+	p       Protocol
+	nodes   []node
+	index   map[string]int32
+	init    int32
+	workers int
+	keyBuf  []byte
+	// reach memoizes the most recent reachableFrom results keyed by start
+	// index, so the decider searches (FindDecider followed by IsDecider on
+	// its result, as in the E8 critical-pair experiment) do not recompute
+	// reachability per call. reachOrder evicts FIFO at reachCacheMax
+	// entries: the reuse pattern is "the last few starts", so a small
+	// window gives the speedup without pinning Size()-byte slices per
+	// FindDecider iteration.
+	reach      map[int][]bool
+	reachOrder []int
+}
+
+// reachCacheMax bounds the memoized reachability sets held by a Graph
+// (each entry is Size() bytes).
+const reachCacheMax = 8
+
+// parallelThreshold is the graph size below which the analysis passes stay
+// sequential even on a multi-worker graph: goroutine fan-out costs more than
+// it saves on small graphs.
+const parallelThreshold = 4096
+
+// localValence returns the bitmask of values decided by some process at s.
+func localValence(p Protocol, s State) Valence {
+	var local Valence
+	for pid := 0; pid < p.N(); pid++ {
+		if v, ok := p.Decision(s, pid); ok && v >= 0 && v < 16 {
+			local |= 1 << uint(v)
+		}
+	}
+	return local
 }
 
 // Explore builds the reachable graph from the protocol's initial state for
 // the given inputs, visiting at most limit states, and computes all
 // valences. It returns ErrLimit if the budget is exceeded.
 func Explore(p Protocol, inputs []int, limit int) (*Graph, error) {
-	g := &Graph{p: p, index: make(map[string]int32)}
+	return exploreSeq(p, inputs, limit, 1)
+}
+
+// exploreSeq is the sequential BFS engine; workers only records how many
+// goroutines the analysis passes may use.
+func exploreSeq(p Protocol, inputs []int, limit, workers int) (*Graph, error) {
+	g := &Graph{p: p, index: make(map[string]int32), workers: workers}
 	s0 := p.Initial(inputs)
 	g.init = g.intern(s0)
 	// BFS.
@@ -152,30 +221,34 @@ func Explore(p Protocol, inputs []int, limit int) (*Graph, error) {
 }
 
 func (g *Graph) intern(s State) int32 {
-	k := s.Key()
-	if idx, ok := g.index[k]; ok {
+	g.keyBuf = s.AppendKey(g.keyBuf[:0])
+	if idx, ok := g.index[string(g.keyBuf)]; ok {
 		return idx
 	}
 	idx := int32(len(g.nodes))
-	var local Valence
-	for pid := 0; pid < g.p.N(); pid++ {
-		if v, ok := g.p.Decision(s, pid); ok && v >= 0 && v < 16 {
-			local |= 1 << uint(v)
-		}
-	}
+	local := localValence(g.p, s)
 	g.nodes = append(g.nodes, node{
 		state:   s,
 		succ:    make([]int32, g.p.N()),
 		local:   local,
 		valence: local,
 	})
-	g.index[k] = idx
+	g.index[string(g.keyBuf)] = idx
 	return idx
 }
 
 // computeValence propagates decision reachability backwards to a fixpoint
-// (the graph may contain cycles, so a simple iterative sweep is used).
+// (the graph may contain cycles, so iterative sweeps over the frozen edge
+// arrays are used; no recursion). On multi-worker graphs the sweep is a
+// Jacobi iteration parallelized over node ranges: each round reads the
+// previous round's valences and writes a fresh array, so rounds are
+// race-free and the fixpoint — being the least fixpoint of a monotone
+// function — is identical to the sequential one.
 func (g *Graph) computeValence() {
+	if g.workers > 1 && len(g.nodes) >= parallelThreshold {
+		g.computeValencePar()
+		return
+	}
 	for changed := true; changed; {
 		changed = false
 		for i := len(g.nodes) - 1; i >= 0; i-- {
@@ -192,6 +265,62 @@ func (g *Graph) computeValence() {
 			}
 		}
 	}
+}
+
+func (g *Graph) computeValencePar() {
+	n := len(g.nodes)
+	cur := make([]Valence, n)
+	next := make([]Valence, n)
+	for i := range g.nodes {
+		cur[i] = g.nodes[i].local
+	}
+	for {
+		var changed atomic.Bool
+		parallelRanges(n, g.workers, func(lo, hi int) {
+			dirty := false
+			for i := lo; i < hi; i++ {
+				v := cur[i]
+				for _, s := range g.nodes[i].succ {
+					if s >= 0 {
+						v |= cur[s]
+					}
+				}
+				next[i] = v
+				if v != cur[i] {
+					dirty = true
+				}
+			}
+			if dirty {
+				changed.Store(true)
+			}
+		})
+		cur, next = next, cur
+		if !changed.Load() {
+			break
+		}
+	}
+	for i := range g.nodes {
+		g.nodes[i].valence = cur[i]
+	}
+}
+
+// parallelRanges splits [0, n) into one contiguous range per worker and runs
+// f on each concurrently.
+func parallelRanges(n, workers int, f func(lo, hi int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Size returns the number of reachable states.
@@ -213,19 +342,98 @@ func (g *Graph) Initial() int { return int(g.init) }
 func (g *Graph) Succ(idx, pid int) int { return int(g.nodes[idx].succ[pid]) }
 
 // reachableFrom marks all states reachable from start (including start).
+// Results are memoized on the Graph; callers must not mutate the returned
+// slice. On multi-worker graphs the set is computed by a level-synchronous
+// frontier sweep parallelized over frontier ranges; the reachable set is
+// unique, so the result is independent of scheduling.
 func (g *Graph) reachableFrom(start int) []bool {
-	seen := make([]bool, len(g.nodes))
-	stack := []int{start}
-	seen[start] = true
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, s := range g.nodes[cur].succ {
-			if s >= 0 && !seen[s] {
-				seen[s] = true
-				stack = append(stack, int(s))
+	if seen, ok := g.reach[start]; ok {
+		return seen
+	}
+	var seen []bool
+	if g.workers > 1 && len(g.nodes) >= parallelThreshold {
+		seen = g.reachablePar(start)
+	} else {
+		seen = make([]bool, len(g.nodes))
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g.nodes[cur].succ {
+				if s >= 0 && !seen[s] {
+					seen[s] = true
+					stack = append(stack, int(s))
+				}
 			}
 		}
+	}
+	if g.reach == nil {
+		g.reach = make(map[int][]bool, reachCacheMax)
+	}
+	if len(g.reachOrder) >= reachCacheMax {
+		delete(g.reach, g.reachOrder[0])
+		g.reachOrder = g.reachOrder[1:]
+	}
+	g.reach[start] = seen
+	g.reachOrder = append(g.reachOrder, start)
+	return seen
+}
+
+func (g *Graph) reachablePar(start int) []bool {
+	marks := make([]int32, len(g.nodes))
+	marks[start] = 1
+	frontier := []int32{int32(start)}
+	parts := make([][]int32, g.workers)
+	for len(frontier) > 0 {
+		if len(frontier) < parallelThreshold/4 {
+			// Small frontier: expand inline rather than fanning out.
+			next := frontier[:0:0]
+			for _, cur := range frontier {
+				for _, s := range g.nodes[cur].succ {
+					if s >= 0 && atomic.CompareAndSwapInt32(&marks[s], 0, 1) {
+						next = append(next, s)
+					}
+				}
+			}
+			frontier = next
+			continue
+		}
+		chunk := (len(frontier) + g.workers - 1) / g.workers
+		var wg sync.WaitGroup
+		for w := 0; w < g.workers; w++ {
+			lo := w * chunk
+			if lo >= len(frontier) {
+				parts[w] = nil
+				continue
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(w int, chunk []int32) {
+				defer wg.Done()
+				var local []int32
+				for _, cur := range chunk {
+					for _, s := range g.nodes[cur].succ {
+						if s >= 0 && atomic.CompareAndSwapInt32(&marks[s], 0, 1) {
+							local = append(local, s)
+						}
+					}
+				}
+				parts[w] = local
+			}(w, frontier[lo:hi])
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, part := range parts {
+			frontier = append(frontier, part...)
+		}
+	}
+	seen := make([]bool, len(marks))
+	for i, m := range marks {
+		seen[i] = m != 0
 	}
 	return seen
 }
@@ -255,13 +463,20 @@ func (g *Graph) IsDecider(idx, pid int) bool {
 // state of the form y·pid; when no such extension exists, pid is a decider
 // at the current state. It returns the decider state's index, or -1 if the
 // initial state is not bivalent or the discipline exceeds maxIter moves.
+//
+// When several extensions qualify, the one whose successor state has the
+// smallest binary key is taken, so the walk — and whether it terminates
+// within maxIter — is independent of the graph's internal node numbering
+// (the sequential and parallel engines number nodes differently).
 func (g *Graph) FindDecider(pid int, maxIter int) int {
 	x := int(g.init)
 	if !g.nodes[x].valence.Bivalent() {
 		return -1
 	}
+	var bestKey, candKey []byte
 	for iter := 0; iter < maxIter; iter++ {
-		// Search the extensions of x for a y with y·pid bivalent.
+		// Search the extensions of x for a y with y·pid bivalent, picking
+		// the candidate y·pid with the smallest key.
 		next := -1
 		seen := g.reachableFrom(x)
 		for i, ok := range seen {
@@ -272,9 +487,13 @@ func (g *Graph) FindDecider(pid int, maxIter int) int {
 				continue
 			}
 			s := g.nodes[i].succ[pid]
-			if s >= 0 && g.nodes[s].valence.Bivalent() {
+			if s < 0 || !g.nodes[s].valence.Bivalent() {
+				continue
+			}
+			candKey = g.nodes[s].state.AppendKey(candKey[:0])
+			if next == -1 || bytes.Compare(candKey, bestKey) < 0 {
 				next = int(s)
-				break
+				bestKey = append(bestKey[:0], candKey...)
 			}
 		}
 		if next == -1 {
@@ -297,7 +516,9 @@ type Critical struct {
 
 // FindCriticalPairs enumerates every critical configuration in the graph.
 // Lemma 2 predicts that in each of them p and q access the same object and
-// that object is not an atomic register; the caller asserts that.
+// that object is not an atomic register; the caller asserts that. The set of
+// configurations is numbering-independent; only the StateIdx fields depend
+// on the engine's node order.
 func (g *Graph) FindCriticalPairs() []Critical {
 	var out []Critical
 	n := g.p.N()
@@ -348,7 +569,8 @@ type AgreementViolation struct {
 }
 
 // CheckAgreement scans every reachable state for two processes that decided
-// different values, returning the first violation found.
+// different values, returning the first violation found. The verdict is
+// numbering-independent; the witness fields are not.
 func (g *Graph) CheckAgreement() (AgreementViolation, bool) {
 	n := g.p.N()
 	for i := range g.nodes {

@@ -100,7 +100,7 @@ func TestGatedModelWaitFreePortDecidesFromEverywhere(t *testing.T) {
 	g := exploreGated(t, []int{0, 1})
 	for i := 0; i < g.Size(); i++ {
 		if !g.SoloDecides(i, 0, 5) {
-			t.Fatalf("p0 cannot decide solo from state %d (%s)", i, g.StateOf(i).Key())
+			t.Fatalf("p0 cannot decide solo from state %d (key %q)", i, g.StateOf(i).Key())
 		}
 	}
 }

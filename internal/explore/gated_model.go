@@ -1,7 +1,5 @@
 package explore
 
-import "fmt"
-
 // GatedModel is the explicit-state model of a (2, 1)-live binary consensus
 // object (the Gated object of internal/consensus, specialized to one
 // wait-free port p0 and one guest p1). It is the model on which the E8
@@ -42,11 +40,17 @@ type gatedState struct {
 	val1   int  // p1's decision (valid when pc1 == gp1Done)
 }
 
-// Key implements State.
-func (s gatedState) Key() string {
-	return fmt.Sprintf("%d%d|%d|%d%d|%t|%d%d",
-		s.inputs[0], s.inputs[1], s.dec, s.pc0, s.pc1, s.dirty, s.val0, s.val1)
+// AppendKey implements State. Every field fits one byte (-1 values are
+// shifted up by one).
+func (s gatedState) AppendKey(dst []byte) []byte {
+	return append(dst,
+		byte(s.inputs[0]), byte(s.inputs[1]), byte(s.dec+1),
+		byte(s.pc0), byte(s.pc1), boolByte(s.dirty),
+		byte(s.val0+1), byte(s.val1+1))
 }
+
+// Key implements State.
+func (s gatedState) Key() string { return keyString(s) }
 
 // N implements Protocol.
 func (GatedModel) N() int { return 2 }

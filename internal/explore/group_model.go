@@ -1,10 +1,5 @@
 package explore
 
-import (
-	"fmt"
-	"strings"
-)
-
 // GroupModel is the explicit-state model of the full Figure 5 algorithm for
 // the smallest non-trivial configuration: two processes, two singleton
 // groups (x = 1, m = 2). Process 0 is group 0 (the important group),
@@ -78,16 +73,23 @@ type groupState struct {
 	dec0, dec1     int8
 }
 
-// Key implements State.
-func (s groupState) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d%d|%d%d%d%d%d%d|%t%t%d%d|%d%d|%d%d%d%d%d%d",
-		s.inputs[0], s.inputs[1],
-		s.gx0, s.gx1, s.val0, s.val1, s.arbVal0, s.arbVal1,
-		s.partOwner, s.partGuest, s.winner, s.xcons,
-		s.pc0, s.pc1, s.carry0, s.carry1, s.won0, s.won1, s.dec0, s.dec1)
-	return b.String()
+// AppendKey implements State. Every field fits one byte (-1 values shifted
+// up by one).
+func (s groupState) AppendKey(dst []byte) []byte {
+	return append(dst,
+		byte(s.inputs[0]), byte(s.inputs[1]),
+		byte(s.gx0+1), byte(s.gx1+1), byte(s.val0+1), byte(s.val1+1),
+		byte(s.arbVal0+1), byte(s.arbVal1+1),
+		boolByte(s.partOwner), boolByte(s.partGuest),
+		byte(s.winner+1), byte(s.xcons+1),
+		byte(s.pc0), byte(s.pc1),
+		byte(s.carry0+1), byte(s.carry1+1),
+		byte(s.won0+1), byte(s.won1+1),
+		byte(s.dec0+1), byte(s.dec1+1))
 }
+
+// Key implements State.
+func (s groupState) Key() string { return keyString(s) }
 
 // N implements Protocol.
 func (GroupModel) N() int { return 2 }

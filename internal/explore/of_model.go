@@ -1,9 +1,6 @@
 package explore
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // OFModel is the explicit-state model of the register-only obstruction-free
 // binary consensus object of internal/consensus (rounds of commit-adopt plus
@@ -77,24 +74,28 @@ type ofState struct {
 	a2 []int8
 }
 
-// Key implements State.
-func (s ofState) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", s.dec)
+// AppendKey implements State. All fields are small signed bytes (-1 values
+// shifted up by one); the a1/a2 array lengths are fixed per run.
+func (s ofState) AppendKey(dst []byte) []byte {
+	dst = append(dst, byte(s.dec+1))
 	for _, p := range s.procs {
-		fmt.Fprintf(&b, "%d,%d,%d,%d,%t,%d,%t,%d,%t,%d|",
-			p.pc, p.round, p.est, p.seenVal, p.seenMult,
-			p.entVal, p.entFlag, p.flagVal, p.nonFlag, p.decided)
+		dst = append(dst,
+			byte(p.pc), byte(p.round), byte(p.est+1),
+			byte(p.seenVal+1), boolByte(p.seenMult),
+			byte(p.entVal+1), boolByte(p.entFlag),
+			byte(p.flagVal+1), boolByte(p.nonFlag), byte(p.decided+1))
 	}
 	for _, v := range s.a1 {
-		fmt.Fprintf(&b, "%d,", v)
+		dst = append(dst, byte(v+1))
 	}
-	b.WriteByte('|')
 	for _, v := range s.a2 {
-		fmt.Fprintf(&b, "%d,", v)
+		dst = append(dst, byte(v+1))
 	}
-	return b.String()
+	return dst
 }
+
+// Key implements State.
+func (s ofState) Key() string { return keyString(s) }
 
 func (s ofState) clone() ofState {
 	s.a1 = append([]int8(nil), s.a1...)

@@ -1,0 +1,244 @@
+package explore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel engine shards the interning table by a hash of each state's
+// binary key. A global node id packs (shard-local index, shard id) into an
+// int32, so shards allocate ids without a global counter and the freeze pass
+// can translate ids to flat graph indices with one prefix-sum.
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+	shardMask = numShards - 1
+
+	// expandBatch is how many frontier states a worker claims from one shard
+	// queue per lock acquisition.
+	expandBatch = 64
+
+	// maxParallelStates keeps shard-local indices within int32 after the
+	// shardBits shift.
+	maxParallelStates = (1 << (31 - shardBits)) - 1
+)
+
+// pnode is a node under construction: workers write succ while other
+// workers may still be appending to the owning shard's node list, so nodes
+// are individually allocated and reached through stable pointers.
+type pnode struct {
+	state State
+	succ  []int32
+	local Valence
+}
+
+// pshard is one stripe of the interning table plus its frontier queue.
+type pshard struct {
+	mu    sync.Mutex
+	index map[string]int32 // binary key -> packed global id
+	nodes []*pnode         // shard-local storage; id = localIdx<<shardBits | shard
+	queue []*pnode         // interned but not yet expanded
+}
+
+type parExplorer struct {
+	p      Protocol
+	n      int
+	limit  int64
+	shards [numShards]pshard
+
+	total      atomic.Int64 // states interned across all shards
+	unexpanded atomic.Int64 // states interned but not yet fully expanded
+	limitHit   atomic.Bool
+}
+
+// fnv1a hashes a binary key to pick its shard.
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// ExploreParallel builds the same reachable graph as Explore using the given
+// number of worker goroutines over the sharded interning table. Node
+// numbering may differ from the sequential engine (and between runs), but
+// the graph itself — Size, valences, and every numbering-independent
+// analysis verdict — is identical: the reachable set and the valence
+// fixpoint are unique regardless of exploration order. workers <= 1 falls
+// back to the sequential BFS. It returns ErrLimit if the budget is exceeded.
+// The packed (shard, index) node ids cap the parallel engine's budget at
+// maxParallelStates (~33.5M); a larger limit is treated as that cap, so a
+// graph beyond it returns ErrLimit where the sequential engine — given the
+// memory — would eventually finish.
+func ExploreParallel(p Protocol, inputs []int, limit, workers int) (*Graph, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return exploreSeq(p, inputs, limit, 1)
+	}
+	if limit > maxParallelStates {
+		limit = maxParallelStates
+	}
+	e := &parExplorer{p: p, n: p.N(), limit: int64(limit)}
+	for i := range e.shards {
+		e.shards[i].index = make(map[string]int32)
+	}
+	var buf []byte
+	initID, ok := e.intern(p.Initial(inputs), &buf)
+	if !ok {
+		return nil, ErrLimit
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	if e.limitHit.Load() {
+		return nil, ErrLimit
+	}
+	return e.freeze(initID, workers), nil
+}
+
+// worker drains shard queues until every interned state has been expanded.
+// Each worker starts its scan at a different shard so the pool spreads over
+// the stripes instead of contending on one queue.
+func (e *parExplorer) worker(w int) {
+	buf := make([]byte, 0, 128)
+	batch := make([]*pnode, 0, expandBatch)
+	for {
+		if e.limitHit.Load() {
+			return
+		}
+		found := false
+		for i := 0; i < numShards; i++ {
+			sh := &e.shards[(w+i)&shardMask]
+			sh.mu.Lock()
+			k := len(sh.queue)
+			if k > expandBatch {
+				k = expandBatch
+			}
+			if k > 0 {
+				cut := len(sh.queue) - k
+				batch = append(batch[:0], sh.queue[cut:]...)
+				sh.queue = sh.queue[:cut]
+			}
+			sh.mu.Unlock()
+			if k == 0 {
+				continue
+			}
+			found = true
+			for _, nd := range batch {
+				if !e.expand(nd, &buf) {
+					return
+				}
+			}
+		}
+		if !found {
+			// Nothing queued anywhere: either some other worker still holds
+			// unexpanded states (its expansion will refill queues), or the
+			// frontier is exhausted and the graph is complete.
+			if e.unexpanded.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// expand records nd's successor edges, interning newly discovered states
+// into their shards. It reports false when the state budget was exceeded.
+func (e *parExplorer) expand(nd *pnode, buf *[]byte) bool {
+	st := nd.state
+	succ := make([]int32, e.n)
+	for pid := 0; pid < e.n; pid++ {
+		if !e.p.Enabled(st, pid) {
+			succ[pid] = -1
+			continue
+		}
+		id, ok := e.intern(e.p.Next(st, pid), buf)
+		if !ok {
+			return false
+		}
+		succ[pid] = id
+	}
+	nd.succ = succ
+	e.unexpanded.Add(-1)
+	return true
+}
+
+// intern returns the packed global id of s, creating and enqueueing it in
+// its shard on first sight. It reports false when creating s would exceed
+// the state budget (and flags the run as failed).
+func (e *parExplorer) intern(s State, buf *[]byte) (int32, bool) {
+	b := s.AppendKey((*buf)[:0])
+	*buf = b
+	shardID := fnv1a(b) & shardMask
+	sh := &e.shards[shardID]
+	sh.mu.Lock()
+	if id, ok := sh.index[string(b)]; ok {
+		sh.mu.Unlock()
+		return id, true
+	}
+	if e.total.Add(1) > e.limit {
+		sh.mu.Unlock()
+		e.limitHit.Store(true)
+		return 0, false
+	}
+	nd := &pnode{state: s, local: localValence(e.p, s)}
+	id := int32(len(sh.nodes))<<shardBits | int32(shardID)
+	sh.index[string(b)] = id
+	sh.nodes = append(sh.nodes, nd)
+	sh.queue = append(sh.queue, nd)
+	e.unexpanded.Add(1)
+	sh.mu.Unlock()
+	return id, true
+}
+
+// freeze flattens the shards into a Graph: shard-local storage becomes one
+// contiguous node array (shard order, then local order) and packed ids are
+// remapped to flat indices. Analyses then run on the same representation
+// the sequential engine produces.
+func (e *parExplorer) freeze(initID int32, workers int) *Graph {
+	var offsets [numShards]int32
+	var total int32
+	for i := range e.shards {
+		offsets[i] = total
+		total += int32(len(e.shards[i].nodes))
+	}
+	flat := func(id int32) int32 {
+		return offsets[id&shardMask] + id>>shardBits
+	}
+	g := &Graph{p: e.p, workers: workers, nodes: make([]node, total)}
+	parallelRanges(numShards, workers, func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			base := offsets[si]
+			for li, pn := range e.shards[si].nodes {
+				succ := make([]int32, len(pn.succ))
+				for j, s := range pn.succ {
+					if s < 0 {
+						succ[j] = -1
+					} else {
+						succ[j] = flat(s)
+					}
+				}
+				g.nodes[base+int32(li)] = node{
+					state:   pn.state,
+					succ:    succ,
+					local:   pn.local,
+					valence: pn.local,
+				}
+			}
+		}
+	})
+	g.init = flat(initID)
+	g.computeValence()
+	return g
+}

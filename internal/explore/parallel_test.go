@@ -1,0 +1,156 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestExploreParallelProperty is the randomized companion of the scenario
+// table in equivalence_test.go: for randomized gated/of protocol instances
+// and inputs, ExploreParallel with workers ∈ {1, 2, 8} must produce the
+// same Size, initial valence, agreement verdict and validity verdict as the
+// sequential engine.
+func TestExploreParallelProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for i := 0; i < 40; i++ {
+		var (
+			p      Protocol
+			inputs []int
+			name   string
+		)
+		if rng.Intn(2) == 0 {
+			p = GatedModel{}
+			inputs = []int{rng.Intn(2), rng.Intn(2)}
+			name = fmt.Sprintf("gated/in=%v", inputs)
+		} else {
+			rounds := 1 + rng.Intn(3)
+			p = OFModel{Rounds: rounds}
+			inputs = []int{rng.Intn(2), rng.Intn(2)}
+			name = fmt.Sprintf("of/rounds=%d/in=%v", rounds, inputs)
+		}
+		seq, err := Explore(p, inputs, 2000000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_, seqBad := seq.CheckAgreement()
+		seqValid := seq.CheckValidity(inputs)
+		for _, workers := range []int{1, 2, 8} {
+			par, err := ExploreParallel(p, inputs, 2000000, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if par.Size() != seq.Size() {
+				t.Errorf("%s workers=%d: Size par=%d seq=%d", name, workers, par.Size(), seq.Size())
+			}
+			if par.InitialValence() != seq.InitialValence() {
+				t.Errorf("%s workers=%d: InitialValence par=%v seq=%v",
+					name, workers, par.InitialValence(), seq.InitialValence())
+			}
+			if _, parBad := par.CheckAgreement(); parBad != seqBad {
+				t.Errorf("%s workers=%d: agreement verdict par=%v seq=%v",
+					name, workers, parBad, seqBad)
+			}
+			if parValid := par.CheckValidity(inputs); parValid != seqValid {
+				t.Errorf("%s workers=%d: validity par=%v seq=%v",
+					name, workers, parValid, seqValid)
+			}
+		}
+	}
+}
+
+func TestExploreParallelRespectsLimit(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		if _, err := ExploreParallel(OFModel{Rounds: 2}, []int{0, 1}, 10, workers); err != ErrLimit {
+			t.Errorf("workers=%d: err = %v, want ErrLimit", workers, err)
+		}
+	}
+}
+
+// TestExploreParallelDefaultWorkers exercises the workers<=0 path
+// (GOMAXPROCS-sized pool).
+func TestExploreParallelDefaultWorkers(t *testing.T) {
+	g, err := ExploreParallel(GatedModel{}, []int{0, 1}, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Explore(GatedModel{}, []int{0, 1}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != seq.Size() {
+		t.Fatalf("Size par=%d seq=%d", g.Size(), seq.Size())
+	}
+}
+
+// --- New workloads opened by the parallel engine ---------------------------
+
+// TestTASModelFourProcessConsensusViolatesAgreement extends the Common2
+// boundary (E9) to four processes: the natural T&S protocol generalization
+// still admits an agreement violation, checked exhaustively over the 743
+// reachable states by the parallel engine.
+func TestTASModelFourProcessConsensusViolatesAgreement(t *testing.T) {
+	g, err := ExploreParallel(TASModel{Procs: 4}, []int{0, 1, 1, 0}, 2000000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.InitialValence().Bivalent() {
+		t.Errorf("initial valence %v, want bivalent", g.InitialValence())
+	}
+	if _, bad := g.CheckAgreement(); !bad {
+		t.Error("no agreement violation found for the 4-process T&S protocol; " +
+			"consensus number 2 predicts one")
+	}
+	if !g.CheckValidity([]int{0, 1, 1, 0}) {
+		t.Error("validity violated")
+	}
+}
+
+// TestTASModelFiveProcessExhaustive pushes the same check to five processes
+// (9374 states) — comfortably parallel territory, far past what the original
+// string-keyed sequential checker was exercised on.
+func TestTASModelFiveProcessExhaustive(t *testing.T) {
+	g, err := ExploreParallel(TASModel{Procs: 5}, []int{0, 1, 1, 0, 1}, 2000000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.InitialValence().Bivalent() {
+		t.Errorf("initial valence %v, want bivalent", g.InitialValence())
+	}
+	if _, bad := g.CheckAgreement(); !bad {
+		t.Error("no agreement violation found for the 5-process T&S protocol")
+	}
+	if !g.CheckValidity([]int{0, 1, 1, 0, 1}) {
+		t.Error("validity violated")
+	}
+}
+
+// TestOFModelDeepRoundCap raises the obstruction-free model's round cap to 8
+// (5365 states): initial bivalence and exhaustive safety are insensitive to
+// the deeper cap, and the livelock pump extends through every modelled round
+// — the adversary can hold the estimates apart at each round boundary, the
+// full executable content of Theorem 4's premise.
+func TestOFModelDeepRoundCap(t *testing.T) {
+	const rounds = 8
+	g, err := ExploreParallel(OFModel{Rounds: rounds}, []int{0, 1}, 2000000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.InitialValence().Bivalent() {
+		t.Fatalf("initial valence %v, want bivalent", g.InitialValence())
+	}
+	if viol, bad := g.CheckAgreement(); bad {
+		t.Errorf("agreement violation %+v", viol)
+	}
+	if !g.CheckValidity([]int{0, 1}) {
+		t.Error("validity violated")
+	}
+	for r := 1; r < rounds; r++ {
+		idx := g.FindReachable(g.Initial(), func(s State) bool {
+			return AtRoundBoundary(s, r)
+		})
+		if idx < 0 {
+			t.Errorf("no livelock pump at round-%d boundary", r)
+		}
+	}
+}

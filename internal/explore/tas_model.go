@@ -1,9 +1,6 @@
 package explore
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // TASModel is the explicit-state model of the classic consensus protocol
 // from one test&set bit and per-process preference registers, for N
@@ -47,19 +44,22 @@ type tasState struct {
 	procs  []tasProc
 }
 
-// Key implements State.
-func (s tasState) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%t|", s.tas)
+// AppendKey implements State. The inputs are constant over a run, so the
+// key covers the T&S bit, the prefer array (values shifted up by one) and
+// each process's control state.
+func (s tasState) AppendKey(dst []byte) []byte {
+	dst = append(dst, boolByte(s.tas))
 	for _, v := range s.prefer {
-		fmt.Fprintf(&b, "%d,", v)
+		dst = append(dst, byte(v+1))
 	}
-	b.WriteByte('|')
 	for _, p := range s.procs {
-		fmt.Fprintf(&b, "%d,%t,%d;", p.pc, p.won, p.decided)
+		dst = append(dst, byte(p.pc), boolByte(p.won), byte(p.decided+1))
 	}
-	return b.String()
+	return dst
 }
+
+// Key implements State.
+func (s tasState) Key() string { return keyString(s) }
 
 func (s tasState) clone() tasState {
 	s.inputs = append([]int8(nil), s.inputs...)

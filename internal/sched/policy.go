@@ -158,6 +158,13 @@ func (s Solo) Next(v View) Decision {
 // SoloAfter delegates to Inner until After total steps have been granted,
 // then grants only to ID. It realizes "contention, then a long enough solo
 // window", the schedule shape used throughout the obstruction-freedom tests.
+//
+// Inner's halt must be permanent (once it halts with some set of runnable
+// processes it would halt for every later view, as all in-repo policies
+// do): SoloAfter treats an early halt as the end of the contention phase
+// and switches to the batched solo window without re-consulting Inner, so
+// a policy that halts transiently would see fewer Next calls here than
+// under one-decision-at-a-time scheduling.
 type SoloAfter struct {
 	Inner Policy
 	After int64

@@ -34,6 +34,7 @@ echo "running benchmarks (-benchtime=$benchtime) ..." >&2
 go test -run xxx -bench 'BenchmarkArbiter|BenchmarkGroupConsensus|BenchmarkGroupVsFlatCAS|BenchmarkObstructionFree|BenchmarkGatedObject|BenchmarkHierarchyConstruction|BenchmarkExplore|BenchmarkUniversal' \
   -benchmem -benchtime="$benchtime" . | tee "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/sched/ | tee -a "$raw" >&2
+go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/explore/ | tee -a "$raw" >&2
 
 # Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
 # has the shape:
@@ -50,12 +51,13 @@ BEGIN {
 }
 /^Benchmark/ {
   name = $1; iters = $2
-  ns = ""; steps = ""; bytes = ""; allocs = ""; extra = ""
+  ns = ""; steps = ""; bytes = ""; allocs = ""; extra = ""; rate = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op")     ns = $i
     if ($(i+1) == "steps/op")  steps = $i
     if ($(i+1) == "steps/cmd") steps = $i
     if ($(i+1) == "states")    extra = $i
+    if ($(i+1) == "states/s")  rate = $i
     if ($(i+1) == "B/op")      bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
   }
@@ -65,6 +67,7 @@ BEGIN {
   if (ns != "")     printf ", \"ns_per_op\": %s", ns
   if (steps != "")  printf ", \"steps_per_op\": %s", steps
   if (extra != "")  printf ", \"states\": %s", extra
+  if (rate != "")   printf ", \"states_per_sec\": %s", rate
   if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   printf "}"

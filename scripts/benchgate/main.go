@@ -1,0 +1,195 @@
+// Command benchgate is the CI bench-regression gate: it runs the smoke
+// benchmarks and compares ns/op and allocs/op against the most recent
+// BENCH_<n>.json snapshot at the repo root (written by scripts/bench.sh),
+// failing when a benchmark regresses past the tolerance factors.
+//
+// Usage (from the repo root):
+//
+//	go run ./scripts/benchgate [-benchtime 10x] [-step-benchtime 100000x]
+//	    [-ns-tol 4] [-alloc-tol 2] [-bench regex] [-baseline BENCH_3.json]
+//
+// Two suites run: the scheduler step micro-benchmarks with a high iteration
+// count (-step-benchtime; they grant one step per iteration, so a short run
+// would measure run-construction instead of the step path), and the
+// ms-scale benchmarks (root + explorer) with a short count (-benchtime).
+//
+// Tolerances are generous multipliers, not noise gates: ns/op varies across
+// machines (the snapshot may come from different hardware than CI), so the
+// default ns tolerance is 4x and the allocs tolerance — which is machine
+// independent — is 2x. Benchmarks present on only one side are reported but
+// never fail the gate, so adding a benchmark does not require regenerating
+// the snapshot first.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	Date       string      `json:"date"`
+	Commit     string      `json:"commit"`
+	Go         string      `json:"go"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Name      string   `json:"name"`
+	NsPerOp   *float64 `json:"ns_per_op"`
+	AllocsPer *float64 `json:"allocs_per_op"`
+}
+
+// cpuSuffix strips the trailing "-<GOMAXPROCS>" that `go test -bench`
+// appends on multi-CPU machines, so names compare across machines (the
+// snapshot format stores names without it when generated on one CPU).
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string { return cpuSuffix.ReplaceAllString(name, "") }
+
+// benchOut matches one result line of `go test -bench -benchmem` output.
+var benchRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+var allocsRe = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+func latestSnapshot(root string) (string, error) {
+	entries, err := filepath.Glob(filepath.Join(root, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(e), "BENCH_"), ".json")
+		n, err := strconv.Atoi(base)
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			bestN, best = n, e
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json snapshot found in %s", root)
+	}
+	return best, nil
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "10x", "benchtime for the ms-scale suites (root, explorer)")
+	stepBenchtime := flag.String("step-benchtime", "100000x", "benchtime for the scheduler step micro-benchmarks")
+	nsTol := flag.Float64("ns-tol", 4, "fail when ns/op exceeds baseline by this factor")
+	allocTol := flag.Float64("alloc-tol", 2, "fail when allocs/op exceeds baseline by this factor")
+	benchPat := flag.String("bench", ".", "benchmark regex passed to go test")
+	baselinePath := flag.String("baseline", "", "snapshot to compare against (default: latest BENCH_<n>.json)")
+	flag.Parse()
+
+	suites := []struct {
+		benchtime string
+		pkgs      []string
+	}{
+		{*stepBenchtime, []string{"./internal/sched/"}},
+		{*benchtime, []string{"./internal/explore/", "."}},
+	}
+
+	path := *baselinePath
+	if path == "" {
+		var err error
+		path, err = latestSnapshot(".")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	baseByName := map[string]benchLine{}
+	for _, b := range base.Benchmarks {
+		baseByName[normalize(b.Name)] = b
+	}
+	fmt.Printf("benchgate: baseline %s (commit %s, %s, %s, %d benchmarks)\n",
+		path, base.Commit, base.Go, base.Date, len(base.Benchmarks))
+
+	type result struct {
+		name   string
+		ns     float64
+		allocs float64
+	}
+	var results []result
+	for _, suite := range suites {
+		args := append([]string{"test", "-run", "xxx", "-bench", *benchPat,
+			"-benchmem", "-benchtime", suite.benchtime}, suite.pkgs...)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("go %s: %v", strings.Join(args, " "), err))
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			m := benchRe.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, _ := strconv.ParseFloat(m[3], 64)
+			allocs := -1.0
+			if am := allocsRe.FindStringSubmatch(m[4]); am != nil {
+				allocs, _ = strconv.ParseFloat(am[1], 64)
+			}
+			results = append(results, result{name: normalize(m[1]), ns: ns, allocs: allocs})
+		}
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed from go test output"))
+	}
+
+	var regressions, skipped []string
+	compared := 0
+	for _, r := range results {
+		b, ok := baseByName[r.name]
+		if !ok {
+			skipped = append(skipped, r.name)
+			continue
+		}
+		compared++
+		if b.NsPerOp != nil && *b.NsPerOp > 0 && r.ns > *b.NsPerOp**nsTol {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ns/op %.1f > %.1f (baseline %.1f × tol %.1f)",
+				r.name, r.ns, *b.NsPerOp**nsTol, *b.NsPerOp, *nsTol))
+		}
+		if b.AllocsPer != nil && r.allocs >= 0 && r.allocs > *b.AllocsPer**allocTol {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %.0f > %.0f (baseline %.0f × tol %.1f)",
+				r.name, r.allocs, *b.AllocsPer**allocTol, *b.AllocsPer, *allocTol))
+		}
+	}
+
+	sort.Strings(skipped)
+	if len(skipped) > 0 {
+		fmt.Printf("benchgate: %d benchmarks not in baseline (informational): %s\n",
+			len(skipped), strings.Join(skipped, ", "))
+	}
+	fmt.Printf("benchgate: compared %d benchmarks against %s\n", compared, path)
+	if len(regressions) > 0 {
+		fmt.Println("benchgate: REGRESSIONS:")
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
