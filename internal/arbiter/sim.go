@@ -1,0 +1,171 @@
+package arbiter
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/consensus"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registrations: the Figure 4 arbiter under randomized
+// adversarial schedules. Owners are wait-free unconditionally; guest
+// termination is conditional (a guest blocked behind an announced-then-
+// silent owner is a legal run), so the guest-side liveness is exercised by a
+// dedicated guests-only schedule family where the paper's "only guests
+// invoke arbitrate" termination clause applies.
+func init() {
+	sim.Register(basicScenario())
+	sim.Register(guestsOnlyScenario())
+}
+
+const (
+	arbProcs  = 4 // owners 0, 1; guests 2, 3
+	arbBudget = 20000
+)
+
+// spawnArbitration wires a fresh arbiter into r with owners 0..1 and guests
+// 2..3, each recording the role it saw win.
+func spawnArbitration(r *sched.Run) {
+	xc := consensus.NewWaitFree[bool]("sim.arb.xcons", []int{0, 1})
+	a := New("sim.arb", xc)
+	r.SpawnAll(func(p *sched.Proc) {
+		role := Owner
+		if p.ID() >= 2 {
+			role = Guest
+		}
+		p.SetResult(a.Arbitrate(p, role))
+	})
+}
+
+// checkRoleValidity is the arbiter's validity clause: the winner is Owner or
+// Guest, and a side that never took a step (never invoked) cannot win.
+func checkRoleValidity() sim.Oracle {
+	return func(res sched.Results, _ sim.Schedule) []string {
+		var out []string
+		sideStepped := func(lo, hi int) bool {
+			for id := lo; id <= hi; id++ {
+				if res.Steps[id] > 0 {
+					return true
+				}
+			}
+			return false
+		}
+		for id, has := range res.HasValue {
+			if !has {
+				continue
+			}
+			switch res.Values[id] {
+			case Owner:
+				if !sideStepped(0, 1) {
+					out = append(out, fmt.Sprintf("validity violated: p%d saw Owner win but no owner invoked", id))
+				}
+			case Guest:
+				if !sideStepped(2, 3) {
+					out = append(out, fmt.Sprintf("validity violated: p%d saw Guest win but no guest invoked", id))
+				}
+			default:
+				out = append(out, fmt.Sprintf("validity violated: p%d returned %v", id, res.Values[id]))
+			}
+		}
+		return out
+	}
+}
+
+func basicScenario() sim.Scenario {
+	return sim.System("arbiter/basic", "arbiter", arbProcs, arbBudget, nil,
+		func(r *sched.Run, _ *rand.Rand) sim.Oracle {
+			spawnArbitration(r)
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				checkRoleValidity(),
+				sim.CheckWaitFree([]int{0, 1}, 64),
+				sim.CheckFairTermination(),
+			)
+		})
+}
+
+// guestsOnlyScenario realizes the "only guests invoke arbitrate" premise:
+// the generator never grants an owner a step, so the owners never announce
+// and every scheduled guest must claim the arbitration for the guests in a
+// bounded number of its own steps.
+func guestsOnlyScenario() sim.Scenario {
+	gen := func(n int, budget int64, rng *rand.Rand) sim.Schedule {
+		var ids []int
+		switch rng.IntN(3) {
+		case 0:
+			ids = []int{2, 3}
+		case 1:
+			ids = []int{2}
+		default:
+			ids = []int{3}
+		}
+		s := sim.Schedule{
+			Desc:    fmt.Sprintf("guests-only(%v)", ids),
+			Omitted: []int{0, 1},
+			SoloID:  -1,
+		}
+		for id := 2; id < n; id++ {
+			if !containsID(ids, id) {
+				s.Omitted = append(s.Omitted, id)
+			}
+		}
+		mk := func() sched.Policy { return &sched.Subset{IDs: ids} }
+		if len(ids) == 2 && rng.IntN(3) == 0 {
+			// Crash one guest before its first step, granting the survivor in
+			// the same decision. (CrashAt would let the inner Subset pick the
+			// victim as grantee, and the engine's fallback for a grantee
+			// crashed by its own decision is the lowest runnable id — an
+			// omitted owner, whose announce step would void the guests-only
+			// premise.)
+			victim := ids[rng.IntN(2)]
+			survivor := ids[0] + ids[1] - victim
+			s.CrashPlan = map[int]int64{victim: 0}
+			s.Desc += fmt.Sprintf("+crash{p%d@0}", victim)
+			inner := mk
+			mk = func() sched.Policy {
+				rest := inner()
+				first := true
+				return sched.PolicyFunc(func(v sched.View) sched.Decision {
+					if first {
+						first = false
+						return sched.Decision{Crash: []int{victim}, Grant: survivor}
+					}
+					return rest.Next(v)
+				})
+			}
+		}
+		s.Source = sched.PolicySourceFunc(func(uint64) sched.Policy { return mk() })
+		return s
+	}
+	return sim.System("arbiter/guests-only", "arbiter", arbProcs, 4096, gen,
+		func(r *sched.Run, _ *rand.Rand) sim.Oracle {
+			spawnArbitration(r)
+			onlyGuestWins := func(res sched.Results, _ sim.Schedule) []string {
+				var out []string
+				for id, has := range res.HasValue {
+					if has && res.Values[id] != Guest {
+						out = append(out, fmt.Sprintf("validity violated: p%d returned %v with no owner invoking", id, res.Values[id]))
+					}
+				}
+				return out
+			}
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				onlyGuestWins,
+				// Guests are wait-free when no owner ever announces: a
+				// scheduled guest claims Guest in O(1) of its own steps.
+				sim.CheckWaitFree([]int{2, 3}, 64),
+			)
+		})
+}
+
+func containsID(ids []int, id int) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package common2
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registration: the four Common2 2-process consensus
+// constructions (test&set, swap, queue, stack) under randomized adversarial
+// schedules. The seed picks the construction, so one sweep covers all four;
+// every construction is wait-free in O(1) steps, so the oracles apply
+// unconditionally.
+func init() {
+	sim.Register(consensus2Scenario())
+}
+
+// simProposer2 is the shape shared by the four 2-process consensus objects.
+type simProposer2 interface {
+	Propose(p *sched.Proc, v int) int
+}
+
+func consensus2Scenario() sim.Scenario {
+	const n = 2
+	return sim.System("common2/consensus2", "common2", n, 2048, nil,
+		func(r *sched.Run, rng *rand.Rand) sim.Oracle {
+			var obj simProposer2
+			switch rng.IntN(4) {
+			case 0:
+				obj = NewTASConsensus2[int]("sim.c2.tas", 0, 1)
+			case 1:
+				obj = NewSwapConsensus2[int]("sim.c2.swap", 0, 1)
+			case 2:
+				obj = NewQueueConsensus2[int]("sim.c2.queue", 0, 1)
+			default:
+				obj = NewStackConsensus2[int]("sim.c2.stack", 0, 1)
+			}
+			proposals := []any{100 + rng.IntN(1000), 100 + rng.IntN(1000)}
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(obj.Propose(p, proposals[p.ID()].(int)))
+			})
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				sim.CheckValidity(proposals...),
+				sim.CheckWaitFree([]int{0, 1}, 64),
+				sim.CheckFairTermination(),
+			)
+		})
+}

@@ -1,0 +1,68 @@
+package consensus
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registrations: the consensus base objects under randomized
+// adversarial schedules. Each scenario's oracles encode exactly the
+// termination clauses the object's liveness class promises — the wait-free
+// object is judged wait-free for everyone, the (y, x)-live gated object only
+// for its X set plus obstruction-freedom under eventual solo.
+func init() {
+	sim.Register(waitFreeScenario())
+	sim.Register(gatedScenario())
+}
+
+// waitFreeScenario sweeps the (x, x)-live compare&swap consensus object:
+// wait-free for every port under every schedule, so every oracle applies
+// unconditionally.
+func waitFreeScenario() sim.Scenario {
+	const n = 4
+	return sim.System("consensus/waitfree", "consensus", n, 4096, nil,
+		func(r *sched.Run, rng *rand.Rand) sim.Oracle {
+			c := NewWaitFree[int]("sim.wf", nil)
+			proposals := make([]any, n)
+			for id := 0; id < n; id++ {
+				proposals[id] = 100 + rng.IntN(1000)
+			}
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(c.Propose(p, proposals[p.ID()].(int)))
+			})
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				sim.CheckValidity(proposals...),
+				sim.CheckWaitFree([]int{0, 1, 2, 3}, 64),
+				sim.CheckFairTermination(),
+			)
+		})
+}
+
+// gatedScenario sweeps the genuine (y, x)-live object: X = {0, 1} must be
+// wait-free under every schedule, while the guests {2, 3} are promised
+// termination only under an eventual solo tail. No fair-termination oracle:
+// two guests in perfect alternation legally starve each other forever
+// (the Theorem 2 adversary).
+func gatedScenario() sim.Scenario {
+	const n = 4
+	return sim.System("consensus/gated", "consensus", n, 20000, nil,
+		func(r *sched.Run, rng *rand.Rand) sim.Oracle {
+			g := NewGated[int]("sim.gated", []int{0, 1, 2, 3}, []int{0, 1})
+			proposals := make([]any, n)
+			for id := 0; id < n; id++ {
+				proposals[id] = 100 + rng.IntN(1000)
+			}
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(g.Propose(p, proposals[p.ID()].(int)))
+			})
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				sim.CheckValidity(proposals...),
+				sim.CheckWaitFree([]int{0, 1}, 64),
+				sim.CheckSoloTermination(func(int, sim.Schedule) bool { return true }),
+			)
+		})
+}

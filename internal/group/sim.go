@@ -1,0 +1,76 @@
+package group
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registration: the Figure 5 group-based consensus algorithm
+// under randomized adversarial schedules. Safety (agreement, validity) is
+// unconditional; the termination oracle encodes the paper's group-based
+// asymmetric progress condition: with every process participating, the first
+// group is group 0, so whenever some member of group 0 survives and the
+// schedule keeps granting every non-crashed process, every surviving process
+// must decide.
+func init() {
+	sim.Register(asymScenario())
+}
+
+func asymScenario() sim.Scenario {
+	const (
+		n      = 6
+		x      = 2
+		budget = 50000
+	)
+	return sim.System("group/asym", "group", n, budget, nil,
+		func(r *sched.Run, rng *rand.Rand) sim.Oracle {
+			c, err := New[int]("sim.gc", n, x)
+			if err != nil {
+				panic(err)
+			}
+			base := rng.IntN(1 << 20)
+			proposals := make([]any, n)
+			for id := 0; id < n; id++ {
+				proposals[id] = base + id
+			}
+			r.SpawnAll(func(p *sched.Proc) {
+				v, err := c.Propose(p, proposals[p.ID()].(int))
+				if err != nil {
+					panic(err)
+				}
+				p.SetResult(v)
+			})
+			group0 := c.Group(0)
+			asymProgress := func(res sched.Results, s sim.Schedule) []string {
+				if !s.ContentionOnly() {
+					return nil
+				}
+				g0Alive := false
+				for _, id := range group0 {
+					if res.Status[id] != sched.Crashed {
+						g0Alive = true
+					}
+				}
+				if !g0Alive {
+					return nil // premise gone: no correct group-0 participant
+				}
+				var out []string
+				for id, st := range res.Status {
+					if st == sched.Starved {
+						out = append(out, fmt.Sprintf(
+							"group-based asymmetric progress violated: p%d starved after %d steps with group 0 alive (%s)",
+							id, res.Steps[id], s.Desc))
+					}
+				}
+				return out
+			}
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				sim.CheckValidity(proposals...),
+				asymProgress,
+			)
+		})
+}

@@ -1,0 +1,123 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registrations: the two executable directions of the
+// hierarchy. The positive direction (Theorem 3) is a construction whose
+// wait-freedom for all ports must survive every schedule; the negative
+// direction (Theorems 1/4) is a *persistence* oracle — the livelock that
+// refutes the candidate's claimed progress must keep reproducing, so a
+// scheduler regression that accidentally breaks the adversary's alignment
+// fails the sweep loudly.
+func init() {
+	sim.Register(fromGatedScenario())
+	sim.Register(ofLivelockScenario())
+}
+
+// fromGatedScenario sweeps the Theorem 3 lower-bound construction: consensus
+// for 3 processes from a (3, 2)-live object, wait-free for all three — the
+// X ports by assumption, the guest because the X ports stop stepping on the
+// object after their O(1) invocations, bounding total interference.
+func fromGatedScenario() sim.Scenario {
+	const n = 3
+	return sim.System("hierarchy/from-gated", "hierarchy", n, 4096, nil,
+		func(r *sched.Run, rng *rand.Rand) sim.Oracle {
+			c := NewConsensusFromGated[int]("sim.h.fg", n-1)
+			proposals := make([]any, n)
+			for id := 0; id < n; id++ {
+				proposals[id] = 100 + rng.IntN(1000)
+			}
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(c.Propose(p, proposals[p.ID()].(int)))
+			})
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				sim.CheckValidity(proposals...),
+				sim.CheckWaitFree([]int{0, 1, 2}, 128),
+				sim.CheckFairTermination(),
+				sim.CheckSoloTermination(func(int, sim.Schedule) bool { return true }),
+			)
+		})
+}
+
+// ofLivelockScenario sweeps register-only obstruction-free consensus with a
+// custom generator that mixes the Theorem 4 livelock cycle (tagged, with a
+// negative oracle: the fault-free periodic run must never decide) and
+// eventual-solo schedules (positive oracle: the solo process must decide).
+func ofLivelockScenario() sim.Scenario {
+	const (
+		n      = 2
+		budget = 10000
+	)
+	gen := func(_ int, budget int64, rng *rand.Rand) sim.Schedule {
+		if rng.IntN(5) < 2 {
+			seq := LivelockSchedule(0, 1)
+			return sim.Schedule{
+				Desc:     "livelock-cycle",
+				Tag:      "livelock",
+				SoloID:   -1,
+				FairBase: true,
+				Source: sched.PolicySourceFunc(func(uint64) sched.Policy {
+					return &sched.Cycle{Seq: seq}
+				}),
+			}
+		}
+		id := rng.IntN(n)
+		after := rng.Int64N(budget/2 + 1)
+		seed := rng.Uint64()
+		useRR := rng.IntN(2) == 0
+		desc := fmt.Sprintf("random(%d)", seed)
+		if useRR {
+			desc = "round-robin"
+		}
+		return sim.Schedule{
+			Desc:      fmt.Sprintf("%s+solo(p%d@%d)", desc, id, after),
+			SoloID:    id,
+			SoloAfter: after,
+			FairBase:  true,
+			Source: sched.PolicySourceFunc(func(uint64) sched.Policy {
+				var inner sched.Policy = &sched.RoundRobin{}
+				if !useRR {
+					inner = sched.NewRandom(seed)
+				}
+				return &sched.SoloAfter{Inner: inner, After: after, ID: id}
+			}),
+		}
+	}
+	return sim.System("hierarchy/of-livelock", "hierarchy", n, budget, gen,
+		func(r *sched.Run, rng *rand.Rand) sim.Oracle {
+			c := NewOFForAllCandidate[int]("sim.h.of", n)
+			// The livelock alignment needs the two estimates to differ.
+			a := 100 + rng.IntN(500)
+			proposals := []any{a, a + 1 + rng.IntN(500)}
+			r.SpawnAll(func(p *sched.Proc) {
+				p.SetResult(c.Propose(p, proposals[p.ID()].(int)))
+			})
+			livelockPersists := func(res sched.Results, s sim.Schedule) []string {
+				if s.Tag != "livelock" {
+					return nil
+				}
+				var out []string
+				for id := 0; id < n; id++ {
+					if res.Status[id] != sched.Starved || res.HasValue[id] {
+						out = append(out, fmt.Sprintf(
+							"Theorem 4 livelock broken: p%d is %v (decided=%v) under the periodic fault-free schedule",
+							id, res.Status[id], res.HasValue[id]))
+					}
+				}
+				return out
+			}
+			return sim.Oracles(
+				sim.CheckAgreement(),
+				sim.CheckValidity(proposals...),
+				livelockPersists,
+				sim.CheckSoloTermination(func(int, sim.Schedule) bool { return true }),
+			)
+		})
+}

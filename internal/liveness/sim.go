@@ -1,0 +1,71 @@
+package liveness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registration: the progress-condition checkers themselves,
+// driven with seed-randomized options over a known-good subject. A wait-free
+// consensus object satisfies every condition this package can check, so any
+// violation reported by a checker under any randomized option set is a bug
+// in either the checker families or the scheduler — this scenario fuzzes the
+// checker layer the way the other scenarios fuzz the algorithms.
+func init() {
+	sim.Register(checkerScenario())
+}
+
+func checkerScenario() sim.Scenario {
+	const (
+		name   = "liveness/checker-families"
+		n      = 3
+		budget = 20000
+	)
+	return sim.Scenario{
+		Name:    name,
+		Subject: "liveness",
+		Run: func(seed uint64, capture bool) sim.Outcome {
+			start := time.Now()
+			rng := rand.New(rand.NewPCG(0x11e55, seed^0x9e3779b97f4a7c15))
+			opts := Options{
+				Budget:      budget,
+				Seeds:       []uint64{rng.Uint64(), rng.Uint64(), rng.Uint64()},
+				CrashPoints: []int64{rng.Int64N(16), rng.Int64N(16)},
+			}
+			scenario := func(policy sched.Policy) sched.Results {
+				c := consensus.NewWaitFree[int]("sim.lv.wf", nil)
+				r := sched.NewRun(n, policy)
+				r.SpawnAll(func(p *sched.Proc) {
+					p.SetResult(c.Propose(p, 100+p.ID()))
+				})
+				return r.Execute(budget)
+			}
+			target := rng.IntN(n)
+			reports := []Report{
+				CheckWaitFree(scenario, n, []int{0, 1, 2}, opts),
+				CheckFaultFree(scenario, n, opts),
+				CheckObstructionFree(scenario, target, opts),
+			}
+			out := sim.Outcome{
+				Scenario: name,
+				Seed:     seed,
+				Schedule: fmt.Sprintf("checker-options(seeds=%v,crash=%v,target=p%d)", opts.Seeds, opts.CrashPoints, target),
+			}
+			for _, rep := range reports {
+				out.Steps += int64(rep.SchedulesRun)
+				if rep.Holds() {
+					out.Done++
+				} else {
+					out.Violations = append(out.Violations, rep.String())
+				}
+			}
+			out.ElapsedNs = time.Since(start).Nanoseconds()
+			return out
+		},
+	}
+}

@@ -1,0 +1,165 @@
+// Fuzz target for the scheduling-policy contract: every in-repo policy (and
+// every composition of them) must emit well-formed decisions, and the engine
+// must account the resulting run consistently. The fuzzer explores the
+// composition space — base policy × SoloAfter wrapper × CrashAt wrapper ×
+// process count × budget × body shapes — far beyond the hand-picked
+// schedules of the unit tests.
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// invariantPolicy wraps a policy and asserts the Decision contract on every
+// consultation:
+//
+//   - the view itself is well-formed (MaxCount >= 1, consistent lengths);
+//   - a non-halt decision grants a process that is runnable in the view;
+//   - the grant window is either within the caller's MaxCount or the
+//     unbounded MaxWindow sentinel (stateful policies must respect MaxCount;
+//     forced-forever windows may use the sentinel, which the engine clamps);
+//   - crash targets are in range, runnable, and listed at most once.
+type invariantPolicy struct {
+	t     *testing.T
+	inner sched.Policy
+	n     int
+}
+
+func (c *invariantPolicy) Next(v sched.View) sched.Decision {
+	t := c.t
+	if v.MaxCount < 1 {
+		t.Fatalf("view MaxCount %d < 1", v.MaxCount)
+	}
+	if len(v.Status) != c.n || len(v.Steps) != c.n {
+		t.Fatalf("view sizes status=%d steps=%d, want %d", len(v.Status), len(v.Steps), c.n)
+	}
+	d := c.inner.Next(v)
+	if d.Halt {
+		return d
+	}
+	if d.Grant < 0 || d.Grant >= c.n {
+		t.Fatalf("granted id %d out of range [0,%d)", d.Grant, c.n)
+	}
+	if v.Status[d.Grant] != sched.Runnable {
+		t.Fatalf("granted id %d is %v, want runnable", d.Grant, v.Status[d.Grant])
+	}
+	if d.Count > v.MaxCount && d.Count != sched.MaxWindow {
+		t.Fatalf("grant window %d exceeds MaxCount %d (and is not MaxWindow)", d.Count, v.MaxCount)
+	}
+	seen := make(map[int]bool, len(d.Crash))
+	for _, cid := range d.Crash {
+		if cid < 0 || cid >= c.n {
+			t.Fatalf("crash target %d out of range [0,%d)", cid, c.n)
+		}
+		if v.Status[cid] != sched.Runnable {
+			t.Fatalf("crash target %d is %v, want runnable", cid, v.Status[cid])
+		}
+		if seen[cid] {
+			t.Fatalf("crash target %d listed twice", cid)
+		}
+		seen[cid] = true
+	}
+	return d
+}
+
+// FuzzPolicyDecisions builds a policy composition from the fuzz input, runs a
+// small workload under it with the invariant checker interposed, and asserts
+// the engine's final accounting: the budget is respected, per-process step
+// counts sum to the total, and every process reaches a terminal status.
+func FuzzPolicyDecisions(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), uint16(64), uint64(0))
+	f.Add(uint64(2), uint8(1), uint8(1), uint16(512), uint64(0x1234))
+	f.Add(uint64(3), uint8(2), uint8(2), uint16(100), uint64(0xdeadbeef))
+	f.Add(uint64(4), uint8(3), uint8(3), uint16(9), uint64(0xfeed))
+	f.Add(uint64(5), uint8(4), uint8(0), uint16(2048), uint64(7))
+	f.Add(uint64(6), uint8(5), uint8(1), uint16(33), uint64(1<<40))
+
+	f.Fuzz(func(t *testing.T, seed uint64, kind, nRaw uint8, budgetRaw uint16, aux uint64) {
+		n := 2 + int(nRaw%4)                // 2..5 processes
+		budget := 1 + int64(budgetRaw%4096) // 1..4096 steps
+
+		// Base policy from kind, parameterized by aux bits.
+		var pol sched.Policy
+		switch kind % 6 {
+		case 0:
+			pol = &sched.RoundRobin{}
+		case 1:
+			pol = sched.NewRandom(seed)
+		case 2:
+			ids := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				if aux>>(i%64)&1 == 1 {
+					ids = append(ids, i)
+				}
+			}
+			if len(ids) == 0 {
+				ids = []int{int(aux % uint64(n))}
+			}
+			pol = &sched.Subset{IDs: ids}
+		case 3:
+			seq := make([]int, 0, 8)
+			for i := 0; i < 8; i++ {
+				seq = append(seq, int(aux>>(i*8))%(n+1)) // may include id n (invalid, skipped)
+			}
+			pol = &sched.Cycle{Seq: seq}
+		case 4:
+			pol = sched.PriorityStarver{}
+		case 5:
+			pol = sched.Solo{ID: int(aux % uint64(n))}
+		}
+
+		// Optional wrappers, driven by the high kind bits.
+		if kind&0x40 != 0 {
+			pol = &sched.SoloAfter{Inner: pol, After: int64(aux % uint64(budget+1)), ID: int(seed % uint64(n))}
+		}
+		if kind&0x80 != 0 {
+			at := map[int]int64{}
+			for i := 0; i < n; i++ {
+				if aux>>(8+i)&1 == 1 {
+					at[i] = int64(aux >> (16 + 4*i) % 32)
+				}
+			}
+			pol = &sched.CrashAt{Inner: pol, At: at}
+		}
+
+		checked := &invariantPolicy{t: t, inner: pol, n: n}
+		r := sched.NewRun(n, checked)
+		for id := 0; id < n; id++ {
+			// Mixed body shapes: some processes exit after a bounded number
+			// of steps, some spin forever (exercising Starved accounting).
+			limit := int64(-1)
+			if (aux>>(id%32))&3 != 0 {
+				limit = int64(id+1) * int64(seed%7+1)
+			}
+			id := id
+			r.Spawn(id, func(p *sched.Proc) {
+				for i := int64(0); limit < 0 || i < limit; i++ {
+					p.Step()
+				}
+				p.SetResult(id)
+			})
+		}
+		res := r.Execute(budget)
+
+		if res.TotalSteps > budget {
+			t.Fatalf("total steps %d exceed budget %d", res.TotalSteps, budget)
+		}
+		var sum int64
+		for id, s := range res.Status {
+			sum += res.Steps[id]
+			switch s {
+			case sched.Done, sched.Crashed, sched.Starved:
+			default:
+				t.Fatalf("process %d finished in non-terminal status %v", id, s)
+			}
+			if s == sched.Done && !res.HasValue[id] {
+				t.Fatalf("process %d done without its result", id)
+			}
+		}
+		if sum != res.TotalSteps {
+			t.Fatalf("per-process steps sum %d != total %d", sum, res.TotalSteps)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 )
 
 // View is the adversary's observation of the run: per-process step counts and
@@ -232,6 +233,9 @@ func (c *CrashAt) Next(v View) Decision {
 	}
 	d := c.Inner.Next(iv)
 	if len(crash) > 0 {
+		// At iterates in map order; sort so the crash list (and therefore the
+		// unwind order of simultaneous victims) is identical across runs.
+		sort.Ints(crash)
 		d.Crash = append(crash, d.Crash...)
 	}
 	if d.Count > iv.MaxCount {

@@ -1,0 +1,31 @@
+package sched
+
+// PolicySource constructs a fresh Policy for each controlled run. Policies
+// are stateful (Script consumes its sequence, CrashAt remembers fired
+// crashes, Random advances its generator), so a policy value must never be
+// shared between runs; a PolicySource is the reusable description from which
+// per-run policies are minted.
+//
+// The seed parameter makes sources the unit of reproducibility for generated
+// schedules: a source must return behaviourally identical policies for equal
+// seeds, so that any run — in particular a failing one found by a sweep — can
+// be re-created exactly from its (source, seed) pair. Sources whose policies
+// are fully deterministic (RoundRobin, Script, ...) may ignore the seed.
+type PolicySource interface {
+	New(seed uint64) Policy
+}
+
+// PolicySourceFunc adapts a function to the PolicySource interface.
+type PolicySourceFunc func(seed uint64) Policy
+
+// New implements PolicySource.
+func (f PolicySourceFunc) New(seed uint64) Policy { return f(seed) }
+
+// RandomSource is the PolicySource of the Random policy: each run gets a
+// fresh generator seeded with the run seed.
+type RandomSource struct{}
+
+var _ PolicySource = RandomSource{}
+
+// New implements PolicySource.
+func (RandomSource) New(seed uint64) Policy { return NewRandom(seed) }

@@ -1,0 +1,180 @@
+// Package sim is the scenario-sweep harness: it drives tens of thousands of
+// randomized, crash-injecting, deterministic controlled runs across the
+// repository's algorithm packages and checks property oracles on every run.
+//
+// The paper's subject — asymmetric progress conditions — quantifies over
+// runs: wait-freedom, obstruction-freedom and the (y, x)-live conditions in
+// between are promises about *every* schedule an adversary can produce. The
+// per-package unit tests exercise the hand-picked schedules from the proofs;
+// this package complements them with scale: a Scenario couples a subject (a
+// fresh system under test wired into a controlled run) with a policy
+// generator (seeded mixes of round-robin, random, subset, cycle, crash and
+// eventual-solo adversaries) and a set of oracles (agreement, validity, and
+// the termination clauses each subject's progress condition actually
+// promises under the generated schedule).
+//
+// Every run is deterministic in its (scenario, seed) pair: the schedule, the
+// subject's construction and the proposal values are all derived from the
+// seed. A sweep shards seeds across a worker pool — workers share nothing,
+// each runs the single-threaded fast scheduler of internal/sched — and any
+// failure is reported as a repro token "scenario:seed" that re-runs that
+// exact schedule solo (see Replay and cmd/sim's -replay flag).
+//
+// Algorithm packages register their scenarios in init via Register; cmd/sim
+// and the sweep tests import the packages for effect to populate the
+// registry.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Outcome is the verdict of one seeded run of one scenario.
+type Outcome struct {
+	// Scenario and Seed identify the run; Token() rebuilds the repro token.
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	// Schedule describes the generated adversary, for failure reports.
+	Schedule string `json:"schedule"`
+	// Steps is the total number of granted steps.
+	Steps int64 `json:"steps"`
+	// ElapsedNs is the wall-clock duration of the run (informational; it is
+	// the only non-deterministic field).
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// Done, Crashed and Starved count final process statuses.
+	Done    int `json:"done"`
+	Crashed int `json:"crashed"`
+	Starved int `json:"starved"`
+	// Violations lists every oracle violation (empty means the run passed).
+	Violations []string `json:"violations,omitempty"`
+	// Trace is the granted pid sequence, captured only when the run is
+	// executed with capture=true (replay and failure re-runs).
+	Trace []int `json:"trace,omitempty"`
+}
+
+// OK reports whether the run satisfied every oracle.
+func (o Outcome) OK() bool { return len(o.Violations) == 0 }
+
+// Token returns the repro token that re-runs this exact schedule solo.
+func (o Outcome) Token() string { return fmt.Sprintf("%s:%d", o.Scenario, o.Seed) }
+
+// Scenario is one registered subject × schedule-family × oracle bundle. Run
+// must be deterministic in (seed, capture): equal seeds must produce equal
+// outcomes up to ElapsedNs, with the trace additionally captured when
+// capture is true.
+type Scenario struct {
+	// Name is the registry key, conventionally "package/variant".
+	Name string
+	// Subject is the package under test (arbiter, consensus, ...).
+	Subject string
+	// Run executes the seeded run and evaluates the oracles.
+	Run func(seed uint64, capture bool) Outcome
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the global registry. Registering an unnamed
+// scenario, a nil Run, or a duplicate name is a programmer error and panics.
+func Register(s Scenario) {
+	if s.Name == "" || s.Run == nil {
+		panic("sim: Register needs a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("sim: scenario %q registered twice", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// All returns every registered scenario, sorted by name.
+func All() []Scenario {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find returns the registered scenario with the given name.
+func Find(name string) (Scenario, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Select resolves a -scenarios flag value against the registry: "all" (or
+// empty) selects everything, otherwise a comma-separated list of names.
+func Select(spec string) ([]Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		scenarios := All()
+		if len(scenarios) == 0 {
+			return nil, fmt.Errorf("sim: no scenarios registered")
+		}
+		return scenarios, nil
+	}
+	var out []Scenario
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, ok := Find(name)
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown scenario %q (known: %s)", name, strings.Join(names(), ", "))
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sim: empty scenario selection %q", spec)
+	}
+	return out, nil
+}
+
+func names() []string {
+	var out []string
+	for _, s := range All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// ParseToken splits a repro token "scenario:seed" (as printed in failure
+// reports) into its parts.
+func ParseToken(token string) (scenario string, seed uint64, err error) {
+	i := strings.LastIndex(token, ":")
+	if i < 0 {
+		return "", 0, fmt.Errorf("sim: repro token %q is not of the form scenario:seed", token)
+	}
+	seed, err = strconv.ParseUint(token[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("sim: repro token %q has a malformed seed: %v", token, err)
+	}
+	return token[:i], seed, nil
+}
+
+// Replay re-runs the single run named by a repro token solo, with trace
+// capture enabled, resolving the scenario from the registry.
+func Replay(token string) (Outcome, error) {
+	name, seed, err := ParseToken(token)
+	if err != nil {
+		return Outcome{}, err
+	}
+	s, ok := Find(name)
+	if !ok {
+		return Outcome{}, fmt.Errorf("sim: unknown scenario %q in repro token (known: %s)", name, strings.Join(names(), ", "))
+	}
+	return s.Run(seed, true), nil
+}

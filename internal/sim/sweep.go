@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options tunes a sweep.
+type Options struct {
+	// Seeds is the number of seeds run per scenario (0..Seeds-1). Default
+	// 1000.
+	Seeds uint64
+	// Workers is the worker-pool size. Default GOMAXPROCS.
+	Workers int
+	// MaxFailures caps the failure samples retained per scenario in the
+	// report (the lowest seeds are kept, so the sample set is deterministic
+	// regardless of worker count). Default 10. The failure *count* is always
+	// exact.
+	MaxFailures int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds == 0 {
+		o.Seeds = 1000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 10
+	}
+	return o
+}
+
+// Histogram is a power-of-two bucketed distribution: Buckets[i] counts
+// observations v with 2^(i-1) < v <= 2^i (Buckets[0] counts v <= 1).
+type Histogram struct {
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max"`
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if v > 0 && v&(v-1) == 0 {
+		b-- // exact powers of two belong to their own bucket, not the next
+	}
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+func (h *Histogram) merge(o Histogram) {
+	for len(h.Buckets) < len(o.Buckets) {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Failure is one failing run retained in the report.
+type Failure struct {
+	Seed       uint64   `json:"seed"`
+	Token      string   `json:"token"`
+	Schedule   string   `json:"schedule"`
+	Violations []string `json:"violations"`
+}
+
+// ScenarioReport aggregates one scenario's slice of the sweep.
+type ScenarioReport struct {
+	Name     string `json:"name"`
+	Subject  string `json:"subject"`
+	Runs     int64  `json:"runs"`
+	Failures int64  `json:"failures"`
+	// FailureSamples holds up to Options.MaxFailures failing runs, lowest
+	// seeds first.
+	FailureSamples []Failure `json:"failure_samples,omitempty"`
+	// Steps and LatencyNs are per-run distributions; Done/Crashed/Starved
+	// total final process statuses across all runs.
+	Steps     Histogram `json:"steps"`
+	LatencyNs Histogram `json:"latency_ns"`
+	Done      int64     `json:"done"`
+	Crashed   int64     `json:"crashed"`
+	Starved   int64     `json:"starved"`
+}
+
+// Report is the outcome of a sweep. All fields except the latency histograms
+// and ElapsedNs are deterministic in (scenarios, Seeds).
+type Report struct {
+	Seeds     uint64           `json:"seeds"`
+	Workers   int              `json:"workers"`
+	Runs      int64            `json:"runs"`
+	Failures  int64            `json:"failures"`
+	ElapsedNs int64            `json:"elapsed_ns"`
+	RunsPerS  float64          `json:"runs_per_sec"`
+	Scenarios []ScenarioReport `json:"scenarios"`
+}
+
+// OK reports whether no run in the sweep violated an oracle.
+func (r Report) OK() bool { return r.Failures == 0 }
+
+// chunk is one unit of sharded work: a contiguous seed range of one
+// scenario.
+type chunk struct {
+	scenario int
+	lo, hi   uint64
+}
+
+// chunkSize balances scheduling overhead against load balance: runs vary
+// from microseconds (fast verdicts) to milliseconds (budget-burning
+// starvation runs), so chunks are small enough to rebalance.
+const chunkSize = 64
+
+// Sweep runs every scenario for seeds 0..Seeds-1, sharding (scenario, seed
+// range) chunks across a worker pool. Workers share nothing: each run is a
+// fresh single-threaded controlled run, and per-worker accumulators are
+// merged once at the end, so the report's deterministic fields are
+// bit-identical for any worker count.
+func Sweep(scenarios []Scenario, opt Options) Report {
+	opt = opt.withDefaults()
+	start := time.Now()
+
+	var chunks []chunk
+	for si := range scenarios {
+		for lo := uint64(0); lo < opt.Seeds; lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > opt.Seeds {
+				hi = opt.Seeds
+			}
+			chunks = append(chunks, chunk{scenario: si, lo: lo, hi: hi})
+		}
+	}
+
+	work := make(chan chunk)
+	accs := make([][]scenarioAcc, opt.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		accs[w] = make([]scenarioAcc, len(scenarios))
+		wg.Add(1)
+		go func(acc []scenarioAcc) {
+			defer wg.Done()
+			for c := range work {
+				a := &acc[c.scenario]
+				for seed := c.lo; seed < c.hi; seed++ {
+					a.observe(scenarios[c.scenario].Run(seed, false))
+				}
+			}
+		}(accs[w])
+	}
+	for _, c := range chunks {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+
+	rep := Report{Seeds: opt.Seeds, Workers: opt.Workers}
+	for si, s := range scenarios {
+		sr := ScenarioReport{Name: s.Name, Subject: s.Subject}
+		var fails []Failure
+		for w := range accs {
+			a := accs[w][si]
+			sr.Runs += a.runs
+			sr.Failures += int64(len(a.failures))
+			sr.Done += a.done
+			sr.Crashed += a.crashed
+			sr.Starved += a.starved
+			sr.Steps.merge(a.steps)
+			sr.LatencyNs.merge(a.latency)
+			fails = append(fails, a.failures...)
+		}
+		sort.Slice(fails, func(i, j int) bool { return fails[i].Seed < fails[j].Seed })
+		if len(fails) > opt.MaxFailures {
+			fails = fails[:opt.MaxFailures]
+		}
+		sr.FailureSamples = fails
+		rep.Runs += sr.Runs
+		rep.Failures += sr.Failures
+		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	rep.ElapsedNs = time.Since(start).Nanoseconds()
+	if rep.ElapsedNs > 0 {
+		rep.RunsPerS = float64(rep.Runs) / (float64(rep.ElapsedNs) / 1e9)
+	}
+	return rep
+}
+
+// FailingSeeds re-derives the complete failing seed set of one scenario in a
+// report. Samples are capped, so this re-runs the scenario when the cap was
+// hit; with an uncapped sample set it reads the samples directly.
+func FailingSeeds(s Scenario, sr ScenarioReport, seeds uint64) []uint64 {
+	if int64(len(sr.FailureSamples)) == sr.Failures {
+		out := make([]uint64, 0, len(sr.FailureSamples))
+		for _, f := range sr.FailureSamples {
+			out = append(out, f.Seed)
+		}
+		return out
+	}
+	var out []uint64
+	for seed := uint64(0); seed < seeds; seed++ {
+		if !s.Run(seed, false).OK() {
+			out = append(out, seed)
+		}
+	}
+	return out
+}
+
+// scenarioAcc is one worker's accumulator for one scenario.
+type scenarioAcc struct {
+	runs     int64
+	done     int64
+	crashed  int64
+	starved  int64
+	steps    Histogram
+	latency  Histogram
+	failures []Failure
+}
+
+func (a *scenarioAcc) observe(o Outcome) {
+	a.runs++
+	a.done += int64(o.Done)
+	a.crashed += int64(o.Crashed)
+	a.starved += int64(o.Starved)
+	a.steps.Observe(o.Steps)
+	a.latency.Observe(o.ElapsedNs)
+	if !o.OK() {
+		a.failures = append(a.failures, Failure{
+			Seed:       o.Seed,
+			Token:      o.Token(),
+			Schedule:   o.Schedule,
+			Violations: o.Violations,
+		})
+	}
+}
+
+// Summary renders a one-line-per-scenario plain-text summary of the report.
+func (r Report) Summary() string {
+	out := fmt.Sprintf("sweep: %d runs across %d scenarios, %d workers, %.0f runs/s, %d failures\n",
+		r.Runs, len(r.Scenarios), r.Workers, r.RunsPerS, r.Failures)
+	for _, sr := range r.Scenarios {
+		status := "ok"
+		if sr.Failures > 0 {
+			status = fmt.Sprintf("FAIL (%d)", sr.Failures)
+		}
+		out += fmt.Sprintf("  %-28s %-10s runs=%-6d mean-steps=%-8.0f max-steps=%-8d done=%d crashed=%d starved=%d\n",
+			sr.Name, status, sr.Runs, sr.Steps.Mean(), sr.Steps.Max, sr.Done, sr.Crashed, sr.Starved)
+		for _, f := range sr.FailureSamples {
+			out += fmt.Sprintf("    -replay %s  schedule=%s\n      %s\n", f.Token, f.Schedule, f.Violations[0])
+		}
+	}
+	return out
+}

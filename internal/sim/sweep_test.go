@@ -1,0 +1,217 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/sim"
+
+	// Populate the registry with every algorithm package's scenarios.
+	_ "repro/internal/arbiter"
+	_ "repro/internal/common2"
+	_ "repro/internal/consensus"
+	_ "repro/internal/group"
+	_ "repro/internal/hierarchy"
+	_ "repro/internal/liveness"
+	_ "repro/internal/universal"
+)
+
+// brokenScenario is a deliberately buggy subject: each process writes its
+// value, reads the other's register, and decides the maximum it saw. A
+// schedule that lets process 1 finish before process 0's write makes them
+// disagree (p1 decides 1, p0 decides 2) — an injected agreement violation
+// the sweep must find, report with a repro token, and reproduce
+// bit-identically under -replay.
+func brokenScenario() sim.Scenario {
+	const n = 2
+	return sim.System("test/broken", "sim", n, 256, nil,
+		func(r *sched.Run, _ *rand.Rand) sim.Oracle {
+			regs := []*memory.OptRegister[int]{
+				memory.NewOptRegister[int]("t.r0"),
+				memory.NewOptRegister[int]("t.r1"),
+			}
+			r.SpawnAll(func(p *sched.Proc) {
+				id := p.ID()
+				v := 2 - id // p0 proposes 2, p1 proposes 1
+				regs[id].Write(p, v)
+				if w, ok := regs[1-id].Read(p); ok && w > v {
+					v = w
+				}
+				p.SetResult(v)
+			})
+			return sim.Oracles(sim.CheckAgreement(), sim.CheckValidity(1, 2))
+		})
+}
+
+func init() {
+	sim.Register(brokenScenario())
+}
+
+// registeredScenarios returns every real (non test-injected) scenario.
+func registeredScenarios(t *testing.T) []sim.Scenario {
+	t.Helper()
+	var out []sim.Scenario
+	for _, s := range sim.All() {
+		if !strings.HasPrefix(s.Name, "test/") {
+			out = append(out, s)
+		}
+	}
+	if len(out) < 7 {
+		t.Fatalf("only %d scenarios registered; every algorithm package should contribute", len(out))
+	}
+	return out
+}
+
+// TestSweepAllScenariosClean is the in-tree version of the CI sweep gate:
+// every registered scenario must pass its oracles on a bounded seed budget.
+func TestSweepAllScenariosClean(t *testing.T) {
+	seeds := uint64(150)
+	if testing.Short() {
+		seeds = 25
+	}
+	rep := sim.Sweep(registeredScenarios(t), sim.Options{Seeds: seeds, Workers: 4})
+	if !rep.OK() {
+		t.Fatalf("sweep found violations:\n%s", rep.Summary())
+	}
+	if rep.Runs != int64(seeds)*int64(len(rep.Scenarios)) {
+		t.Fatalf("ran %d runs, want %d", rep.Runs, int64(seeds)*int64(len(rep.Scenarios)))
+	}
+	if !strings.Contains(rep.Summary(), "0 failures") {
+		t.Fatalf("summary does not report zero failures:\n%s", rep.Summary())
+	}
+}
+
+// TestSweepFindsInjectedViolation asserts the harness actually detects bugs:
+// the broken subject must fail for some seeds, with usable repro tokens.
+func TestSweepFindsInjectedViolation(t *testing.T) {
+	s, ok := sim.Find("test/broken")
+	if !ok {
+		t.Fatal("test/broken not registered")
+	}
+	rep := sim.Sweep([]sim.Scenario{s}, sim.Options{Seeds: 300, Workers: 4, MaxFailures: 5})
+	if rep.Failures == 0 {
+		t.Fatal("sweep did not detect the injected agreement violation")
+	}
+	if len(rep.Scenarios[0].FailureSamples) == 0 {
+		t.Fatal("no failure samples retained")
+	}
+	f := rep.Scenarios[0].FailureSamples[0]
+	if f.Token == "" || len(f.Violations) == 0 {
+		t.Fatalf("failure sample incomplete: %+v", f)
+	}
+	out, err := sim.Replay(f.Token)
+	if err != nil {
+		t.Fatalf("replay %s: %v", f.Token, err)
+	}
+	if out.OK() {
+		t.Fatalf("replay of failing token %s passed", f.Token)
+	}
+	if len(out.Trace) == 0 {
+		t.Fatal("replay did not capture a trace")
+	}
+}
+
+// TestReplayDeterminismAcrossWorkers is the replay-determinism property: the
+// set of failing seeds is identical whether the sweep runs on 1 or 4
+// workers, and replaying any failing seed reproduces the identical trace,
+// schedule, step count and violations, run after run.
+func TestReplayDeterminismAcrossWorkers(t *testing.T) {
+	s, ok := sim.Find("test/broken")
+	if !ok {
+		t.Fatal("test/broken not registered")
+	}
+	const seeds = 400
+	uncapped := 1 << 20
+	rep1 := sim.Sweep([]sim.Scenario{s}, sim.Options{Seeds: seeds, Workers: 1, MaxFailures: uncapped})
+	rep4 := sim.Sweep([]sim.Scenario{s}, sim.Options{Seeds: seeds, Workers: 4, MaxFailures: uncapped})
+
+	fails1 := sim.FailingSeeds(s, rep1.Scenarios[0], seeds)
+	fails4 := sim.FailingSeeds(s, rep4.Scenarios[0], seeds)
+	if !reflect.DeepEqual(fails1, fails4) {
+		t.Fatalf("failing seed sets differ across worker counts:\n  w1: %v\n  w4: %v", fails1, fails4)
+	}
+	if len(fails1) == 0 {
+		t.Fatal("broken scenario produced no failures in 400 seeds")
+	}
+	// The retained samples (schedules, tokens, violations) must also match.
+	if !reflect.DeepEqual(rep1.Scenarios[0].FailureSamples, rep4.Scenarios[0].FailureSamples) {
+		t.Fatal("failure samples differ across worker counts")
+	}
+
+	limit := len(fails1)
+	if limit > 20 {
+		limit = 20
+	}
+	for _, seed := range fails1[:limit] {
+		a := s.Run(seed, true)
+		b := s.Run(seed, true)
+		for name, pair := range map[string][2]any{
+			"trace":      {a.Trace, b.Trace},
+			"violations": {a.Violations, b.Violations},
+			"steps":      {a.Steps, b.Steps},
+			"schedule":   {a.Schedule, b.Schedule},
+			"statuses":   {[3]int{a.Done, a.Crashed, a.Starved}, [3]int{b.Done, b.Crashed, b.Starved}},
+		} {
+			if !reflect.DeepEqual(pair[0], pair[1]) {
+				t.Fatalf("seed %d: %s differs between replays:\n  %v\n  %v", seed, name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestFailingSeedsFromSamples covers the fast path: when the sample cap was
+// not hit, FailingSeeds reads the samples instead of re-running.
+func TestFailingSeedsFromSamples(t *testing.T) {
+	s, _ := sim.Find("test/broken")
+	rep := sim.Sweep([]sim.Scenario{s}, sim.Options{Seeds: 50, Workers: 2, MaxFailures: 1 << 20})
+	sr := rep.Scenarios[0]
+	if int64(len(sr.FailureSamples)) != sr.Failures {
+		t.Fatalf("cap hit unexpectedly: %d samples, %d failures", len(sr.FailureSamples), sr.Failures)
+	}
+	direct := sim.FailingSeeds(s, sr, 50)
+	want := make([]uint64, 0, len(sr.FailureSamples))
+	for _, f := range sr.FailureSamples {
+		want = append(want, f.Seed)
+	}
+	if !reflect.DeepEqual(direct, want) {
+		t.Fatalf("FailingSeeds %v, want %v", direct, want)
+	}
+}
+
+// TestReportDeterministicFieldsAcrossWorkers asserts the aggregate report
+// (minus wall-clock fields) is bit-identical for any worker count — the
+// merge is commutative and the samples are seed-sorted.
+func TestReportDeterministicFieldsAcrossWorkers(t *testing.T) {
+	scenarios := registeredScenarios(t)[:4]
+	norm := func(rep sim.Report) string {
+		rep.ElapsedNs, rep.RunsPerS, rep.Workers = 0, 0, 0
+		for i := range rep.Scenarios {
+			rep.Scenarios[i].LatencyNs = sim.Histogram{}
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	a := norm(sim.Sweep(scenarios, sim.Options{Seeds: 60, Workers: 1}))
+	b := norm(sim.Sweep(scenarios, sim.Options{Seeds: 60, Workers: 4}))
+	if a != b {
+		t.Fatalf("deterministic report fields differ across worker counts:\n%s\n%s", a, b)
+	}
+}
+
+// TestReplayErrors covers the error paths of the replay entry point.
+func TestReplayErrors(t *testing.T) {
+	if _, err := sim.Replay("not-a-token"); err == nil {
+		t.Fatal("want error for malformed token")
+	}
+	if _, err := sim.Replay("no/such:7"); err == nil {
+		t.Fatal("want error for unknown scenario")
+	}
+}

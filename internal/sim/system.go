@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Builder wires a fresh system under test into the run r (spawning every
+// process body with fresh shared objects) and returns the oracle to evaluate
+// once the run finishes. It may draw randomness from rng (e.g. proposal
+// values or a construction variant); the draw order is part of the
+// scenario's determinism contract.
+type Builder func(r *sched.Run, rng *rand.Rand) Oracle
+
+// Oracle checks one finished run against the subject's contract, returning
+// a description of every violation (nil means the run passed). The Schedule
+// carries the adversary's structure so conditional termination clauses can
+// decide whether their premise held.
+type Oracle func(res sched.Results, s Schedule) []string
+
+// System builds the standard scenario shape: an n-process controlled run
+// over a generated schedule, executed with the given step budget, judged by
+// the builder's oracle. gen may be nil, selecting DefaultGenerator.
+//
+// Determinism: the per-run RNG is seeded from the scenario name and the run
+// seed, the generator consumes it first and the builder second, and the
+// schedule's policy is minted fresh from its source — so equal seeds yield
+// identical runs, regardless of which worker (or which process) executes
+// them.
+func System(name, subject string, procs int, budget int64, gen Generator, build Builder) Scenario {
+	if gen == nil {
+		gen = DefaultGenerator
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	nameSeed := h.Sum64()
+
+	return Scenario{
+		Name:    name,
+		Subject: subject,
+		Run: func(seed uint64, capture bool) Outcome {
+			rng := rand.New(rand.NewPCG(nameSeed, seed^0x9e3779b97f4a7c15))
+			sch := gen(procs, budget, rng)
+			r := sched.NewRun(procs, sch.Source.New(seed))
+			if capture {
+				r.RecordTrace()
+			}
+			oracle := build(r, rng)
+			start := time.Now()
+			res := r.Execute(budget)
+			out := Outcome{
+				Scenario:   name,
+				Seed:       seed,
+				Schedule:   sch.Desc,
+				Steps:      res.TotalSteps,
+				ElapsedNs:  time.Since(start).Nanoseconds(),
+				Violations: oracle(res, sch),
+			}
+			for _, st := range res.Status {
+				switch st {
+				case sched.Done:
+					out.Done++
+				case sched.Crashed:
+					out.Crashed++
+				case sched.Starved:
+					out.Starved++
+				}
+			}
+			if capture {
+				out.Trace = res.Trace
+			}
+			return out
+		},
+	}
+}
+
+// Oracles combines oracles into one, concatenating their violations.
+func Oracles(os ...Oracle) Oracle {
+	return func(res sched.Results, s Schedule) []string {
+		var out []string
+		for _, o := range os {
+			out = append(out, o(res, s)...)
+		}
+		return out
+	}
+}
+
+// CheckAgreement asserts that no two processes recorded different results:
+// the agreement clause shared by every consensus-like object in the
+// repository. Only processes that reached SetResult are judged.
+func CheckAgreement() Oracle {
+	return func(res sched.Results, _ Schedule) []string {
+		var first any
+		firstID, seen := -1, false
+		for id, has := range res.HasValue {
+			if !has {
+				continue
+			}
+			if !seen {
+				first, firstID, seen = res.Values[id], id, true
+			} else if res.Values[id] != first {
+				return []string{fmt.Sprintf("agreement violated: p%d decided %v, p%d decided %v",
+					firstID, first, id, res.Values[id])}
+			}
+		}
+		return nil
+	}
+}
+
+// CheckValidity asserts that every recorded result is one of the allowed
+// values (for consensus: the set of proposed values).
+func CheckValidity(allowed ...any) Oracle {
+	set := make(map[any]bool, len(allowed))
+	for _, v := range allowed {
+		set[v] = true
+	}
+	return func(res sched.Results, _ Schedule) []string {
+		var out []string
+		for id, has := range res.HasValue {
+			if has && !set[res.Values[id]] {
+				out = append(out, fmt.Sprintf("validity violated: p%d decided %v, not among proposals %v",
+					id, res.Values[id], allowed))
+			}
+		}
+		return out
+	}
+}
+
+// CheckWaitFree asserts wait-freedom for the listed processes: an operation
+// by a process that keeps taking steps terminates, so a listed process that
+// consumed at least maxOpSteps steps and is still Starved at the end of the
+// run is a violation. maxOpSteps must comfortably exceed the operation's
+// worst-case step complexity; processes the schedule starved early (fewer
+// steps than that) are exempt, since wait-freedom promises nothing to a
+// process denied steps.
+func CheckWaitFree(ids []int, maxOpSteps int64) Oracle {
+	return func(res sched.Results, _ Schedule) []string {
+		var out []string
+		for _, id := range ids {
+			if res.Status[id] == sched.Starved && res.Steps[id] >= maxOpSteps {
+				out = append(out, fmt.Sprintf("wait-freedom violated: p%d starved after %d steps (limit %d)",
+					id, res.Steps[id], maxOpSteps))
+			}
+		}
+		return out
+	}
+}
+
+// CheckFairTermination asserts fault-freedom: under a fair schedule (every
+// process keeps receiving steps, none crash) every process completes.
+func CheckFairTermination() Oracle {
+	return func(res sched.Results, s Schedule) []string {
+		if !s.Fair() {
+			return nil
+		}
+		var out []string
+		for id, st := range res.Status {
+			if st != sched.Done {
+				out = append(out, fmt.Sprintf("fault-freedom violated: p%d is %v under fair schedule %s",
+					id, st, s.Desc))
+			}
+		}
+		return out
+	}
+}
+
+// CheckSoloTermination asserts obstruction-freedom for the schedule's solo
+// target: when the generated schedule grants an eventual exclusive tail to a
+// process for which eligible returns true, and the process was not crashed,
+// it must have completed. The eligible predicate scopes the oracle to the
+// processes whose contract actually promises obstruction-free termination
+// (and may inspect the schedule, e.g. to require a crash-free run).
+func CheckSoloTermination(eligible func(id int, s Schedule) bool) Oracle {
+	return func(res sched.Results, s Schedule) []string {
+		id := s.SoloID
+		if id < 0 || !eligible(id, s) || res.Status[id] == sched.Crashed {
+			return nil
+		}
+		if res.Status[id] != sched.Done {
+			return []string{fmt.Sprintf("obstruction-freedom violated: p%d is %v despite solo tail after %d steps (%s)",
+				id, res.Status[id], s.SoloAfter, s.Desc)}
+		}
+		return nil
+	}
+}

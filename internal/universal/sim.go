@@ -1,0 +1,82 @@
+package universal
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/consensus"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registration: the universal construction over wait-free
+// consensus cells under randomized adversarial schedules. With wait-free
+// cells and a bounded command load per process, every replica's Exec
+// sequence is wait-free (each lost position was won by someone, and the
+// total number of positions is bounded by the total command load), and any
+// two final replica states must be prefix-compatible views of one shared
+// log.
+func init() {
+	sim.Register(logScenario())
+}
+
+func logScenario() sim.Scenario {
+	const (
+		n    = 3
+		cmds = 2 // commands each process executes
+	)
+	return sim.System("universal/log", "universal", n, 4096, nil,
+		func(r *sched.Run, rng *rand.Rand) sim.Oracle {
+			log := NewLog[int](func(i int) Proposer[int] {
+				return consensus.NewWaitFree[int](fmt.Sprintf("sim.u.cell[%d]", i), nil)
+			})
+			// Globally unique commands: process id in the tens digit.
+			base := 10 * (1 + rng.IntN(9))
+			r.SpawnAll(func(p *sched.Proc) {
+				rep := NewReplica(log, "", func(s string, c int) string {
+					return s + fmt.Sprintf("%d,", c)
+				})
+				var st string
+				for j := 0; j < cmds; j++ {
+					st = rep.Exec(p, base*(p.ID()+1)+j)
+				}
+				p.SetResult(st)
+			})
+			logConsistency := func(res sched.Results, _ sim.Schedule) []string {
+				var out []string
+				for i := 0; i < n; i++ {
+					if !res.HasValue[i] {
+						continue
+					}
+					si := res.Values[i].(string)
+					// The replica's own commands must appear in its final state.
+					for j := 0; j < cmds; j++ {
+						if !strings.Contains(","+si, fmt.Sprintf(",%d,", base*(i+1)+j)) {
+							out = append(out, fmt.Sprintf(
+								"log validity violated: p%d's command %d missing from its state %q",
+								i, base*(i+1)+j, si))
+						}
+					}
+					// Any two final states are prefixes of the same log.
+					for j := i + 1; j < n; j++ {
+						if !res.HasValue[j] {
+							continue
+						}
+						sj := res.Values[j].(string)
+						if !strings.HasPrefix(si, sj) && !strings.HasPrefix(sj, si) {
+							out = append(out, fmt.Sprintf(
+								"log agreement violated: p%d state %q and p%d state %q are not prefix-compatible",
+								i, si, j, sj))
+						}
+					}
+				}
+				return out
+			}
+			return sim.Oracles(
+				logConsistency,
+				sim.CheckWaitFree([]int{0, 1, 2}, 256),
+				sim.CheckFairTermination(),
+			)
+		})
+}

@@ -35,6 +35,7 @@ go test -run xxx -bench 'BenchmarkArbiter|BenchmarkGroupConsensus|BenchmarkGroup
   -benchmem -benchtime="$benchtime" . | tee "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/sched/ | tee -a "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/explore/ | tee -a "$raw" >&2
+go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/sim/ | tee -a "$raw" >&2
 
 # Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
 # has the shape:
@@ -51,13 +52,14 @@ BEGIN {
 }
 /^Benchmark/ {
   name = $1; iters = $2
-  ns = ""; steps = ""; bytes = ""; allocs = ""; extra = ""; rate = ""
+  ns = ""; steps = ""; bytes = ""; allocs = ""; extra = ""; rate = ""; runrate = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op")     ns = $i
     if ($(i+1) == "steps/op")  steps = $i
     if ($(i+1) == "steps/cmd") steps = $i
     if ($(i+1) == "states")    extra = $i
     if ($(i+1) == "states/s")  rate = $i
+    if ($(i+1) == "runs/s")    runrate = $i
     if ($(i+1) == "B/op")      bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
   }
@@ -68,6 +70,7 @@ BEGIN {
   if (steps != "")  printf ", \"steps_per_op\": %s", steps
   if (extra != "")  printf ", \"states\": %s", extra
   if (rate != "")   printf ", \"states_per_sec\": %s", rate
+  if (runrate != "") printf ", \"runs_per_sec\": %s", runrate
   if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   printf "}"

@@ -16,9 +16,14 @@
 // Tolerances are generous multipliers, not noise gates: ns/op varies across
 // machines (the snapshot may come from different hardware than CI), so the
 // default ns tolerance is 4x and the allocs tolerance — which is machine
-// independent — is 2x. Benchmarks present on only one side are reported but
-// never fail the gate, so adding a benchmark does not require regenerating
-// the snapshot first.
+// independent — is 2x. Benchmarks present only in the current run are
+// reported but never fail the gate, so adding a benchmark does not require
+// regenerating the snapshot first. Benchmarks present only in the
+// *baseline*, however, fail the gate loudly: a benchmark family silently
+// disappearing from the run (renamed, deleted, or filtered out) would
+// otherwise turn the gate into a no-op for exactly the code it was
+// guarding. Use -missing-ok to exempt names when intentionally narrowing a
+// local run (e.g. with -bench).
 package main
 
 import (
@@ -80,21 +85,103 @@ func latestSnapshot(root string) (string, error) {
 	return best, nil
 }
 
+// result is one parsed benchmark line from the current run.
+type result struct {
+	name   string
+	ns     float64
+	allocs float64
+}
+
+// gateOutcome is the comparison verdict: regressions and missing baseline
+// benchmarks fail the gate; skipped (new) benchmarks are informational.
+type gateOutcome struct {
+	regressions []string
+	skipped     []string
+	missing     []string
+	compared    int
+}
+
+func (g gateOutcome) ok() bool { return len(g.regressions) == 0 && len(g.missing) == 0 }
+
+// compare checks every current result against the baseline (regressions)
+// and every baseline benchmark against the current results (missing). Names
+// on both sides are already normalized.
+func compare(results []result, baseByName map[string]benchLine, nsTol, allocTol float64, missingOK *regexp.Regexp) gateOutcome {
+	var g gateOutcome
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.name] = true
+		b, ok := baseByName[r.name]
+		if !ok {
+			g.skipped = append(g.skipped, r.name)
+			continue
+		}
+		g.compared++
+		if b.NsPerOp != nil && *b.NsPerOp > 0 && r.ns > *b.NsPerOp*nsTol {
+			g.regressions = append(g.regressions, fmt.Sprintf(
+				"%s: ns/op %.1f > %.1f (baseline %.1f × tol %.1f)",
+				r.name, r.ns, *b.NsPerOp*nsTol, *b.NsPerOp, nsTol))
+		}
+		if b.AllocsPer != nil && r.allocs >= 0 && r.allocs > *b.AllocsPer*allocTol {
+			g.regressions = append(g.regressions, fmt.Sprintf(
+				"%s: allocs/op %.0f > %.0f (baseline %.0f × tol %.1f)",
+				r.name, r.allocs, *b.AllocsPer*allocTol, *b.AllocsPer, allocTol))
+		}
+	}
+	for name := range baseByName {
+		if !seen[name] && (missingOK == nil || !missingOK.MatchString(name)) {
+			g.missing = append(g.missing, name)
+		}
+	}
+	sort.Strings(g.skipped)
+	sort.Strings(g.missing)
+	sort.Strings(g.regressions)
+	return g
+}
+
+// parseResults extracts benchmark result lines from go test -bench output,
+// with names normalized.
+func parseResults(out string) []result {
+	var results []result
+	for _, line := range strings.Split(out, "\n") {
+		m := benchRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		allocs := -1.0
+		if am := allocsRe.FindStringSubmatch(m[4]); am != nil {
+			allocs, _ = strconv.ParseFloat(am[1], 64)
+		}
+		results = append(results, result{name: normalize(m[1]), ns: ns, allocs: allocs})
+	}
+	return results
+}
+
 func main() {
-	benchtime := flag.String("benchtime", "10x", "benchtime for the ms-scale suites (root, explorer)")
+	benchtime := flag.String("benchtime", "10x", "benchtime for the ms-scale suites (root, explorer, sim)")
 	stepBenchtime := flag.String("step-benchtime", "100000x", "benchtime for the scheduler step micro-benchmarks")
 	nsTol := flag.Float64("ns-tol", 4, "fail when ns/op exceeds baseline by this factor")
 	allocTol := flag.Float64("alloc-tol", 2, "fail when allocs/op exceeds baseline by this factor")
 	benchPat := flag.String("bench", ".", "benchmark regex passed to go test")
 	baselinePath := flag.String("baseline", "", "snapshot to compare against (default: latest BENCH_<n>.json)")
+	missingOKPat := flag.String("missing-ok", "", "regex of baseline benchmarks allowed to be absent from this run")
 	flag.Parse()
+
+	var missingOK *regexp.Regexp
+	if *missingOKPat != "" {
+		var err error
+		if missingOK, err = regexp.Compile(*missingOKPat); err != nil {
+			fatal(fmt.Errorf("-missing-ok: %v", err))
+		}
+	}
 
 	suites := []struct {
 		benchtime string
 		pkgs      []string
 	}{
 		{*stepBenchtime, []string{"./internal/sched/"}},
-		{*benchtime, []string{"./internal/explore/", "."}},
+		{*benchtime, []string{"./internal/explore/", "./internal/sim/", "."}},
 	}
 
 	path := *baselinePath
@@ -120,11 +207,6 @@ func main() {
 	fmt.Printf("benchgate: baseline %s (commit %s, %s, %s, %d benchmarks)\n",
 		path, base.Commit, base.Go, base.Date, len(base.Benchmarks))
 
-	type result struct {
-		name   string
-		ns     float64
-		allocs float64
-	}
 	var results []result
 	for _, suite := range suites {
 		args := append([]string{"test", "-run", "xxx", "-bench", *benchPat,
@@ -135,55 +217,31 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("go %s: %v", strings.Join(args, " "), err))
 		}
-		for _, line := range strings.Split(string(out), "\n") {
-			m := benchRe.FindStringSubmatch(strings.TrimSpace(line))
-			if m == nil {
-				continue
-			}
-			ns, _ := strconv.ParseFloat(m[3], 64)
-			allocs := -1.0
-			if am := allocsRe.FindStringSubmatch(m[4]); am != nil {
-				allocs, _ = strconv.ParseFloat(am[1], 64)
-			}
-			results = append(results, result{name: normalize(m[1]), ns: ns, allocs: allocs})
-		}
+		results = append(results, parseResults(string(out))...)
 	}
 	if len(results) == 0 {
 		fatal(fmt.Errorf("no benchmark results parsed from go test output"))
 	}
 
-	var regressions, skipped []string
-	compared := 0
-	for _, r := range results {
-		b, ok := baseByName[r.name]
-		if !ok {
-			skipped = append(skipped, r.name)
-			continue
-		}
-		compared++
-		if b.NsPerOp != nil && *b.NsPerOp > 0 && r.ns > *b.NsPerOp**nsTol {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: ns/op %.1f > %.1f (baseline %.1f × tol %.1f)",
-				r.name, r.ns, *b.NsPerOp**nsTol, *b.NsPerOp, *nsTol))
-		}
-		if b.AllocsPer != nil && r.allocs >= 0 && r.allocs > *b.AllocsPer**allocTol {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: allocs/op %.0f > %.0f (baseline %.0f × tol %.1f)",
-				r.name, r.allocs, *b.AllocsPer**allocTol, *b.AllocsPer, *allocTol))
-		}
-	}
-
-	sort.Strings(skipped)
-	if len(skipped) > 0 {
+	g := compare(results, baseByName, *nsTol, *allocTol, missingOK)
+	if len(g.skipped) > 0 {
 		fmt.Printf("benchgate: %d benchmarks not in baseline (informational): %s\n",
-			len(skipped), strings.Join(skipped, ", "))
+			len(g.skipped), strings.Join(g.skipped, ", "))
 	}
-	fmt.Printf("benchgate: compared %d benchmarks against %s\n", compared, path)
-	if len(regressions) > 0 {
+	fmt.Printf("benchgate: compared %d benchmarks against %s\n", g.compared, path)
+	if len(g.missing) > 0 {
+		fmt.Println("benchgate: MISSING (in baseline, absent from this run):")
+		for _, m := range g.missing {
+			fmt.Println("  " + m)
+		}
+	}
+	if len(g.regressions) > 0 {
 		fmt.Println("benchgate: REGRESSIONS:")
-		for _, r := range regressions {
+		for _, r := range g.regressions {
 			fmt.Println("  " + r)
 		}
+	}
+	if !g.ok() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: OK")

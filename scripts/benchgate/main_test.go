@@ -1,0 +1,109 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func baselineOf(lines ...benchLine) map[string]benchLine {
+	m := map[string]benchLine{}
+	for _, b := range lines {
+		m[normalize(b.Name)] = b
+	}
+	return m
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := baselineOf(
+		benchLine{Name: "BenchmarkFoo-8", NsPerOp: fp(100), AllocsPer: fp(2)},
+	)
+	g := compare([]result{{name: "BenchmarkFoo", ns: 350, allocs: 3}}, base, 4, 2, nil)
+	if !g.ok() || g.compared != 1 {
+		t.Fatalf("within-tolerance run failed the gate: %+v", g)
+	}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	base := baselineOf(
+		benchLine{Name: "BenchmarkFoo", NsPerOp: fp(100), AllocsPer: fp(2)},
+	)
+	g := compare([]result{{name: "BenchmarkFoo", ns: 500, allocs: 5}}, base, 4, 2, nil)
+	if len(g.regressions) != 2 {
+		t.Fatalf("want ns and allocs regressions, got %v", g.regressions)
+	}
+	if g.ok() {
+		t.Fatal("regressed run passed the gate")
+	}
+}
+
+func TestCompareNewBenchmarkIsInformational(t *testing.T) {
+	g := compare([]result{{name: "BenchmarkNew", ns: 1, allocs: 0}}, baselineOf(), 4, 2, nil)
+	if !g.ok() || len(g.skipped) != 1 || g.skipped[0] != "BenchmarkNew" {
+		t.Fatalf("new benchmark handled wrong: %+v", g)
+	}
+}
+
+// TestCompareMissingBaselineFamilyFails is the gate-hardening contract: a
+// benchmark family present in the snapshot but absent from the current run
+// must fail the gate, not silently skip.
+func TestCompareMissingBaselineFamilyFails(t *testing.T) {
+	base := baselineOf(
+		benchLine{Name: "BenchmarkKept", NsPerOp: fp(100)},
+		benchLine{Name: "BenchmarkGone/sub=1-8", NsPerOp: fp(100)},
+		benchLine{Name: "BenchmarkGone/sub=2-8", NsPerOp: fp(100)},
+	)
+	g := compare([]result{{name: "BenchmarkKept", ns: 100, allocs: -1}}, base, 4, 2, nil)
+	if g.ok() {
+		t.Fatal("missing baseline family passed the gate")
+	}
+	if len(g.missing) != 2 {
+		t.Fatalf("missing = %v, want the two BenchmarkGone entries", g.missing)
+	}
+	for _, m := range g.missing {
+		if !strings.HasPrefix(m, "BenchmarkGone/") {
+			t.Fatalf("unexpected missing entry %q", m)
+		}
+	}
+}
+
+func TestCompareMissingOKExemption(t *testing.T) {
+	base := baselineOf(
+		benchLine{Name: "BenchmarkKept", NsPerOp: fp(100)},
+		benchLine{Name: "BenchmarkGone", NsPerOp: fp(100)},
+	)
+	g := compare([]result{{name: "BenchmarkKept", ns: 100, allocs: -1}},
+		base, 4, 2, regexp.MustCompile(`^BenchmarkGone$`))
+	if !g.ok() {
+		t.Fatalf("exempted missing benchmark failed the gate: %+v", g)
+	}
+}
+
+func TestParseResults(t *testing.T) {
+	out := `goos: linux
+BenchmarkStepSolo/n=1-8         	 5000000	       3.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSweep/workers=4-8      	     100	    958323 ns/op	     10435 runs/s	  185467 B/op	    5174 allocs/op
+PASS
+`
+	results := parseResults(out)
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].name != "BenchmarkStepSolo/n=1" || results[0].ns != 3.1 || results[0].allocs != 0 {
+		t.Fatalf("result 0 wrong: %+v", results[0])
+	}
+	if results[1].name != "BenchmarkSweep/workers=4" || results[1].allocs != 5174 {
+		t.Fatalf("result 1 wrong: %+v", results[1])
+	}
+}
+
+func TestNormalizeStripsCPUSuffix(t *testing.T) {
+	if got := normalize("BenchmarkFoo/n=4-16"); got != "BenchmarkFoo/n=4" {
+		t.Fatalf("normalize: %q", got)
+	}
+	if got := normalize("BenchmarkFoo"); got != "BenchmarkFoo" {
+		t.Fatalf("normalize without suffix: %q", got)
+	}
+}

@@ -1,0 +1,198 @@
+// Command covgate is the CI coverage gate: it reads a Go cover profile
+// (written by `go test -coverprofile`) and fails when any package named by a
+// -min flag is below its statement-coverage threshold — or is missing from
+// the profile entirely, so a package cannot silently drop out of the gate by
+// losing its tests.
+//
+// Usage (from the repo root):
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./scripts/covgate -profile cover.out -min repro/internal/sim=80
+//
+// -min may be repeated. Packages without thresholds are reported in the
+// table but never fail the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	Total   int
+	Covered int
+}
+
+// Percent returns the statement coverage percentage (100 for an empty
+// package, matching `go tool cover -func` on zero statements).
+func (c pkgCov) Percent() float64 {
+	if c.Total == 0 {
+		return 100
+	}
+	return 100 * float64(c.Covered) / float64(c.Total)
+}
+
+// parseProfile aggregates a cover profile into per-package statement
+// coverage. Lines have the shape
+//
+//	repro/internal/sim/sim.go:12.34,15.2 3 1
+//
+// (file:startLine.startCol,endLine.endCol numStatements hitCount). A block
+// that appears more than once (profiles merged across test binaries) counts
+// once, covered if any occurrence has a non-zero hit count.
+func parseProfile(r io.Reader) (map[string]pkgCov, error) {
+	type block struct {
+		stmts int
+		hit   bool
+	}
+	blocks := map[string]block{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// <file>:<range> <stmts> <count>
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: malformed profile line %q", lineNo, line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad statement count %q", lineNo, fields[1])
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad hit count %q", lineNo, fields[2])
+		}
+		key := fields[0]
+		b := blocks[key]
+		b.stmts = stmts
+		b.hit = b.hit || count > 0
+		blocks[key] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	cov := map[string]pkgCov{}
+	for key, b := range blocks {
+		colon := strings.LastIndex(key, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("malformed block key %q", key)
+		}
+		pkg := path.Dir(key[:colon])
+		c := cov[pkg]
+		c.Total += b.stmts
+		if b.hit {
+			c.Covered += b.stmts
+		}
+		cov[pkg] = c
+	}
+	return cov, nil
+}
+
+// evaluate checks the thresholds against the parsed coverage. A threshold
+// for a package absent from the profile is itself a failure: the gate must
+// fail loudly when a gated package stops being tested, not skip it.
+func evaluate(cov map[string]pkgCov, mins map[string]float64) []string {
+	var failures []string
+	pkgs := make([]string, 0, len(mins))
+	for pkg := range mins {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		c, ok := cov[pkg]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"%s: not present in the cover profile (package untested or not built?) — gated at %.0f%%",
+				pkg, mins[pkg]))
+			continue
+		}
+		if got := c.Percent(); got < mins[pkg] {
+			failures = append(failures, fmt.Sprintf(
+				"%s: coverage %.1f%% below the %.0f%% gate (%d/%d statements)",
+				pkg, got, mins[pkg], c.Covered, c.Total))
+		}
+	}
+	return failures
+}
+
+// parseMin parses one -min flag value of the form pkg=percent.
+func parseMin(arg string) (string, float64, error) {
+	eq := strings.LastIndex(arg, "=")
+	if eq < 1 {
+		return "", 0, fmt.Errorf("-min %q is not of the form pkg=percent", arg)
+	}
+	pct, err := strconv.ParseFloat(arg[eq+1:], 64)
+	if err != nil || pct < 0 || pct > 100 {
+		return "", 0, fmt.Errorf("-min %q has a bad percentage", arg)
+	}
+	return arg[:eq], pct, nil
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+	mins := map[string]float64{}
+	flag.Func("min", "minimum coverage threshold, pkg=percent (repeatable)", func(arg string) error {
+		pkg, pct, err := parseMin(arg)
+		if err != nil {
+			return err
+		}
+		mins[pkg] = pct
+		return nil
+	})
+	flag.Parse()
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	cov, err := parseProfile(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", *profile, err))
+	}
+
+	pkgs := make([]string, 0, len(cov))
+	for pkg := range cov {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		gate := ""
+		if min, ok := mins[pkg]; ok {
+			gate = fmt.Sprintf("  (gate: %.0f%%)", min)
+		}
+		fmt.Printf("covgate: %-40s %6.1f%%%s\n", pkg, cov[pkg].Percent(), gate)
+	}
+
+	failures := evaluate(cov, mins)
+	if len(failures) > 0 {
+		fmt.Println("covgate: FAILURES:")
+		for _, f := range failures {
+			fmt.Println("  " + f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("covgate: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+repro/internal/sim/sim.go:10.2,12.3 3 1
+repro/internal/sim/sim.go:14.2,16.3 2 0
+repro/internal/sim/sweep.go:5.2,9.3 5 4
+repro/internal/sched/run.go:3.2,4.3 10 1
+repro/internal/sched/run.go:6.2,7.3 10 0
+`
+
+func TestParseProfilePerPackage(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := cov["repro/internal/sim"]
+	if sim.Total != 10 || sim.Covered != 8 {
+		t.Fatalf("sim coverage %+v, want 8/10", sim)
+	}
+	if got := sim.Percent(); got != 80 {
+		t.Fatalf("sim percent %v, want 80", got)
+	}
+	sched := cov["repro/internal/sched"]
+	if sched.Total != 20 || sched.Covered != 10 {
+		t.Fatalf("sched coverage %+v, want 10/20", sched)
+	}
+}
+
+func TestParseProfileDuplicateBlocksCountOnce(t *testing.T) {
+	profile := `mode: atomic
+repro/internal/sim/sim.go:10.2,12.3 3 0
+repro/internal/sim/sim.go:10.2,12.3 3 7
+`
+	cov, err := parseProfile(strings.NewReader(profile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := cov["repro/internal/sim"]
+	if sim.Total != 3 || sim.Covered != 3 {
+		t.Fatalf("duplicate block mishandled: %+v, want 3/3", sim)
+	}
+}
+
+func TestParseProfileMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"mode: set\nnot a profile line\n",
+		"mode: set\nfile.go:1.2,3.4 x 1\n",
+		"mode: set\nfile.go:1.2,3.4 1 x\n",
+	} {
+		if _, err := parseProfile(strings.NewReader(bad)); err == nil {
+			t.Errorf("profile %q: want parse error", bad)
+		}
+	}
+}
+
+func TestEvaluateThresholds(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := evaluate(cov, map[string]float64{"repro/internal/sim": 80}); len(fails) != 0 {
+		t.Fatalf("80%% gate on 80%% coverage failed: %v", fails)
+	}
+	fails := evaluate(cov, map[string]float64{"repro/internal/sim": 90})
+	if len(fails) != 1 || !strings.Contains(fails[0], "below the 90% gate") {
+		t.Fatalf("90%% gate on 80%% coverage: %v", fails)
+	}
+}
+
+func TestEvaluateMissingPackageFailsLoudly(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := evaluate(cov, map[string]float64{"repro/internal/nosuch": 50})
+	if len(fails) != 1 || !strings.Contains(fails[0], "not present in the cover profile") {
+		t.Fatalf("missing gated package must fail: %v", fails)
+	}
+}
+
+func TestParseMin(t *testing.T) {
+	pkg, pct, err := parseMin("repro/internal/sim=80")
+	if err != nil || pkg != "repro/internal/sim" || pct != 80 {
+		t.Fatalf("got %q %v %v", pkg, pct, err)
+	}
+	for _, bad := range []string{"nopercent", "=80", "pkg=abc", "pkg=150"} {
+		if _, _, err := parseMin(bad); err == nil {
+			t.Errorf("parseMin(%q): want error", bad)
+		}
+	}
+}
+
+func TestPercentEmptyPackage(t *testing.T) {
+	if got := (pkgCov{}).Percent(); got != 100 {
+		t.Fatalf("empty package percent %v, want 100", got)
+	}
+}
