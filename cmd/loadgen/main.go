@@ -1,0 +1,255 @@
+// Command loadgen drives cmd/served with configurable concurrent traffic
+// and verifies, at the end of the run, that the server's online
+// linearizability audit stayed clean.
+//
+// Two pacing modes:
+//
+//   - closed loop (default): each worker keeps exactly one request in
+//     flight, so offered load tracks service capacity;
+//   - open loop (-rate N): workers offer N ops/s in aggregate regardless of
+//     latency, the arrival model of a production front end.
+//
+// The key popularity distribution is uniform or Zipf (-zipf s > 1 skews
+// toward hot keys), the op mix is configurable (-read-pct, -cas-pct, rest
+// are puts), and every worker checks response sanity. Exit status is
+// non-zero on any request error or audited linearizability violation.
+//
+// Run with:
+//
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -workers 8 -ops 50000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+type options struct {
+	addr    string
+	workers int
+	ops     int64
+	dur     time.Duration
+	rate    float64
+	keys    int
+	zipf    float64
+	readPct int
+	casPct  int
+	seed    int64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "base URL of cmd/served")
+	flag.IntVar(&o.workers, "workers", 8, "concurrent client workers")
+	flag.Int64Var(&o.ops, "ops", 50_000, "total ops to issue (0 = run for -duration)")
+	flag.DurationVar(&o.dur, "duration", 5*time.Second, "run length when -ops is 0")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop aggregate ops/s target (0 = closed loop)")
+	flag.IntVar(&o.keys, "keys", 256, "keyspace size")
+	flag.Float64Var(&o.zipf, "zipf", 1.2, "Zipf skew s (>1); 0 for uniform keys")
+	flag.IntVar(&o.readPct, "read-pct", 60, "percent of ops that are gets")
+	flag.IntVar(&o.casPct, "cas-pct", 10, "percent of ops that are cas")
+	flag.Int64Var(&o.seed, "seed", 1, "base RNG seed (worker i uses seed+i)")
+	flag.Parse()
+	if err := run(o); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+}
+
+// worker issues ops until the shared budget runs out, collecting its own
+// latency histogram (merged after the run; workers share nothing hot).
+type worker struct {
+	o       *options
+	client  *http.Client
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	issued  int64
+	errors  int64
+	latency [3]sim.Histogram
+}
+
+func (w *worker) key() string {
+	if w.zipf != nil {
+		return fmt.Sprintf("k%05d", w.zipf.Uint64())
+	}
+	return fmt.Sprintf("k%05d", w.rng.Intn(w.o.keys))
+}
+
+func (w *worker) op(i int64) (service.OpKind, map[string]string) {
+	key := w.key()
+	p := w.rng.Intn(100)
+	switch {
+	case p < w.o.readPct:
+		return service.OpGet, map[string]string{"op": "get", "key": key}
+	case p < w.o.readPct+w.o.casPct:
+		return service.OpCAS, map[string]string{"op": "cas", "key": key,
+			"old": "", "val": fmt.Sprintf("cas-%d", i)}
+	default:
+		return service.OpPut, map[string]string{"op": "put", "key": key,
+			"val": fmt.Sprintf("put-%d", i)}
+	}
+}
+
+func (w *worker) issue(i int64) error {
+	kind, body := w.op(i)
+	buf, _ := json.Marshal(body)
+	start := time.Now()
+	resp, err := w.client.Post(w.o.addr+"/op", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var res service.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	if kind == service.OpPut && !res.OK {
+		return fmt.Errorf("put returned ok=false")
+	}
+	w.latency[kind].Observe(time.Since(start).Nanoseconds())
+	w.issued++
+	return nil
+}
+
+func run(o options) error {
+	transport := &http.Transport{
+		MaxIdleConns:        2 * o.workers,
+		MaxIdleConnsPerHost: 2 * o.workers,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	// Wait for the server to come up (CI starts it in the background).
+	var up bool
+	for i := 0; i < 50; i++ {
+		if resp, err := client.Get(o.addr + "/healthz"); err == nil {
+			resp.Body.Close()
+			up = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !up {
+		return fmt.Errorf("server at %s not reachable", o.addr)
+	}
+
+	var budget atomic.Int64
+	budget.Store(o.ops)
+	deadline := time.Now().Add(o.dur)
+	useDeadline := o.ops == 0
+
+	// Open-loop pacing: each worker offers rate/workers ops/s.
+	var interval time.Duration
+	if o.rate > 0 {
+		interval = time.Duration(float64(o.workers) / o.rate * float64(time.Second))
+	}
+
+	workers := make([]*worker, o.workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wi := 0; wi < o.workers; wi++ {
+		rng := rand.New(rand.NewSource(o.seed + int64(wi)))
+		w := &worker{o: &o, client: client, rng: rng}
+		if o.zipf > 1 && o.keys > 1 {
+			w.zipf = rand.NewZipf(rng, o.zipf, 1, uint64(o.keys-1))
+		}
+		workers[wi] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			next := time.Now()
+			for i := int64(0); ; i++ {
+				if useDeadline {
+					if time.Now().After(deadline) {
+						return
+					}
+				} else if budget.Add(-1) < 0 {
+					return
+				}
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				if err := w.issue(i); err != nil {
+					w.errors++
+					log.Printf("loadgen: worker error: %v", err)
+					if w.errors > 10 {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var issued, errs int64
+	var lat [3]sim.Histogram
+	for _, w := range workers {
+		issued += w.issued
+		errs += w.errors
+		for k := range lat {
+			lat[k].Merge(w.latency[k])
+		}
+	}
+	var all sim.Histogram
+	for k := range lat {
+		all.Merge(lat[k])
+	}
+	fmt.Printf("loadgen: %d ops in %v = %.0f ops/s (%d workers, %d errors)\n",
+		issued, elapsed.Round(time.Millisecond), float64(issued)/elapsed.Seconds(), o.workers, errs)
+	for k, name := range []string{"get", "put", "cas"} {
+		if lat[k].Count == 0 {
+			continue
+		}
+		fmt.Printf("loadgen:   %-3s n=%-8d mean=%s p50=%s p99=%s\n", name, lat[k].Count,
+			time.Duration(int64(lat[k].Mean())), time.Duration(lat[k].Quantile(0.5)), time.Duration(lat[k].Quantile(0.99)))
+	}
+	fmt.Printf("loadgen: all p50=%s p99=%s max=%s\n",
+		time.Duration(all.Quantile(0.5)), time.Duration(all.Quantile(0.99)), time.Duration(all.Max))
+
+	// Pull the server's audit verdict: the run only passes if every audited
+	// window of the traffic we just generated linearized.
+	resp, err := client.Get(o.addr + "/stats")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var stats service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return fmt.Errorf("stats decode: %w", err)
+	}
+	a := stats.Audit
+	fmt.Printf("loadgen: server: %d ops, %d batches (mean %.1f cmds/batch)\n",
+		stats.TotalOps, stats.Batches, stats.BatchSize.Mean())
+	fmt.Printf("loadgen: audit: %d sampled, %d windows checked, %d violations, %d gaps, %d dropped, %d truncated\n",
+		a.SampledOps, a.WindowsChecked, a.Violations, a.Gaps, a.DroppedOps, a.Truncated)
+	if errs > 0 {
+		return fmt.Errorf("%d request errors", errs)
+	}
+	if a.Violations > 0 {
+		for _, s := range a.ViolationSamples {
+			fmt.Printf("loadgen: VIOLATION: %s\n", s)
+		}
+		return fmt.Errorf("%d linearizability violations", a.Violations)
+	}
+	if issued == 0 {
+		return fmt.Errorf("no ops issued")
+	}
+	fmt.Println("loadgen: OK — zero linearizability violations across all audited windows")
+	return nil
+}

@@ -1,0 +1,174 @@
+// Command served is the HTTP/JSON front end of the free-mode serving tier
+// (internal/service): a sharded key-value store whose every shard is a
+// replicated log in the style of the universal construction, continuously
+// audited for linearizability while it serves.
+//
+// Endpoints:
+//
+//	POST /op       {"op":"get|put|cas","key":K,"val":V,"old":O} → {"val":..,"ok":..}
+//	POST /batch    [op, op, ...] → [result, result, ...]
+//	GET  /stats    full service.Stats JSON (ops, latency, audit progress)
+//	GET  /healthz  "ok"
+//
+// On SIGINT/SIGTERM the server stops accepting, drains every queued
+// command, flushes the online auditor, prints a final report, and exits 0 —
+// or exits 3 if any audited window had no valid linearization.
+//
+// Run with:
+//
+//	go run ./cmd/served -addr :8080 -shards 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 4, "number of replicated-log shards")
+	workers := flag.Int("workers-per-shard", 2, "submitter workers (replicas) per shard")
+	queue := flag.Int("queue", 1024, "per-shard queue depth (backpressure bound)")
+	batch := flag.Int("batch", 64, "max commands grouped into one log command")
+	auditOff := flag.Bool("audit-off", false, "disable the online linearizability auditor")
+	auditWindow := flag.Int("audit-window", 16, "ops per audited per-key window")
+	auditFrac := flag.Float64("audit-frac", 1.0, "fraction of the keyspace audited (by key hash)")
+	flag.Parse()
+
+	store := service.New(service.Config{
+		Shards:          *shards,
+		WorkersPerShard: *workers,
+		QueueDepth:      *queue,
+		MaxBatch:        *batch,
+		Audit: service.AuditConfig{
+			Disabled:       *auditOff,
+			WindowOps:      *auditWindow,
+			SampleFraction: *auditFrac,
+		},
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /op", func(w http.ResponseWriter, r *http.Request) {
+		var wire struct {
+			Op  string `json:"op"`
+			Key string `json:"key"`
+			Val string `json:"val"`
+			Old string `json:"old"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		kind, err := service.KindOf(wire.Op)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := store.Do(r.Context(), service.Op{Kind: kind, Key: wire.Key, Val: wire.Val, Old: wire.Old})
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusRequestTimeout
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var wire []struct {
+			Op  string `json:"op"`
+			Key string `json:"key"`
+			Val string `json:"val"`
+			Old string `json:"old"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ops := make([]service.Op, len(wire))
+		for i, op := range wire {
+			kind, err := service.KindOf(op.Op)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			ops[i] = service.Op{Kind: kind, Key: op.Key, Val: op.Val, Old: op.Old}
+		}
+		res, err := store.DoBatch(r.Context(), ops)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("served: listening on %s (%d shards × %d workers, batch %d, queue %d, audit %v)",
+		*addr, *shards, *workers, *batch, *queue, !*auditOff)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("served: shutting down")
+	case err := <-errCh:
+		log.Fatalf("served: %v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("served: http shutdown: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("served: store close: %v", err)
+	}
+
+	st := store.Stats()
+	log.Printf("served: final: %d ops in %d batches (mean %.1f cmds/batch)",
+		st.TotalOps, st.Batches, st.BatchSize.Mean())
+	for _, kind := range []string{"get", "put", "cas"} {
+		l := st.Latency[kind]
+		if l.Count == 0 {
+			continue
+		}
+		log.Printf("served:   %-3s n=%-8d mean=%.0fns p50=%dns p99=%dns max=%dns",
+			kind, l.Count, l.MeanNs, l.P50Ns, l.P99Ns, l.MaxNs)
+	}
+	a := st.Audit
+	log.Printf("served: audit: %d ops sampled, %d windows checked, %d violations, %d gaps, %d dropped",
+		a.SampledOps, a.WindowsChecked, a.Violations, a.Gaps, a.DroppedOps)
+	if a.Violations > 0 {
+		for _, s := range a.ViolationSamples {
+			log.Printf("served: VIOLATION: %s", s)
+		}
+		os.Exit(3)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("served: encode response: %v", err)
+	}
+}

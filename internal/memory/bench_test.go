@@ -1,0 +1,110 @@
+package memory
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// Free-mode micro-benchmarks (ns/op, allocs/op): the primitives as they run
+// on the serving path — real goroutines, no scheduler, sched.FreeProc
+// handles. The sequential variants measure the uncontended fast path; the
+// parallel variants measure the contended one (b.RunParallel spreads the
+// loop across GOMAXPROCS goroutines).
+
+func BenchmarkFreeModeRegisterRead(b *testing.B) {
+	r := NewRegister("r", 42)
+	p := sched.FreeProc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Read(p)
+	}
+}
+
+func BenchmarkFreeModeRegisterWrite(b *testing.B) {
+	r := NewRegister("r", 0)
+	p := sched.FreeProc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Write(p, i)
+	}
+}
+
+func BenchmarkFreeModeAtomicRegisterRead(b *testing.B) {
+	r := NewAtomicRegister("ar", 42)
+	p := sched.FreeProc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Read(p)
+	}
+}
+
+func BenchmarkFreeModeAtomicRegisterWrite(b *testing.B) {
+	r := NewAtomicRegister("ar", 0)
+	p := sched.FreeProc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Write(p, i)
+	}
+}
+
+func BenchmarkFreeModeCounterFetchAdd(b *testing.B) {
+	c := NewCounter("c")
+	p := sched.FreeProc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.FetchAdd(p, 1)
+	}
+}
+
+func BenchmarkFreeModeOncePropose(b *testing.B) {
+	o := NewOnce[int]("once")
+	p := sched.FreeProc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = o.Propose(p, i)
+	}
+}
+
+func BenchmarkFreeModeCASLoop(b *testing.B) {
+	c := NewCAS("cas", int64(0))
+	p := sched.FreeProc(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cur := c.Load(p)
+		c.CompareAndSwap(p, cur, cur+1)
+	}
+}
+
+func BenchmarkFreeModeRegisterReadParallel(b *testing.B) {
+	r := NewRegister("r", 42)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		p := sched.FreeProc(0)
+		for pb.Next() {
+			_ = r.Read(p)
+		}
+	})
+}
+
+func BenchmarkFreeModeAtomicRegisterReadParallel(b *testing.B) {
+	r := NewAtomicRegister("ar", 42)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		p := sched.FreeProc(0)
+		for pb.Next() {
+			_ = r.Read(p)
+		}
+	})
+}
+
+func BenchmarkFreeModeCounterFetchAddParallel(b *testing.B) {
+	c := NewCounter("c")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		p := sched.FreeProc(0)
+		for pb.Next() {
+			_ = c.FetchAdd(p, 1)
+		}
+	})
+}

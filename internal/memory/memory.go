@@ -310,6 +310,73 @@ func (c *CAS[T]) Swap(p *sched.Proc, v T) T {
 	return out
 }
 
+// AtomicRegister is a mutex-free atomic multi-writer multi-reader register:
+// the free-mode fast path for value registers. Where Register serializes
+// with a mutex (free in controlled runs, a few instructions in free mode),
+// AtomicRegister keeps reads wait-free at the hardware level — a single
+// atomic pointer load, no lock acquisition, no writer can block a reader —
+// at the cost of boxing each written value behind a pointer (one allocation
+// per Write, zero per Read).
+//
+// Use it for read-mostly shared state on real-goroutine (free mode) hot
+// paths: published positions, snapshots, configuration. In controlled runs
+// it behaves identically to Register (the scheduler serializes accesses
+// either way). The zero value holds the zero value of T.
+type AtomicRegister[T any] struct {
+	name string
+	v    atomic.Pointer[T]
+}
+
+// NewAtomicRegister returns a register initialized to init.
+func NewAtomicRegister[T any](name string, init T) *AtomicRegister[T] {
+	r := &AtomicRegister[T]{}
+	r.Init(name, init)
+	return r
+}
+
+// Init (re)initializes an embedded register in place to init, naming it for
+// event annotation.
+func (r *AtomicRegister[T]) Init(name string, init T) {
+	r.name = name
+	r.v.Store(&init)
+}
+
+// Read returns the current value. It is one atomic step and is lock-free
+// even under concurrent writers.
+func (r *AtomicRegister[T]) Read(p *sched.Proc) T {
+	p.Step()
+	var out T
+	if ptr := r.v.Load(); ptr != nil {
+		out = *ptr
+	}
+	if p.Tracing() {
+		p.Record("read", r.name, out)
+	}
+	return out
+}
+
+// Write stores v. It is one atomic step.
+func (r *AtomicRegister[T]) Write(p *sched.Proc, v T) {
+	p.Step()
+	r.v.Store(&v)
+	if p.Tracing() {
+		p.Record("write", r.name, v)
+	}
+}
+
+// Swap atomically replaces the value and returns the previous one.
+func (r *AtomicRegister[T]) Swap(p *sched.Proc, v T) T {
+	p.Step()
+	var out T
+	if ptr := r.v.Swap(&v); ptr != nil {
+		out = *ptr
+	}
+	if p.Tracing() {
+		p.Record("swap", r.name, out)
+	}
+	return out
+}
+
 // RegisterArray is a fixed-size array of atomic registers, the SWMR/MWMR
 // array shape used by the collect-based algorithms (commit-adopt, arbiters).
 type RegisterArray[T any] struct {

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The BenchmarkService* family measures the serving tier end to end:
+// submit → shard queue → batched log commit (universal construction) →
+// reply. ops/s is the headline serving throughput; ns/op is per-command
+// latency under full client concurrency (b.RunParallel).
+
+func benchStore(b *testing.B, cfg Config) {
+	b.Helper()
+	s := New(cfg)
+	ctx := context.Background()
+	var seq atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			key := fmt.Sprintf("k%d", n%512)
+			var err error
+			if n%4 == 0 {
+				err = s.Put(ctx, key, "v")
+			} else {
+				_, _, err = s.Get(ctx, key)
+			}
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	elapsed := time.Since(start)
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Audit.Violations != 0 {
+		b.Fatalf("audit violations: %v", st.Audit.ViolationSamples)
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
+	}
+	b.ReportMetric(st.BatchSize.Mean(), "cmds/batch")
+}
+
+func BenchmarkServiceDo(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d/audit=on", shards), func(b *testing.B) {
+			benchStore(b, Config{Shards: shards})
+		})
+		b.Run(fmt.Sprintf("shards=%d/audit=off", shards), func(b *testing.B) {
+			benchStore(b, Config{Shards: shards, Audit: AuditConfig{Disabled: true}})
+		})
+	}
+}
+
+func BenchmarkServiceDoBatch(b *testing.B) {
+	s := New(Config{Shards: 4, Audit: AuditConfig{Disabled: true}})
+	ctx := context.Background()
+	ops := make([]Op, 64)
+	for i := range ops {
+		ops[i] = Op{Kind: OpPut, Key: fmt.Sprintf("k%d", i), Val: "v"}
+	}
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DoBatch(ctx, ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*len(ops))/elapsed.Seconds(), "ops/s")
+	}
+}

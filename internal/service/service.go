@@ -1,0 +1,386 @@
+// Package service is the free-mode serving tier: it exposes the universal
+// construction's replicated log as a sharded key-value/command store served
+// by real goroutines under real parallelism.
+//
+// The controlled-mode stack (internal/sched, internal/sim, internal/explore)
+// checks the paper's algorithms under adversarial schedules; this package
+// runs the same objects as live linearizable primitives ("free mode" per
+// internal/memory). Each shard is a replicated state machine in the style of
+// Herlihy's universal construction (internal/universal): a log of write-once
+// consensus cells (memory.Once — the compare&swap idiom, consensus number
+// +inf) decided by the shard's submitter workers, each of which owns a
+// universal.Replica and contends for log positions with batches of client
+// commands. The serving path is therefore not a mutex around a map: it is
+// the paper's construction, operating at production speed.
+//
+// Architecture:
+//
+//	clients ──Do/DoBatch──▶ per-shard bounded queue (backpressure)
+//	                              │
+//	                  shard workers drain a batch per grant window,
+//	                  propose it as ONE log command (universal.Replica.Exec),
+//	                  apply the decided log in order, answer the clients
+//	                              │
+//	                  sampled ops ──▶ online auditor (internal/spec):
+//	                  per-key windows checked for linearizability in the
+//	                  background while traffic is being served
+//
+// The online auditor closes the loop with the paper's correctness condition
+// (linearizability, Herlihy & Wing [9]): per-key operation windows sampled
+// from live traffic are continuously checked by the Wing–Gong search in
+// internal/spec. Window boundaries are gap-free by construction — the state
+// machine versions every key, so the auditor knows exactly when a window is
+// a contiguous slice of a key's history and discards windows around any
+// sampling gap instead of risking a false verdict.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// OpKind enumerates the store's command types.
+type OpKind uint8
+
+// The store's commands: read a key, write a key, compare-and-swap a key.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpCAS
+	numOpKinds = 3
+)
+
+// String returns the wire name of the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// KindOf parses a wire name back into an OpKind.
+func KindOf(s string) (OpKind, error) {
+	switch s {
+	case "get":
+		return OpGet, nil
+	case "put":
+		return OpPut, nil
+	case "cas":
+		return OpCAS, nil
+	default:
+		return 0, fmt.Errorf("service: unknown op %q", s)
+	}
+}
+
+// Op is one client command. Keys behave as registers whose initial value is
+// the empty string (a missing key reads as "" with OK=false).
+type Op struct {
+	Kind OpKind `json:"op"`
+	Key  string `json:"key"`
+	// Val is the value written by put, or the new value installed by cas.
+	Val string `json:"val,omitempty"`
+	// Old is the value cas expects to find.
+	Old string `json:"old,omitempty"`
+}
+
+// Result is the outcome of one command.
+type Result struct {
+	// Val is the value read by get (or the current value a failed cas saw).
+	Val string `json:"val,omitempty"`
+	// OK reports: get — the key exists; put — always true; cas — the swap
+	// happened.
+	OK bool `json:"ok"`
+}
+
+// Config tunes a Store. The zero value gets sensible defaults.
+type Config struct {
+	// Shards is the number of independent replicated logs. Default 4.
+	Shards int
+	// WorkersPerShard is the number of submitter workers (each owning one
+	// universal.Replica) contending on each shard's log. Default 2.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's request queue; a full queue blocks
+	// submitters (backpressure). Default 1024.
+	QueueDepth int
+	// MaxBatch caps how many queued commands one worker groups into a
+	// single log command per grant window. Default 64.
+	MaxBatch int
+	// Audit configures the online linearizability auditor.
+	Audit AuditConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	c.Audit = c.Audit.withDefaults()
+	return c
+}
+
+// ErrClosed is returned by submissions against a closed (or closing) store.
+var ErrClosed = errors.New("service: store is closed")
+
+// Store is a sharded, batched, continuously-audited key-value store.
+type Store struct {
+	cfg    Config
+	clock  atomic.Int64 // logical time for audit intervals
+	shards []*shard
+	audit  *auditor // nil when auditing is disabled
+
+	// mu guards closed. Submitters hold the read side across the enqueue so
+	// that Close cannot close the shard queues while a send is in flight.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a store with cfg's shards and workers running.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{cfg: cfg}
+	if !cfg.Audit.Disabled {
+		s.audit = newAuditor(cfg.Audit)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(s, i))
+	}
+	for _, sh := range s.shards {
+		for _, w := range sh.workers {
+			s.wg.Add(1)
+			go w.run()
+		}
+	}
+	return s
+}
+
+// keyHash is inline FNV-1a over the key bytes (the same family as the
+// explorer's interning shards), kept allocation-free because it sits on
+// the per-op hot path for both shard routing and audit sampling.
+func keyHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardOf routes a key to its shard.
+func (s *Store) shardOf(key string) *shard {
+	return s.shards[keyHash(key)%uint32(len(s.shards))]
+}
+
+// Do submits one command and waits for its linearized result. A full shard
+// queue blocks (backpressure) until space frees or ctx is done; a closed
+// store returns ErrClosed.
+func (s *Store) Do(ctx context.Context, op Op) (Result, error) {
+	if op.Kind >= numOpKinds {
+		return Result{}, fmt.Errorf("service: invalid op kind %d", op.Kind)
+	}
+	r := &request{op: op, start: time.Now(), done: make(chan struct{})}
+	sh := s.shardOf(op.Key)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	r.call = s.clock.Add(1)
+	select {
+	case sh.reqs <- r:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		return Result{}, ctx.Err()
+	}
+	<-r.done
+	return r.res, nil
+}
+
+// Get reads key.
+func (s *Store) Get(ctx context.Context, key string) (string, bool, error) {
+	res, err := s.Do(ctx, Op{Kind: OpGet, Key: key})
+	return res.Val, res.OK, err
+}
+
+// Put writes key = val.
+func (s *Store) Put(ctx context.Context, key, val string) error {
+	_, err := s.Do(ctx, Op{Kind: OpPut, Key: key, Val: val})
+	return err
+}
+
+// CAS installs new under key if its current value is old, reporting whether
+// the swap happened (a missing key has current value "").
+func (s *Store) CAS(ctx context.Context, key, old, new string) (bool, error) {
+	res, err := s.Do(ctx, Op{Kind: OpCAS, Key: key, Old: old, Val: new})
+	return res.OK, err
+}
+
+// DoBatch submits ops concurrently (grouped per shard by the workers'
+// batching) and waits for all results, index-aligned with ops. If ctx is
+// done mid-submission, already-enqueued commands are still awaited (they
+// will commit) and ctx's error is returned.
+func (s *Store) DoBatch(ctx context.Context, ops []Op) ([]Result, error) {
+	for _, op := range ops {
+		if op.Kind >= numOpKinds {
+			return nil, fmt.Errorf("service: invalid op kind %d", op.Kind)
+		}
+	}
+	reqs := make([]*request, 0, len(ops))
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	var ctxErr error
+	for _, op := range ops {
+		r := &request{op: op, start: time.Now(), done: make(chan struct{})}
+		r.call = s.clock.Add(1)
+		select {
+		case s.shardOf(op.Key).reqs <- r:
+			reqs = append(reqs, r)
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+		}
+		if ctxErr != nil {
+			break
+		}
+	}
+	s.mu.RUnlock()
+	for _, r := range reqs {
+		<-r.done
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	out := make([]Result, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.res
+	}
+	return out, nil
+}
+
+// Close gracefully shuts the store down: it stops accepting new commands,
+// waits for every queued command to commit and answer, flushes the auditor,
+// and returns. Submissions racing with Close either complete normally or
+// return ErrClosed. A second Close returns ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		close(sh.reqs)
+	}
+	s.wg.Wait()
+	if s.audit != nil {
+		s.audit.close()
+	}
+	return nil
+}
+
+// LatencySummary condenses one op kind's latency distribution.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	// Hist is the full power-of-two bucketed distribution.
+	Hist sim.Histogram `json:"hist"`
+}
+
+func summarize(h sim.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count,
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.50),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Max,
+		Hist:   h,
+	}
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Shards          int `json:"shards"`
+	WorkersPerShard int `json:"workers_per_shard"`
+	// Ops counts committed commands by kind ("get", "put", "cas").
+	Ops      map[string]int64 `json:"ops"`
+	TotalOps int64            `json:"total_ops"`
+	// Batches counts committed log commands; BatchSize is the distribution
+	// of commands per log command.
+	Batches   int64         `json:"batches"`
+	BatchSize sim.Histogram `json:"batch_size"`
+	// Latency is the server-side submit-to-commit latency by op kind.
+	Latency map[string]LatencySummary `json:"latency"`
+	// QueueDepth is each shard's current queued-command count.
+	QueueDepth []int `json:"queue_depth"`
+	// Committed is each shard's log length (max over its workers'
+	// replica positions).
+	Committed []int64 `json:"committed"`
+	// Audit is the online auditor's progress (zero when disabled).
+	Audit AuditStats `json:"audit"`
+}
+
+// Stats snapshots the store. It is safe to call concurrently with traffic
+// and after Close.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Shards:          s.cfg.Shards,
+		WorkersPerShard: s.cfg.WorkersPerShard,
+		Ops:             make(map[string]int64, numOpKinds),
+		Latency:         make(map[string]LatencySummary, numOpKinds),
+		QueueDepth:      make([]int, len(s.shards)),
+		Committed:       make([]int64, len(s.shards)),
+	}
+	var lat [numOpKinds]sim.Histogram
+	for si, sh := range s.shards {
+		st.QueueDepth[si] = len(sh.reqs)
+		for _, w := range sh.workers {
+			pos := w.committed.Read(w.proc)
+			if pos > st.Committed[si] {
+				st.Committed[si] = pos
+			}
+			w.mu.Lock()
+			for k := 0; k < numOpKinds; k++ {
+				st.Ops[OpKind(k).String()] += w.ops[k]
+				st.TotalOps += w.ops[k]
+				lat[k].Merge(w.latency[k])
+			}
+			st.Batches += w.batches
+			st.BatchSize.Merge(w.batchSize)
+			w.mu.Unlock()
+		}
+	}
+	for k := 0; k < numOpKinds; k++ {
+		st.Latency[OpKind(k).String()] = summarize(lat[k])
+	}
+	if s.audit != nil {
+		st.Audit = s.audit.stats()
+	}
+	return st
+}

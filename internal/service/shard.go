@@ -1,0 +1,254 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/universal"
+)
+
+// request is one in-flight client command.
+type request struct {
+	op    Op
+	call  int64     // logical clock at submission (audit interval start)
+	start time.Time // wall clock at submission (latency)
+	res   Result    // written only by the owning worker's replica
+	ver   uint64    // per-key state-machine version of this op
+	done  chan struct{}
+}
+
+// entry is one key's slot in the shard state machine: its value, whether a
+// write has ever materialized it (a get on a missing key must keep
+// reporting OK=false), and the number of commands ever applied to it.
+// Versions are decided by the replicated log, so every replica assigns
+// identical versions — they are the gap-free ground truth the online
+// auditor keys its windows on.
+type entry struct {
+	val    string
+	exists bool
+	ver    uint64
+}
+
+// kvState is one replica's materialized state.
+type kvState map[string]entry
+
+// batch is one log command: a group of client commands committed at a
+// single log position. Batches are compared by pointer identity, which is
+// exactly the "commands must be globally unique" requirement of
+// universal.Replica.Exec.
+type batch struct {
+	owner *worker
+	reqs  []*request
+}
+
+// shard is one independent replicated log plus its submitter workers.
+type shard struct {
+	store   *Store
+	id      int
+	log     *universal.Log[*batch]
+	reqs    chan *request
+	workers []*worker
+}
+
+func newShard(s *Store, id int) *shard {
+	sh := &shard{
+		store: s,
+		id:    id,
+		reqs:  make(chan *request, s.cfg.QueueDepth),
+	}
+	// Every log position is a write-once consensus cell (consensus number
+	// +inf), the wait-free base object the universal construction assumes.
+	sh.log = universal.NewLog[*batch](func(i int) universal.Proposer[*batch] {
+		return memory.NewOnce[*batch](fmt.Sprintf("shard%d/cell%d", id, i))
+	})
+	for wi := 0; wi < s.cfg.WorkersPerShard; wi++ {
+		gid := sh.id*s.cfg.WorkersPerShard + wi
+		w := &worker{
+			sh:   sh,
+			id:   gid,
+			proc: sched.FreeProc(gid),
+		}
+		w.committed.Init(fmt.Sprintf("shard%d/committed%d", id, wi), 0)
+		w.rep = universal.NewReplica[kvState, *batch](sh.log, kvState{}, w.apply)
+		sh.workers = append(sh.workers, w)
+	}
+	return sh
+}
+
+// truncate releases log cells every worker's replica has passed, so a
+// long-running store does not pin every committed batch (and its client
+// requests) forever. Published positions only trail the replicas, so the
+// minimum over them is always a safe truncation limit.
+func (sh *shard) truncate(p *sched.Proc) {
+	min := int64(1<<62 - 1)
+	for _, w := range sh.workers {
+		if pos := w.committed.Read(p); pos < min {
+			min = pos
+		}
+	}
+	sh.log.Truncate(int(min))
+}
+
+// worker is one submitter: it drains the shard queue in batches, contends
+// for log positions with its own replica, and answers the clients whose
+// commands it committed.
+type worker struct {
+	sh   *shard
+	id   int // global worker id; doubles as the audit process id
+	proc *sched.Proc
+	rep  *universal.Replica[kvState, *batch]
+
+	// committed publishes this worker's replica position (single writer;
+	// read lock-free by Stats via the memory package's free-mode fast path).
+	committed memory.AtomicRegister[int64]
+
+	mu        sync.Mutex
+	ops       [numOpKinds]int64
+	batches   int64
+	batchSize sim.Histogram
+	latency   [numOpKinds]sim.Histogram
+}
+
+// syncInterval is how often an idle worker catches its replica up to the
+// shard frontier so it stops pinning the truncation floor.
+const syncInterval = 25 * time.Millisecond
+
+// run is the worker loop: one blocking receive opens a grant window, a
+// non-blocking drain fills it up to MaxBatch, and the whole window commits
+// as one log command. While idle, the worker periodically syncs its
+// replica to the shard frontier (an idle replica's position is the
+// truncation floor — without catching up it would pin every committed
+// batch in memory). It exits when the shard queue is closed and drained,
+// catching up one final time so shutdown leaves the log truncated.
+func (w *worker) run() {
+	defer w.sh.store.wg.Done()
+	maxBatch := w.sh.store.cfg.MaxBatch
+	buf := make([]*request, 0, maxBatch)
+	idle := time.NewTicker(syncInterval)
+	defer idle.Stop()
+	for {
+		var r *request
+		var ok bool
+		select {
+		case r, ok = <-w.sh.reqs:
+		case <-idle.C:
+			w.catchUp()
+			continue
+		}
+		if !ok {
+			w.catchUp()
+			return
+		}
+		buf = append(buf[:0], r)
+	drain:
+		for len(buf) < maxBatch {
+			select {
+			case r2, ok := <-w.sh.reqs:
+				if !ok {
+					break drain
+				}
+				buf = append(buf, r2)
+			default:
+				break drain
+			}
+		}
+		w.commit(buf)
+	}
+}
+
+// catchUp applies every log command other workers have already committed
+// (all positions below the shard frontier are decided, so Sync never
+// proposes), publishes the new position, and truncates the log.
+func (w *worker) catchUp() {
+	var frontier int64
+	for _, o := range w.sh.workers {
+		if pos := o.committed.Read(w.proc); pos > frontier {
+			frontier = pos
+		}
+	}
+	if int(frontier) <= w.rep.Pos() {
+		return
+	}
+	w.rep.Sync(w.proc, int(frontier), nil)
+	w.committed.Write(w.proc, int64(w.rep.Pos()))
+	w.sh.truncate(w.proc)
+}
+
+// commit proposes reqs as one log command, waits for the universal
+// construction to decide and apply it, then answers every client in the
+// batch. Exec may lose positions to the shard's other workers; the replica
+// applies their batches along the way, so this worker's state is always the
+// decided prefix of the log.
+func (w *worker) commit(reqs []*request) {
+	b := &batch{owner: w, reqs: append([]*request(nil), reqs...)}
+	w.rep.Exec(w.proc, b)
+	ret := w.sh.store.clock.Add(1)
+	w.committed.Write(w.proc, int64(w.rep.Pos()))
+	w.sh.truncate(w.proc)
+
+	w.mu.Lock()
+	w.batches++
+	w.batchSize.Observe(int64(len(b.reqs)))
+	for _, r := range b.reqs {
+		w.ops[r.op.Kind]++
+		w.latency[r.op.Kind].Observe(time.Since(r.start).Nanoseconds())
+	}
+	w.mu.Unlock()
+
+	if a := w.sh.store.audit; a != nil {
+		for _, r := range b.reqs {
+			a.observe(w.id, r, ret)
+		}
+	}
+	for _, r := range b.reqs {
+		close(r.done)
+	}
+}
+
+// apply is the deterministic state machine. It runs once per log command on
+// every replica of the shard; each replica mutates only its own map. The
+// batch's owner additionally records results and per-key versions into the
+// requests — exactly once, since its replica applies each position exactly
+// once.
+func (w *worker) apply(m kvState, b *batch) kvState {
+	if b == nil {
+		// Sync's noop: never decided into a cell (catchUp only syncs below
+		// the frontier, where every position already holds a real batch),
+		// but harmless if applied.
+		return m
+	}
+	own := b.owner == w
+	for _, r := range b.reqs {
+		e := m[r.op.Key]
+		e.ver++
+		switch r.op.Kind {
+		case OpGet:
+			if own {
+				r.res = Result{Val: e.val, OK: e.exists}
+			}
+		case OpPut:
+			e.val, e.exists = r.op.Val, true
+			if own {
+				r.res = Result{Val: r.op.Val, OK: true}
+			}
+		case OpCAS:
+			if e.val == r.op.Old {
+				e.val, e.exists = r.op.Val, true
+				if own {
+					r.res = Result{Val: r.op.Val, OK: true}
+				}
+			} else if own {
+				r.res = Result{Val: e.val, OK: false}
+			}
+		}
+		m[r.op.Key] = e
+		if own {
+			r.ver = e.ver
+		}
+	}
+	return m
+}

@@ -42,7 +42,7 @@ func TestHistogramMerge(t *testing.T) {
 	a.Observe(1)
 	b.Observe(100)
 	b.Observe(2)
-	a.merge(b)
+	a.Merge(b)
 	if a.Count != 3 || a.Sum != 103 || a.Max != 100 {
 		t.Fatalf("merged count=%d sum=%d max=%d", a.Count, a.Sum, a.Max)
 	}

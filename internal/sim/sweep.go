@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -73,7 +74,41 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-func (h *Histogram) merge(o Histogram) {
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1):
+// the upper edge of the first bucket whose cumulative count reaches
+// q*Count. Buckets are powers of two, so the estimate is within 2x of the
+// true quantile. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(h.Count)))
+	if need < 1 {
+		need = 1
+	}
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= need {
+			upper := int64(1) << uint(i)
+			if upper > h.Max {
+				return h.Max
+			}
+			return upper
+		}
+	}
+	return h.Max
+}
+
+// Merge folds every observation of o into h. Merging is commutative and
+// associative, so per-worker histograms can be combined in any order.
+func (h *Histogram) Merge(o Histogram) {
 	for len(h.Buckets) < len(o.Buckets) {
 		h.Buckets = append(h.Buckets, 0)
 	}
@@ -193,8 +228,8 @@ func Sweep(scenarios []Scenario, opt Options) Report {
 			sr.Done += a.done
 			sr.Crashed += a.crashed
 			sr.Starved += a.starved
-			sr.Steps.merge(a.steps)
-			sr.LatencyNs.merge(a.latency)
+			sr.Steps.Merge(a.steps)
+			sr.LatencyNs.Merge(a.latency)
 			fails = append(fails, a.failures...)
 		}
 		sort.Slice(fails, func(i, j int) bool { return fails[i].Seed < fails[j].Seed })

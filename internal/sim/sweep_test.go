@@ -215,3 +215,59 @@ func TestReplayErrors(t *testing.T) {
 		t.Fatal("want error for unknown scenario")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var empty sim.Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+
+	var h sim.Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	// The estimate is the upper edge of the bucket holding the quantile, so
+	// it must be >= the true quantile and within 2x of it.
+	cases := []struct {
+		q    float64
+		true int64
+	}{{0.5, 50}, {0.9, 90}, {0.99, 99}, {1.0, 100}}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if got < c.true || got > 2*c.true {
+			t.Errorf("Quantile(%v) = %d, want in [%d, %d]", c.q, got, c.true, 2*c.true)
+		}
+	}
+	// Quantiles never exceed the observed max.
+	if got := h.Quantile(1.0); got > h.Max {
+		t.Errorf("Quantile(1.0) = %d > max %d", got, h.Max)
+	}
+	// Out-of-range q values clamp.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %d, want %d", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %d, want %d", got, h.Quantile(1))
+	}
+}
+
+// Quantile must never under-report the tail on small or skewed samples
+// (the rank is a ceiling, not a floor).
+func TestHistogramQuantileSkewedTail(t *testing.T) {
+	var h sim.Histogram
+	h.Observe(1)
+	h.Observe(1000)
+	if got := h.Quantile(0.99); got < 1000 {
+		t.Fatalf("Quantile(0.99) of {1, 1000} = %d, want >= 1000", got)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("Quantile(0.5) of {1, 1000} = %d, want 1", got)
+	}
+	// All-zero observations: the estimate must not exceed Max.
+	var z sim.Histogram
+	z.Observe(0)
+	z.Observe(0)
+	if got := z.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile of all-zero histogram = %d, want 0", got)
+	}
+}

@@ -1,0 +1,180 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPartitionByKey(t *testing.T) {
+	keyOf := func(op Op) string { return op.In.(string) }
+	history := []Op{
+		{Proc: 0, Call: 5, Ret: 6, Method: "read", In: "b"},
+		{Proc: 1, Call: 1, Ret: 2, Method: "read", In: "a"},
+		{Proc: 2, Call: 3, Ret: 4, Method: "read", In: "a"},
+		{Proc: 0, Call: 2, Ret: 7, Method: "read", In: "b"},
+	}
+	parts := PartitionByKey(history, keyOf)
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(parts))
+	}
+	if len(parts["a"]) != 2 || len(parts["b"]) != 2 {
+		t.Fatalf("partition sizes a=%d b=%d, want 2 and 2", len(parts["a"]), len(parts["b"]))
+	}
+	// Partitions are sorted by Call.
+	if parts["a"][0].Call != 1 || parts["a"][1].Call != 3 {
+		t.Errorf("partition a not sorted by Call: %+v", parts["a"])
+	}
+	if parts["b"][0].Call != 2 || parts["b"][1].Call != 5 {
+		t.Errorf("partition b not sorted by Call: %+v", parts["b"])
+	}
+	if len(PartitionByKey(nil, keyOf)) != 0 {
+		t.Error("empty history should yield no partitions")
+	}
+}
+
+func TestCheckBoundedVerdicts(t *testing.T) {
+	good := []Op{
+		{Proc: 0, Call: 0, Ret: 1, Method: "write", In: "x"},
+		{Proc: 1, Call: 2, Ret: 3, Method: "read", Out: "x"},
+	}
+	bad := []Op{
+		{Proc: 0, Call: 0, Ret: 1, Method: "write", In: "x"},
+		{Proc: 1, Call: 2, Ret: 3, Method: "read", Out: "stale"},
+	}
+	m := CASRegisterModel{Initial: ""}
+	if got := CheckBounded(m, good, 8); got != Linearizable {
+		t.Errorf("good window: %v, want linearizable", got)
+	}
+	if got := CheckBounded(m, bad, 8); got != Violation {
+		t.Errorf("bad window: %v, want violation", got)
+	}
+}
+
+func TestCheckBoundedTruncates(t *testing.T) {
+	m := CASRegisterModel{Initial: ""}
+	var history []Op
+	for i := 0; i < 10; i++ {
+		history = append(history, Op{
+			Proc: i, Call: int64(2 * i), Ret: int64(2*i + 1),
+			Method: "write", In: fmt.Sprintf("v%d", i),
+		})
+	}
+	if got := CheckBounded(m, history, 4); got != Truncated {
+		t.Errorf("10 ops with cap 4: %v, want truncated", got)
+	}
+	if got := CheckBounded(m, history, 10); got != Linearizable {
+		t.Errorf("10 ops with cap 10: %v, want linearizable", got)
+	}
+
+	// maxOps <= 0 and maxOps > MaxWindowOps both mean MaxWindowOps; unlike
+	// Check, an oversized window must not panic.
+	big := make([]Op, MaxWindowOps+1)
+	for i := range big {
+		big[i] = Op{Proc: 0, Call: int64(2 * i), Ret: int64(2*i + 1), Method: "write", In: i}
+	}
+	if got := CheckBounded(m, big, 0); got != Truncated {
+		t.Errorf("oversized window with default cap: %v, want truncated", got)
+	}
+	if got := CheckBounded(m, big, 1<<30); got != Truncated {
+		t.Errorf("oversized window with huge cap: %v, want truncated", got)
+	}
+	if got := CheckBounded(m, history, 0); got != Linearizable {
+		t.Errorf("10 ops with default cap: %v, want linearizable", got)
+	}
+}
+
+func TestCheckResultString(t *testing.T) {
+	cases := map[CheckResult]string{
+		Linearizable:   "linearizable",
+		Violation:      "violation",
+		Truncated:      "truncated",
+		CheckResult(0): "unknown",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestCASRegisterModel(t *testing.T) {
+	m := CASRegisterModel{Initial: "a"}
+
+	// Successful cas chain: a -> b -> c, read sees c.
+	h := []Op{
+		{Proc: 0, Call: 0, Ret: 1, Method: "cas", In: CASInput{Old: "a", New: "b"}, Out: true},
+		{Proc: 0, Call: 2, Ret: 3, Method: "cas", In: CASInput{Old: "b", New: "c"}, Out: true},
+		{Proc: 1, Call: 4, Ret: 5, Method: "read", Out: "c"},
+	}
+	if !Check(m, h) {
+		t.Error("cas chain should be linearizable")
+	}
+
+	// Two concurrent cas(a->x) can't both succeed.
+	h = []Op{
+		{Proc: 0, Call: 0, Ret: 3, Method: "cas", In: CASInput{Old: "a", New: "b"}, Out: true},
+		{Proc: 1, Call: 1, Ret: 2, Method: "cas", In: CASInput{Old: "a", New: "c"}, Out: true},
+	}
+	if Check(m, h) {
+		t.Error("two successful cas from the same old value must not linearize")
+	}
+
+	// A failed cas against a matching value is illegal when sequential.
+	h = []Op{
+		{Proc: 0, Call: 0, Ret: 1, Method: "cas", In: CASInput{Old: "a", New: "b"}, Out: false},
+	}
+	if Check(m, h) {
+		t.Error("failed cas(a->b) on value a must not linearize")
+	}
+
+	// Malformed inputs are illegal, as is an unknown method.
+	if _, ok := m.Apply("a", Op{Method: "cas", In: "not-cas-input", Out: true}); ok {
+		t.Error("cas with malformed In should be illegal")
+	}
+	if _, ok := m.Apply("a", Op{Method: "cas", In: CASInput{Old: "a", New: "b"}, Out: "yes"}); ok {
+		t.Error("cas with non-bool Out should be illegal")
+	}
+	if _, ok := m.Apply("a", Op{Method: "bump"}); ok {
+		t.Error("unknown method should be illegal")
+	}
+}
+
+func TestCASRegisterModelUnknownInit(t *testing.T) {
+	m := CASRegisterModel{UnknownInit: true}
+
+	// A window cut from mid-history: the first read resolves the unknown
+	// value, and later ops are constrained by it.
+	h := []Op{
+		{Proc: 0, Call: 0, Ret: 1, Method: "read", Out: "z"},
+		{Proc: 0, Call: 2, Ret: 3, Method: "read", Out: "z"},
+	}
+	if !Check(m, h) {
+		t.Error("consistent reads from unknown init should linearize")
+	}
+
+	// Stale read after a write inside the window is still caught.
+	h = []Op{
+		{Proc: 0, Call: 0, Ret: 1, Method: "read", Out: "z"},
+		{Proc: 0, Call: 2, Ret: 3, Method: "write", In: "w"},
+		{Proc: 0, Call: 4, Ret: 5, Method: "read", Out: "z"},
+	}
+	if Check(m, h) {
+		t.Error("stale read after write must not linearize even with unknown init")
+	}
+
+	// A successful cas resolves the unknown value to New; a failed cas
+	// keeps it unknown (sound: never a false violation).
+	h = []Op{
+		{Proc: 0, Call: 0, Ret: 1, Method: "cas", In: CASInput{Old: "a", New: "b"}, Out: false},
+		{Proc: 0, Call: 2, Ret: 3, Method: "cas", In: CASInput{Old: "q", New: "r"}, Out: true},
+		{Proc: 0, Call: 4, Ret: 5, Method: "read", Out: "r"},
+	}
+	if !Check(m, h) {
+		t.Error("failed-then-successful cas from unknown init should linearize")
+	}
+
+	// Distinct unknown-state memo keys must not collide with a real value.
+	if m.Key(casUnknown{}) == m.Key("unknown") {
+		t.Error("unknown sentinel key collides with a value key")
+	}
+}

@@ -18,6 +18,7 @@
 package universal
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/sched"
@@ -30,11 +31,14 @@ type Proposer[C comparable] interface {
 }
 
 // Log is an unbounded replicated log: position i is decided by a dedicated
-// single-shot consensus cell.
+// single-shot consensus cell. Positions below a sliding base can be
+// truncated once every replica has applied them (see Truncate), so a
+// long-running log does not retain every decided command forever.
 type Log[C comparable] struct {
 	newCell func(i int) Proposer[C]
 
 	mu    sync.Mutex
+	base  int // positions below base have been truncated
 	cells []Proposer[C]
 }
 
@@ -45,14 +49,47 @@ func NewLog[C comparable](newCell func(i int) Proposer[C]) *Log[C] {
 
 // cell returns the consensus cell for position i, creating cells lazily.
 // Growth is a structural action (no scheduler step), like the round table in
-// internal/consensus.
+// internal/consensus. Accessing a truncated position is a caller bug (a
+// Truncate limit must never exceed a live replica's position) and panics.
 func (l *Log[C]) cell(i int) Proposer[C] {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.cells) <= i {
-		l.cells = append(l.cells, l.newCell(len(l.cells)))
+	if i < l.base {
+		panic(fmt.Sprintf("universal: log position %d accessed below truncation base %d", i, l.base))
 	}
-	return l.cells[i]
+	for l.base+len(l.cells) <= i {
+		l.cells = append(l.cells, l.newCell(l.base+len(l.cells)))
+	}
+	return l.cells[i-l.base]
+}
+
+// Base returns the lowest retained log position (0 until Truncate is used).
+func (l *Log[C]) Base() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Truncate releases every cell below limit, allowing the decided commands
+// they pin to be collected. The caller must guarantee that no replica will
+// access a position below limit again — i.e. limit is at most the minimum
+// position over all replicas of this log (universal.Replica never revisits
+// a position below Replica.Pos). Truncation shifts in place and never
+// allocates.
+func (l *Log[C]) Truncate(limit int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	drop := limit - l.base
+	if drop <= 0 {
+		return
+	}
+	if drop > len(l.cells) {
+		drop = len(l.cells)
+	}
+	n := copy(l.cells, l.cells[drop:])
+	clear(l.cells[n:]) // release the truncated cells to the GC
+	l.cells = l.cells[:n]
+	l.base = limit
 }
 
 // Replica is one process's view of a replicated state machine driven by a

@@ -219,3 +219,54 @@ func TestSyncReadsDecidedPrefix(t *testing.T) {
 	})
 	r2.Execute(100000)
 }
+
+func TestLogTruncate(t *testing.T) {
+	log := waitFreeLog(1)
+	r := sched.NewRun(1, &sched.RoundRobin{})
+	r.Spawn(0, func(p *sched.Proc) {
+		rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+		for seq := 1; seq <= 10; seq++ {
+			rep.Exec(p, cmd{Proc: 0, Seq: seq, Add: 1})
+		}
+		// Truncate below the replica's position: safe, releases cells.
+		log.Truncate(6)
+		if log.Base() != 6 {
+			t.Errorf("base = %d, want 6", log.Base())
+		}
+		// Truncating backwards (or to the same point) is a no-op.
+		log.Truncate(3)
+		log.Truncate(6)
+		if log.Base() != 6 {
+			t.Errorf("base after no-op truncates = %d, want 6", log.Base())
+		}
+		// The replica continues past the truncation point unaffected.
+		if s := rep.Exec(p, cmd{Proc: 0, Seq: 11, Add: 1}); s != 11 {
+			t.Errorf("state after truncate = %d, want 11", s)
+		}
+		// Truncating beyond every created cell adopts the limit as base.
+		log.Truncate(100)
+		if log.Base() != 100 {
+			t.Errorf("base = %d, want 100", log.Base())
+		}
+	})
+	res := r.Execute(100000)
+	if res.Status[0] != sched.Done {
+		t.Fatalf("process: %v", res.Status[0])
+	}
+}
+
+func TestLogTruncatedAccessPanics(t *testing.T) {
+	log := waitFreeLog(1)
+	p := sched.FreeProc(0)
+	rep := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+	rep.Exec(p, cmd{Proc: 0, Seq: 1, Add: 1})
+	rep.Exec(p, cmd{Proc: 0, Seq: 2, Add: 1})
+	log.Truncate(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accessing a truncated position should panic")
+		}
+	}()
+	stale := NewReplica[int, cmd](log, 0, func(s int, c cmd) int { return s + c.Add })
+	stale.Exec(p, cmd{Proc: 0, Seq: 3, Add: 1}) // proposes at position 0 < base
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# bench.sh — run the P1–P4 benchmark families and emit a BENCH_<n>.json
-# snapshot at the repo root, seeding the performance trajectory across PRs.
+# bench.sh — run the benchmark families (P1–P4 tables, scheduler steps,
+# explorer, sweep harness, free-mode memory primitives, serving tier) and
+# emit a BENCH_<n>.json snapshot at the repo root, seeding the performance
+# trajectory across PRs.
 #
 # Usage:
 #   scripts/bench.sh [benchtime]
@@ -36,6 +38,8 @@ go test -run xxx -bench 'BenchmarkArbiter|BenchmarkGroupConsensus|BenchmarkGroup
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/sched/ | tee -a "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/explore/ | tee -a "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/sim/ | tee -a "$raw" >&2
+go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/memory/ | tee -a "$raw" >&2
+go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/service/ | tee -a "$raw" >&2
 
 # Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
 # has the shape:
@@ -52,7 +56,7 @@ BEGIN {
 }
 /^Benchmark/ {
   name = $1; iters = $2
-  ns = ""; steps = ""; bytes = ""; allocs = ""; extra = ""; rate = ""; runrate = ""
+  ns = ""; steps = ""; bytes = ""; allocs = ""; extra = ""; rate = ""; runrate = ""; oprate = ""; batchsz = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op")     ns = $i
     if ($(i+1) == "steps/op")  steps = $i
@@ -60,6 +64,8 @@ BEGIN {
     if ($(i+1) == "states")    extra = $i
     if ($(i+1) == "states/s")  rate = $i
     if ($(i+1) == "runs/s")    runrate = $i
+    if ($(i+1) == "ops/s")     oprate = $i
+    if ($(i+1) == "cmds/batch") batchsz = $i
     if ($(i+1) == "B/op")      bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
   }
@@ -71,6 +77,8 @@ BEGIN {
   if (extra != "")  printf ", \"states\": %s", extra
   if (rate != "")   printf ", \"states_per_sec\": %s", rate
   if (runrate != "") printf ", \"runs_per_sec\": %s", runrate
+  if (oprate != "")  printf ", \"ops_per_sec\": %s", oprate
+  if (batchsz != "") printf ", \"cmds_per_batch\": %s", batchsz
   if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
   if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
   printf "}"

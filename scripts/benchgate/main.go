@@ -8,10 +8,12 @@
 //	go run ./scripts/benchgate [-benchtime 10x] [-step-benchtime 100000x]
 //	    [-ns-tol 4] [-alloc-tol 2] [-bench regex] [-baseline BENCH_3.json]
 //
-// Two suites run: the scheduler step micro-benchmarks with a high iteration
-// count (-step-benchtime; they grant one step per iteration, so a short run
-// would measure run-construction instead of the step path), and the
-// ms-scale benchmarks (root + explorer) with a short count (-benchtime).
+// Three suites run: the scheduler-step and memory-primitive
+// micro-benchmarks with a high iteration count (-step-benchtime; they cost
+// nanoseconds per iteration, so a short run would measure setup instead of
+// the hot path), the µs-scale serving-tier benchmarks (-serve-benchtime),
+// and the ms-scale benchmarks (root + explorer + sim) with a short count
+// (-benchtime).
 //
 // Tolerances are generous multipliers, not noise gates: ns/op varies across
 // machines (the snapshot may come from different hardware than CI), so the
@@ -160,7 +162,8 @@ func parseResults(out string) []result {
 
 func main() {
 	benchtime := flag.String("benchtime", "10x", "benchtime for the ms-scale suites (root, explorer, sim)")
-	stepBenchtime := flag.String("step-benchtime", "100000x", "benchtime for the scheduler step micro-benchmarks")
+	stepBenchtime := flag.String("step-benchtime", "100000x", "benchtime for the scheduler-step and memory-primitive micro-benchmarks")
+	serveBenchtime := flag.String("serve-benchtime", "20000x", "benchtime for the µs-scale serving-tier benchmarks")
 	nsTol := flag.Float64("ns-tol", 4, "fail when ns/op exceeds baseline by this factor")
 	allocTol := flag.Float64("alloc-tol", 2, "fail when allocs/op exceeds baseline by this factor")
 	benchPat := flag.String("bench", ".", "benchmark regex passed to go test")
@@ -180,7 +183,8 @@ func main() {
 		benchtime string
 		pkgs      []string
 	}{
-		{*stepBenchtime, []string{"./internal/sched/"}},
+		{*stepBenchtime, []string{"./internal/sched/", "./internal/memory/"}},
+		{*serveBenchtime, []string{"./internal/service/"}},
 		{*benchtime, []string{"./internal/explore/", "./internal/sim/", "."}},
 	}
 
