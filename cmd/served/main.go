@@ -58,69 +58,7 @@ func main() {
 		},
 	})
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /op", func(w http.ResponseWriter, r *http.Request) {
-		var wire struct {
-			Op  string `json:"op"`
-			Key string `json:"key"`
-			Val string `json:"val"`
-			Old string `json:"old"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		kind, err := service.KindOf(wire.Op)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, err := store.Do(r.Context(), service.Op{Kind: kind, Key: wire.Key, Val: wire.Val, Old: wire.Old})
-		if err != nil {
-			status := http.StatusServiceUnavailable
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				status = http.StatusRequestTimeout
-			}
-			http.Error(w, err.Error(), status)
-			return
-		}
-		writeJSON(w, res)
-	})
-	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
-		var wire []struct {
-			Op  string `json:"op"`
-			Key string `json:"key"`
-			Val string `json:"val"`
-			Old string `json:"old"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		ops := make([]service.Op, len(wire))
-		for i, op := range wire {
-			kind, err := service.KindOf(op.Op)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			ops[i] = service.Op{Kind: kind, Key: op.Key, Val: op.Val, Old: op.Old}
-		}
-		res, err := store.DoBatch(r.Context(), ops)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		writeJSON(w, res)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, store.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: newMux(store)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("served: listening on %s (%d shards × %d workers, batch %d, queue %d, audit %v)",
@@ -164,6 +102,79 @@ func main() {
 		}
 		os.Exit(3)
 	}
+}
+
+// wireOp is the JSON shape of one command on /op and /batch.
+type wireOp struct {
+	Op  string `json:"op"`
+	Key string `json:"key"`
+	Val string `json:"val"`
+	Old string `json:"old"`
+}
+
+func (w wireOp) decode() (service.Op, error) {
+	kind, err := service.KindOf(w.Op)
+	if err != nil {
+		return service.Op{}, err
+	}
+	return service.Op{Kind: kind, Key: w.Key, Val: w.Val, Old: w.Old}, nil
+}
+
+// newMux builds the HTTP front end over a store. Factored out of main so
+// the handlers are testable with httptest against an in-process store.
+func newMux(store *service.Store) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /op", func(w http.ResponseWriter, r *http.Request) {
+		var wire wireOp
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		op, err := wire.decode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := store.Do(r.Context(), op)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusRequestTimeout
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var wire []wireOp
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ops := make([]service.Op, len(wire))
+		for i, wop := range wire {
+			op, err := wop.decode()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			ops[i] = op
+		}
+		res, err := store.DoBatch(r.Context(), ops)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func testServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Store) {
+	t.Helper()
+	store := service.New(cfg)
+	srv := httptest.NewServer(newMux(store))
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func post(t *testing.T, srv *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestOpHandler(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 2})
+	defer store.Close()
+
+	code, body := post(t, srv, "/op", `{"op":"put","key":"a","val":"1"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"ok":true`) {
+		t.Fatalf("put = %d %q", code, body)
+	}
+	code, body = post(t, srv, "/op", `{"op":"get","key":"a"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"val":"1"`) {
+		t.Fatalf("get = %d %q", code, body)
+	}
+	code, body = post(t, srv, "/op", `{"op":"cas","key":"a","old":"1","val":"2"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"ok":true`) {
+		t.Fatalf("cas = %d %q", code, body)
+	}
+	code, body = post(t, srv, "/op", `{"op":"cas","key":"a","old":"1","val":"3"}`)
+	if code != http.StatusOK || strings.Contains(body, `"ok":true`) {
+		t.Fatalf("failed cas = %d %q, want ok=false", code, body)
+	}
+	// A get on a missing key answers 200 with ok=false, not an error.
+	code, body = post(t, srv, "/op", `{"op":"get","key":"ghost"}`)
+	if code != http.StatusOK || strings.Contains(body, `"ok":true`) {
+		t.Fatalf("missing get = %d %q", code, body)
+	}
+}
+
+func TestOpHandlerRejectsMalformed(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 1})
+	defer store.Close()
+
+	for _, body := range []string{
+		`{not json`,
+		`{"op":"bump","key":"a"}`, // unknown op kind
+		``,
+	} {
+		code, _ := post(t, srv, "/op", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("op %q = %d, want 400", body, code)
+		}
+	}
+	for _, body := range []string{
+		`[{not json`,
+		`[{"op":"put","key":"a","val":"1"},{"op":"bump","key":"b"}]`,
+		`{"op":"put"}`, // object where array expected
+	} {
+		code, _ := post(t, srv, "/batch", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("batch %q = %d, want 400", body, code)
+		}
+	}
+	// Method routing: GET on /op is not found by the method-aware mux.
+	resp, err := http.Get(srv.URL + "/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /op = %d, want method rejection", resp.StatusCode)
+	}
+}
+
+func TestBatchHandler(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 2})
+	defer store.Close()
+
+	code, body := post(t, srv, "/batch",
+		`[{"op":"put","key":"x","val":"1"},{"op":"put","key":"y","val":"2"},{"op":"get","key":"x"}]`)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d %q", code, body)
+	}
+	var res []service.Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("batch response %q: %v", body, err)
+	}
+	if len(res) != 3 || !res[0].OK || !res[1].OK {
+		t.Fatalf("batch results = %+v", res)
+	}
+	// An empty batch is a valid no-op.
+	code, body = post(t, srv, "/batch", `[]`)
+	if code != http.StatusOK {
+		t.Fatalf("empty batch = %d %q", code, body)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 2})
+	defer store.Close()
+
+	post(t, srv, "/op", `{"op":"put","key":"a","val":"1"}`)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.TotalOps != 1 || st.Ops["put"] != 1 {
+		t.Fatalf("stats = %+v, want 1 put", st)
+	}
+	if st.Audit.Violations != 0 {
+		t.Fatalf("audit violations: %v", st.Audit.ViolationSamples)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestDrainWhileInFlight closes the store while requests are in flight
+// through the HTTP layer: every response must be either a committed 200 or
+// a clean 503 (ErrClosed) — never a hang, a 500, or a torn result.
+func TestDrainWhileInFlight(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 2, QueueDepth: 4})
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan string, 64)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 40; i++ {
+				code, body := post(t, srv, "/op",
+					fmt.Sprintf(`{"op":"put","key":"k%d","val":"c%d-%d"}`, i%4, c, i))
+				switch code {
+				case http.StatusOK:
+				case http.StatusServiceUnavailable:
+					if !strings.Contains(body, "closed") {
+						errs <- fmt.Sprintf("503 without ErrClosed: %q", body)
+					}
+					return
+				default:
+					errs <- fmt.Sprintf("unexpected status %d: %q", code, body)
+					return
+				}
+			}
+		}(c)
+	}
+	close(start)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// After the drain, /op reports closed and /stats still serves.
+	code, _ := post(t, srv, "/op", `{"op":"get","key":"a"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("op after close = %d, want 503", code)
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats after close: %v %v", resp, err)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Audit.Violations != 0 {
+		t.Fatalf("audit violations after drain: %v", st.Audit.ViolationSamples)
+	}
+}

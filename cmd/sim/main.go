@@ -51,6 +51,7 @@ import (
 	_ "repro/internal/group"
 	_ "repro/internal/hierarchy"
 	_ "repro/internal/liveness"
+	_ "repro/internal/service"
 	_ "repro/internal/universal"
 )
 

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParkControlled: a parked process blocks cooperatively until another
+// process satisfies its condition, and both complete under a fair policy.
+func TestParkControlled(t *testing.T) {
+	r := NewRun(2, &RoundRobin{})
+	flag := false
+	order := []int{}
+	r.Spawn(0, func(p *Proc) {
+		p.Park(func() bool { return flag })
+		order = append(order, 0)
+	})
+	r.Spawn(1, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+		flag = true
+		order = append(order, 1)
+	})
+	res := r.Execute(1000)
+	if res.Status[0] != Done || res.Status[1] != Done {
+		t.Fatalf("statuses = %v, want both done", res.Status)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("completion order = %v, want setter before parker", order)
+	}
+	if res.Steps[0] == 0 {
+		t.Fatal("parked process charged no steps: parking must consume grants")
+	}
+}
+
+// TestParkStarvation: an adversary that never satisfies the condition
+// starves the parked process — it burns its grants polling and ends the
+// run Starved, exactly the semantics fault-plan oracles rely on.
+func TestParkStarvation(t *testing.T) {
+	r := NewRun(1, Solo{ID: 0})
+	r.Spawn(0, func(p *Proc) {
+		p.Park(func() bool { return false })
+	})
+	res := r.Execute(500)
+	if res.Status[0] != Starved {
+		t.Fatalf("status = %v, want starved", res.Status[0])
+	}
+	if res.TotalSteps != 500 {
+		t.Fatalf("total steps = %d, want the full budget", res.TotalSteps)
+	}
+}
+
+// TestParkImmediate: a condition that already holds parks for zero steps.
+func TestParkImmediate(t *testing.T) {
+	r := NewRun(1, Solo{ID: 0})
+	r.Spawn(0, func(p *Proc) {
+		p.Park(func() bool { return true })
+	})
+	res := r.Execute(100)
+	if res.Status[0] != Done || res.Steps[0] != 0 {
+		t.Fatalf("status=%v steps=%d, want done with 0 steps", res.Status[0], res.Steps[0])
+	}
+}
+
+// TestNowControlled: Now is the run-wide granted-step count — shared,
+// monotone virtual time across processes.
+func TestNowControlled(t *testing.T) {
+	r := NewRun(2, &RoundRobin{})
+	var last int64 = -1
+	mono := true
+	r.SpawnAll(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Step()
+			now := p.Now()
+			if now < last {
+				mono = false
+			}
+			last = now
+		}
+	})
+	res := r.Execute(1000)
+	if !mono {
+		t.Fatal("Now went backwards across processes")
+	}
+	if last != res.TotalSteps {
+		t.Fatalf("final Now = %d, want total steps %d", last, res.TotalSteps)
+	}
+}
+
+// TestParkAndNowFree: in free mode Park spins until the (concurrently
+// written) condition holds, and Now counts the proc's own steps.
+func TestParkAndNowFree(t *testing.T) {
+	p := FreeProc(0)
+	var flag atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Park(func() bool { return flag.Load() })
+	}()
+	flag.Store(true)
+	<-done
+	if p.Now() != p.Steps() {
+		t.Fatalf("free Now = %d, want own steps %d", p.Now(), p.Steps())
+	}
+}

@@ -51,6 +51,7 @@ package sched
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -157,6 +158,37 @@ func (p *Proc) Steps() int64 {
 		return p.run.stepsV[p.id]
 	}
 	return p.steps.Load()
+}
+
+// Now returns the process's logical clock reading: in controlled mode the
+// total number of steps granted across the whole run (a run-wide virtual
+// time, monotone under the step token), in free mode this process's own
+// step count. Deterministic constructs built on the scheduler (virtual
+// tickers, timeouts, latency measurements) use it as their time source.
+func (p *Proc) Now() int64 {
+	if p.run != nil {
+		return p.run.total
+	}
+	return p.steps.Load()
+}
+
+// Park blocks the process until cond reports true, charging one scheduler
+// step per poll. It is the parking hook for blocking constructs (bounded
+// queues, completion waits, joins) built on top of the scheduler: a parked
+// process stays runnable, so the policy decides when it gets to re-check —
+// an adversary may starve it forever, which is exactly the semantics the
+// progress conditions quantify over. cond is evaluated while the process
+// holds the step token and must not take steps itself.
+//
+// In free mode Park spins, yielding the processor between polls; cond must
+// then be safe for concurrent evaluation.
+func (p *Proc) Park(cond func() bool) {
+	for !cond() {
+		p.Step()
+		if p.run == nil {
+			runtime.Gosched()
+		}
+	}
 }
 
 // SetResult records the value this process decided or computed; it is

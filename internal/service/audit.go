@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/sched"
 	"repro/internal/spec"
 )
 
@@ -102,9 +103,11 @@ type window struct {
 // initial value (spec.CASRegisterModel.UnknownInit), which is exactly right
 // for a slice cut from the middle of a history.
 type auditor struct {
-	cfg  AuditConfig
-	in   chan auditRecord
-	done chan struct{}
+	cfg AuditConfig
+	in  mailbox
+	// join blocks until the auditor proc has exited; the Store sets it when
+	// it spawns the auditor on the runtime.
+	join func(*sched.Proc)
 
 	sampled atomic.Int64
 	dropped atomic.Int64
@@ -117,14 +120,11 @@ type auditor struct {
 	samples        []string
 }
 
-func newAuditor(cfg AuditConfig) *auditor {
-	a := &auditor{
-		cfg:  cfg,
-		in:   make(chan auditRecord, cfg.QueueDepth),
-		done: make(chan struct{}),
-	}
-	go a.run()
-	return a
+// newAuditor builds an auditor on the runtime's mailbox. The caller spawns
+// a.run on the runtime (the auditor is a managed proc like the workers, so
+// a virtual run's policy can starve it).
+func newAuditor(cfg AuditConfig, rt Runtime) *auditor {
+	return &auditor{cfg: cfg, in: rt.newMailbox(cfg.QueueDepth)}
 }
 
 // sampled reports whether key is in the audited slice of the keyspace.
@@ -157,20 +157,25 @@ func (a *auditor) observe(proc int, r *request, ret int64) {
 		rec.op.In = spec.CASInput{Old: r.op.Old, New: r.op.Val}
 		rec.op.Out = r.res.OK
 	}
-	select {
-	case a.in <- rec:
+	if a.in.offer(rec) {
 		a.sampled.Add(1)
-	default:
+	} else {
 		a.dropped.Add(1)
 	}
 }
 
-// run is the auditor goroutine: it assembles version-contiguous per-key
-// windows and checks each completed window.
-func (a *auditor) run() {
-	defer close(a.done)
+// run is the auditor proc: it assembles version-contiguous per-key windows
+// and checks each completed window. On the free runtime it is a goroutine
+// draining a channel; on the virtual runtime it is a scheduled proc whose
+// mailbox polls charge steps, so an adversarial policy can starve auditing
+// (which costs coverage, never soundness).
+func (a *auditor) run(p *sched.Proc) {
 	windows := make(map[string]*window)
-	for rec := range a.in {
+	for {
+		rec, ok := a.in.take(p)
+		if !ok {
+			break
+		}
 		w := windows[rec.key]
 		if w == nil {
 			if len(windows) >= a.cfg.MaxTrackedKeys {
@@ -284,11 +289,12 @@ func (a *auditor) check(key string, ops []spec.Op) {
 	}
 }
 
-// close flushes and stops the auditor. Callers must guarantee no further
-// observe calls (the Store closes it only after all workers exit).
-func (a *auditor) close() {
-	close(a.in)
-	<-a.done
+// close flushes and stops the auditor, joining its proc on behalf of p
+// (nil on the free runtime). Callers must guarantee no further observe
+// calls (the Store closes it only after all workers exit).
+func (a *auditor) close(p *sched.Proc) {
+	a.in.close()
+	a.join(p)
 }
 
 // stats snapshots the auditor's counters.

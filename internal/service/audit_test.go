@@ -6,6 +6,15 @@ import (
 	"testing"
 )
 
+// testAuditor builds a standalone auditor on a fresh free runtime, as the
+// Store would, and starts its proc.
+func testAuditor(cfg AuditConfig) *auditor {
+	rt := newFreeRuntime()
+	a := newAuditor(cfg.withDefaults(), rt)
+	a.join = rt.spawn(a.run)
+	return a
+}
+
 // feed hands the auditor one completed op with explicit version and
 // timestamps, as the shard workers would post-commit.
 func feed(a *auditor, key string, ver uint64, call, ret int64, op Op, res Result) {
@@ -14,14 +23,14 @@ func feed(a *auditor, key string, ver uint64, call, ret int64, op Op, res Result
 }
 
 func drainAndStats(a *auditor) AuditStats {
-	a.close()
+	a.close(nil)
 	return a.stats()
 }
 
 // TestAuditorCleanWindow: a correct contiguous history checks clean, and
 // windows close at WindowOps.
 func TestAuditorCleanWindow(t *testing.T) {
-	a := newAuditor(AuditConfig{WindowOps: 4}.withDefaults())
+	a := testAuditor(AuditConfig{WindowOps: 4})
 	ts := int64(0)
 	for i := 0; i < 8; i++ {
 		ts += 2
@@ -39,7 +48,7 @@ func TestAuditorCleanWindow(t *testing.T) {
 // TestAuditorCatchesViolation: a stale read inside a contiguous window is a
 // violation — the serving path lying about linearizability is caught online.
 func TestAuditorCatchesViolation(t *testing.T) {
-	a := newAuditor(AuditConfig{WindowOps: 4}.withDefaults())
+	a := testAuditor(AuditConfig{WindowOps: 4})
 	feed(a, "k", 1, 1, 2, Op{Kind: OpPut, Key: "k", Val: "new"}, Result{OK: true})
 	// Sequential (non-overlapping) read that claims to have seen a value
 	// never written: no linearization exists.
@@ -55,7 +64,7 @@ func TestAuditorCatchesViolation(t *testing.T) {
 	}
 
 	// A failed cas whose expectation provably held is also a violation.
-	a = newAuditor(AuditConfig{WindowOps: 3}.withDefaults())
+	a = testAuditor(AuditConfig{WindowOps: 3})
 	feed(a, "c", 1, 1, 2, Op{Kind: OpPut, Key: "c", Val: "x"}, Result{OK: true})
 	feed(a, "c", 2, 3, 4, Op{Kind: OpCAS, Key: "c", Old: "x", Val: "y"}, Result{OK: false})
 	feed(a, "c", 3, 5, 6, Op{Kind: OpGet, Key: "c"}, Result{Val: "x", OK: true})
@@ -68,7 +77,7 @@ func TestAuditorCatchesViolation(t *testing.T) {
 // TestAuditorGapDiscards: a version gap (dropped record) must discard the
 // broken window — never check across it — and restart cleanly after it.
 func TestAuditorGapDiscards(t *testing.T) {
-	a := newAuditor(AuditConfig{WindowOps: 3}.withDefaults())
+	a := testAuditor(AuditConfig{WindowOps: 3})
 	// Window accumulates v1, v2 — then v3 is "dropped" and v4..v9 arrive.
 	// The checker must not see a window containing both v2 and v4: here the
 	// missing v3 wrote the value v5 reads, so checking across the gap would
@@ -91,7 +100,7 @@ func TestAuditorGapDiscards(t *testing.T) {
 // TestAuditorOutOfOrder: records arriving out of version order (worker
 // preemption between commit and observe) are reassembled, not discarded.
 func TestAuditorOutOfOrder(t *testing.T) {
-	a := newAuditor(AuditConfig{WindowOps: 4}.withDefaults())
+	a := testAuditor(AuditConfig{WindowOps: 4})
 	ops := []struct {
 		ver  uint64
 		kind OpKind
@@ -120,7 +129,7 @@ func TestAuditorOutOfOrder(t *testing.T) {
 // TestAuditorPendingOverflowRestarts: when the hole never fills, the parked
 // records eventually restart a fresh window instead of leaking.
 func TestAuditorPendingOverflowRestarts(t *testing.T) {
-	a := newAuditor(AuditConfig{WindowOps: 2}.withDefaults())
+	a := testAuditor(AuditConfig{WindowOps: 2})
 	feed(a, "k", 1, 1, 2, Op{Kind: OpPut, Key: "k", Val: "a"}, Result{OK: true})
 	// v2 missing; v3.. arrive until the parking lot overflows (> WindowOps).
 	for i := uint64(3); i <= 8; i++ {
@@ -141,7 +150,7 @@ func TestAuditorPendingOverflowRestarts(t *testing.T) {
 // TestAuditorSampling: key sampling is all-or-nothing per key and the
 // fraction of sampled keys tracks SampleFraction.
 func TestAuditorSampling(t *testing.T) {
-	a := newAuditor(AuditConfig{SampleFraction: 0.25, WindowOps: 4}.withDefaults())
+	a := testAuditor(AuditConfig{SampleFraction: 0.25, WindowOps: 4})
 	sampledKeys := 0
 	const keys = 200
 	for k := 0; k < keys; k++ {
@@ -159,13 +168,13 @@ func TestAuditorSampling(t *testing.T) {
 			t.Fatal("sampling not deterministic")
 		}
 	}
-	a.close()
+	a.close(nil)
 }
 
 // TestAuditorTrackedKeyBound: keys beyond MaxTrackedKeys are dropped, not
 // tracked without bound.
 func TestAuditorTrackedKeyBound(t *testing.T) {
-	a := newAuditor(AuditConfig{WindowOps: 4, MaxTrackedKeys: 2}.withDefaults())
+	a := testAuditor(AuditConfig{WindowOps: 4, MaxTrackedKeys: 2})
 	for k := 0; k < 8; k++ {
 		feed(a, fmt.Sprintf("k%d", k), 1, int64(2*k+1), int64(2*k+2),
 			Op{Kind: OpPut, Key: fmt.Sprintf("k%d", k), Val: "v"}, Result{OK: true})

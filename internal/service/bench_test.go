@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // The BenchmarkService* family measures the serving tier end to end:
@@ -83,5 +85,30 @@ func BenchmarkServiceDoBatch(b *testing.B) {
 	}
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N*len(ops))/elapsed.Seconds(), "ops/s")
+	}
+}
+
+// BenchmarkServiceSweep measures virtual-runtime sweep throughput: complete
+// serving-tier runs (submitters, workers, auditor, driver — one controlled
+// schedule each, exhaustively history-checked) per second, at 1 and 4 sweep
+// workers. Only the fast fault-free scenario is swept so the per-op cost
+// stays in the ~100µs range the bench gate's fixed iteration counts expect;
+// fault-plan scenarios burn their full step budget by design and are
+// covered by the sweep tests and the CI service-sim job.
+func BenchmarkServiceSweep(b *testing.B) {
+	smoke, ok := sim.Find("service:smoke")
+	if !ok {
+		b.Fatal("service:smoke not registered")
+	}
+	scenarios := []sim.Scenario{smoke}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			rep := sim.Sweep(scenarios, sim.Options{Seeds: uint64(b.N), Workers: w})
+			if !rep.OK() {
+				b.Fatalf("sweep found violations:\n%s", rep.Summary())
+			}
+			b.ReportMetric(float64(rep.Runs)/b.Elapsed().Seconds(), "runs/s")
+		})
 	}
 }

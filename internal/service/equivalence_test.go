@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// equivalenceScript is a deterministic command sequence exercising every op
+// kind, missing keys, failed and successful cas, overwrites, and client
+// batches. Each inner slice is one client call (len 1 = Do, len > 1 =
+// DoBatch).
+func equivalenceScript() [][]Op {
+	var calls [][]Op
+	one := func(op Op) { calls = append(calls, []Op{op}) }
+	one(Op{Kind: OpGet, Key: "a"})                          // missing
+	one(Op{Kind: OpPut, Key: "a", Val: "1"})                //
+	one(Op{Kind: OpCAS, Key: "a", Old: "1", Val: "2"})      // succeeds
+	one(Op{Kind: OpCAS, Key: "a", Old: "1", Val: "3"})      // fails
+	one(Op{Kind: OpCAS, Key: "fresh", Old: "", Val: "one"}) // materializes
+	// One client batch across shards. Its ops address distinct keys: ops
+	// inside a batch are concurrent, so two dependent ops on one key could
+	// legally commit in either order — on any runtime — and the per-op
+	// results would not be comparable across runs.
+	calls = append(calls, []Op{
+		{Kind: OpPut, Key: "b", Val: "x"},
+		{Kind: OpGet, Key: "a"},
+		{Kind: OpPut, Key: "c", Val: "y"},
+	})
+	one(Op{Kind: OpCAS, Key: "b", Old: "x", Val: "x2"}) // sequential: deterministic
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("k%d", i%5)
+		switch i % 3 {
+		case 0:
+			one(Op{Kind: OpPut, Key: key, Val: fmt.Sprintf("v%d", i)})
+		case 1:
+			one(Op{Kind: OpGet, Key: key})
+		default:
+			one(Op{Kind: OpCAS, Key: key, Old: fmt.Sprintf("v%d", i-2), Val: fmt.Sprintf("w%d", i)})
+		}
+	}
+	for _, k := range []string{"a", "b", "c", "fresh", "k0", "k1", "k2", "k3", "k4", "ghost"} {
+		one(Op{Kind: OpGet, Key: k}) // final state dump
+	}
+	return calls
+}
+
+func equivalenceConfig() Config {
+	return Config{Shards: 2, WorkersPerShard: 2, QueueDepth: 4, MaxBatch: 3,
+		Audit: AuditConfig{WindowOps: 4}}
+}
+
+// TestCrossRuntimeEquivalence runs the same scripted command sequence
+// through the free runtime (real goroutines, channels, wall clock) and the
+// virtual runtime (scheduled procs under several adversarial policies) and
+// requires identical state-machine results and audit verdicts — the seam
+// changes the substrate, never the semantics.
+func TestCrossRuntimeEquivalence(t *testing.T) {
+	script := equivalenceScript()
+
+	free := New(equivalenceConfig())
+	ctx := context.Background()
+	var freeResults [][]Result
+	for _, c := range script {
+		if len(c) == 1 {
+			res, err := free.Do(ctx, c[0])
+			if err != nil {
+				t.Fatalf("free Do: %v", err)
+			}
+			freeResults = append(freeResults, []Result{res})
+		} else {
+			res, err := free.DoBatch(ctx, c)
+			if err != nil {
+				t.Fatalf("free DoBatch: %v", err)
+			}
+			freeResults = append(freeResults, res)
+		}
+	}
+	if err := free.Close(); err != nil {
+		t.Fatal(err)
+	}
+	freeStats := free.Stats()
+	if freeStats.Audit.Violations != 0 {
+		t.Fatalf("free runtime audit violations: %v", freeStats.Audit.ViolationSamples)
+	}
+
+	policies := map[string]func() sched.Policy{
+		"round-robin": func() sched.Policy { return &sched.RoundRobin{} },
+		"random":      func() sched.Policy { return sched.NewRandom(42) },
+		"random2":     func() sched.Policy { return sched.NewRandom(7777) },
+	}
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			// Proc 0: the scripted client. Procs 1..: auditor + workers.
+			r := sched.NewRun(1+1+4, mk())
+			vr := NewVirtualRuntime(r, 1)
+			vs := NewVirtual(equivalenceConfig(), vr)
+			var virtResults [][]Result
+			r.Spawn(0, func(p *sched.Proc) {
+				for _, c := range script {
+					if len(c) == 1 {
+						res, err := vs.DoOn(p, c[0])
+						if err != nil {
+							t.Errorf("virtual DoOn: %v", err)
+							return
+						}
+						virtResults = append(virtResults, []Result{res})
+					} else {
+						res, err := vs.DoBatchOn(p, c)
+						if err != nil {
+							t.Errorf("virtual DoBatchOn: %v", err)
+							return
+						}
+						virtResults = append(virtResults, res)
+					}
+				}
+				if err := vs.CloseOn(p); err != nil {
+					t.Errorf("virtual CloseOn: %v", err)
+				}
+			})
+			res := r.Execute(1 << 20)
+			if res.DoneCount() != 6 {
+				t.Fatalf("virtual run incomplete: %v", res.Status)
+			}
+			if !reflect.DeepEqual(freeResults, virtResults) {
+				t.Fatalf("results diverge between runtimes:\nfree:    %v\nvirtual: %v", freeResults, virtResults)
+			}
+			if v := vr.CheckHistory(); len(v) != 0 {
+				t.Fatalf("virtual exhaustive history check: %v", v)
+			}
+			vStats := vs.Stats()
+			if vStats.Audit.Violations != 0 {
+				t.Fatalf("virtual audit violations: %v", vStats.Audit.ViolationSamples)
+			}
+			if vStats.TotalOps != freeStats.TotalOps {
+				t.Fatalf("served op counts diverge: free %d, virtual %d", freeStats.TotalOps, vStats.TotalOps)
+			}
+			if got, want := vStats.Ops, freeStats.Ops; !reflect.DeepEqual(got, want) {
+				t.Fatalf("per-kind op counts diverge: free %v, virtual %v", want, got)
+			}
+		})
+	}
+}
+
+// TestVirtualDrainRejectsInFlight closes a virtual store while a client is
+// mid-script: the tail must be rejected with ErrClosed, everything already
+// enqueued must still commit and answer, and the complete history must
+// stay linearizable.
+func TestVirtualDrainRejectsInFlight(t *testing.T) {
+	r := sched.NewRun(4, &sched.RoundRobin{}) // client, driver, auditor, worker
+	vr := NewVirtualRuntime(r, 2)
+	vs := NewVirtual(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 2, MaxBatch: 2,
+		Audit: AuditConfig{WindowOps: 4}}, vr)
+	answered, rejected := 0, 0
+	r.Spawn(0, func(p *sched.Proc) {
+		for i := 0; i < 200; i++ {
+			_, err := vs.DoOn(p, Op{Kind: OpPut, Key: "k", Val: fmt.Sprintf("v%d", i)})
+			switch err {
+			case nil:
+				answered++
+			case ErrClosed:
+				rejected++
+			default:
+				t.Errorf("DoOn: %v", err)
+				return
+			}
+		}
+	})
+	closed := false
+	r.Spawn(1, func(p *sched.Proc) {
+		p.Park(func() bool { return answered >= 5 })
+		if err := vs.CloseOn(p); err != nil {
+			t.Errorf("CloseOn: %v", err)
+			return
+		}
+		closed = true
+	})
+	r.Execute(1 << 20)
+	if !closed {
+		t.Fatal("driver never closed the store")
+	}
+	if answered < 5 || rejected == 0 {
+		t.Fatalf("answered=%d rejected=%d, want both in-flight completion and rejection", answered, rejected)
+	}
+	if answered+rejected != 200 {
+		t.Fatalf("accounting: answered %d + rejected %d != 200", answered, rejected)
+	}
+	if v := vr.CheckHistory(); len(v) != 0 {
+		t.Fatalf("history check after drain: %v", v)
+	}
+	if vr.CommittedOps() < answered {
+		t.Fatalf("committed %d < answered %d", vr.CommittedOps(), answered)
+	}
+	// A second close reports ErrClosed, same as the free runtime.
+	if err := vs.Close(); err != ErrClosed {
+		t.Fatalf("second close = %v, want ErrClosed", err)
+	}
+}

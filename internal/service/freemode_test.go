@@ -1,0 +1,160 @@
+// Free-mode stress suite for the serving tier, in the style of
+// internal/memory's free-mode suite: every public entry point hammered
+// from real goroutines under -race (CI runs a dedicated race pass over
+// these tests), verifying that the runtime seam left the free path's
+// concurrency behavior intact.
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFreeModeHammer drives mixed single and batched traffic, concurrent
+// Stats polling, and a graceful close from 8 goroutines.
+func TestFreeModeHammer(t *testing.T) {
+	s := New(Config{Shards: 4, WorkersPerShard: 2, QueueDepth: 16, MaxBatch: 8,
+		Audit: AuditConfig{WindowOps: 8}})
+	ctx := context.Background()
+	const clients, opsPerClient = 8, 200
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 99))
+			for i := 0; i < opsPerClient; i++ {
+				key := fmt.Sprintf("k%d", rng.IntN(16))
+				switch rng.IntN(4) {
+				case 0:
+					if err := s.Put(ctx, key, fmt.Sprintf("c%d-%d", c, i)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					if _, _, err := s.Get(ctx, key); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				case 2:
+					old, _, _ := s.Get(ctx, key)
+					if _, err := s.CAS(ctx, key, old, fmt.Sprintf("c%d-%d", c, i)); err != nil {
+						t.Errorf("cas: %v", err)
+						return
+					}
+				default:
+					ops := make([]Op, 4)
+					for j := range ops {
+						ops[j] = Op{Kind: OpPut, Key: fmt.Sprintf("k%d", rng.IntN(16)), Val: "b"}
+					}
+					if _, err := s.DoBatch(ctx, ops); err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		for i := 0; i < 50; i++ {
+			_ = s.Stats()
+		}
+	}()
+	wg.Wait()
+	<-statsDone
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Audit.Violations != 0 {
+		t.Fatalf("audit violations: %v", st.Audit.ViolationSamples)
+	}
+	if st.TotalOps == 0 {
+		t.Fatal("no ops served")
+	}
+}
+
+// TestFreeModeCloseRace races Close against in-flight submissions: every
+// op must either commit normally or fail with ErrClosed, and the store
+// must drain cleanly either way.
+func TestFreeModeCloseRace(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		s := New(Config{Shards: 2, WorkersPerShard: 2, QueueDepth: 4, MaxBatch: 4,
+			Audit: AuditConfig{WindowOps: 4}})
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		var served, rejected atomic.Int64
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					_, err := s.Do(ctx, Op{Kind: OpPut, Key: fmt.Sprintf("k%d", i%8), Val: "v"})
+					switch err {
+					case nil:
+						served.Add(1)
+					case ErrClosed:
+						rejected.Add(1)
+						return
+					default:
+						t.Errorf("do: %v", err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		wg.Wait()
+		if err := s.Close(); err != ErrClosed {
+			t.Fatalf("second close = %v, want ErrClosed", err)
+		}
+		st := s.Stats()
+		if st.Audit.Violations != 0 {
+			t.Fatalf("audit violations: %v", st.Audit.ViolationSamples)
+		}
+		if served.Load() != st.TotalOps {
+			t.Fatalf("served %d acks but stats count %d commits", served.Load(), st.TotalOps)
+		}
+	}
+}
+
+// TestFreeModeBatchAndStatsUnderLoad overlaps DoBatch with Stats and with
+// single-op traffic on the same keys (the read path of Stats uses the
+// lock-free committed registers; -race must stay silent).
+func TestFreeModeBatchAndStatsUnderLoad(t *testing.T) {
+	s := New(Config{Shards: 1, WorkersPerShard: 2, QueueDepth: 8, MaxBatch: 4,
+		Audit: AuditConfig{WindowOps: 4}})
+	defer s.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ops := []Op{
+					{Kind: OpPut, Key: "shared", Val: fmt.Sprintf("c%d-%d", c, i)},
+					{Kind: OpGet, Key: "shared"},
+				}
+				if _, err := s.DoBatch(ctx, ops); err != nil {
+					t.Errorf("batch: %v", err)
+					return
+				}
+				_ = s.Stats()
+			}
+		}(c)
+	}
+	wg.Wait()
+}

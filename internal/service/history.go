@@ -1,0 +1,142 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// histRecord is one committed command in the run's complete history,
+// captured at the moment its log position was first applied by any
+// replica. The recorded result is the ground truth computed by the
+// deterministic state machine; if the client was answered, the check
+// substitutes the client-observed result, so a serving path that lies to
+// its clients is caught even when the state machine itself was right.
+type histRecord struct {
+	r   *request
+	res Result // ground-truth result of the state machine
+	ver uint64 // per-key version assigned by the replicated state machine
+	ret int64  // logical clock at commit (within [call, client return])
+}
+
+// historyRecorder captures the complete committed history of a virtual
+// run. It is written only under the run's step token (queue sends and
+// first-apply of each log position), so it needs no locking, and its
+// contents are deterministic in the run.
+//
+// Soundness of the post-run check rests on three facts:
+//
+//   - every decided log position is recorded exactly once (batches carry a
+//     recorded flag; replicas apply positions in order), so the history has
+//     no gaps — per-key version contiguity is additionally verified;
+//   - a command that is absent from the history was never applied by any
+//     replica, so excluding it cannot hide an observed effect;
+//   - recorded intervals [call, ret] bracket the true linearization point
+//     (the log decision happens after the enqueue and before any apply),
+//     so real-time order constraints are valid — and tighter than the
+//     client-observed ones, since ret is taken at commit, not at reply.
+type historyRecorder struct {
+	submitted []*request
+	records   []histRecord
+}
+
+func newHistoryRecorder() *historyRecorder { return &historyRecorder{} }
+
+// submit registers an enqueued request, so the check can verify that every
+// answered request was actually committed.
+func (h *historyRecorder) submit(r *request) { h.submitted = append(h.submitted, r) }
+
+// record captures one committed command with its ground-truth result.
+func (h *historyRecorder) record(r *request, res Result, ver uint64, ret int64) {
+	h.records = append(h.records, histRecord{r: r, res: res, ver: ver, ret: ret})
+}
+
+// specOp converts one record into a checker operation. Answered requests
+// contribute the result their client actually observed; unanswered (e.g.
+// the owning worker crashed after commit, before replying) contribute the
+// ground truth, since no client saw anything.
+func (rec histRecord) specOp() spec.Op {
+	res := rec.res
+	if rec.r.answered {
+		res = rec.r.res
+	}
+	op := spec.Op{Call: rec.r.call, Ret: rec.ret}
+	switch rec.r.op.Kind {
+	case OpGet:
+		op.Method, op.Out = "read", res.Val
+	case OpPut:
+		op.Method, op.In = "write", rec.r.op.Val
+	case OpCAS:
+		op.Method = "cas"
+		op.In = spec.CASInput{Old: rec.r.op.Old, New: rec.r.op.Val}
+		op.Out = res.OK
+	}
+	return op
+}
+
+// check runs the exhaustive post-run audit; see VirtualRuntime.CheckHistory.
+func (h *historyRecorder) check() []string {
+	var out []string
+
+	recorded := make(map[*request]bool, len(h.records))
+	for _, rec := range h.records {
+		if recorded[rec.r] {
+			out = append(out, fmt.Sprintf(
+				"history: %s on key %q committed twice", rec.r.op.Kind, rec.r.op.Key))
+		}
+		recorded[rec.r] = true
+	}
+	for _, r := range h.submitted {
+		if r.answered && !recorded[r] {
+			out = append(out, fmt.Sprintf(
+				"history: answered %s on key %q was never committed", r.op.Kind, r.op.Key))
+		}
+	}
+
+	// Per-key version contiguity: every key's committed versions must be
+	// exactly 1..n — the gap-free guarantee the exhaustive check rests on.
+	vers := map[string][]uint64{}
+	for _, rec := range h.records {
+		vers[rec.r.op.Key] = append(vers[rec.r.op.Key], rec.ver)
+	}
+	keys := make([]string, 0, len(vers))
+	for key := range vers {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		vs := vers[key]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		for i, v := range vs {
+			if v != uint64(i+1) {
+				out = append(out, fmt.Sprintf(
+					"history: key %q version sequence has a gap at %d (want %d)", key, v, i+1))
+				break
+			}
+		}
+	}
+
+	// Exhaustive per-key linearizability over the complete history, from
+	// the known empty initial value. Truncated is a hard failure: it would
+	// mean part of the history went unchecked, which this checker — unlike
+	// the sampling online auditor — must never silently accept.
+	history := make([]spec.KeyedOp, 0, len(h.records))
+	for _, rec := range h.records {
+		history = append(history, spec.KeyedOp{Key: rec.r.op.Key, Op: rec.specOp()})
+	}
+	model := func(string) spec.Model { return spec.CASRegisterModel{Initial: ""} }
+	for _, kv := range spec.CheckPartitioned(model, history, spec.MaxWindowOps) {
+		switch kv.Result {
+		case spec.Violation:
+			out = append(out, fmt.Sprintf(
+				"linearizability violated: key %q: %d-op complete history has no valid linearization",
+				kv.Key, kv.Ops))
+		case spec.Truncated:
+			out = append(out, fmt.Sprintf(
+				"history: key %q has %d ops, beyond the exhaustive checker's %d-op bound",
+				kv.Key, kv.Ops, spec.MaxWindowOps))
+		}
+	}
+	return out
+}

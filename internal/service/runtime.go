@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Runtime is the execution substrate of a Store: how worker and auditor
+// procs are spawned and joined, how requests move through shard queues and
+// are answered, and what clock timestamps operations. The serving logic
+// (batching, the universal construction, the state machine, the auditor's
+// window assembly) is runtime-agnostic; only the blocking primitives differ.
+//
+// Two implementations exist:
+//
+//   - the free runtime (the default, used by New): real goroutines, Go
+//     channels, time.Now — the production fast path, unchanged from the
+//     original free-mode serving tier;
+//   - the virtual runtime (NewVirtualRuntime + NewVirtual): every worker,
+//     submitter and the auditor is a proc of one controlled sched.Run,
+//     every blocking point is a cooperative sched.Proc.Park poll, and time
+//     is the run's granted-step count — so the whole serving tier executes
+//     under an adversarial scheduling Policy, deterministically in the
+//     run's seed.
+//
+// The interface is sealed (unexported methods): external packages pick a
+// runtime via the constructors, they do not implement their own.
+type Runtime interface {
+	// now returns the runtime clock: wall-clock nanoseconds in free mode,
+	// the run's granted-step count in virtual mode. p is the calling proc
+	// (nil on the free-mode client path, which has no proc).
+	now(p *sched.Proc) int64
+	// newRequest mints one in-flight request for op, timestamped with the
+	// runtime clock and carrying the runtime's completion primitive.
+	newRequest(p *sched.Proc, op Op) *request
+	// newQueue creates one shard's bounded request queue.
+	newQueue(capacity int) queue
+	// newMailbox creates the auditor's bounded record queue.
+	newMailbox(capacity int) mailbox
+	// beginSubmit opens one submission (a single op or a whole batch)
+	// against a racing Close: after it returns nil, enqueues cannot race
+	// with the queues closing. endSubmit closes the bracket.
+	beginSubmit() error
+	endSubmit()
+	// markClosed transitions the store to closed, returning ErrClosed if it
+	// already was.
+	markClosed() error
+	// spawn starts fn on the next managed proc. The returned join blocks
+	// (on behalf of waiter, nil on the free-mode path) until fn returns.
+	spawn(fn func(*sched.Proc)) (join func(waiter *sched.Proc))
+	// complete marks r answered and wakes its waiter; await blocks until r
+	// is answered.
+	complete(r *request)
+	await(p *sched.Proc, r *request)
+}
+
+// queue is one shard's bounded request queue.
+type queue interface {
+	// send enqueues r, blocking while the queue is full. It returns
+	// ErrClosed if the queue closed before the enqueue happened, or ctx's
+	// error if the context won first (free mode only; virtual runs model
+	// abandonment with crash and omission plans instead).
+	send(p *sched.Proc, ctx context.Context, r *request) error
+	// receiver returns a per-worker receive handle (it owns the worker's
+	// idle-sync ticker state).
+	receiver() receiver
+	// close stops the queue: blocked senders fail with ErrClosed, receivers
+	// drain the backlog and then see ok=false.
+	close()
+	// len is the current backlog, for stats.
+	len() int
+}
+
+// receiver is one worker's receive handle on its shard queue.
+type receiver interface {
+	// recv blocks for the next request. tick=true reports that the idle
+	// sync interval elapsed with no request (time to catch up the replica
+	// and truncate); ok=false reports the queue closed and drained.
+	recv(p *sched.Proc) (r *request, tick, ok bool)
+	// tryRecv is the non-blocking drain used to fill a batch.
+	tryRecv(p *sched.Proc) (*request, bool)
+	// stop releases the receiver's resources.
+	stop()
+}
+
+// mailbox is the auditor's bounded record queue. offer never blocks (a full
+// mailbox drops, which the auditor detects as a version gap).
+type mailbox interface {
+	offer(rec auditRecord) bool
+	take(p *sched.Proc) (auditRecord, bool)
+	close()
+}
+
+// freeRuntime is the production substrate: real goroutines and channels,
+// wall-clock time. Its Do/DoBatch path performs exactly the allocations of
+// the original free-mode store (one request and one done channel per op)
+// and takes no locks beyond the submit/close RWMutex.
+type freeRuntime struct {
+	// mu guards closed. Submitters hold the read side across the enqueue so
+	// that markClosed cannot let the shard queues close while a send is in
+	// flight.
+	mu     sync.RWMutex
+	closed bool
+	nextID int
+}
+
+func newFreeRuntime() *freeRuntime { return &freeRuntime{} }
+
+func (rt *freeRuntime) now(*sched.Proc) int64 { return time.Now().UnixNano() }
+
+func (rt *freeRuntime) newRequest(_ *sched.Proc, op Op) *request {
+	return &request{op: op, start: time.Now().UnixNano(), done: make(chan struct{})}
+}
+
+func (rt *freeRuntime) newQueue(capacity int) queue {
+	return &freeQueue{ch: make(chan *request, capacity)}
+}
+
+func (rt *freeRuntime) newMailbox(capacity int) mailbox {
+	return &freeMailbox{ch: make(chan auditRecord, capacity)}
+}
+
+func (rt *freeRuntime) beginSubmit() error {
+	rt.mu.RLock()
+	if rt.closed {
+		rt.mu.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+func (rt *freeRuntime) endSubmit() { rt.mu.RUnlock() }
+
+func (rt *freeRuntime) markClosed() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return ErrClosed
+	}
+	rt.closed = true
+	return nil
+}
+
+// spawn is called only during Store construction, before the store escapes
+// to other goroutines, so nextID needs no lock.
+func (rt *freeRuntime) spawn(fn func(*sched.Proc)) func(*sched.Proc) {
+	p := sched.FreeProc(rt.nextID)
+	rt.nextID++
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn(p)
+	}()
+	return func(*sched.Proc) { <-done }
+}
+
+func (rt *freeRuntime) complete(r *request) { close(r.done) }
+
+func (rt *freeRuntime) await(_ *sched.Proc, r *request) { <-r.done }
+
+// freeQueue wraps a buffered channel; senders hold the runtime's submit
+// read-lock (see beginSubmit), so close never races a send.
+type freeQueue struct {
+	ch chan *request
+}
+
+func (q *freeQueue) send(_ *sched.Proc, ctx context.Context, r *request) error {
+	select {
+	case q.ch <- r:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (q *freeQueue) receiver() receiver {
+	return &freeReceiver{ch: q.ch, ticker: time.NewTicker(syncInterval)}
+}
+
+func (q *freeQueue) close() { close(q.ch) }
+
+func (q *freeQueue) len() int { return len(q.ch) }
+
+// freeReceiver owns one worker's idle-sync ticker.
+type freeReceiver struct {
+	ch     chan *request
+	ticker *time.Ticker
+}
+
+func (rc *freeReceiver) recv(_ *sched.Proc) (*request, bool, bool) {
+	select {
+	case r, ok := <-rc.ch:
+		return r, false, ok
+	case <-rc.ticker.C:
+		return nil, true, true
+	}
+}
+
+func (rc *freeReceiver) tryRecv(_ *sched.Proc) (*request, bool) {
+	select {
+	case r, ok := <-rc.ch:
+		if !ok {
+			return nil, false
+		}
+		return r, true
+	default:
+		return nil, false
+	}
+}
+
+func (rc *freeReceiver) stop() { rc.ticker.Stop() }
+
+// freeMailbox is the auditor's channel-backed record queue.
+type freeMailbox struct {
+	ch chan auditRecord
+}
+
+func (m *freeMailbox) offer(rec auditRecord) bool {
+	select {
+	case m.ch <- rec:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *freeMailbox) take(_ *sched.Proc) (auditRecord, bool) {
+	rec, ok := <-m.ch
+	return rec, ok
+}
+
+func (m *freeMailbox) close() { close(m.ch) }

@@ -38,10 +38,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
-	"time"
 
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -142,33 +141,47 @@ func (c Config) withDefaults() Config {
 var ErrClosed = errors.New("service: store is closed")
 
 // Store is a sharded, batched, continuously-audited key-value store.
+//
+// A Store runs on a Runtime: the free runtime (New) serves on real
+// goroutines at production speed, the virtual runtime (NewVirtual) serves
+// inside a controlled sched.Run where the scheduling policy is a full
+// adversary and every run is deterministic.
 type Store struct {
 	cfg    Config
-	clock  atomic.Int64 // logical time for audit intervals
+	rt     Runtime
+	rec    *historyRecorder // complete-history capture; nil on the free runtime
+	clock  atomic.Int64     // logical time for audit intervals
 	shards []*shard
 	audit  *auditor // nil when auditing is disabled
 
-	// mu guards closed. Submitters hold the read side across the enqueue so
-	// that Close cannot close the shard queues while a send is in flight.
-	mu     sync.RWMutex
-	closed bool
-	wg     sync.WaitGroup
+	joins []func(*sched.Proc) // one per worker, in spawn order
+
+	// debugDropPuts injects a serving-tier bug for checker canaries: puts
+	// on this key are acknowledged but never applied. Set only by in-package
+	// test scenarios, before any traffic.
+	debugDropPuts string
 }
 
-// New starts a store with cfg's shards and workers running.
-func New(cfg Config) *Store {
+// New starts a store on the free runtime with cfg's shards and workers
+// running as real goroutines.
+func New(cfg Config) *Store { return newStore(cfg, newFreeRuntime()) }
+
+func newStore(cfg Config, rt Runtime) *Store {
 	cfg = cfg.withDefaults()
-	s := &Store{cfg: cfg}
+	s := &Store{cfg: cfg, rt: rt}
+	if vr, ok := rt.(*VirtualRuntime); ok {
+		s.rec = vr.rec
+	}
 	if !cfg.Audit.Disabled {
-		s.audit = newAuditor(cfg.Audit)
+		s.audit = newAuditor(cfg.Audit, rt)
+		s.audit.join = rt.spawn(s.audit.run)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(s, i))
 	}
 	for _, sh := range s.shards {
 		for _, w := range sh.workers {
-			s.wg.Add(1)
-			go w.run()
+			s.joins = append(s.joins, rt.spawn(w.run))
 		}
 	}
 	return s
@@ -193,27 +206,36 @@ func (s *Store) shardOf(key string) *shard {
 
 // Do submits one command and waits for its linearized result. A full shard
 // queue blocks (backpressure) until space frees or ctx is done; a closed
-// store returns ErrClosed.
+// store returns ErrClosed. Do is the free-runtime client entry point; on a
+// virtual runtime use DoOn from a proc of the store's run.
 func (s *Store) Do(ctx context.Context, op Op) (Result, error) {
+	return s.do(nil, ctx, op)
+}
+
+// DoOn is Do for virtual-runtime clients: p is the submitting proc of the
+// store's controlled run, and blocking (backpressure, completion wait) is
+// a cooperative Park on p — the run's policy decides when the submitter
+// advances. It also works on the free runtime with a free-mode proc.
+func (s *Store) DoOn(p *sched.Proc, op Op) (Result, error) {
+	return s.do(p, context.Background(), op)
+}
+
+func (s *Store) do(p *sched.Proc, ctx context.Context, op Op) (Result, error) {
 	if op.Kind >= numOpKinds {
 		return Result{}, fmt.Errorf("service: invalid op kind %d", op.Kind)
 	}
-	r := &request{op: op, start: time.Now(), done: make(chan struct{})}
+	r := s.rt.newRequest(p, op)
 	sh := s.shardOf(op.Key)
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return Result{}, ErrClosed
+	if err := s.rt.beginSubmit(); err != nil {
+		return Result{}, err
 	}
 	r.call = s.clock.Add(1)
-	select {
-	case sh.reqs <- r:
-		s.mu.RUnlock()
-	case <-ctx.Done():
-		s.mu.RUnlock()
-		return Result{}, ctx.Err()
+	err := sh.q.send(p, ctx, r)
+	s.rt.endSubmit()
+	if err != nil {
+		return Result{}, err
 	}
-	<-r.done
+	s.rt.await(p, r)
 	return r.res, nil
 }
 
@@ -239,39 +261,45 @@ func (s *Store) CAS(ctx context.Context, key, old, new string) (bool, error) {
 // DoBatch submits ops concurrently (grouped per shard by the workers'
 // batching) and waits for all results, index-aligned with ops. If ctx is
 // done mid-submission, already-enqueued commands are still awaited (they
-// will commit) and ctx's error is returned.
+// will commit) and ctx's error is returned. DoBatch is the free-runtime
+// client entry point; on a virtual runtime use DoBatchOn.
 func (s *Store) DoBatch(ctx context.Context, ops []Op) ([]Result, error) {
+	return s.doBatch(nil, ctx, ops)
+}
+
+// DoBatchOn is DoBatch for virtual-runtime clients (see DoOn). A Close
+// landing mid-submission can reject the batch's tail with ErrClosed;
+// already-enqueued commands still commit and are awaited.
+func (s *Store) DoBatchOn(p *sched.Proc, ops []Op) ([]Result, error) {
+	return s.doBatch(p, context.Background(), ops)
+}
+
+func (s *Store) doBatch(p *sched.Proc, ctx context.Context, ops []Op) ([]Result, error) {
 	for _, op := range ops {
 		if op.Kind >= numOpKinds {
 			return nil, fmt.Errorf("service: invalid op kind %d", op.Kind)
 		}
 	}
 	reqs := make([]*request, 0, len(ops))
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
-		return nil, ErrClosed
+	if err := s.rt.beginSubmit(); err != nil {
+		return nil, err
 	}
-	var ctxErr error
+	var submitErr error
 	for _, op := range ops {
-		r := &request{op: op, start: time.Now(), done: make(chan struct{})}
+		r := s.rt.newRequest(p, op)
 		r.call = s.clock.Add(1)
-		select {
-		case s.shardOf(op.Key).reqs <- r:
-			reqs = append(reqs, r)
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-		}
-		if ctxErr != nil {
+		if err := s.shardOf(op.Key).q.send(p, ctx, r); err != nil {
+			submitErr = err
 			break
 		}
+		reqs = append(reqs, r)
 	}
-	s.mu.RUnlock()
+	s.rt.endSubmit()
 	for _, r := range reqs {
-		<-r.done
+		s.rt.await(p, r)
 	}
-	if ctxErr != nil {
-		return nil, ctxErr
+	if submitErr != nil {
+		return nil, submitErr
 	}
 	out := make([]Result, len(reqs))
 	for i, r := range reqs {
@@ -283,21 +311,28 @@ func (s *Store) DoBatch(ctx context.Context, ops []Op) ([]Result, error) {
 // Close gracefully shuts the store down: it stops accepting new commands,
 // waits for every queued command to commit and answer, flushes the auditor,
 // and returns. Submissions racing with Close either complete normally or
-// return ErrClosed. A second Close returns ErrClosed.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
+// return ErrClosed. A second Close returns ErrClosed. Close is the
+// free-runtime entry point; on a virtual runtime use CloseOn.
+func (s *Store) Close() error { return s.close(nil) }
+
+// CloseOn is Close for virtual-runtime drivers: the drain (joining every
+// worker, then the auditor) parks p cooperatively, so an adversarial
+// policy can stall the drain — exactly the behavior drain-under-load
+// scenarios probe.
+func (s *Store) CloseOn(p *sched.Proc) error { return s.close(p) }
+
+func (s *Store) close(p *sched.Proc) error {
+	if err := s.rt.markClosed(); err != nil {
+		return err
 	}
-	s.closed = true
-	s.mu.Unlock()
 	for _, sh := range s.shards {
-		close(sh.reqs)
+		sh.q.close()
 	}
-	s.wg.Wait()
+	for _, join := range s.joins {
+		join(p)
+	}
 	if s.audit != nil {
-		s.audit.close()
+		s.audit.close(p)
 	}
 	return nil
 }
@@ -346,8 +381,14 @@ type Stats struct {
 	Audit AuditStats `json:"audit"`
 }
 
+// statsProc is the free-mode proc Stats uses for its lock-free register
+// reads. Stats runs outside any controlled run (concurrently with traffic
+// on the free runtime, after Execute on the virtual one), so it must not
+// take scheduler steps on a run-owned proc.
+var statsProc = sched.FreeProc(-1)
+
 // Stats snapshots the store. It is safe to call concurrently with traffic
-// and after Close.
+// and after Close (on a virtual runtime: after the run has executed).
 func (s *Store) Stats() Stats {
 	st := Stats{
 		Shards:          s.cfg.Shards,
@@ -359,9 +400,9 @@ func (s *Store) Stats() Stats {
 	}
 	var lat [numOpKinds]sim.Histogram
 	for si, sh := range s.shards {
-		st.QueueDepth[si] = len(sh.reqs)
+		st.QueueDepth[si] = sh.q.len()
 		for _, w := range sh.workers {
-			pos := w.committed.Read(w.proc)
+			pos := w.committed.Read(statsProc)
 			if pos > st.Committed[si] {
 				st.Committed[si] = pos
 			}

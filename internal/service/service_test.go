@@ -178,23 +178,16 @@ func TestConcurrentLoad(t *testing.T) {
 	// and verify each partition is linearizable from the known "" initial
 	// value. Per-key op counts stay well under spec.MaxWindowOps (the run is
 	// seeded, so the per-key distribution is deterministic).
-	var all []spec.Op
-	keyOf := make(map[int]string) // Proc+Call is unique; index ops instead
+	var all []spec.KeyedOp
 	for _, h := range histories {
 		for _, to := range h {
-			keyOf[len(all)] = to.key
-			all = append(all, to.op)
+			all = append(all, spec.KeyedOp{Key: to.key, Op: to.op})
 		}
 	}
-	idx := 0
-	parts := spec.PartitionByKey(all, func(op spec.Op) string {
-		k := keyOf[idx]
-		idx++
-		return k
-	})
-	for key, ops := range parts {
-		if res := spec.CheckBounded(spec.CASRegisterModel{Initial: ""}, ops, spec.MaxWindowOps); res != spec.Linearizable {
-			t.Errorf("key %s: client-side history %v (%d ops)", key, res, len(ops))
+	model := func(string) spec.Model { return spec.CASRegisterModel{Initial: ""} }
+	for _, kv := range spec.CheckPartitioned(model, all, spec.MaxWindowOps) {
+		if kv.Result != spec.Linearizable {
+			t.Errorf("key %s: client-side history %v (%d ops)", kv.Key, kv.Result, kv.Ops)
 		}
 	}
 }

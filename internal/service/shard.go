@@ -14,11 +14,14 @@ import (
 // request is one in-flight client command.
 type request struct {
 	op    Op
-	call  int64     // logical clock at submission (audit interval start)
-	start time.Time // wall clock at submission (latency)
-	res   Result    // written only by the owning worker's replica
-	ver   uint64    // per-key state-machine version of this op
-	done  chan struct{}
+	call  int64 // logical clock at submission (audit interval start)
+	start int64 // runtime clock at submission (latency)
+	res   Result
+	ver   uint64 // per-key state-machine version of this op
+	// done is the free runtime's completion signal; answered is the virtual
+	// runtime's (written under the step token).
+	done     chan struct{}
+	answered bool
 }
 
 // entry is one key's slot in the shard state machine: its value, whether a
@@ -43,6 +46,9 @@ type kvState map[string]entry
 type batch struct {
 	owner *worker
 	reqs  []*request
+	// recorded marks the batch captured by the history recorder at its
+	// first apply (virtual runtime only; written under the step token).
+	recorded bool
 }
 
 // shard is one independent replicated log plus its submitter workers.
@@ -50,7 +56,7 @@ type shard struct {
 	store   *Store
 	id      int
 	log     *universal.Log[*batch]
-	reqs    chan *request
+	q       queue
 	workers []*worker
 }
 
@@ -58,7 +64,7 @@ func newShard(s *Store, id int) *shard {
 	sh := &shard{
 		store: s,
 		id:    id,
-		reqs:  make(chan *request, s.cfg.QueueDepth),
+		q:     s.rt.newQueue(s.cfg.QueueDepth),
 	}
 	// Every log position is a write-once consensus cell (consensus number
 	// +inf), the wait-free base object the universal construction assumes.
@@ -67,11 +73,7 @@ func newShard(s *Store, id int) *shard {
 	})
 	for wi := 0; wi < s.cfg.WorkersPerShard; wi++ {
 		gid := sh.id*s.cfg.WorkersPerShard + wi
-		w := &worker{
-			sh:   sh,
-			id:   gid,
-			proc: sched.FreeProc(gid),
-		}
+		w := &worker{sh: sh, id: gid}
 		w.committed.Init(fmt.Sprintf("shard%d/committed%d", id, wi), 0)
 		w.rep = universal.NewReplica[kvState, *batch](sh.log, kvState{}, w.apply)
 		sh.workers = append(sh.workers, w)
@@ -97,10 +99,9 @@ func (sh *shard) truncate(p *sched.Proc) {
 // for log positions with its own replica, and answers the clients whose
 // commands it committed.
 type worker struct {
-	sh   *shard
-	id   int // global worker id; doubles as the audit process id
-	proc *sched.Proc
-	rep  *universal.Replica[kvState, *batch]
+	sh  *shard
+	id  int // global worker id; doubles as the audit process id
+	rep *universal.Replica[kvState, *batch]
 
 	// committed publishes this worker's replica position (single writer;
 	// read lock-free by Stats via the memory package's free-mode fast path).
@@ -113,69 +114,61 @@ type worker struct {
 	latency   [numOpKinds]sim.Histogram
 }
 
-// syncInterval is how often an idle worker catches its replica up to the
-// shard frontier so it stops pinning the truncation floor.
+// syncInterval is how often an idle free-runtime worker catches its replica
+// up to the shard frontier so it stops pinning the truncation floor (the
+// virtual runtime's analogue is virtualSyncSteps of logical time).
 const syncInterval = 25 * time.Millisecond
 
 // run is the worker loop: one blocking receive opens a grant window, a
 // non-blocking drain fills it up to MaxBatch, and the whole window commits
-// as one log command. While idle, the worker periodically syncs its
-// replica to the shard frontier (an idle replica's position is the
+// as one log command. While idle, the worker periodically catches its
+// replica up to the shard frontier (an idle replica's position is the
 // truncation floor — without catching up it would pin every committed
 // batch in memory). It exits when the shard queue is closed and drained,
 // catching up one final time so shutdown leaves the log truncated.
-func (w *worker) run() {
-	defer w.sh.store.wg.Done()
+func (w *worker) run(p *sched.Proc) {
 	maxBatch := w.sh.store.cfg.MaxBatch
 	buf := make([]*request, 0, maxBatch)
-	idle := time.NewTicker(syncInterval)
-	defer idle.Stop()
+	rcv := w.sh.q.receiver()
+	defer rcv.stop()
 	for {
-		var r *request
-		var ok bool
-		select {
-		case r, ok = <-w.sh.reqs:
-		case <-idle.C:
-			w.catchUp()
-			continue
-		}
+		r, tick, ok := rcv.recv(p)
 		if !ok {
-			w.catchUp()
+			w.catchUp(p)
 			return
 		}
-		buf = append(buf[:0], r)
-	drain:
-		for len(buf) < maxBatch {
-			select {
-			case r2, ok := <-w.sh.reqs:
-				if !ok {
-					break drain
-				}
-				buf = append(buf, r2)
-			default:
-				break drain
-			}
+		if tick {
+			w.catchUp(p)
+			continue
 		}
-		w.commit(buf)
+		buf = append(buf[:0], r)
+		for len(buf) < maxBatch {
+			r2, ok := rcv.tryRecv(p)
+			if !ok {
+				break
+			}
+			buf = append(buf, r2)
+		}
+		w.commit(p, buf)
 	}
 }
 
 // catchUp applies every log command other workers have already committed
 // (all positions below the shard frontier are decided, so Sync never
 // proposes), publishes the new position, and truncates the log.
-func (w *worker) catchUp() {
+func (w *worker) catchUp(p *sched.Proc) {
 	var frontier int64
 	for _, o := range w.sh.workers {
-		if pos := o.committed.Read(w.proc); pos > frontier {
+		if pos := o.committed.Read(p); pos > frontier {
 			frontier = pos
 		}
 	}
 	if int(frontier) <= w.rep.Pos() {
 		return
 	}
-	w.rep.Sync(w.proc, int(frontier), nil)
-	w.committed.Write(w.proc, int64(w.rep.Pos()))
-	w.sh.truncate(w.proc)
+	w.rep.Sync(p, int(frontier), nil)
+	w.committed.Write(p, int64(w.rep.Pos()))
+	w.sh.truncate(p)
 }
 
 // commit proposes reqs as one log command, waits for the universal
@@ -183,19 +176,20 @@ func (w *worker) catchUp() {
 // batch. Exec may lose positions to the shard's other workers; the replica
 // applies their batches along the way, so this worker's state is always the
 // decided prefix of the log.
-func (w *worker) commit(reqs []*request) {
+func (w *worker) commit(p *sched.Proc, reqs []*request) {
 	b := &batch{owner: w, reqs: append([]*request(nil), reqs...)}
-	w.rep.Exec(w.proc, b)
+	w.rep.Exec(p, b)
 	ret := w.sh.store.clock.Add(1)
-	w.committed.Write(w.proc, int64(w.rep.Pos()))
-	w.sh.truncate(w.proc)
+	w.committed.Write(p, int64(w.rep.Pos()))
+	w.sh.truncate(p)
 
+	now := w.sh.store.rt.now(p)
 	w.mu.Lock()
 	w.batches++
 	w.batchSize.Observe(int64(len(b.reqs)))
 	for _, r := range b.reqs {
 		w.ops[r.op.Kind]++
-		w.latency[r.op.Kind].Observe(time.Since(r.start).Nanoseconds())
+		w.latency[r.op.Kind].Observe(now - r.start)
 	}
 	w.mu.Unlock()
 
@@ -205,7 +199,7 @@ func (w *worker) commit(reqs []*request) {
 		}
 	}
 	for _, r := range b.reqs {
-		close(r.done)
+		w.sh.store.rt.complete(r)
 	}
 }
 
@@ -213,7 +207,9 @@ func (w *worker) commit(reqs []*request) {
 // every replica of the shard; each replica mutates only its own map. The
 // batch's owner additionally records results and per-key versions into the
 // requests — exactly once, since its replica applies each position exactly
-// once.
+// once — and, under the virtual runtime, whichever replica applies a
+// position first captures the batch's ground-truth results into the
+// complete-history recorder.
 func (w *worker) apply(m kvState, b *batch) kvState {
 	if b == nil {
 		// Sync's noop: never decided into a cell (catchUp only syncs below
@@ -221,33 +217,41 @@ func (w *worker) apply(m kvState, b *batch) kvState {
 		// but harmless if applied.
 		return m
 	}
+	st := w.sh.store
 	own := b.owner == w
+	record := st.rec != nil && !b.recorded
+	var ret int64
+	if record {
+		b.recorded = true
+		ret = st.clock.Add(1)
+	}
 	for _, r := range b.reqs {
 		e := m[r.op.Key]
 		e.ver++
+		var res Result
 		switch r.op.Kind {
 		case OpGet:
-			if own {
-				r.res = Result{Val: e.val, OK: e.exists}
-			}
+			res = Result{Val: e.val, OK: e.exists}
 		case OpPut:
-			e.val, e.exists = r.op.Val, true
-			if own {
-				r.res = Result{Val: r.op.Val, OK: true}
+			res = Result{Val: r.op.Val, OK: true}
+			if st.debugDropPuts == "" || r.op.Key != st.debugDropPuts {
+				e.val, e.exists = r.op.Val, true
 			}
 		case OpCAS:
 			if e.val == r.op.Old {
 				e.val, e.exists = r.op.Val, true
-				if own {
-					r.res = Result{Val: r.op.Val, OK: true}
-				}
-			} else if own {
-				r.res = Result{Val: e.val, OK: false}
+				res = Result{Val: r.op.Val, OK: true}
+			} else {
+				res = Result{Val: e.val, OK: false}
 			}
 		}
 		m[r.op.Key] = e
 		if own {
+			r.res = res
 			r.ver = e.ver
+		}
+		if record {
+			st.rec.record(r, res, e.ver, ret)
 		}
 	}
 	return m

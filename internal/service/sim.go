@@ -1,0 +1,503 @@
+package service
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registration: the full serving tier under the virtual
+// runtime. Every scenario runs a complete Store — submitter clients, shard
+// queues, batching workers contending on replicated logs of consensus
+// cells, the online auditor, and a driver that drains the store — as procs
+// of one controlled sched.Run, crossed with generated workloads (key skew,
+// read/write/cas mix, client batches) and fault plans (worker crashes
+// mid-window, stalled submitters or workers, saturated queues, auditor
+// starvation, drain during load).
+//
+// Unlike the free-mode serving tier's sampled online audit, every virtual
+// run is checked exhaustively: the runtime records the complete committed
+// history (including commands whose owner crashed before answering) and
+// the oracle verifies gap-free per-key linearizability over all of it via
+// internal/spec, plus progress clauses scoped to the schedule's premises.
+// Every failure replays bit-identically from its "service:<scenario>:<seed>"
+// token (see cmd/sim -replay).
+//
+// Proc layout of every scenario's run (fault plans index into it):
+//
+//	0 .. subs-1   submitter clients
+//	subs          driver (waits for the submitters, then CloseOn)
+//	subs+1        auditor
+//	subs+2 ..     shard workers, shard-major order
+func init() {
+	for _, sc := range serviceScenarios() {
+		sim.Register(sc)
+	}
+}
+
+// topology fixes one scenario's process and store shape (workloads and
+// schedules vary per seed; the shape is part of the scenario identity, so
+// fault plans can target specific proc ids).
+type topology struct {
+	subs    int // submitter clients
+	shards  int
+	workers int // per shard
+	queue   int // per-shard queue depth
+	batch   int // MaxBatch
+}
+
+func (t topology) procs() int       { return t.subs + 2 + t.shards*t.workers }
+func (t topology) driverID() int    { return t.subs }
+func (t topology) auditorID() int   { return t.subs + 1 }
+func (t topology) firstWorker() int { return t.subs + 2 }
+
+// workerIDs returns the proc ids of every shard worker.
+func (t topology) workerIDs() []int {
+	ids := make([]int, 0, t.shards*t.workers)
+	for g := 0; g < t.shards*t.workers; g++ {
+		ids = append(ids, t.firstWorker()+g)
+	}
+	return ids
+}
+
+// call is one client submission: a single op (DoOn) or a batch (DoBatchOn).
+type call []Op
+
+// workload tunes the generated client scripts.
+type workload struct {
+	keys    []string // key pool
+	hotFrac float64  // probability an op hits keys[0] (key skew)
+	casFrac float64  // probability of a cas (the rest split get/put)
+	ops     int      // ops per submitter
+	maxCall int      // max ops grouped into one client batch (1 = singles)
+}
+
+// genCalls generates one submitter's script. Values are globally unique
+// ("p<sub>v<j>") so every write is distinguishable to the checker.
+func (wl workload) genCalls(sub int, rng *rand.Rand) []call {
+	pick := func() Op {
+		key := wl.keys[0]
+		if rng.Float64() >= wl.hotFrac {
+			key = wl.keys[rng.IntN(len(wl.keys))]
+		}
+		switch {
+		case rng.Float64() < wl.casFrac:
+			// Old drawn from the values this run plausibly wrote; most cas
+			// attempts fail, which is fine — failed cas legality is checked
+			// too.
+			return Op{Kind: OpCAS, Key: key,
+				Old: fmt.Sprintf("p%dv%d", rng.IntN(4), rng.IntN(wl.ops)),
+				Val: fmt.Sprintf("p%dv%d", sub, rng.IntN(wl.ops))}
+		case rng.IntN(2) == 0:
+			return Op{Kind: OpGet, Key: key}
+		default:
+			return Op{Kind: OpPut, Key: key, Val: fmt.Sprintf("p%dv%d", sub, rng.IntN(wl.ops))}
+		}
+	}
+	var calls []call
+	remaining := wl.ops
+	for remaining > 0 {
+		n := 1
+		if wl.maxCall > 1 {
+			n = 1 + rng.IntN(wl.maxCall)
+			if n > remaining {
+				n = remaining
+			}
+		}
+		c := make(call, n)
+		for i := range c {
+			c[i] = pick()
+		}
+		calls = append(calls, c)
+		remaining -= n
+	}
+	return calls
+}
+
+// runState is the blackboard shared between a scenario's procs and its
+// post-run oracle: written only under the run's step token, read after
+// Execute.
+type runState struct {
+	generated int // ops actually submitted (attempted calls)
+	answered  int // ops whose call returned results
+	rejected  int // ops in calls that returned ErrClosed
+	finished  int // submitters whose script completed (or stopped at close)
+	closedOK  bool
+	sawStale  bool // canary: a client observed a lost update
+}
+
+// fairBase draws a fair base policy — round-robin, seeded random, or a
+// cyclic random permutation of all procs — and returns the schedule
+// skeleton plus the policy constructor for fault wrappers.
+func fairBase(n int, rng *rand.Rand) (sim.Schedule, func() sched.Policy) {
+	var s sim.Schedule
+	s.SoloID = -1
+	s.FairBase = true
+	var mk func() sched.Policy
+	switch rng.IntN(3) {
+	case 0:
+		s.Desc = "round-robin"
+		mk = func() sched.Policy { return &sched.RoundRobin{} }
+	case 1:
+		seed := rng.Uint64()
+		s.Desc = fmt.Sprintf("random(%d)", seed)
+		mk = func() sched.Policy { return sched.NewRandom(seed) }
+	default:
+		perm := rng.Perm(n)
+		s.Desc = fmt.Sprintf("cycle(%v)", perm)
+		mk = func() sched.Policy { return &sched.Cycle{Seq: perm} }
+	}
+	return s, mk
+}
+
+func sourceOf(mk func() sched.Policy) sched.PolicySource {
+	return sched.PolicySourceFunc(func(uint64) sched.Policy { return mk() })
+}
+
+// fairGen generates fault-free fair schedules.
+func fairGen(n int, _ int64, rng *rand.Rand) sim.Schedule {
+	s, mk := fairBase(n, rng)
+	s.Source = sourceOf(mk)
+	return s
+}
+
+// crashGen layers a worker crash plan over a fair base: 1..maxVictims
+// distinct workers crash after a small number of their own steps — i.e.
+// mid-window, possibly after committing a batch but before answering its
+// clients.
+func crashGen(t topology, maxVictims int) sim.Generator {
+	return func(n int, _ int64, rng *rand.Rand) sim.Schedule {
+		s, mk := fairBase(n, rng)
+		workers := t.workerIDs()
+		victims := 1 + rng.IntN(maxVictims)
+		if victims >= len(workers) {
+			victims = len(workers)
+		}
+		s.CrashPlan = map[int]int64{}
+		for len(s.CrashPlan) < victims {
+			s.CrashPlan[workers[rng.IntN(len(workers))]] = rng.Int64N(48)
+		}
+		plan := s.CrashPlan
+		s.Desc += fmt.Sprintf("+crash{%d workers}", len(plan))
+		inner := mk
+		s.Source = sourceOf(func() sched.Policy { return &sched.CrashAt{Inner: inner(), At: plan} })
+		return s
+	}
+}
+
+// stallGen starves one random submitter or worker: the base policy never
+// grants the victim a step (the "stalled" fault — the proc is alive but
+// its code never runs).
+func stallGen(t topology) sim.Generator {
+	return func(n int, _ int64, rng *rand.Rand) sim.Schedule {
+		var s sim.Schedule
+		s.SoloID = -1
+		var victim int
+		if rng.IntN(2) == 0 {
+			victim = rng.IntN(t.subs)
+		} else {
+			workers := t.workerIDs()
+			victim = workers[rng.IntN(len(workers))]
+		}
+		var ids []int
+		for id := 0; id < n; id++ {
+			if id != victim {
+				ids = append(ids, id)
+			}
+		}
+		s.Omitted = []int{victim}
+		s.Desc = fmt.Sprintf("stall(p%d)", victim)
+		s.Source = sourceOf(func() sched.Policy { return &sched.Subset{IDs: ids} })
+		return s
+	}
+}
+
+// starveAuditorGen starves exactly the auditor proc: serving must be
+// unaffected (auditing costs coverage, never progress or soundness).
+func starveAuditorGen(t topology) sim.Generator {
+	return func(n int, _ int64, rng *rand.Rand) sim.Schedule {
+		var s sim.Schedule
+		s.SoloID = -1
+		var ids []int
+		for id := 0; id < n; id++ {
+			if id != t.auditorID() {
+				ids = append(ids, id)
+			}
+		}
+		s.Omitted = []int{t.auditorID()}
+		s.Desc = "starve-auditor"
+		// Rotate the subset's start so seeds vary the interleaving phase.
+		off := rng.IntN(len(ids))
+		rot := append(append([]int{}, ids[off:]...), ids[:off]...)
+		s.Source = sourceOf(func() sched.Policy { return &sched.Subset{IDs: rot} })
+		return s
+	}
+}
+
+// oracleMode selects which progress clauses a scenario asserts on top of
+// the always-on safety checks.
+type oracleMode int
+
+const (
+	// safetyOnly: exhaustive linearizability + clean online audit. Used by
+	// fault-plan scenarios whose progress premises don't hold.
+	safetyOnly oracleMode = iota
+	// fairComplete: under a fair fault-free schedule the whole run must
+	// complete — every proc Done, every generated op answered and
+	// committed, the store drained and closed.
+	fairComplete
+	// drainComplete: like fairComplete, but the driver closes mid-load, so
+	// ops may be rejected with ErrClosed; answered+rejected must cover
+	// every submitted op and everything must still shut down Done.
+	drainComplete
+	// submittersComplete: only the submitters' progress is asserted
+	// (threshold-guarded) — used when the schedule starves the auditor,
+	// which must never stall serving.
+	submittersComplete
+)
+
+// spec of one registered scenario.
+type vscenario struct {
+	name   string
+	topo   topology
+	budget int64
+	wl     workload
+	gen    sim.Generator // nil = fairGen
+	mode   oracleMode
+	// drainAt, when > 0, makes the driver close the store once the run's
+	// logical clock passes a seed-chosen step below this bound, regardless
+	// of submitter progress (the drain-during-load fault).
+	drainAt int64
+	// canary injects the lost-update bug and inverts the oracle: the run
+	// passes iff the exhaustive checker caught the injected violation.
+	canary bool
+	// rawCanary injects the same bug but keeps the standard oracle, so the
+	// checker's violations surface as failures (test fixture).
+	rawCanary bool
+}
+
+func serviceScenarios() []sim.Scenario {
+	specs := []vscenario{
+		{
+			name: "service:smoke", budget: 8192, mode: fairComplete,
+			topo: topology{subs: 2, shards: 1, workers: 2, queue: 8, batch: 4},
+			wl:   workload{keys: []string{"a", "b", "c"}, casFrac: 0.2, ops: 5, maxCall: 1},
+		},
+		{
+			name: "service:skew", budget: 8192, mode: fairComplete,
+			topo: topology{subs: 3, shards: 2, workers: 1, queue: 4, batch: 3},
+			wl:   workload{keys: []string{"hot", "w1", "w2", "w3"}, hotFrac: 0.6, casFrac: 0.45, ops: 5, maxCall: 1},
+		},
+		{
+			name: "service:batch", budget: 8192, mode: fairComplete,
+			topo: topology{subs: 2, shards: 2, workers: 2, queue: 6, batch: 4},
+			wl:   workload{keys: []string{"a", "b", "c", "d"}, casFrac: 0.25, ops: 8, maxCall: 3},
+		},
+		{
+			name: "service:saturate", budget: 16384, mode: fairComplete,
+			topo: topology{subs: 3, shards: 1, workers: 1, queue: 1, batch: 1},
+			wl:   workload{keys: []string{"a", "b"}, hotFrac: 0.5, casFrac: 0.2, ops: 4, maxCall: 1},
+		},
+		{
+			name: "service:crash", budget: 8192, mode: safetyOnly,
+			topo: topology{subs: 2, shards: 1, workers: 2, queue: 4, batch: 4},
+			wl:   workload{keys: []string{"a", "b", "c"}, casFrac: 0.25, ops: 5, maxCall: 1},
+		},
+		{
+			name: "service:stall", budget: 8192, mode: safetyOnly,
+			topo: topology{subs: 2, shards: 2, workers: 1, queue: 4, batch: 3},
+			wl:   workload{keys: []string{"a", "b", "c"}, casFrac: 0.25, ops: 5, maxCall: 1},
+		},
+		{
+			name: "service:drain", budget: 8192, mode: drainComplete, drainAt: 600,
+			topo: topology{subs: 2, shards: 1, workers: 2, queue: 4, batch: 4},
+			wl:   workload{keys: []string{"a", "b", "c"}, casFrac: 0.2, ops: 8, maxCall: 1},
+		},
+		{
+			name: "service:audit-starve", budget: 8192, mode: submittersComplete,
+			topo: topology{subs: 2, shards: 1, workers: 1, queue: 4, batch: 4},
+			wl:   workload{keys: []string{"a", "b"}, casFrac: 0.2, ops: 5, maxCall: 1},
+		},
+		{
+			name: "service:canary", budget: 8192, mode: safetyOnly, canary: true,
+			topo: topology{subs: 1, shards: 1, workers: 1, queue: 4, batch: 2},
+			wl:   workload{keys: []string{"poison", "clean"}, hotFrac: 0.7, casFrac: 0, ops: 6, maxCall: 1},
+		},
+	}
+	// Scenario-specific generators that need the topology.
+	for i := range specs {
+		switch specs[i].name {
+		case "service:crash":
+			specs[i].gen = crashGen(specs[i].topo, 2)
+		case "service:stall":
+			specs[i].gen = stallGen(specs[i].topo)
+		case "service:audit-starve":
+			specs[i].gen = starveAuditorGen(specs[i].topo)
+		}
+	}
+	out := make([]sim.Scenario, 0, len(specs))
+	for _, sc := range specs {
+		out = append(out, sc.scenario())
+	}
+	return out
+}
+
+// scenario assembles the sim.Scenario: generator first, then the builder
+// wiring a fresh virtual store and its procs into the run.
+func (sc vscenario) scenario() sim.Scenario {
+	gen := sc.gen
+	if gen == nil {
+		gen = fairGen
+	}
+	return sim.System(sc.name, "service", sc.topo.procs(), sc.budget, gen, sc.build)
+}
+
+func (sc vscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
+	topo := sc.topo
+	vr := NewVirtualRuntime(r, topo.auditorID())
+	store := NewVirtual(Config{
+		Shards:          topo.shards,
+		WorkersPerShard: topo.workers,
+		QueueDepth:      topo.queue,
+		MaxBatch:        topo.batch,
+		Audit:           AuditConfig{WindowOps: 4, QueueDepth: 64},
+	}, vr)
+	if sc.canary || sc.rawCanary {
+		store.debugDropPuts = "poison"
+	}
+
+	st := &runState{}
+	for i := 0; i < topo.subs; i++ {
+		calls := sc.wl.genCalls(i, rng)
+		r.Spawn(i, func(p *sched.Proc) { runSubmitter(p, store, st, calls) })
+	}
+	closeAt := sc.budget / 2
+	waitForSubs := true
+	if sc.drainAt > 0 {
+		closeAt = 8 + rng.Int64N(sc.drainAt)
+		waitForSubs = false
+	}
+	r.Spawn(topo.driverID(), func(p *sched.Proc) {
+		p.Park(func() bool {
+			return (waitForSubs && st.finished == topo.subs) || p.Now() >= closeAt
+		})
+		if err := store.CloseOn(p); err == nil {
+			st.closedOK = true
+		}
+	})
+
+	return func(res sched.Results, sch sim.Schedule) []string {
+		if sc.canary {
+			return canaryOracle(vr, st)
+		}
+		out := append([]string(nil), vr.CheckHistory()...)
+		stats := store.Stats()
+		if stats.Audit.Violations > 0 {
+			out = append(out, fmt.Sprintf("online audit reported %d violations: %v",
+				stats.Audit.Violations, stats.Audit.ViolationSamples))
+		}
+		switch sc.mode {
+		case fairComplete, drainComplete:
+			if !sch.Fair() {
+				break
+			}
+			for id, status := range res.Status {
+				if status != sched.Done {
+					out = append(out, fmt.Sprintf(
+						"progress violated: p%d is %v under fair schedule %s", id, status, sch.Desc))
+				}
+			}
+			if !st.closedOK {
+				out = append(out, "progress violated: store did not drain and close under a fair schedule")
+			}
+			if sc.mode == fairComplete {
+				if st.rejected != 0 || st.answered != st.generated {
+					out = append(out, fmt.Sprintf(
+						"progress violated: %d/%d ops answered, %d rejected, under fault-free fair schedule",
+						st.answered, st.generated, st.rejected))
+				}
+				if vr.CommittedOps() != st.generated || int(stats.TotalOps) != vr.CommittedOps() {
+					out = append(out, fmt.Sprintf(
+						"accounting violated: %d generated, %d committed, %d served",
+						st.generated, vr.CommittedOps(), stats.TotalOps))
+				}
+			} else if st.answered+st.rejected != st.generated {
+				out = append(out, fmt.Sprintf(
+					"accounting violated under drain: %d answered + %d rejected != %d submitted",
+					st.answered, st.rejected, st.generated))
+			}
+		case submittersComplete:
+			// The auditor is starved, serving must not be: a submitter that
+			// kept taking steps (threshold-guarded against seeds where the
+			// budget ran dry) must have finished its script.
+			for id := 0; id < topo.subs; id++ {
+				if res.Status[id] == sched.Starved && res.Steps[id] >= 1500 {
+					out = append(out, fmt.Sprintf(
+						"progress violated: submitter p%d starved after %d steps while only the auditor was stalled",
+						id, res.Steps[id]))
+				}
+			}
+		}
+		return out
+	}
+}
+
+// canaryOracle inverts the verdict: the injected lost-update bug (puts on
+// "poison" acknowledged but dropped) must be caught by the exhaustive
+// checker whenever a client actually observed it. This is the harness's
+// negative control — if it ever fails, the checker has gone blind.
+func canaryOracle(vr *VirtualRuntime, st *runState) []string {
+	violations := vr.CheckHistory()
+	if st.sawStale && len(violations) == 0 {
+		return []string{"canary: client observed the injected lost update but the exhaustive checker reported no violation"}
+	}
+	return nil
+}
+
+// runSubmitter plays one client script, accounting every attempted op.
+// On ErrClosed (the store drained mid-load) it stops cleanly.
+func runSubmitter(p *sched.Proc, store *Store, st *runState, calls []call) {
+	var lastPut map[string]string
+	for _, c := range calls {
+		st.generated += len(c)
+		if len(c) == 1 {
+			res, err := store.DoOn(p, c[0])
+			if err != nil {
+				st.rejected++
+				break
+			}
+			st.answered++
+			trackStale(st, &lastPut, c[0], res)
+		} else {
+			res, err := store.DoBatchOn(p, c)
+			if err != nil {
+				st.rejected += len(c)
+				break
+			}
+			st.answered += len(res)
+			for i, r := range res {
+				trackStale(st, &lastPut, c[i], r)
+			}
+		}
+	}
+	st.finished++
+}
+
+// trackStale is the canary's client-side divergence detector: after an
+// acknowledged put, a later sequential get returning anything else proves
+// the store lied to this client.
+func trackStale(st *runState, lastPut *map[string]string, op Op, res Result) {
+	switch op.Kind {
+	case OpPut:
+		if *lastPut == nil {
+			*lastPut = map[string]string{}
+		}
+		(*lastPut)[op.Key] = op.Val
+	case OpGet:
+		if want, ok := (*lastPut)[op.Key]; ok && res.Val != want {
+			st.sawStale = true
+		}
+	}
+}

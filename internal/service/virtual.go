@@ -1,0 +1,246 @@
+package service
+
+import (
+	"context"
+
+	"repro/internal/sched"
+)
+
+// virtualSyncSteps is the virtual runtime's idle-sync interval: a worker
+// that has been granted this many run steps without receiving a request
+// catches its replica up to the shard frontier and truncates the log (the
+// controlled-mode analogue of the free runtime's syncInterval ticker).
+const virtualSyncSteps = 64
+
+// VirtualRuntime executes a Store inside one controlled sched.Run: every
+// worker and the auditor is a scheduled proc, every blocking point (full
+// queue, empty queue, completion wait, join) is a cooperative Park poll
+// that charges scheduler steps, and time is the run's granted-step count.
+// The scheduling Policy is therefore a full adversary over the serving
+// tier — it can interleave submitters and workers arbitrarily, crash
+// workers mid-window, starve the auditor, or stall a submitter — and every
+// run is deterministic in the policy, so any failure replays exactly.
+//
+// Construction order fixes the proc layout: NewVirtual spawns the auditor
+// on proc firstProc (when auditing is enabled), then the workers on the
+// following ids in shard-major order. Client submitters and any driver
+// procs are the scenario's own, registered on ids below firstProc, and use
+// DoOn/DoBatchOn/CloseOn with their proc handle.
+//
+// A VirtualRuntime also records the complete committed history of the run
+// (every command decided into any shard log, answered or not), so a
+// scenario can check exhaustive, gap-free per-key linearizability after
+// the run — no sampling, unlike the online auditor. See CheckHistory.
+type VirtualRuntime struct {
+	run    *sched.Run
+	base   int
+	next   int
+	closed bool
+	rec    *historyRecorder
+}
+
+// NewVirtualRuntime returns a runtime that spawns the store's procs on
+// run ids firstProc, firstProc+1, ... — the caller keeps ids below
+// firstProc for its own submitter and driver procs.
+func NewVirtualRuntime(run *sched.Run, firstProc int) *VirtualRuntime {
+	return &VirtualRuntime{run: run, base: firstProc, rec: newHistoryRecorder()}
+}
+
+// NewVirtual starts a store on the virtual runtime. Nothing executes until
+// the caller's run does; the store's procs are registered on the run and
+// scheduled by its policy. Clients must use DoOn/DoBatchOn/CloseOn from
+// procs of the same run.
+func NewVirtual(cfg Config, vr *VirtualRuntime) *Store {
+	return newStore(cfg, vr)
+}
+
+// CheckHistory verifies the run's complete committed history after the
+// run has executed: per-key exhaustive linearizability via internal/spec
+// (with the known empty initial value — the history is complete from time
+// zero, so no UnknownInit over-approximation is needed), per-key version
+// contiguity (the gap-free guarantee), and that every answered request was
+// actually committed. It returns one description per violation (nil means
+// the run's history is linearizable).
+func (vr *VirtualRuntime) CheckHistory() []string { return vr.rec.check() }
+
+// CommittedOps returns the number of commands decided into the shard logs
+// during the run (including commands whose clients were never answered).
+func (vr *VirtualRuntime) CommittedOps() int { return len(vr.rec.records) }
+
+func (vr *VirtualRuntime) now(p *sched.Proc) int64 { return p.Now() }
+
+func (vr *VirtualRuntime) newRequest(p *sched.Proc, op Op) *request {
+	return &request{op: op, start: p.Now()}
+}
+
+func (vr *VirtualRuntime) newQueue(capacity int) queue {
+	return &virtualQueue{vr: vr, capacity: capacity}
+}
+
+func (vr *VirtualRuntime) newMailbox(capacity int) mailbox {
+	return &virtualMailbox{capacity: capacity}
+}
+
+// beginSubmit needs no lock: in a controlled run all state is serialized
+// by the step token, and the virtual queues re-check closed at every poll,
+// so a Close landing while a sender is parked is observed as ErrClosed.
+func (vr *VirtualRuntime) beginSubmit() error {
+	if vr.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (vr *VirtualRuntime) endSubmit() {}
+
+func (vr *VirtualRuntime) markClosed() error {
+	if vr.closed {
+		return ErrClosed
+	}
+	vr.closed = true
+	return nil
+}
+
+func (vr *VirtualRuntime) spawn(fn func(*sched.Proc)) func(*sched.Proc) {
+	id := vr.base + vr.next
+	vr.next++
+	exited := new(bool)
+	vr.run.Spawn(id, func(p *sched.Proc) {
+		// The flag is set on every exit path: normal return, a crash
+		// injected by the policy, or the end-of-run unwind (the scheduler
+		// runs deferred functions while unwinding a killed proc).
+		defer func() { *exited = true }()
+		fn(p)
+	})
+	return func(waiter *sched.Proc) {
+		waiter.Park(func() bool { return *exited })
+	}
+}
+
+func (vr *VirtualRuntime) complete(r *request) { r.answered = true }
+
+func (vr *VirtualRuntime) await(p *sched.Proc, r *request) {
+	p.Park(func() bool { return r.answered })
+}
+
+// virtualQueue is a deterministic bounded FIFO. All accesses are serialized
+// by the run's step token; each poll charges one scheduler step, so the
+// adversary decides exactly when a blocked sender or receiver gets to
+// re-check.
+type virtualQueue struct {
+	vr       *VirtualRuntime
+	capacity int
+	buf      []*request
+	head     int
+	closed   bool
+}
+
+func (q *virtualQueue) size() int { return len(q.buf) - q.head }
+
+func (q *virtualQueue) pop() *request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	return r
+}
+
+// send polls until the queue has space, one step per poll (the enqueue
+// itself is the final polled step, so a submission is one atomic event of
+// the run). ctx is ignored: virtual runs model abandonment with crash and
+// omission plans, not context cancellation.
+func (q *virtualQueue) send(p *sched.Proc, _ context.Context, r *request) error {
+	for {
+		p.Step()
+		if q.closed {
+			return ErrClosed
+		}
+		if q.size() < q.capacity {
+			q.buf = append(q.buf, r)
+			q.vr.rec.submit(r)
+			return nil
+		}
+	}
+}
+
+func (q *virtualQueue) receiver() receiver { return &virtualReceiver{q: q, lastTick: -1} }
+
+func (q *virtualQueue) close() { q.closed = true }
+
+func (q *virtualQueue) len() int { return q.size() }
+
+// virtualReceiver tracks one worker's idle-tick state against the run's
+// logical clock.
+type virtualReceiver struct {
+	q        *virtualQueue
+	lastTick int64
+}
+
+func (rc *virtualReceiver) recv(p *sched.Proc) (*request, bool, bool) {
+	if rc.lastTick < 0 {
+		rc.lastTick = p.Now()
+	}
+	for {
+		p.Step()
+		if rc.q.size() > 0 {
+			return rc.q.pop(), false, true
+		}
+		if rc.q.closed {
+			return nil, false, false
+		}
+		if p.Now()-rc.lastTick >= virtualSyncSteps {
+			rc.lastTick = p.Now()
+			return nil, true, true
+		}
+	}
+}
+
+func (rc *virtualReceiver) tryRecv(p *sched.Proc) (*request, bool) {
+	p.Step()
+	if rc.q.size() > 0 {
+		return rc.q.pop(), true
+	}
+	return nil, false
+}
+
+func (rc *virtualReceiver) stop() {}
+
+// virtualMailbox is the auditor's deterministic bounded record queue.
+type virtualMailbox struct {
+	capacity int
+	buf      []auditRecord
+	head     int
+	closed   bool
+}
+
+func (m *virtualMailbox) size() int { return len(m.buf) - m.head }
+
+func (m *virtualMailbox) offer(rec auditRecord) bool {
+	if m.size() >= m.capacity {
+		return false
+	}
+	m.buf = append(m.buf, rec)
+	return true
+}
+
+func (m *virtualMailbox) take(p *sched.Proc) (auditRecord, bool) {
+	for {
+		p.Step()
+		if m.size() > 0 {
+			rec := m.buf[m.head]
+			m.buf[m.head] = auditRecord{}
+			m.head++
+			if m.head == len(m.buf) {
+				m.buf, m.head = m.buf[:0], 0
+			}
+			return rec, true
+		}
+		if m.closed {
+			return auditRecord{}, false
+		}
+	}
+}
+
+func (m *virtualMailbox) close() { m.closed = true }

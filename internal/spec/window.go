@@ -85,6 +85,51 @@ func PartitionByKey(history []Op, keyOf func(Op) string) map[string][]Op {
 	return out
 }
 
+// KeyedOp couples one operation with the key it addressed, the input shape
+// of CheckPartitioned (spec.Op itself is key-agnostic; the store knows the
+// routing).
+type KeyedOp struct {
+	Key string
+	Op  Op
+}
+
+// KeyVerdict is the outcome of checking one key's projection of a keyed
+// history.
+type KeyVerdict struct {
+	Key    string
+	Ops    int
+	Result CheckResult
+}
+
+// CheckPartitioned checks every per-key projection of a keyed history
+// against the model minted by modelOf, each bounded by maxOps (with
+// CheckBounded's semantics). For a store whose per-key objects are
+// independent, the whole history is linearizable iff every verdict is
+// Linearizable, and a Truncated verdict means that key's slice of the
+// history went unchecked. Verdicts are sorted by key, so the output is
+// deterministic regardless of input order.
+func CheckPartitioned(modelOf func(key string) Model, history []KeyedOp, maxOps int) []KeyVerdict {
+	byKey := make(map[string][]Op)
+	for _, ko := range history {
+		byKey[ko.Key] = append(byKey[ko.Key], ko.Op)
+	}
+	keys := make([]string, 0, len(byKey))
+	for key := range byKey {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]KeyVerdict, 0, len(keys))
+	for _, key := range keys {
+		ops := byKey[key]
+		out = append(out, KeyVerdict{
+			Key:    key,
+			Ops:    len(ops),
+			Result: CheckBounded(modelOf(key), ops, maxOps),
+		})
+	}
+	return out
+}
+
 // CASInput is the input of a "cas" operation under CASRegisterModel.
 type CASInput struct {
 	// Old is the expected current value; New replaces it on a match.

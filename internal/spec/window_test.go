@@ -5,6 +5,48 @@ import (
 	"testing"
 )
 
+func TestCheckPartitioned(t *testing.T) {
+	model := func(string) Model { return CASRegisterModel{Initial: ""} }
+	history := []KeyedOp{
+		// Key a: sequential write then matching read — linearizable.
+		{Key: "a", Op: Op{Call: 1, Ret: 2, Method: "write", In: "x"}},
+		{Key: "a", Op: Op{Call: 3, Ret: 4, Method: "read", Out: "x"}},
+		// Key b: sequential write then a stale read — violation.
+		{Key: "b", Op: Op{Call: 1, Ret: 2, Method: "write", In: "y"}},
+		{Key: "b", Op: Op{Call: 3, Ret: 4, Method: "read", Out: "stale"}},
+		// Key c: a single op, fine.
+		{Key: "c", Op: Op{Call: 1, Ret: 2, Method: "cas", In: CASInput{Old: "", New: "z"}, Out: true}},
+	}
+	got := CheckPartitioned(model, history, MaxWindowOps)
+	want := []KeyVerdict{
+		{Key: "a", Ops: 2, Result: Linearizable},
+		{Key: "b", Ops: 2, Result: Violation},
+		{Key: "c", Ops: 1, Result: Linearizable},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d verdicts, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("verdict %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Oversized partitions come back Truncated, never silently skipped.
+	var big []KeyedOp
+	for i := 0; i < MaxWindowOps+1; i++ {
+		big = append(big, KeyedOp{Key: "k", Op: Op{Call: int64(2*i + 1), Ret: int64(2*i + 2), Method: "write", In: i}})
+	}
+	out := CheckPartitioned(func(string) Model { return RegisterModel{} }, big, MaxWindowOps)
+	if len(out) != 1 || out[0].Result != Truncated || out[0].Ops != MaxWindowOps+1 {
+		t.Fatalf("oversized partition = %+v, want Truncated", out)
+	}
+
+	if out := CheckPartitioned(model, nil, 0); len(out) != 0 {
+		t.Fatalf("empty history produced verdicts: %+v", out)
+	}
+}
+
 func TestPartitionByKey(t *testing.T) {
 	keyOf := func(op Op) string { return op.In.(string) }
 	history := []Op{
