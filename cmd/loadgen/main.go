@@ -14,6 +14,13 @@
 // are puts), and every worker checks response sanity. Exit status is
 // non-zero on any request error or audited linearizability violation.
 //
+// With -timeout each op carries a client deadline; expired calls (and 429
+// or 504 responses) are retried up to -retries times with the same
+// client-assigned op id, which the server deduplicates — the loadgen thus
+// exercises the store's idempotent-retry contract under real packet timing.
+// -max-p999 asserts a tail-latency ceiling over every issued op (retries
+// included), the soak harness's bounded-tail gate.
+//
 // Run with:
 //
 //	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -workers 8 -ops 50000
@@ -21,6 +28,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +54,9 @@ type options struct {
 	readPct int
 	casPct  int
 	seed    int64
+	timeout time.Duration
+	retries int
+	maxP999 time.Duration
 }
 
 func main() {
@@ -60,6 +71,9 @@ func main() {
 	flag.IntVar(&o.readPct, "read-pct", 60, "percent of ops that are gets")
 	flag.IntVar(&o.casPct, "cas-pct", 10, "percent of ops that are cas")
 	flag.Int64Var(&o.seed, "seed", 1, "base RNG seed (worker i uses seed+i)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-op client deadline (0 = none)")
+	flag.IntVar(&o.retries, "retries", 3, "retries with the same op id on deadline/429/504")
+	flag.DurationVar(&o.maxP999, "max-p999", 0, "fail if overall p999 latency exceeds this (0 = off)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		log.Fatalf("loadgen: %v", err)
@@ -69,13 +83,16 @@ func main() {
 // worker issues ops until the shared budget runs out, collecting its own
 // latency histogram (merged after the run; workers share nothing hot).
 type worker struct {
-	o       *options
-	client  *http.Client
-	rng     *rand.Rand
-	zipf    *rand.Zipf
-	issued  int64
-	errors  int64
-	latency [3]sim.Histogram
+	o         *options
+	id        int
+	client    *http.Client
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	issued    int64
+	errors    int64
+	retried   int64
+	abandoned int64
+	latency   [3]sim.Histogram
 }
 
 func (w *worker) key() string {
@@ -85,36 +102,82 @@ func (w *worker) key() string {
 	return fmt.Sprintf("k%05d", w.rng.Intn(w.o.keys))
 }
 
-func (w *worker) op(i int64) (service.OpKind, map[string]string) {
+func (w *worker) op(i int64) (service.OpKind, map[string]any) {
 	key := w.key()
 	p := w.rng.Intn(100)
 	switch {
 	case p < w.o.readPct:
-		return service.OpGet, map[string]string{"op": "get", "key": key}
+		return service.OpGet, map[string]any{"op": "get", "key": key}
 	case p < w.o.readPct+w.o.casPct:
-		return service.OpCAS, map[string]string{"op": "cas", "key": key,
+		return service.OpCAS, map[string]any{"op": "cas", "key": key,
 			"old": "", "val": fmt.Sprintf("cas-%d", i)}
 	default:
-		return service.OpPut, map[string]string{"op": "put", "key": key,
+		return service.OpPut, map[string]any{"op": "put", "key": key,
 			"val": fmt.Sprintf("put-%d", i)}
 	}
 }
 
-func (w *worker) issue(i int64) error {
-	kind, body := w.op(i)
-	buf, _ := json.Marshal(body)
-	start := time.Now()
-	resp, err := w.client.Post(w.o.addr+"/op", "application/json", bytes.NewReader(buf))
+// attempt posts one request, with the worker's client deadline when
+// configured. retriable=true marks the outcomes (client deadline, 429
+// saturation, 504 server deadline) where resending the identical op — same
+// client-assigned id — is the correct reaction.
+func (w *worker) attempt(buf []byte) (res service.Result, retriable bool, err error) {
+	ctx := context.Background()
+	if w.o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.o.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.o.addr+"/op", bytes.NewReader(buf))
 	if err != nil {
-		return err
+		return res, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return res, context.Cause(ctx) != nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+		return res, true, fmt.Errorf("status %d", resp.StatusCode)
+	default:
+		return res, false, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	var res service.Result
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return fmt.Errorf("decode: %w", err)
+		return res, false, fmt.Errorf("decode: %w", err)
+	}
+	return res, false, nil
+}
+
+func (w *worker) issue(i int64) error {
+	kind, body := w.op(i)
+	// The op id makes retries idempotent: the server dedups a resend of an
+	// op that did commit before its client's deadline fired.
+	body["id"] = uint64(w.id+1)<<32 | uint64(i+1)
+	buf, _ := json.Marshal(body)
+	start := time.Now()
+	var res service.Result
+	var err error
+	for try := 0; ; try++ {
+		var retriable bool
+		res, retriable, err = w.attempt(buf)
+		if err == nil {
+			break
+		}
+		if !retriable || try >= w.o.retries {
+			if retriable {
+				// Out of retries on a retriable outcome: the op may or may
+				// not have committed, exactly like a crashed client. The
+				// server's audit decides if the history stayed consistent.
+				w.abandoned++
+				w.latency[kind].Observe(time.Since(start).Nanoseconds())
+				return nil
+			}
+			return err
+		}
+		w.retried++
 	}
 	if kind == service.OpPut && !res.OK {
 		return fmt.Errorf("put returned ok=false")
@@ -161,7 +224,7 @@ func run(o options) error {
 	start := time.Now()
 	for wi := 0; wi < o.workers; wi++ {
 		rng := rand.New(rand.NewSource(o.seed + int64(wi)))
-		w := &worker{o: &o, client: client, rng: rng}
+		w := &worker{o: &o, id: wi, client: client, rng: rng}
 		if o.zipf > 1 && o.keys > 1 {
 			w.zipf = rand.NewZipf(rng, o.zipf, 1, uint64(o.keys-1))
 		}
@@ -197,11 +260,13 @@ func run(o options) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var issued, errs int64
+	var issued, errs, retried, abandoned int64
 	var lat [3]sim.Histogram
 	for _, w := range workers {
 		issued += w.issued
 		errs += w.errors
+		retried += w.retried
+		abandoned += w.abandoned
 		for k := range lat {
 			lat[k].Merge(w.latency[k])
 		}
@@ -210,17 +275,19 @@ func run(o options) error {
 	for k := range lat {
 		all.Merge(lat[k])
 	}
-	fmt.Printf("loadgen: %d ops in %v = %.0f ops/s (%d workers, %d errors)\n",
-		issued, elapsed.Round(time.Millisecond), float64(issued)/elapsed.Seconds(), o.workers, errs)
+	fmt.Printf("loadgen: %d ops in %v = %.0f ops/s (%d workers, %d errors, %d retries, %d abandoned)\n",
+		issued, elapsed.Round(time.Millisecond), float64(issued)/elapsed.Seconds(), o.workers, errs, retried, abandoned)
 	for k, name := range []string{"get", "put", "cas"} {
 		if lat[k].Count == 0 {
 			continue
 		}
-		fmt.Printf("loadgen:   %-3s n=%-8d mean=%s p50=%s p99=%s\n", name, lat[k].Count,
-			time.Duration(int64(lat[k].Mean())), time.Duration(lat[k].Quantile(0.5)), time.Duration(lat[k].Quantile(0.99)))
+		fmt.Printf("loadgen:   %-3s n=%-8d mean=%s p50=%s p99=%s p999=%s\n", name, lat[k].Count,
+			time.Duration(int64(lat[k].Mean())), time.Duration(lat[k].Quantile(0.5)),
+			time.Duration(lat[k].Quantile(0.99)), time.Duration(lat[k].Quantile(0.999)))
 	}
-	fmt.Printf("loadgen: all p50=%s p99=%s max=%s\n",
-		time.Duration(all.Quantile(0.5)), time.Duration(all.Quantile(0.99)), time.Duration(all.Max))
+	p999 := time.Duration(all.Quantile(0.999))
+	fmt.Printf("loadgen: all p50=%s p99=%s p999=%s max=%s\n",
+		time.Duration(all.Quantile(0.5)), time.Duration(all.Quantile(0.99)), p999, time.Duration(all.Max))
 
 	// Pull the server's audit verdict: the run only passes if every audited
 	// window of the traffic we just generated linearized.
@@ -249,6 +316,9 @@ func run(o options) error {
 	}
 	if issued == 0 {
 		return fmt.Errorf("no ops issued")
+	}
+	if o.maxP999 > 0 && p999 > o.maxP999 {
+		return fmt.Errorf("p999 latency %s exceeds -max-p999 %s", p999, o.maxP999)
 	}
 	fmt.Println("loadgen: OK — zero linearizability violations across all audited windows")
 	return nil

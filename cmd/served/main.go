@@ -1,14 +1,27 @@
 // Command served is the HTTP/JSON front end of the free-mode serving tier
 // (internal/service): a sharded key-value store whose every shard is a
 // replicated log in the style of the universal construction, continuously
-// audited for linearizability while it serves.
+// audited for linearizability while it serves, with supervised workers that
+// are respawned after a crash.
 //
 // Endpoints:
 //
-//	POST /op       {"op":"get|put|cas","key":K,"val":V,"old":O} → {"val":..,"ok":..}
+//	POST /op       {"op":"get|put|cas","key":K,"val":V,"old":O,"id":N} → {"val":..,"ok":..}
 //	POST /batch    [op, op, ...] → [result, result, ...]
-//	GET  /stats    full service.Stats JSON (ops, latency, audit progress)
+//	GET  /stats    full service.Stats JSON plus the process goroutine count
 //	GET  /healthz  "ok"
+//	POST /chaos    {"point":P,"action":"crash|delay|drop",...} arm a fault rule
+//	GET  /chaos    fault-point counters              (both only with -chaos)
+//
+// Typed serving errors map onto distinct status codes, so clients can pick
+// the right reaction:
+//
+//	429 Too Many Requests   queue saturated — the op was never enqueued,
+//	                        retry the same request after backing off
+//	504 Gateway Timeout     deadline expired after the enqueue — the op may
+//	                        still commit; retry with the same client id and
+//	                        the store deduplicates
+//	503 Service Unavailable the store is draining (shutdown in progress)
 //
 // On SIGINT/SIGTERM the server stops accepting, drains every queued
 // command, flushes the online auditor, prints a final report, and exits 0 —
@@ -29,9 +42,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -44,9 +59,12 @@ func main() {
 	auditOff := flag.Bool("audit-off", false, "disable the online linearizability auditor")
 	auditWindow := flag.Int("audit-window", 16, "ops per audited per-key window")
 	auditFrac := flag.Float64("audit-frac", 1.0, "fraction of the keyspace audited (by key hash)")
+	supervise := flag.Bool("supervise", true, "respawn crashed workers (crash-loop breaker applies)")
+	maxRestarts := flag.Int("max-restarts", 8, "per-slot crash budget before the breaker condemns the slot")
+	chaos := flag.Bool("chaos", false, "expose the /chaos fault-injection endpoint (testing only)")
 	flag.Parse()
 
-	store := service.New(service.Config{
+	cfg := service.Config{
 		Shards:          *shards,
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,
@@ -56,13 +74,23 @@ func main() {
 			WindowOps:      *auditWindow,
 			SampleFraction: *auditFrac,
 		},
-	})
+		Supervise: service.SuperviseConfig{
+			Enabled:     *supervise,
+			MaxRestarts: *maxRestarts,
+		},
+	}
+	var faults *fault.Set
+	if *chaos {
+		faults = fault.NewSet()
+		cfg.Faults = faults
+	}
+	store := service.New(cfg)
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(store)}
+	srv := &http.Server{Addr: *addr, Handler: newMux(store, faults)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("served: listening on %s (%d shards × %d workers, batch %d, queue %d, audit %v)",
-		*addr, *shards, *workers, *batch, *queue, !*auditOff)
+	log.Printf("served: listening on %s (%d shards × %d workers, batch %d, queue %d, audit %v, supervise %v, chaos %v)",
+		*addr, *shards, *workers, *batch, *queue, !*auditOff, *supervise, *chaos)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,6 +121,10 @@ func main() {
 		log.Printf("served:   %-3s n=%-8d mean=%.0fns p50=%dns p99=%dns max=%dns",
 			kind, l.Count, l.MeanNs, l.P50Ns, l.P99Ns, l.MaxNs)
 	}
+	if sup := st.Supervision; sup.Enabled && sup.Restarts > 0 {
+		log.Printf("served: supervision: %d restarts, %d condemned, recovery mean=%.0fns p99=%dns",
+			sup.Restarts, sup.Condemned, sup.Recovery.MeanNs, sup.Recovery.P99Ns)
+	}
 	a := st.Audit
 	log.Printf("served: audit: %d ops sampled, %d windows checked, %d violations, %d gaps, %d dropped",
 		a.SampledOps, a.WindowsChecked, a.Violations, a.Gaps, a.DroppedOps)
@@ -104,12 +136,16 @@ func main() {
 	}
 }
 
-// wireOp is the JSON shape of one command on /op and /batch.
+// wireOp is the JSON shape of one command on /op and /batch. ID, when
+// non-zero, is the client-assigned idempotency token: resubmitting an op
+// with the same id after a 504 is answered from the dedup table instead of
+// applying twice.
 type wireOp struct {
 	Op  string `json:"op"`
 	Key string `json:"key"`
 	Val string `json:"val"`
 	Old string `json:"old"`
+	ID  uint64 `json:"id,omitempty"`
 }
 
 func (w wireOp) decode() (service.Op, error) {
@@ -117,12 +153,37 @@ func (w wireOp) decode() (service.Op, error) {
 	if err != nil {
 		return service.Op{}, err
 	}
-	return service.Op{Kind: kind, Key: w.Key, Val: w.Val, Old: w.Old}, nil
+	return service.Op{Kind: kind, Key: w.Key, Val: w.Val, Old: w.Old, ID: w.ID}, nil
+}
+
+// statusOf maps the serving tier's typed errors onto HTTP status codes; see
+// the package comment for the retry semantics each code implies.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, service.ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// wireRule is the JSON shape of one POST /chaos fault rule.
+type wireRule struct {
+	Point   string `json:"point"`
+	Action  string `json:"action"` // "crash", "delay", "drop", or "off" (disarm)
+	After   int64  `json:"after"`
+	Count   int64  `json:"count"` // 0 = once, -1 = unlimited
+	DelayNs int64  `json:"delay_ns"`
 }
 
 // newMux builds the HTTP front end over a store. Factored out of main so
 // the handlers are testable with httptest against an in-process store.
-func newMux(store *service.Store) *http.ServeMux {
+// faults, when non-nil, additionally exposes the /chaos arming endpoint.
+func newMux(store *service.Store, faults *fault.Set) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /op", func(w http.ResponseWriter, r *http.Request) {
 		var wire wireOp
@@ -137,11 +198,7 @@ func newMux(store *service.Store) *http.ServeMux {
 		}
 		res, err := store.Do(r.Context(), op)
 		if err != nil {
-			status := http.StatusServiceUnavailable
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				status = http.StatusRequestTimeout
-			}
-			http.Error(w, err.Error(), status)
+			http.Error(w, err.Error(), statusOf(err))
 			return
 		}
 		writeJSON(w, res)
@@ -163,17 +220,49 @@ func newMux(store *service.Store) *http.ServeMux {
 		}
 		res, err := store.DoBatch(r.Context(), ops)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			http.Error(w, err.Error(), statusOf(err))
 			return
 		}
 		writeJSON(w, res)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, store.Stats())
+		writeJSON(w, struct {
+			service.Stats
+			Goroutines int `json:"goroutines"`
+		}{store.Stats(), runtime.NumGoroutine()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if faults != nil {
+		mux.HandleFunc("POST /chaos", func(w http.ResponseWriter, r *http.Request) {
+			var wire wireRule
+			if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if wire.Action == "off" {
+				faults.Disarm(wire.Point)
+				writeJSON(w, map[string]string{"point": wire.Point, "armed": "off"})
+				return
+			}
+			action, err := fault.ActionOf(wire.Action)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			faults.Arm(wire.Point, fault.Rule{
+				Action: action,
+				After:  wire.After,
+				Count:  wire.Count,
+				Delay:  wire.DelayNs,
+			})
+			writeJSON(w, map[string]string{"point": wire.Point, "armed": wire.Action})
+		})
+		mux.HandleFunc("GET /chaos", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, faults.Stats())
+		})
+	}
 	return mux
 }
 

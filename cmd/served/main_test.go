@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,14 +10,16 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
 func testServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Store) {
 	t.Helper()
 	store := service.New(cfg)
-	srv := httptest.NewServer(newMux(store))
+	srv := httptest.NewServer(newMux(store, cfg.Faults))
 	t.Cleanup(srv.Close)
 	return srv, store
 }
@@ -153,6 +156,164 @@ func TestStatsAndHealthz(t *testing.T) {
 	body := readAll(t, resp)
 	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
 		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestStatusSaturated: a queue.send drop (the fault-injection stand-in for
+// a saturated queue) maps to 429 — the op was never enqueued, so the client
+// may retry the identical request.
+func TestStatusSaturated(t *testing.T) {
+	fs := fault.NewSet()
+	srv, store := testServer(t, service.Config{Shards: 1, Faults: fs})
+	defer store.Close()
+
+	fs.Arm(service.FaultQueueSend, fault.Rule{Action: fault.Drop, Count: 1})
+	code, body := post(t, srv, "/op", `{"op":"put","key":"a","val":"1"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated op = %d %q, want 429", code, body)
+	}
+	// The rule is spent: the retry succeeds.
+	code, body = post(t, srv, "/op", `{"op":"put","key":"a","val":"1"}`)
+	if code != http.StatusOK {
+		t.Fatalf("retry after 429 = %d %q, want 200", code, body)
+	}
+}
+
+// TestStatusDeadline: a request whose context deadline expires after the
+// enqueue maps to 504 — the op may still commit, so the client must retry
+// with the same id. Served through ServeHTTP directly so the request
+// context is ours, not the network client's.
+func TestStatusDeadline(t *testing.T) {
+	fs := fault.NewSet()
+	fs.Arm(service.FaultWorkerPreCommit, fault.Rule{Action: fault.Delay,
+		Delay: int64(100 * time.Millisecond), Count: -1})
+	store := service.New(service.Config{Shards: 1, WorkersPerShard: 1, Faults: fs})
+	defer store.Close()
+	mux := newMux(store, fs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest("POST", "/op",
+		strings.NewReader(`{"op":"put","key":"a","val":"1","id":7}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadlined op = %d %q, want 504", rec.Code, rec.Body.String())
+	}
+	// Disarm and retry with the same id: the store answers exactly once —
+	// either the first attempt's late commit via dedup or a fresh apply.
+	fs.Disarm(service.FaultWorkerPreCommit)
+	req = httptest.NewRequest("POST", "/op",
+		strings.NewReader(`{"op":"put","key":"a","val":"1","id":7}`))
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retry after 504 = %d %q, want 200", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatusClosed: ops against a draining store map to 503.
+func TestStatusClosed(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 1})
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(t, srv, "/op", `{"op":"get","key":"a"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("op on closed store = %d %q, want 503", code, body)
+	}
+	code, body = post(t, srv, "/batch", `[{"op":"get","key":"a"}]`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("batch on closed store = %d %q, want 503", code, body)
+	}
+}
+
+// TestOpIDDeduplicates: resubmitting an op with the same client id answers
+// from the dedup table without reapplying — the wire-level contract behind
+// "retry a 504 with the same id".
+func TestOpIDDeduplicates(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 1})
+	defer store.Close()
+
+	code, body := post(t, srv, "/op", `{"op":"put","key":"k","val":"first","id":42}`)
+	if code != http.StatusOK {
+		t.Fatalf("put = %d %q", code, body)
+	}
+	// Same id, different payload: the duplicate must not apply.
+	code, body = post(t, srv, "/op", `{"op":"put","key":"k","val":"second","id":42}`)
+	if code != http.StatusOK || !strings.Contains(body, `"val":"first"`) {
+		t.Fatalf("duplicate = %d %q, want the first attempt's cached result", code, body)
+	}
+	code, body = post(t, srv, "/op", `{"op":"get","key":"k"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"val":"first"`) {
+		t.Fatalf("get after duplicate = %d %q, want the first write preserved", code, body)
+	}
+}
+
+// TestChaosEndpoint arms, observes and disarms a fault rule over HTTP, and
+// verifies the endpoint is absent without -chaos.
+func TestChaosEndpoint(t *testing.T) {
+	fs := fault.NewSet()
+	srv, store := testServer(t, service.Config{Shards: 1, Faults: fs})
+	defer store.Close()
+
+	code, body := post(t, srv, "/chaos",
+		fmt.Sprintf(`{"point":%q,"action":"drop","count":1}`, service.FaultQueueSend))
+	if code != http.StatusOK {
+		t.Fatalf("arm = %d %q", code, body)
+	}
+	if code, body = post(t, srv, "/op", `{"op":"put","key":"a","val":"1"}`); code != http.StatusTooManyRequests {
+		t.Fatalf("op under armed drop = %d %q, want 429", code, body)
+	}
+	resp, err := http.Get(srv.URL + "/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts map[string]fault.PointStats
+	if err := json.NewDecoder(resp.Body).Decode(&pts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pts[service.FaultQueueSend].Acted != 1 {
+		t.Fatalf("chaos stats = %+v, want 1 acted at %s", pts, service.FaultQueueSend)
+	}
+	if code, body = post(t, srv, "/chaos",
+		fmt.Sprintf(`{"point":%q,"action":"off"}`, service.FaultQueueSend)); code != http.StatusOK {
+		t.Fatalf("disarm = %d %q", code, body)
+	}
+	if code, body = post(t, srv, "/op", `{"op":"put","key":"a","val":"1"}`); code != http.StatusOK {
+		t.Fatalf("op after disarm = %d %q, want 200", code, body)
+	}
+	if code, _ = post(t, srv, "/chaos", `{"point":"worker.preCommit","action":"explode"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad action = %d, want 400", code)
+	}
+
+	// Without a fault set the endpoint does not exist.
+	plain, plainStore := testServer(t, service.Config{Shards: 1})
+	defer plainStore.Close()
+	if code, _ = post(t, plain, "/chaos", `{"point":"queue.send","action":"drop"}`); code == http.StatusOK {
+		t.Fatal("chaos endpoint served without -chaos")
+	}
+}
+
+// TestStatsGoroutines: /stats carries the process goroutine count for the
+// soak harness's leak assertion.
+func TestStatsGoroutines(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 1})
+	defer store.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Goroutines int `json:"goroutines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Goroutines <= 0 {
+		t.Fatalf("goroutines = %d, want > 0", st.Goroutines)
 	}
 }
 

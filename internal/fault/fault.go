@@ -1,0 +1,227 @@
+// Package fault is the deterministic fault-injection seam of the serving
+// tier: named fault points compiled into the serving path, armed at run
+// time with crash/delay/drop rules.
+//
+// A fault point is a call to Set.Fire("name") at a semantically meaningful
+// place (e.g. "worker.preCommit" just before a batch is proposed to the
+// replicated log). Disarmed points are free: a nil *Set is valid and Fire
+// on it is an inlineable nil-check, so production paths pay nothing unless
+// a test or chaos driver arms a plan. Armed points are decided by pure
+// counter arithmetic — no randomness, no clocks — so under the virtual
+// scheduler (internal/sched) the n-th firing of a point is the same event
+// in every run of a seed, and a crash plan expressed as "crash the 3rd
+// pre-commit" replays bit-identically.
+//
+// The package only *decides* outcomes; it never performs them. The caller
+// interprets the Outcome (crash its proc, sleep, skip the guarded action),
+// because how to crash or wait is runtime-specific.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Action is what an armed rule does to its fault point.
+type Action int
+
+// The fault actions: crash the calling process, delay it, or drop the
+// guarded action (the caller skips whatever the point guards).
+const (
+	Crash Action = iota
+	Delay
+	Drop
+)
+
+// String returns the wire name of the action.
+func (a Action) String() string {
+	switch a {
+	case Crash:
+		return "crash"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// ActionOf parses a wire name back into an Action.
+func ActionOf(s string) (Action, error) {
+	switch s {
+	case "crash":
+		return Crash, nil
+	case "delay":
+		return Delay, nil
+	case "drop":
+		return Drop, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown action %q", s)
+	}
+}
+
+// Rule arms one fault point: skip the first After firings, then apply
+// Action to the next Count firings (Count < 0 = every subsequent firing).
+// The zero Rule crashes on the first firing and every one after it.
+type Rule struct {
+	Action Action
+	// After is the number of initial firings that pass through unharmed.
+	After int64
+	// Count is how many firings (after After) the action applies to;
+	// negative means unlimited. Zero defaults to 1.
+	Count int64
+	// Delay is the pause in runtime clock units (nanoseconds on the free
+	// runtime, scheduler steps on the virtual one) for Action == Delay.
+	Delay int64
+}
+
+func (r Rule) withDefaults() Rule {
+	if r.Count == 0 {
+		r.Count = 1
+	}
+	return r
+}
+
+// Outcome is one firing's decision. The zero Outcome means "proceed
+// normally".
+type Outcome struct {
+	// Crash: the caller must terminate its process (sched.Proc.Crash or a
+	// runtime-specific panic).
+	Crash bool
+	// Delay: the caller must pause for this many runtime clock units.
+	Delay int64
+	// Drop: the caller must skip the action the point guards.
+	Drop bool
+}
+
+// point is one armed fault point: its rule plus the firing counter. The
+// counter is atomic so free-mode procs can fire concurrently; under the
+// virtual runtime all firings happen under the step token, so the sequence
+// of counter values — and therefore of outcomes — is deterministic.
+type point struct {
+	rule  Rule
+	n     atomic.Int64 // total firings
+	acted atomic.Int64 // firings the rule acted on
+}
+
+// Set is a collection of armed fault points. The zero value (and nil) is
+// an entirely disarmed set. Arming replaces the point table copy-on-write,
+// so Fire is a single atomic load + map lookup even while a chaos driver
+// arms and disarms points concurrently.
+type Set struct {
+	mu     sync.Mutex
+	points atomic.Pointer[map[string]*point]
+}
+
+// NewSet returns an empty (disarmed) fault set.
+func NewSet() *Set { return &Set{} }
+
+// Arm installs rule at the named point, resetting the point's counters.
+// Re-arming an armed point replaces its rule.
+func (s *Set) Arm(name string, rule Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := map[string]*point{}
+	if cur := s.points.Load(); cur != nil {
+		for k, v := range *cur {
+			next[k] = v
+		}
+	}
+	next[name] = &point{rule: rule.withDefaults()}
+	s.points.Store(&next)
+}
+
+// Disarm removes the named point (a no-op if it is not armed).
+func (s *Set) Disarm(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.points.Load()
+	if cur == nil {
+		return
+	}
+	if _, ok := (*cur)[name]; !ok {
+		return
+	}
+	next := map[string]*point{}
+	for k, v := range *cur {
+		if k != name {
+			next[k] = v
+		}
+	}
+	s.points.Store(&next)
+}
+
+// Fire reports the outcome of one firing of the named point. It is safe on
+// a nil Set (always the zero Outcome) and extremely cheap when the point
+// is not armed.
+func (s *Set) Fire(name string) Outcome {
+	if s == nil {
+		return Outcome{}
+	}
+	tbl := s.points.Load()
+	if tbl == nil {
+		return Outcome{}
+	}
+	pt, ok := (*tbl)[name]
+	if !ok {
+		return Outcome{}
+	}
+	k := pt.n.Add(1) - 1 // 0-based firing index
+	r := pt.rule
+	if k < r.After || (r.Count >= 0 && k >= r.After+r.Count) {
+		return Outcome{}
+	}
+	pt.acted.Add(1)
+	switch r.Action {
+	case Crash:
+		return Outcome{Crash: true}
+	case Delay:
+		return Outcome{Delay: r.Delay}
+	case Drop:
+		return Outcome{Drop: true}
+	}
+	return Outcome{}
+}
+
+// PointStats is one armed point's counters.
+type PointStats struct {
+	Fires int64 `json:"fires"` // total firings
+	Acted int64 `json:"acted"` // firings the rule acted on
+}
+
+// Stats snapshots every armed point's counters, keyed by point name.
+// A nil Set reports nil.
+func (s *Set) Stats() map[string]PointStats {
+	if s == nil {
+		return nil
+	}
+	tbl := s.points.Load()
+	if tbl == nil {
+		return nil
+	}
+	out := make(map[string]PointStats, len(*tbl))
+	for name, pt := range *tbl {
+		out[name] = PointStats{Fires: pt.n.Load(), Acted: pt.acted.Load()}
+	}
+	return out
+}
+
+// Points lists the armed point names, sorted (for deterministic reports).
+func (s *Set) Points() []string {
+	if s == nil {
+		return nil
+	}
+	tbl := s.points.Load()
+	if tbl == nil {
+		return nil
+	}
+	names := make([]string, 0, len(*tbl))
+	for name := range *tbl {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

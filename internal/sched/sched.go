@@ -198,6 +198,29 @@ func (p *Proc) SetResult(v any) {
 	p.hasResult = true
 }
 
+// ErrCrashed is the panic value raised by Crash in free mode. A supervising
+// wrapper (e.g. the serving tier's worker supervisor) recovers it at the
+// goroutine boundary; an unsupervised free-mode goroutine calling Crash is a
+// programmer error and takes the process down, loudly.
+var ErrCrashed = fmt.Errorf("sched: proc crashed (fault injection)")
+
+// Crash terminates the calling process as a crash, from inside its own body
+// — the self-inflicted counterpart of a policy's Decision.Crash, used by
+// fault-injection layers that crash a process at a semantic point rather
+// than at a step count. In controlled mode the process unwinds exactly like
+// a policy-crashed one (defers run, the run accounts it Crashed, the panic
+// value never escapes Execute). In free mode it panics ErrCrashed, which a
+// supervising wrapper is expected to recover. Crash never returns.
+func (p *Proc) Crash() {
+	if p.run != nil {
+		// Mark the kill reason first so a Step reached during unwinding
+		// (from a defer) re-raises instead of consulting the policy.
+		p.killed = killCrash
+		panic(exitSignal{reason: killCrash})
+	}
+	panic(ErrCrashed)
+}
+
 // Step requests permission for the next shared-memory event. In controlled
 // mode it suspends the process until the policy grants its next step; if the
 // policy crashed or halted the process, Step unwinds the process function. In

@@ -313,6 +313,51 @@ func TestPriorityStarverFavoursHighestID(t *testing.T) {
 	}
 }
 
+// TestProcCrashSelf: a controlled proc calling Crash() unwinds like a
+// policy-injected kill — accounted Crashed, deferred functions run, the
+// rest of the run unaffected.
+func TestProcCrashSelf(t *testing.T) {
+	reached, deferred := false, false
+	r := NewRun(2, &RoundRobin{})
+	r.Spawn(0, func(p *Proc) {
+		defer func() { deferred = true }()
+		p.Step()
+		p.Crash()
+		reached = true
+	})
+	r.Spawn(1, func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+	})
+	res := r.Execute(1000)
+	if res.Status[0] != Crashed {
+		t.Fatalf("process 0: status %v, want crashed", res.Status[0])
+	}
+	if reached {
+		t.Error("crashed process ran past Crash()")
+	}
+	if !deferred {
+		t.Error("deferred function did not run during crash unwind")
+	}
+	if res.Status[1] != Done {
+		t.Errorf("process 1: status %v, want done", res.Status[1])
+	}
+}
+
+// TestFreeProcCrashPanicsErrCrashed: outside a controlled run there is no
+// scheduler to unwind into, so Crash() panics the exported ErrCrashed for
+// the caller's supervisor (or test harness) to trap.
+func TestFreeProcCrashPanicsErrCrashed(t *testing.T) {
+	defer func() {
+		if r := recover(); r != ErrCrashed {
+			t.Fatalf("recovered %v, want ErrCrashed", r)
+		}
+	}()
+	FreeProc(1).Crash()
+	t.Fatal("Crash() returned on a free proc")
+}
+
 func TestFreeProcStepCountsOnly(t *testing.T) {
 	p := FreeProc(7)
 	for i := 0; i < 42; i++ {

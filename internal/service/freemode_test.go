@@ -12,6 +12,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/fault"
 )
 
 // TestFreeModeHammer drives mixed single and batched traffic, concurrent
@@ -127,6 +130,206 @@ func TestFreeModeCloseRace(t *testing.T) {
 		if served.Load() != st.TotalOps {
 			t.Fatalf("served %d acks but stats count %d commits", served.Load(), st.TotalOps)
 		}
+	}
+}
+
+// TestFreeModeCrashRecoveryHammer injects worker crashes (pre- and
+// post-commit) under full mixed load with supervision on: every op must
+// still be answered exactly once — a crash costs latency, never an answer —
+// and the restart accounting must show the recoveries actually happened.
+// Crash budgets are sized so that even if every injected crash lands on one
+// slot, the breaker never trips (6 crashes < MaxRestarts 8).
+func TestFreeModeCrashRecoveryHammer(t *testing.T) {
+	fs := fault.NewSet()
+	fs.Arm(FaultWorkerPreCommit, fault.Rule{Action: fault.Crash, After: 3, Count: 3})
+	fs.Arm(FaultWorkerPostCommit, fault.Rule{Action: fault.Crash, After: 5, Count: 3})
+	s := New(Config{Shards: 2, WorkersPerShard: 2, QueueDepth: 8, MaxBatch: 4,
+		Audit: AuditConfig{WindowOps: 8},
+		Supervise: SuperviseConfig{Enabled: true, MaxRestarts: 8,
+			BackoffBase: int64(100 * time.Microsecond), BackoffCap: int64(5 * time.Millisecond)},
+		Faults: fs})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var submitted atomic.Int64
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(c), 7))
+			for i := 0; i < 150; i++ {
+				key := fmt.Sprintf("k%d", rng.IntN(8))
+				if rng.IntN(3) == 0 {
+					ops := []Op{
+						{Kind: OpPut, Key: key, Val: fmt.Sprintf("c%d-%d", c, i)},
+						{Kind: OpGet, Key: key},
+					}
+					if _, err := s.DoBatch(ctx, ops); err != nil {
+						t.Errorf("batch: %v", err)
+						return
+					}
+					submitted.Add(2)
+				} else {
+					if _, err := s.Do(ctx, Op{Kind: OpPut, Key: key, Val: "v"}); err != nil {
+						t.Errorf("do: %v", err)
+						return
+					}
+					submitted.Add(1)
+				}
+				if i%40 == 0 {
+					_ = s.Stats()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Audit.Violations != 0 {
+		t.Fatalf("audit violations: %v", st.Audit.ViolationSamples)
+	}
+	if st.TotalOps != submitted.Load() {
+		t.Fatalf("submitted %d ops but stats count %d commits", submitted.Load(), st.TotalOps)
+	}
+	if st.Supervision.Restarts == 0 {
+		t.Error("crashes were armed but no worker was ever restarted")
+	}
+	if st.Supervision.Condemned != 0 {
+		t.Fatalf("%d slots condemned; crash budget should never trip the breaker", st.Supervision.Condemned)
+	}
+	var acted int64
+	for _, pt := range []string{FaultWorkerPreCommit, FaultWorkerPostCommit} {
+		acted += st.Faults[pt].Acted
+	}
+	if acted == 0 {
+		t.Error("no armed crash ever fired; the hammer is vacuous")
+	}
+}
+
+// TestFreeModeCrashCloseRace races Close against in-flight traffic while
+// injected crashes kill and respawn workers: every op must either be
+// answered or rejected with ErrClosed, and recovery accounting must stay
+// exact (acked ops == committed ops) through the drain.
+func TestFreeModeCrashCloseRace(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		fs := fault.NewSet()
+		fs.Arm(FaultWorkerPreCommit, fault.Rule{Action: fault.Crash, After: 2, Count: 2})
+		fs.Arm(FaultWorkerPostCommit, fault.Rule{Action: fault.Crash, After: 4, Count: 2})
+		s := New(Config{Shards: 2, WorkersPerShard: 1, QueueDepth: 4, MaxBatch: 4,
+			Audit: AuditConfig{WindowOps: 4},
+			Supervise: SuperviseConfig{Enabled: true, MaxRestarts: 8,
+				BackoffBase: int64(50 * time.Microsecond), BackoffCap: int64(time.Millisecond)},
+			Faults: fs})
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		var served atomic.Int64
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < 80; i++ {
+					_, err := s.Do(ctx, Op{Kind: OpPut, Key: fmt.Sprintf("k%d", i%8), Val: "v"})
+					switch err {
+					case nil:
+						served.Add(1)
+					case ErrClosed:
+						return
+					default:
+						t.Errorf("do: %v", err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+			if err := s.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		wg.Wait()
+		st := s.Stats()
+		if st.Audit.Violations != 0 {
+			t.Fatalf("audit violations: %v", st.Audit.ViolationSamples)
+		}
+		if served.Load() != st.TotalOps {
+			t.Fatalf("served %d acks but stats count %d commits", served.Load(), st.TotalOps)
+		}
+	}
+}
+
+// TestFreeModeDeadlineRetry exercises the deadline + idempotent-retry
+// contract on the free runtime: clients race tiny context deadlines against
+// workers slowed by injected commit delays, retrying expired calls with the
+// same op ID and finishing each logical op with an undeadlined call. Dedup
+// must collapse the retries: each client's key must end at its last written
+// value (a replayed older write would reorder history), and the audit must
+// stay silent.
+func TestFreeModeDeadlineRetry(t *testing.T) {
+	fs := fault.NewSet()
+	fs.Arm(FaultWorkerPreCommit, fault.Rule{Action: fault.Delay, Delay: int64(200 * time.Microsecond), Count: -1})
+	s := New(Config{Shards: 1, WorkersPerShard: 2, QueueDepth: 8, MaxBatch: 4,
+		Audit:     AuditConfig{WindowOps: 8},
+		Supervise: SuperviseConfig{Enabled: true},
+		Faults:    fs})
+	ctx := context.Background()
+	const clients, opsPerClient = 4, 25
+	var deadlines atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := fmt.Sprintf("client%d", c)
+			for i := 0; i < opsPerClient; i++ {
+				op := Op{Kind: OpPut, Key: key, Val: fmt.Sprintf("v%d", i),
+					ID: uint64(c+1)<<32 | uint64(i+1)}
+				var err error
+				for try := 0; try < 3; try++ {
+					tctx, cancel := context.WithTimeout(ctx, 50*time.Microsecond)
+					_, err = s.Do(tctx, op)
+					cancel()
+					if err == nil {
+						break
+					}
+					if err != ErrDeadline && err != ErrSaturated {
+						t.Errorf("do: %v", err)
+						return
+					}
+					deadlines.Add(1)
+				}
+				if err != nil {
+					// The op may or may not have committed; the undeadlined
+					// retry settles it exactly once either way.
+					if _, err = s.Do(ctx, op); err != nil {
+						t.Errorf("final do: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		val, ok, err := s.Get(ctx, fmt.Sprintf("client%d", c))
+		if err != nil || !ok {
+			t.Fatalf("get client%d: val=%q ok=%v err=%v", c, val, ok, err)
+		}
+		if want := fmt.Sprintf("v%d", opsPerClient-1); val != want {
+			t.Errorf("client%d final value %q, want %q — a retried older write replayed", c, val, want)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Audit.Violations != 0 {
+		t.Fatalf("audit violations: %v", st.Audit.ViolationSamples)
+	}
+	if deadlines.Load() == 0 {
+		t.Error("no call ever hit its deadline; the retry path went unexercised")
 	}
 }
 

@@ -18,6 +18,11 @@ type histRecord struct {
 	res Result // ground-truth result of the state machine
 	ver uint64 // per-key version assigned by the replicated state machine
 	ret int64  // logical clock at commit (within [call, client return])
+	// alts are retries that were deduplicated against this record's op ID:
+	// distinct requests whose command the state machine recognized as
+	// already applied and answered from the remembered result. They are one
+	// logical operation with r.
+	alts []*request
 }
 
 // historyRecorder captures the complete committed history of a virtual
@@ -39,9 +44,17 @@ type histRecord struct {
 type historyRecorder struct {
 	submitted []*request
 	records   []histRecord
+	// byID maps each op ID to the index of its first committed record, so
+	// a second commit of the same ID — exactly what op-ID deduplication
+	// exists to prevent — is detected as a violation, and dedup'd retries
+	// can be aliased onto their primary.
+	byID   map[uint64]int
+	dupIDs []uint64
 }
 
-func newHistoryRecorder() *historyRecorder { return &historyRecorder{} }
+func newHistoryRecorder() *historyRecorder {
+	return &historyRecorder{byID: map[uint64]int{}}
+}
 
 // submit registers an enqueued request, so the check can verify that every
 // answered request was actually committed.
@@ -49,7 +62,26 @@ func (h *historyRecorder) submit(r *request) { h.submitted = append(h.submitted,
 
 // record captures one committed command with its ground-truth result.
 func (h *historyRecorder) record(r *request, res Result, ver uint64, ret int64) {
+	if id := r.op.ID; id != 0 {
+		if _, dup := h.byID[id]; dup {
+			// The same logical operation mutated state twice. Keep the
+			// record — the double-apply really happened, and dropping it
+			// would break version contiguity — but remember the breach.
+			h.dupIDs = append(h.dupIDs, id)
+		} else {
+			h.byID[id] = len(h.records)
+		}
+	}
 	h.records = append(h.records, histRecord{r: r, res: res, ver: ver, ret: ret})
+}
+
+// recordDup notes that r was recognized as a retry of an already-committed
+// op ID and answered from the dedup table: it aliases r onto the primary
+// record so the answered-implies-committed check accepts it.
+func (h *historyRecorder) recordDup(r *request) {
+	if i, ok := h.byID[r.op.ID]; ok {
+		h.records[i].alts = append(h.records[i].alts, r)
+	}
 }
 
 // specOp converts one record into a checker operation. Answered requests
@@ -60,6 +92,16 @@ func (rec histRecord) specOp() spec.Op {
 	res := rec.res
 	if rec.r.answered {
 		res = rec.r.res
+	} else {
+		// The primary was never answered (e.g. its client abandoned the
+		// wait), but a dedup'd retry may have been — that retry's observed
+		// result speaks for the one logical operation.
+		for _, a := range rec.alts {
+			if a.answered {
+				res = a.res
+				break
+			}
+		}
 	}
 	op := spec.Op{Call: rec.r.call, Ret: rec.ret}
 	switch rec.r.op.Kind {
@@ -86,6 +128,13 @@ func (h *historyRecorder) check() []string {
 				"history: %s on key %q committed twice", rec.r.op.Kind, rec.r.op.Key))
 		}
 		recorded[rec.r] = true
+		for _, a := range rec.alts {
+			recorded[a] = true
+		}
+	}
+	for _, id := range h.dupIDs {
+		out = append(out, fmt.Sprintf(
+			"history: op id %d committed more than once — retry deduplication failed to stop a double-apply", id))
 	}
 	for _, r := range h.submitted {
 		if r.answered && !recorded[r] {

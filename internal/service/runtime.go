@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
@@ -12,7 +13,8 @@ import (
 // procs are spawned and joined, how requests move through shard queues and
 // are answered, and what clock timestamps operations. The serving logic
 // (batching, the universal construction, the state machine, the auditor's
-// window assembly) is runtime-agnostic; only the blocking primitives differ.
+// window assembly, worker supervision) is runtime-agnostic; only the
+// blocking primitives differ.
 //
 // Two implementations exist:
 //
@@ -40,6 +42,11 @@ type Runtime interface {
 	newQueue(capacity int) queue
 	// newMailbox creates the auditor's bounded record queue.
 	newMailbox(capacity int) mailbox
+	// newNotifier creates one shard's death-notice queue: worker
+	// incarnations post their exit from the proc boundary, the shard
+	// supervisor consumes. post must be safe from a crashing proc's
+	// deferred unwind (it must not take scheduler steps).
+	newNotifier(capacity int) notifier
 	// beginSubmit opens one submission (a single op or a whole batch)
 	// against a racing Close: after it returns nil, enqueues cannot race
 	// with the queues closing. endSubmit closes the bracket.
@@ -51,18 +58,51 @@ type Runtime interface {
 	// spawn starts fn on the next managed proc. The returned join blocks
 	// (on behalf of waiter, nil on the free-mode path) until fn returns.
 	spawn(fn func(*sched.Proc)) (join func(waiter *sched.Proc))
-	// complete marks r answered and wakes its waiter; await blocks until r
-	// is answered.
-	complete(r *request)
-	await(p *sched.Proc, r *request)
+	// provision pre-allocates n respawn seats. The virtual runtime spawns
+	// them as procs of the run up front (a controlled run cannot add procs
+	// after Execute); the free runtime mints goroutines on demand and
+	// ignores n.
+	provision(n int)
+	// respawn runs fn on a respawn seat, reporting false when no seat is
+	// available (the virtual runtime's seat pool is exhausted — the
+	// supervisor treats that as a tripped breaker).
+	respawn(fn func(*sched.Proc)) bool
+	// closeSeats releases idle respawn seats; joinSeats blocks until every
+	// seat (idle or serving) has exited. Call only after the supervisors
+	// have been joined, so no further respawn races the close.
+	closeSeats()
+	joinSeats(waiter *sched.Proc)
+	// complete marks r answered and wakes its waiter. It is idempotent —
+	// a request answered by a crashed worker's batch may be re-answered by
+	// the recovering incarnation — and reports whether this call won.
+	complete(r *request) bool
+	// await blocks until r is answered or ctx is done (free runtime only;
+	// the virtual runtime models deadlines with awaitUntil), returning
+	// ErrDeadline when the wait was abandoned. awaitUntil is the
+	// deadline-bounded wait on the runtime clock (absolute deadline in
+	// now()'s units).
+	await(p *sched.Proc, ctx context.Context, r *request) error
+	awaitUntil(p *sched.Proc, r *request, deadline int64) error
+	// sleep pauses p for d runtime clock units (supervisor backoff,
+	// injected delays).
+	sleep(p *sched.Proc, d int64)
+	// trapPanics reports whether worker incarnations must recover panics at
+	// the proc boundary (free mode). The virtual runtime reports false: a
+	// crash must propagate to the scheduler, which accounts the proc
+	// Crashed exactly like a policy-injected crash.
+	trapPanics() bool
+	// backoffDefaults returns the default supervisor backoff base and cap
+	// in runtime clock units.
+	backoffDefaults() (base, max int64)
 }
 
 // queue is one shard's bounded request queue.
 type queue interface {
 	// send enqueues r, blocking while the queue is full. It returns
-	// ErrClosed if the queue closed before the enqueue happened, or ctx's
-	// error if the context won first (free mode only; virtual runs model
-	// abandonment with crash and omission plans instead).
+	// ErrClosed if the queue closed before the enqueue happened, or
+	// ErrSaturated if ctx expired while the queue was still full (free
+	// mode only; virtual runs model abandonment with crash and omission
+	// plans instead).
 	send(p *sched.Proc, ctx context.Context, r *request) error
 	// receiver returns a per-worker receive handle (it owns the worker's
 	// idle-sync ticker state).
@@ -94,6 +134,23 @@ type mailbox interface {
 	close()
 }
 
+// deathEvent is one worker incarnation's exit notice (or the store's
+// closing sentinel), consumed by the shard supervisor.
+type deathEvent struct {
+	sl      *slot
+	crashed bool
+	closing bool // sentinel posted by Close: no new traffic, drain and settle
+}
+
+// notifier is one shard's death-notice queue.
+type notifier interface {
+	// post never blocks and takes no scheduler steps: it is called from a
+	// crashing incarnation's deferred unwind.
+	post(ev deathEvent)
+	// wait blocks for the next notice.
+	wait(p *sched.Proc) deathEvent
+}
+
 // freeRuntime is the production substrate: real goroutines and channels,
 // wall-clock time. Its Do/DoBatch path performs exactly the allocations of
 // the original free-mode store (one request and one done channel per op)
@@ -105,6 +162,12 @@ type freeRuntime struct {
 	mu     sync.RWMutex
 	closed bool
 	nextID int
+
+	// respawnID numbers respawned worker incarnations (offset past the
+	// construction-time procs); seatWG tracks their goroutines for
+	// joinSeats.
+	respawnID atomic.Int64
+	seatWG    sync.WaitGroup
 }
 
 func newFreeRuntime() *freeRuntime { return &freeRuntime{} }
@@ -121,6 +184,10 @@ func (rt *freeRuntime) newQueue(capacity int) queue {
 
 func (rt *freeRuntime) newMailbox(capacity int) mailbox {
 	return &freeMailbox{ch: make(chan auditRecord, capacity)}
+}
+
+func (rt *freeRuntime) newNotifier(capacity int) notifier {
+	return &freeNotifier{ch: make(chan deathEvent, capacity)}
 }
 
 func (rt *freeRuntime) beginSubmit() error {
@@ -157,9 +224,74 @@ func (rt *freeRuntime) spawn(fn func(*sched.Proc)) func(*sched.Proc) {
 	return func(*sched.Proc) { <-done }
 }
 
-func (rt *freeRuntime) complete(r *request) { close(r.done) }
+// provision is a no-op: free-mode respawn seats are goroutines minted on
+// demand.
+func (rt *freeRuntime) provision(int) {}
 
-func (rt *freeRuntime) await(_ *sched.Proc, r *request) { <-r.done }
+func (rt *freeRuntime) respawn(fn func(*sched.Proc)) bool {
+	p := sched.FreeProc(int(1<<16 + rt.respawnID.Add(1)))
+	rt.seatWG.Add(1)
+	go func() {
+		defer rt.seatWG.Done()
+		fn(p)
+	}()
+	return true
+}
+
+func (rt *freeRuntime) closeSeats() {}
+
+func (rt *freeRuntime) joinSeats(*sched.Proc) { rt.seatWG.Wait() }
+
+func (rt *freeRuntime) complete(r *request) bool {
+	if r.completed.CompareAndSwap(false, true) {
+		close(r.done)
+		return true
+	}
+	return false
+}
+
+func (rt *freeRuntime) await(_ *sched.Proc, ctx context.Context, r *request) error {
+	if ctx.Done() == nil {
+		// Fast path: an undeadlined context cannot abandon the wait, so the
+		// bare channel receive of the original serving tier suffices.
+		<-r.done
+		return nil
+	}
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		return ErrDeadline
+	}
+}
+
+func (rt *freeRuntime) awaitUntil(_ *sched.Proc, r *request, deadline int64) error {
+	d := time.Until(time.Unix(0, deadline))
+	if d <= 0 {
+		select {
+		case <-r.done:
+			return nil
+		default:
+			return ErrDeadline
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.done:
+		return nil
+	case <-t.C:
+		return ErrDeadline
+	}
+}
+
+func (rt *freeRuntime) sleep(_ *sched.Proc, d int64) { time.Sleep(time.Duration(d)) }
+
+func (rt *freeRuntime) trapPanics() bool { return true }
+
+func (rt *freeRuntime) backoffDefaults() (int64, int64) {
+	return int64(time.Millisecond), int64(100 * time.Millisecond)
+}
 
 // freeQueue wraps a buffered channel; senders hold the runtime's submit
 // read-lock (see beginSubmit), so close never races a send.
@@ -172,7 +304,7 @@ func (q *freeQueue) send(_ *sched.Proc, ctx context.Context, r *request) error {
 	case q.ch <- r:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return ErrSaturated
 	}
 }
 
@@ -233,3 +365,15 @@ func (m *freeMailbox) take(_ *sched.Proc) (auditRecord, bool) {
 }
 
 func (m *freeMailbox) close() { close(m.ch) }
+
+// freeNotifier is the channel-backed death-notice queue. Its capacity is
+// sized by the store to the worst-case notice count (every slot crashing
+// through its whole restart budget, plus clean exits and the sentinel), so
+// post never blocks in practice.
+type freeNotifier struct {
+	ch chan deathEvent
+}
+
+func (n *freeNotifier) post(ev deathEvent) { n.ch <- ev }
+
+func (n *freeNotifier) wait(*sched.Proc) deathEvent { return <-n.ch }

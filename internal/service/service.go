@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -92,6 +93,14 @@ type Op struct {
 	Val string `json:"val,omitempty"`
 	// Old is the value cas expects to find.
 	Old string `json:"old,omitempty"`
+	// ID, when non-zero, is a client-assigned operation identity used for
+	// exactly-once retry: the replicated state machine remembers the result
+	// of the first apply of each ID (up to Config.MaxDedup IDs per shard,
+	// FIFO-evicted) and replays it to retries instead of re-applying them.
+	// A client that got ErrDeadline should resubmit the SAME op with the
+	// SAME ID — the command may have committed after the wait was abandoned,
+	// and only the ID protects a Put or CAS from double-applying.
+	ID uint64 `json:"id,omitempty"`
 }
 
 // Result is the outcome of one command.
@@ -116,8 +125,17 @@ type Config struct {
 	// MaxBatch caps how many queued commands one worker groups into a
 	// single log command per grant window. Default 64.
 	MaxBatch int
+	// MaxDedup bounds the per-shard table of remembered op IDs (see Op.ID);
+	// the oldest ID is forgotten first. Default 4096.
+	MaxDedup int
 	// Audit configures the online linearizability auditor.
 	Audit AuditConfig
+	// Supervise configures worker supervision and crash recovery.
+	Supervise SuperviseConfig
+	// Faults, when non-nil, arms the store's fault-injection points (see
+	// the Fault* constants and internal/fault). A nil set is completely
+	// disarmed and free.
+	Faults *fault.Set
 }
 
 func (c Config) withDefaults() Config {
@@ -133,12 +151,52 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.MaxDedup <= 0 {
+		c.MaxDedup = 4096
+	}
 	c.Audit = c.Audit.withDefaults()
+	c.Supervise = c.Supervise.withDefaults()
 	return c
 }
 
 // ErrClosed is returned by submissions against a closed (or closing) store.
 var ErrClosed = errors.New("service: store is closed")
+
+// ErrDeadline is returned when a completion wait is abandoned because the
+// caller's context or deadline expired. The command may still commit after
+// the wait is abandoned — the queue slot it occupies is not revoked — so a
+// caller that must not double-apply should retry with the same Op.ID.
+var ErrDeadline = errors.New("service: deadline exceeded awaiting completion (command may still commit; retry with the same op ID)")
+
+// ErrSaturated is returned when a submission's context expired while the
+// shard queue was still full: backpressure outlasted the caller's patience
+// and the command was never enqueued. Safe to retry as-is.
+var ErrSaturated = errors.New("service: shard queue saturated")
+
+// The store's fault-injection point names (see Config.Faults and
+// internal/fault). Each names the semantic instant the point guards.
+const (
+	// FaultWorkerPreCommit fires just before a worker proposes a batch to
+	// the replicated log: a crash here loses the incarnation with the batch
+	// undecided, and the successor re-proposes it.
+	FaultWorkerPreCommit = "worker.preCommit"
+	// FaultWorkerPostCommit fires after the batch is decided but before its
+	// side effects (stats, audit records, client completions) are
+	// published: a crash here makes the successor finish a batch it never
+	// proposed.
+	FaultWorkerPostCommit = "worker.postCommit"
+	// FaultWorkerPreApply fires at the top of the owner's state-machine
+	// apply, before any mutation: a crash here unwinds mid-Exec with the
+	// position decided but unapplied on this replica.
+	FaultWorkerPreApply = "worker.preApply"
+	// FaultQueueSend fires on the submitter side of the shard queue
+	// (delay rules model a slow client-to-shard path).
+	FaultQueueSend = "queue.send"
+	// FaultAuditRecord fires per audit record; drop rules model sampling
+	// loss, which the auditor must absorb as window gaps, never as a false
+	// verdict.
+	FaultAuditRecord = "audit.record"
+)
 
 // Store is a sharded, batched, continuously-audited key-value store.
 //
@@ -152,14 +210,27 @@ type Store struct {
 	rec    *historyRecorder // complete-history capture; nil on the free runtime
 	clock  atomic.Int64     // logical time for audit intervals
 	shards []*shard
-	audit  *auditor // nil when auditing is disabled
+	audit  *auditor   // nil when auditing is disabled
+	faults *fault.Set // nil when fault injection is disarmed
 
-	joins []func(*sched.Proc) // one per worker, in spawn order
+	joins      []func(*sched.Proc) // one per original worker, in spawn order
+	superJoins []func(*sched.Proc) // one per shard supervisor
+
+	// Supervision counters (see SupervisionStats).
+	condemnedSlots  atomic.Int64
+	sparesExhausted atomic.Int64
 
 	// debugDropPuts injects a serving-tier bug for checker canaries: puts
 	// on this key are acknowledged but never applied. Set only by in-package
 	// test scenarios, before any traffic.
 	debugDropPuts string
+	// debugNoDedup breaks op-ID deduplication for the must-detect canary:
+	// the dedup table is still maintained, but retries fall through and
+	// double-apply; debugDoubles counts them at apply time on the owner's
+	// replica (the ground truth the inverted canary oracle compares the
+	// checker's verdict against).
+	debugNoDedup bool
+	debugDoubles atomic.Int64
 }
 
 // New starts a store on the free runtime with cfg's shards and workers
@@ -168,7 +239,7 @@ func New(cfg Config) *Store { return newStore(cfg, newFreeRuntime()) }
 
 func newStore(cfg Config, rt Runtime) *Store {
 	cfg = cfg.withDefaults()
-	s := &Store{cfg: cfg, rt: rt}
+	s := &Store{cfg: cfg, rt: rt, faults: cfg.Faults}
 	if vr, ok := rt.(*VirtualRuntime); ok {
 		s.rec = vr.rec
 	}
@@ -179,12 +250,56 @@ func newStore(cfg Config, rt Runtime) *Store {
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(s, i))
 	}
-	for _, sh := range s.shards {
-		for _, w := range sh.workers {
-			s.joins = append(s.joins, rt.spawn(w.run))
+	sup := cfg.Supervise.Enabled
+	if sup {
+		// Notifiers must exist before any worker spawns: an incarnation's
+		// exit defer posts to them. Capacity covers every incarnation the
+		// slot can ever have (original + MaxRestarts respawns, each posting
+		// once) plus the closing sentinel, clamped for huge restart budgets:
+		// the supervisor drains continuously, so past the clamp a post may
+		// briefly block a dying incarnation's unwind, never lose a notice.
+		perShard := cfg.WorkersPerShard*(cfg.Supervise.MaxRestarts+1) + 1
+		if perShard > 1024 {
+			perShard = 1024
+		}
+		for _, sh := range s.shards {
+			sh.notify = rt.newNotifier(perShard)
 		}
 	}
+	for _, sh := range s.shards {
+		for _, sl := range sh.slots {
+			if sup {
+				s.joins = append(s.joins, rt.spawn(sl.incarnation()))
+			} else {
+				s.joins = append(s.joins, rt.spawn(sl.body()))
+			}
+		}
+	}
+	if sup {
+		for _, sh := range s.shards {
+			s.superJoins = append(s.superJoins, rt.spawn(sh.supervise))
+		}
+		rt.provision(cfg.Supervise.spares(cfg.Shards * cfg.WorkersPerShard))
+	}
 	return s
+}
+
+// firePoint fires the named fault point on p's behalf and performs the
+// decided outcome: a crash unwinds p (never returns), a delay sleeps on the
+// runtime clock. It reports whether the guarded action must be dropped.
+// With no fault set armed it is a nil check.
+func (s *Store) firePoint(p *sched.Proc, name string) bool {
+	if s.faults == nil {
+		return false
+	}
+	o := s.faults.Fire(name)
+	if o.Crash {
+		p.Crash()
+	}
+	if o.Delay > 0 {
+		s.rt.sleep(p, o.Delay)
+	}
+	return o.Drop
 }
 
 // keyHash is inline FNV-1a over the key bytes (the same family as the
@@ -205,9 +320,14 @@ func (s *Store) shardOf(key string) *shard {
 }
 
 // Do submits one command and waits for its linearized result. A full shard
-// queue blocks (backpressure) until space frees or ctx is done; a closed
-// store returns ErrClosed. Do is the free-runtime client entry point; on a
-// virtual runtime use DoOn from a proc of the store's run.
+// queue blocks (backpressure) until space frees or ctx is done
+// (ErrSaturated — the command was never enqueued, retry as-is); a closed
+// store returns ErrClosed. Once enqueued, the wait for completion honors
+// ctx: if it expires, Do returns ErrDeadline but the command stays in the
+// pipeline and may still commit — retry with the same Op.ID for
+// exactly-once semantics. Do is the free-runtime client entry point; on a
+// virtual runtime use DoOn (or DoTimeoutOn for deadline-bounded waits)
+// from a proc of the store's run.
 func (s *Store) Do(ctx context.Context, op Op) (Result, error) {
 	return s.do(nil, ctx, op)
 }
@@ -220,9 +340,62 @@ func (s *Store) DoOn(p *sched.Proc, op Op) (Result, error) {
 	return s.do(p, context.Background(), op)
 }
 
+// DoTimeoutOn is DoOn with a completion deadline of timeout runtime clock
+// units (scheduler steps on the virtual runtime, nanoseconds on the free
+// one) measured from submission. The deadline bounds only the completion
+// wait — backpressure on a full queue still blocks, and an ErrDeadline'd
+// command may still commit (see Do); retry with the same Op.ID.
+func (s *Store) DoTimeoutOn(p *sched.Proc, op Op, timeout int64) (Result, error) {
+	if op.Kind >= numOpKinds {
+		return Result{}, fmt.Errorf("service: invalid op kind %d", op.Kind)
+	}
+	if err := s.fireSend(p); err != nil {
+		return Result{}, err
+	}
+	r := s.rt.newRequest(p, op)
+	sh := s.shardOf(op.Key)
+	if err := s.rt.beginSubmit(); err != nil {
+		return Result{}, err
+	}
+	r.call = s.clock.Add(1)
+	err := sh.q.send(p, context.Background(), r)
+	s.rt.endSubmit()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.rt.awaitUntil(p, r, s.rt.now(p)+timeout); err != nil {
+		return Result{}, err
+	}
+	return r.res, nil
+}
+
+// fireSend fires the queue.send fault point on the single-op submit path.
+// Crash outcomes unwind a proc-backed submitter (free-mode clients have no
+// proc to crash and ignore them); delay outcomes sleep before the enqueue;
+// drop outcomes model a lost send and surface as ErrSaturated.
+func (s *Store) fireSend(p *sched.Proc) error {
+	if s.faults == nil {
+		return nil
+	}
+	o := s.faults.Fire(FaultQueueSend)
+	if o.Crash && p != nil {
+		p.Crash()
+	}
+	if o.Delay > 0 {
+		s.rt.sleep(p, o.Delay)
+	}
+	if o.Drop {
+		return ErrSaturated
+	}
+	return nil
+}
+
 func (s *Store) do(p *sched.Proc, ctx context.Context, op Op) (Result, error) {
 	if op.Kind >= numOpKinds {
 		return Result{}, fmt.Errorf("service: invalid op kind %d", op.Kind)
+	}
+	if err := s.fireSend(p); err != nil {
+		return Result{}, err
 	}
 	r := s.rt.newRequest(p, op)
 	sh := s.shardOf(op.Key)
@@ -235,7 +408,9 @@ func (s *Store) do(p *sched.Proc, ctx context.Context, op Op) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	s.rt.await(p, r)
+	if err := s.rt.await(p, ctx, r); err != nil {
+		return Result{}, err
+	}
 	return r.res, nil
 }
 
@@ -260,9 +435,11 @@ func (s *Store) CAS(ctx context.Context, key, old, new string) (bool, error) {
 
 // DoBatch submits ops concurrently (grouped per shard by the workers'
 // batching) and waits for all results, index-aligned with ops. If ctx is
-// done mid-submission, already-enqueued commands are still awaited (they
-// will commit) and ctx's error is returned. DoBatch is the free-runtime
-// client entry point; on a virtual runtime use DoBatchOn.
+// done mid-submission the tail is rejected with ErrSaturated; if it
+// expires while awaiting, DoBatch returns ErrDeadline — in both cases
+// already-enqueued commands stay in the pipeline and will still commit
+// (see Do for retry semantics). DoBatch is the free-runtime client entry
+// point; on a virtual runtime use DoBatchOn.
 func (s *Store) DoBatch(ctx context.Context, ops []Op) ([]Result, error) {
 	return s.doBatch(nil, ctx, ops)
 }
@@ -295,11 +472,17 @@ func (s *Store) doBatch(p *sched.Proc, ctx context.Context, ops []Op) ([]Result,
 		reqs = append(reqs, r)
 	}
 	s.rt.endSubmit()
+	var awaitErr error
 	for _, r := range reqs {
-		s.rt.await(p, r)
+		if err := s.rt.await(p, ctx, r); err != nil && awaitErr == nil {
+			awaitErr = err
+		}
 	}
 	if submitErr != nil {
 		return nil, submitErr
+	}
+	if awaitErr != nil {
+		return nil, awaitErr
 	}
 	out := make([]Result, len(reqs))
 	for i, r := range reqs {
@@ -327,6 +510,21 @@ func (s *Store) close(p *sched.Proc) error {
 	}
 	for _, sh := range s.shards {
 		sh.q.close()
+	}
+	if s.cfg.Supervise.Enabled {
+		// Tell every supervisor the store is closing, then wait for each to
+		// settle its slots (the last incarnation of every slot drains the
+		// queue backlog and exits clean, or the slot is condemned). Only
+		// then is it safe to retire the respawn seats — no further respawn
+		// can race the close.
+		for _, sh := range s.shards {
+			sh.notify.post(deathEvent{closing: true})
+		}
+		for _, join := range s.superJoins {
+			join(p)
+		}
+		s.rt.closeSeats()
+		s.rt.joinSeats(p)
 	}
 	for _, join := range s.joins {
 		join(p)
@@ -379,6 +577,23 @@ type Stats struct {
 	Committed []int64 `json:"committed"`
 	// Audit is the online auditor's progress (zero when disabled).
 	Audit AuditStats `json:"audit"`
+	// Supervision is the worker-supervision snapshot (zero when disabled).
+	Supervision SupervisionStats `json:"supervision"`
+	// Faults is the fault-injection point counters (nil when disarmed).
+	Faults map[string]fault.PointStats `json:"faults,omitempty"`
+}
+
+// SupervisionStats snapshots worker supervision: how many incarnations
+// crashed and were restarted, how many slots the crash-loop breaker (or
+// virtual-runtime seat exhaustion) permanently condemned, and the
+// crash-to-first-commit recovery latency distribution in runtime clock
+// units.
+type SupervisionStats struct {
+	Enabled         bool           `json:"enabled"`
+	Restarts        int64          `json:"restarts"`
+	Condemned       int64          `json:"condemned"`
+	SparesExhausted int64          `json:"spares_exhausted"`
+	Recovery        LatencySummary `json:"recovery"`
 }
 
 // statsProc is the free-mode proc Stats uses for its lock-free register
@@ -399,29 +614,37 @@ func (s *Store) Stats() Stats {
 		Committed:       make([]int64, len(s.shards)),
 	}
 	var lat [numOpKinds]sim.Histogram
+	var recovery sim.Histogram
 	for si, sh := range s.shards {
 		st.QueueDepth[si] = sh.q.len()
-		for _, w := range sh.workers {
-			pos := w.committed.Read(statsProc)
+		for _, sl := range sh.slots {
+			pos := sl.committed.Read(statsProc)
 			if pos > st.Committed[si] {
 				st.Committed[si] = pos
 			}
-			w.mu.Lock()
+			sl.mu.Lock()
 			for k := 0; k < numOpKinds; k++ {
-				st.Ops[OpKind(k).String()] += w.ops[k]
-				st.TotalOps += w.ops[k]
-				lat[k].Merge(w.latency[k])
+				st.Ops[OpKind(k).String()] += sl.ops[k]
+				st.TotalOps += sl.ops[k]
+				lat[k].Merge(sl.latency[k])
 			}
-			st.Batches += w.batches
-			st.BatchSize.Merge(w.batchSize)
-			w.mu.Unlock()
+			st.Batches += sl.batches
+			st.BatchSize.Merge(sl.batchSize)
+			st.Supervision.Restarts += sl.restarts
+			recovery.Merge(sl.recovery)
+			sl.mu.Unlock()
 		}
 	}
 	for k := 0; k < numOpKinds; k++ {
 		st.Latency[OpKind(k).String()] = summarize(lat[k])
 	}
+	st.Supervision.Enabled = s.cfg.Supervise.Enabled
+	st.Supervision.Condemned = s.condemnedSlots.Load()
+	st.Supervision.SparesExhausted = s.sparesExhausted.Load()
+	st.Supervision.Recovery = summarize(recovery)
 	if s.audit != nil {
 		st.Audit = s.audit.stats()
 	}
+	st.Faults = s.faults.Stats()
 	return st
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/memory"
@@ -18,10 +19,13 @@ type request struct {
 	start int64 // runtime clock at submission (latency)
 	res   Result
 	ver   uint64 // per-key state-machine version of this op
-	// done is the free runtime's completion signal; answered is the virtual
-	// runtime's (written under the step token).
-	done     chan struct{}
-	answered bool
+	// done is the free runtime's completion signal; completed makes closing
+	// it idempotent (a batch interrupted mid-answer by a crash is finished
+	// again by the recovering incarnation). answered is the virtual
+	// runtime's signal (written under the step token).
+	done      chan struct{}
+	completed atomic.Bool
+	answered  bool
 }
 
 // entry is one key's slot in the shard state machine: its value, whether a
@@ -36,28 +40,62 @@ type entry struct {
 	ver    uint64
 }
 
-// kvState is one replica's materialized state.
-type kvState map[string]entry
+// dedupEntry is the remembered outcome of an identified op, replayed to
+// retries of the same op ID instead of re-applying them.
+type dedupEntry struct {
+	res Result
+	ver uint64
+}
+
+// kvState is one replica's materialized state: the key map plus the
+// dedup table for client-assigned op IDs. Because the table is part of the
+// replicated state machine — mutated only inside apply, in log order —
+// every replica agrees on exactly which retry was a duplicate, and a
+// timed-out client may resubmit with the same ID without risking a
+// double-apply. order is the FIFO eviction queue bounding the table at
+// Config.MaxDedup remembered IDs.
+type kvState struct {
+	keys  map[string]entry
+	dedup map[uint64]dedupEntry
+	order []uint64
+}
+
+func newKVState() kvState {
+	return kvState{keys: map[string]entry{}, dedup: map[uint64]dedupEntry{}}
+}
 
 // batch is one log command: a group of client commands committed at a
 // single log position. Batches are compared by pointer identity, which is
 // exactly the "commands must be globally unique" requirement of
 // universal.Replica.Exec.
+//
+// decided and counted are the crash-recovery bookkeeping, written by the
+// owning slot's serving proc (single writer; the death-notice handoff
+// through the supervisor orders a successor's reads): decided flips the
+// moment Exec returns, so a recovering incarnation knows whether to
+// re-propose the batch or only finish answering it, and counted guards the
+// once-only side effects of finish (stats, audit records) against a crash
+// landing between them and the client completions.
 type batch struct {
-	owner *worker
+	owner *slot
 	reqs  []*request
 	// recorded marks the batch captured by the history recorder at its
 	// first apply (virtual runtime only; written under the step token).
 	recorded bool
+	decided  bool
+	counted  bool
 }
 
-// shard is one independent replicated log plus its submitter workers.
+// shard is one independent replicated log plus its submitter slots.
 type shard struct {
-	store   *Store
-	id      int
-	log     *universal.Log[*batch]
-	q       queue
-	workers []*worker
+	store *Store
+	id    int
+	log   *universal.Log[*batch]
+	q     queue
+	slots []*slot
+	// notify carries worker death notices to the shard supervisor
+	// (nil when supervision is disabled).
+	notify notifier
 }
 
 func newShard(s *Store, id int) *shard {
@@ -72,46 +110,84 @@ func newShard(s *Store, id int) *shard {
 		return memory.NewOnce[*batch](fmt.Sprintf("shard%d/cell%d", id, i))
 	})
 	for wi := 0; wi < s.cfg.WorkersPerShard; wi++ {
-		gid := sh.id*s.cfg.WorkersPerShard + wi
-		w := &worker{sh: sh, id: gid}
-		w.committed.Init(fmt.Sprintf("shard%d/committed%d", id, wi), 0)
-		w.rep = universal.NewReplica[kvState, *batch](sh.log, kvState{}, w.apply)
-		sh.workers = append(sh.workers, w)
+		sl := &slot{sh: sh, idx: wi, gid: sh.id*s.cfg.WorkersPerShard + wi}
+		sl.committed.Init(fmt.Sprintf("shard%d/committed%d", id, wi), 0)
+		sl.rep = universal.NewReplica[kvState, *batch](sh.log, newKVState(), sl.applyBatch)
+		sl.buf = make([]*request, 0, s.cfg.MaxBatch)
+		sh.slots = append(sh.slots, sl)
 	}
 	return sh
 }
 
-// truncate releases log cells every worker's replica has passed, so a
+// truncate releases log cells every live slot's replica has passed, so a
 // long-running store does not pin every committed batch (and its client
 // requests) forever. Published positions only trail the replicas, so the
-// minimum over them is always a safe truncation limit.
+// minimum over them is always a safe truncation limit. Condemned slots
+// (crash-loop breaker tripped, no successor coming) are excluded — their
+// frozen position must not pin the log floor forever.
 func (sh *shard) truncate(p *sched.Proc) {
 	min := int64(1<<62 - 1)
-	for _, w := range sh.workers {
-		if pos := w.committed.Read(p); pos < min {
+	live := 0
+	for _, sl := range sh.slots {
+		if sl.condemned.Load() {
+			continue
+		}
+		live++
+		if pos := sl.committed.Read(p); pos < min {
 			min = pos
 		}
+	}
+	if live == 0 {
+		return
 	}
 	sh.log.Truncate(int(min))
 }
 
-// worker is one submitter: it drains the shard queue in batches, contends
-// for log positions with its own replica, and answers the clients whose
-// commands it committed.
-type worker struct {
+// slot is one submitter seat of a shard. The replica, its published
+// position, and the seat's statistics live here — not on any particular
+// worker goroutine/proc — so they survive worker incarnations: when an
+// incarnation crashes, the supervisor respawns a new one onto the same
+// slot, which finds the replica already holding the decided prefix and
+// resumes from the shard frontier. A crash costs latency, never capacity
+// and never replayed work.
+type slot struct {
 	sh  *shard
-	id  int // global worker id; doubles as the audit process id
+	idx int // index within the shard
+	gid int // global worker id; doubles as the audit process id, stable across restarts
 	rep *universal.Replica[kvState, *batch]
 
-	// committed publishes this worker's replica position (single writer;
-	// read lock-free by Stats via the memory package's free-mode fast path).
+	// committed publishes this slot's replica position (single writer —
+	// incarnations are serialized by the supervisor handoff; read lock-free
+	// by Stats via the memory package's free-mode fast path).
 	committed memory.AtomicRegister[int64]
 
+	// condemned marks the crash-loop breaker tripped: no further
+	// incarnations will serve this slot, and truncate stops counting it.
+	condemned atomic.Bool
+
+	// p is the proc of the current incarnation, set at incarnation start.
+	// Only that incarnation reads it (fault points inside applyBatch need a
+	// proc to crash or sleep); successive writers are ordered by the
+	// supervisor handoff.
+	p *sched.Proc
+
+	// Crash handoff state, written by the serving incarnation and read by
+	// its successor (ordered by the death notice through the supervisor):
+	// buf holds dequeued-but-uncommitted requests, inflight the batch being
+	// committed when the crash hit, diedAt the runtime clock of the last
+	// crash (0 = none pending), consumed into the recovery histogram at the
+	// successor's first commit.
+	buf      []*request
+	inflight *batch
+	diedAt   int64
+
 	mu        sync.Mutex
+	restarts  int64
 	ops       [numOpKinds]int64
 	batches   int64
 	batchSize sim.Histogram
 	latency   [numOpKinds]sim.Histogram
+	recovery  sim.Histogram // crash-to-first-commit latency, runtime clock units
 }
 
 // syncInterval is how often an idle free-runtime worker catches its replica
@@ -119,106 +195,208 @@ type worker struct {
 // virtual runtime's analogue is virtualSyncSteps of logical time).
 const syncInterval = 25 * time.Millisecond
 
-// run is the worker loop: one blocking receive opens a grant window, a
-// non-blocking drain fills it up to MaxBatch, and the whole window commits
-// as one log command. While idle, the worker periodically catches its
-// replica up to the shard frontier (an idle replica's position is the
-// truncation floor — without catching up it would pin every committed
-// batch in memory). It exits when the shard queue is closed and drained,
-// catching up one final time so shutdown leaves the log truncated.
-func (w *worker) run(p *sched.Proc) {
-	maxBatch := w.sh.store.cfg.MaxBatch
-	buf := make([]*request, 0, maxBatch)
-	rcv := w.sh.q.receiver()
+// body returns the unsupervised worker entry point for this slot.
+func (sl *slot) body() func(*sched.Proc) {
+	return func(p *sched.Proc) {
+		sl.p = p
+		sl.serve(p)
+	}
+}
+
+// incarnation returns one supervised worker incarnation: serve wrapped with
+// the death-notice protocol. A clean return (queue closed and drained)
+// posts crashed=false; any other exit — an injected sched.Proc.Crash, or
+// on the free runtime any panic escaping the serving path — posts
+// crashed=true. On the free runtime the panic is trapped here, at the proc
+// boundary, so a worker crash never takes the process down; on the virtual
+// runtime the crash signal must keep unwinding into the scheduler, which
+// accounts the proc Crashed exactly like a policy-injected crash. The
+// deferred notice takes no scheduler steps (notifier.post is step-free),
+// which is required during a crash unwind.
+func (sl *slot) incarnation() func(*sched.Proc) {
+	return func(p *sched.Proc) {
+		sl.p = p
+		clean := false
+		defer func() {
+			if !clean && sl.sh.store.rt.trapPanics() {
+				_ = recover()
+			}
+			if !clean {
+				sl.diedAt = sl.sh.store.rt.now(p)
+			}
+			sl.sh.notify.post(deathEvent{sl: sl, crashed: !clean})
+		}()
+		sl.serve(p)
+		clean = true
+	}
+}
+
+// serve is the worker loop: recover any interrupted work from a previous
+// incarnation, then drain the shard queue — one blocking receive opens a
+// grant window, a non-blocking drain fills it up to MaxBatch, and the whole
+// window commits as one log command. While idle, the worker periodically
+// catches its replica up to the shard frontier (an idle replica's position
+// is the truncation floor — without catching up it would pin every
+// committed batch in memory). It exits when the shard queue is closed and
+// drained, catching up one final time so shutdown leaves the log truncated.
+func (sl *slot) serve(p *sched.Proc) {
+	maxBatch := sl.sh.store.cfg.MaxBatch
+	rcv := sl.sh.q.receiver()
 	defer rcv.stop()
+	sl.recoverPrev(p)
 	for {
 		r, tick, ok := rcv.recv(p)
 		if !ok {
-			w.catchUp(p)
+			sl.catchUp(p)
 			return
 		}
 		if tick {
-			w.catchUp(p)
+			sl.catchUp(p)
 			continue
 		}
-		buf = append(buf[:0], r)
-		for len(buf) < maxBatch {
+		sl.buf = append(sl.buf[:0], r)
+		for len(sl.buf) < maxBatch {
 			r2, ok := rcv.tryRecv(p)
 			if !ok {
 				break
 			}
-			buf = append(buf, r2)
+			sl.buf = append(sl.buf, r2)
 		}
-		w.commit(p, buf)
+		sl.commit(p, sl.buf)
 	}
 }
 
-// catchUp applies every log command other workers have already committed
+// recoverPrev finishes work a crashed predecessor left on the slot. An
+// in-flight batch is re-proposed unless the predecessor already saw it
+// decided: b.decided flips in the same atomic region as the deciding
+// write-once propose (no scheduler step separates them), so !decided
+// guarantees the batch holds no log position and a fresh Exec is safe,
+// while decided means only the answering side effects remain. Requests
+// that were dequeued but never made it into a batch commit as a fresh
+// batch — a dequeued command is owed a result, the queue no longer holds
+// it, and only this slot knows about it.
+func (sl *slot) recoverPrev(p *sched.Proc) {
+	if b := sl.inflight; b != nil {
+		if !b.decided {
+			sl.rep.Exec(p, b)
+			b.decided = true
+		}
+		sl.finish(p, b)
+		sl.inflight = nil
+	} else if len(sl.buf) > 0 {
+		sl.commit(p, sl.buf)
+	}
+	sl.buf = sl.buf[:0]
+	sl.catchUp(p)
+}
+
+// catchUp applies every log command other slots have already committed
 // (all positions below the shard frontier are decided, so Sync never
 // proposes), publishes the new position, and truncates the log.
-func (w *worker) catchUp(p *sched.Proc) {
+func (sl *slot) catchUp(p *sched.Proc) {
 	var frontier int64
-	for _, o := range w.sh.workers {
+	for _, o := range sl.sh.slots {
 		if pos := o.committed.Read(p); pos > frontier {
 			frontier = pos
 		}
 	}
-	if int(frontier) <= w.rep.Pos() {
+	if int(frontier) <= sl.rep.Pos() {
 		return
 	}
-	w.rep.Sync(p, int(frontier), nil)
-	w.committed.Write(p, int64(w.rep.Pos()))
-	w.sh.truncate(p)
+	sl.rep.Sync(p, int(frontier), nil)
+	sl.committed.Write(p, int64(sl.rep.Pos()))
+	sl.sh.truncate(p)
 }
 
 // commit proposes reqs as one log command, waits for the universal
 // construction to decide and apply it, then answers every client in the
-// batch. Exec may lose positions to the shard's other workers; the replica
-// applies their batches along the way, so this worker's state is always the
-// decided prefix of the log.
-func (w *worker) commit(p *sched.Proc, reqs []*request) {
-	b := &batch{owner: w, reqs: append([]*request(nil), reqs...)}
-	w.rep.Exec(p, b)
-	ret := w.sh.store.clock.Add(1)
-	w.committed.Write(p, int64(w.rep.Pos()))
-	w.sh.truncate(p)
+// batch. Exec may lose positions to the shard's other slots; the replica
+// applies their batches along the way, so this slot's state is always the
+// decided prefix of the log. inflight/decided bracket the commit so a
+// crash at any point (the worker.preCommit and worker.postCommit fault
+// points, or anywhere inside Exec) hands the successor exactly the state
+// it needs to finish without double-deciding or double-counting.
+func (sl *slot) commit(p *sched.Proc, reqs []*request) {
+	st := sl.sh.store
+	b := &batch{owner: sl, reqs: append([]*request(nil), reqs...)}
+	sl.inflight = b
+	st.firePoint(p, FaultWorkerPreCommit)
+	sl.rep.Exec(p, b)
+	b.decided = true
+	st.firePoint(p, FaultWorkerPostCommit)
+	sl.finish(p, b)
+	sl.inflight = nil
+}
 
-	now := w.sh.store.rt.now(p)
-	w.mu.Lock()
-	w.batches++
-	w.batchSize.Observe(int64(len(b.reqs)))
-	for _, r := range b.reqs {
-		w.ops[r.op.Kind]++
-		w.latency[r.op.Kind].Observe(now - r.start)
-	}
-	w.mu.Unlock()
-
-	if a := w.sh.store.audit; a != nil {
+// finish publishes the post-commit side effects of a decided batch:
+// position, truncation, stats, audit records, and the client completions.
+// It is crash-idempotent — counted guards the once-only effects, and
+// request completion is idempotent in the runtime — so a recovering
+// incarnation can safely re-run it on an inherited batch.
+func (sl *slot) finish(p *sched.Proc, b *batch) {
+	st := sl.sh.store
+	sl.committed.Write(p, int64(sl.rep.Pos()))
+	sl.sh.truncate(p)
+	if !b.counted {
+		b.counted = true
+		ret := st.clock.Add(1)
+		now := st.rt.now(p)
+		recovered := int64(-1)
+		if sl.diedAt != 0 {
+			recovered = now - sl.diedAt
+			sl.diedAt = 0
+		}
+		sl.mu.Lock()
+		sl.batches++
+		sl.batchSize.Observe(int64(len(b.reqs)))
 		for _, r := range b.reqs {
-			a.observe(w.id, r, ret)
+			sl.ops[r.op.Kind]++
+			sl.latency[r.op.Kind].Observe(now - r.start)
+		}
+		if recovered >= 0 {
+			sl.recovery.Observe(recovered)
+		}
+		sl.mu.Unlock()
+		if a := st.audit; a != nil {
+			for _, r := range b.reqs {
+				if !st.firePoint(p, FaultAuditRecord) {
+					a.observe(sl.gid, r, ret)
+				}
+			}
 		}
 	}
 	for _, r := range b.reqs {
-		w.sh.store.rt.complete(r)
+		st.rt.complete(r)
 	}
 }
 
-// apply is the deterministic state machine. It runs once per log command on
-// every replica of the shard; each replica mutates only its own map. The
-// batch's owner additionally records results and per-key versions into the
-// requests — exactly once, since its replica applies each position exactly
-// once — and, under the virtual runtime, whichever replica applies a
-// position first captures the batch's ground-truth results into the
-// complete-history recorder.
-func (w *worker) apply(m kvState, b *batch) kvState {
+// applyBatch is the deterministic state machine. It runs once per log
+// command on every replica of the shard; each replica mutates only its own
+// state. The batch's owner additionally records results and per-key
+// versions into the requests — exactly once, since its replica applies
+// each position exactly once — and, under the virtual runtime, whichever
+// replica applies a position first captures the batch's ground-truth
+// results into the complete-history recorder.
+//
+// Identified ops (op.ID != 0) are deduplicated against the replicated
+// dedup table: a retry of an already-applied ID replays the remembered
+// result instead of mutating state, so timeout-and-retry is exactly-once
+// up to MaxDedup remembered IDs.
+func (sl *slot) applyBatch(m kvState, b *batch) kvState {
 	if b == nil {
 		// Sync's noop: never decided into a cell (catchUp only syncs below
 		// the frontier, where every position already holds a real batch),
 		// but harmless if applied.
 		return m
 	}
-	st := w.sh.store
-	own := b.owner == w
+	st := sl.sh.store
+	own := b.owner == sl
+	if own && st.faults != nil {
+		// worker.preApply fires before any state mutation: a crash here
+		// leaves the replica position unadvanced, so the successor re-applies
+		// the same decided batch onto untouched state.
+		st.firePoint(sl.p, FaultWorkerPreApply)
+	}
 	record := st.rec != nil && !b.recorded
 	var ret int64
 	if record {
@@ -226,7 +404,28 @@ func (w *worker) apply(m kvState, b *batch) kvState {
 		ret = st.clock.Add(1)
 	}
 	for _, r := range b.reqs {
-		e := m[r.op.Key]
+		if id := r.op.ID; id != 0 {
+			if c, hit := m.dedup[id]; hit {
+				if !st.debugNoDedup {
+					if own {
+						r.res, r.ver = c.res, c.ver
+					}
+					if record {
+						st.rec.recordDup(r)
+					}
+					continue
+				}
+				// Canary mode: the short-circuit is disabled, so the retry
+				// falls through and double-applies. Count the ground truth
+				// at the point of sin (once — on the owner's replica) so the
+				// must-detect oracle can compare it against the checker's
+				// verdict.
+				if own {
+					st.debugDoubles.Add(1)
+				}
+			}
+		}
+		e := m.keys[r.op.Key]
 		e.ver++
 		var res Result
 		switch r.op.Kind {
@@ -245,10 +444,23 @@ func (w *worker) apply(m kvState, b *batch) kvState {
 				res = Result{Val: e.val, OK: false}
 			}
 		}
-		m[r.op.Key] = e
+		m.keys[r.op.Key] = e
 		if own {
 			r.res = res
 			r.ver = e.ver
+		}
+		if id := r.op.ID; id != 0 {
+			if _, hit := m.dedup[id]; !hit {
+				m.dedup[id] = dedupEntry{res: res, ver: e.ver}
+				m.order = append(m.order, id)
+				if len(m.order) > st.cfg.MaxDedup {
+					delete(m.dedup, m.order[0])
+					m.order = m.order[1:]
+					if cap(m.order) > 4*st.cfg.MaxDedup {
+						m.order = append([]uint64(nil), m.order...)
+					}
+				}
+			}
 		}
 		if record {
 			st.rec.record(r, res, e.ver, ret)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -31,6 +32,8 @@ import (
 //	subs          driver (waits for the submitters, then CloseOn)
 //	subs+1        auditor
 //	subs+2 ..     shard workers, shard-major order
+//	then          per-shard supervisors and the respawn seat pool
+//	              (supervised scenarios only)
 func init() {
 	for _, sc := range serviceScenarios() {
 		sim.Register(sc)
@@ -46,9 +49,14 @@ type topology struct {
 	workers int // per shard
 	queue   int // per-shard queue depth
 	batch   int // MaxBatch
+	// supers and seats extend supervised scenarios' proc layout: one
+	// supervisor per shard plus the pre-spawned respawn seat pool (the
+	// store's SuperviseConfig.Spares must equal seats).
+	supers int
+	seats  int
 }
 
-func (t topology) procs() int       { return t.subs + 2 + t.shards*t.workers }
+func (t topology) procs() int       { return t.subs + 2 + t.shards*t.workers + t.supers + t.seats }
 func (t topology) driverID() int    { return t.subs }
 func (t topology) auditorID() int   { return t.subs + 1 }
 func (t topology) firstWorker() int { return t.subs + 2 }
@@ -120,9 +128,10 @@ func (wl workload) genCalls(sub int, rng *rand.Rand) []call {
 // post-run oracle: written only under the run's step token, read after
 // Execute.
 type runState struct {
-	generated int // ops actually submitted (attempted calls)
+	generated int // logical ops submitted (retries of one op count once)
 	answered  int // ops whose call returned results
 	rejected  int // ops in calls that returned ErrClosed
+	abandoned int // ops whose every deadline-bounded attempt timed out
 	finished  int // submitters whose script completed (or stopped at close)
 	closedOK  bool
 	sawStale  bool // canary: a client observed a lost update
@@ -256,6 +265,21 @@ const (
 	// (threshold-guarded) — used when the schedule starves the auditor,
 	// which must never stall serving.
 	submittersComplete
+	// recoverComplete: injected worker crashes with supervision enabled —
+	// under a fair schedule, recovery must make the crashes invisible to
+	// clients: every op answered and committed exactly once, every restart
+	// accounted to an injected crash, no slot condemned.
+	recoverComplete
+	// retryComplete: deadline-bounded submitters with idempotent retry —
+	// clients must always terminate (answered, abandoned or rejected covers
+	// every logical op) and dedup must prevent any double-apply (the
+	// history checker's op-ID clause is the safety net).
+	retryComplete
+	// breakerTrips: an unlimited crash rule must burn a slot's restart
+	// budget and trip the circuit breaker — the run asserts at least one
+	// slot was condemned (progress is necessarily partial; safety still
+	// holds for everything answered).
+	breakerTrips
 )
 
 // spec of one registered scenario.
@@ -276,6 +300,29 @@ type vscenario struct {
 	// rawCanary injects the same bug but keeps the standard oracle, so the
 	// checker's violations surface as failures (test fixture).
 	rawCanary bool
+	// supervise enables worker supervision with maxRestarts as the breaker
+	// budget (topo.supers/seats must be set to match).
+	supervise   bool
+	maxRestarts int
+	// armFaults, when set, arms a per-seed fault plan on a fresh fault.Set
+	// wired into the store.
+	armFaults func(f *fault.Set, rng *rand.Rand)
+	// retry switches submitters to deadline-bounded DoTimeoutOn calls with
+	// client-assigned op IDs and idempotent retry on ErrDeadline.
+	retry *retryCfg
+	// noDedup breaks the state machine's op-ID dedup (must-detect canary:
+	// the oracle passes only if the history checker flags the resulting
+	// double-applies).
+	noDedup bool
+}
+
+// retryCfg tunes deadline-bounded submitters: each attempt waits
+// timeoutMin + seed-chosen[0, timeoutVar) logical steps, and a logical op
+// is abandoned after maxTries ErrDeadline results.
+type retryCfg struct {
+	timeoutMin int64
+	timeoutVar int64
+	maxTries   int
 }
 
 func serviceScenarios() []sim.Scenario {
@@ -325,8 +372,47 @@ func serviceScenarios() []sim.Scenario {
 			topo: topology{subs: 1, shards: 1, workers: 1, queue: 4, batch: 2},
 			wl:   workload{keys: []string{"poison", "clean"}, hotFrac: 0.7, casFrac: 0, ops: 6, maxCall: 1},
 		},
+		{
+			// Injected worker crashes at the pre-commit / post-commit /
+			// pre-apply fault points, with supervision healing every one:
+			// recovery must be invisible to clients.
+			name: "service:recover", budget: 24576, mode: recoverComplete,
+			supervise: true, maxRestarts: 3,
+			topo: topology{subs: 2, shards: 1, workers: 2, queue: 4, batch: 3, supers: 1, seats: 4},
+			wl:   workload{keys: []string{"a", "b", "c"}, casFrac: 0.25, ops: 5, maxCall: 1},
+		},
+		{
+			// An unlimited crash rule turns the shard's only slot into a
+			// crash loop; the breaker must condemn it instead of burning
+			// respawn seats forever.
+			name: "service:crash-loop", budget: 16384, mode: breakerTrips,
+			supervise: true, maxRestarts: 2,
+			topo: topology{subs: 2, shards: 1, workers: 1, queue: 4, batch: 1, supers: 1, seats: 2},
+			wl:   workload{keys: []string{"a", "b"}, casFrac: 0.2, ops: 4, maxCall: 1},
+		},
+		{
+			// Deadline-bounded clients retrying with op IDs across injected
+			// post-commit crashes: a retry of a command that did commit must
+			// dedup, never double-apply (the history checker's op-ID clause
+			// proves it).
+			name: "service:timeout-retry", budget: 24576, mode: retryComplete,
+			supervise: true, maxRestarts: 4,
+			retry: &retryCfg{timeoutMin: 48, timeoutVar: 256, maxTries: 3},
+			topo:  topology{subs: 2, shards: 1, workers: 2, queue: 4, batch: 3, supers: 1, seats: 4},
+			wl:    workload{keys: []string{"a", "b", "c"}, casFrac: 0.3, ops: 4, maxCall: 1},
+		},
+		{
+			// Must-detect canary: dedup deliberately broken, so a retry of a
+			// committed command double-applies — the run passes only if the
+			// exhaustive checker flags every such ground-truth double.
+			name: "service:dedup-canary", budget: 24576, mode: safetyOnly, noDedup: true,
+			supervise: true, maxRestarts: 4,
+			retry: &retryCfg{timeoutMin: 8, timeoutVar: 56, maxTries: 2},
+			topo:  topology{subs: 2, shards: 1, workers: 1, queue: 4, batch: 2, supers: 1, seats: 3},
+			wl:    workload{keys: []string{"a", "b"}, casFrac: 0.25, ops: 4, maxCall: 1},
+		},
 	}
-	// Scenario-specific generators that need the topology.
+	// Scenario-specific generators and fault plans that need the topology.
 	for i := range specs {
 		switch specs[i].name {
 		case "service:crash":
@@ -335,6 +421,14 @@ func serviceScenarios() []sim.Scenario {
 			specs[i].gen = stallGen(specs[i].topo)
 		case "service:audit-starve":
 			specs[i].gen = starveAuditorGen(specs[i].topo)
+		case "service:recover":
+			specs[i].armFaults = recoverFaults
+		case "service:crash-loop":
+			specs[i].armFaults = func(f *fault.Set, _ *rand.Rand) {
+				f.Arm(FaultWorkerPreCommit, fault.Rule{Action: fault.Crash, Count: -1})
+			}
+		case "service:timeout-retry", "service:dedup-canary":
+			specs[i].armFaults = retryFaults
 		}
 	}
 	out := make([]sim.Scenario, 0, len(specs))
@@ -342,6 +436,41 @@ func serviceScenarios() []sim.Scenario {
 		out = append(out, sc.scenario())
 	}
 	return out
+}
+
+// crashPoints are the worker-crash fault points recovery scenarios draw
+// from.
+var crashPoints = []string{FaultWorkerPreCommit, FaultWorkerPostCommit, FaultWorkerPreApply}
+
+// recoverFaults arms 1..3 distinct worker-crash points (one crash each,
+// after a seed-chosen number of firings), plus occasional audit-record
+// drops and queue-send delays — faults recovery must absorb without any
+// client-visible effect.
+func recoverFaults(f *fault.Set, rng *rand.Rand) {
+	n := 1 + rng.IntN(len(crashPoints))
+	perm := rng.Perm(len(crashPoints))
+	for _, pi := range perm[:n] {
+		f.Arm(crashPoints[pi], fault.Rule{Action: fault.Crash, After: rng.Int64N(3), Count: 1})
+	}
+	if rng.IntN(2) == 0 {
+		f.Arm(FaultAuditRecord, fault.Rule{
+			Action: fault.Drop, After: rng.Int64N(8), Count: 1 + rng.Int64N(4)})
+	}
+	if rng.IntN(2) == 0 {
+		f.Arm(FaultQueueSend, fault.Rule{
+			Action: fault.Delay, Delay: 1 + rng.Int64N(64), After: rng.Int64N(4), Count: 1 + rng.Int64N(3)})
+	}
+}
+
+// retryFaults arms post-commit crashes (the batch is decided but its
+// clients unanswered — exactly the window where a client deadline expires
+// and the retry must dedup), sometimes compounded with a pre-commit crash.
+func retryFaults(f *fault.Set, rng *rand.Rand) {
+	f.Arm(FaultWorkerPostCommit, fault.Rule{
+		Action: fault.Crash, After: rng.Int64N(2), Count: 1 + rng.Int64N(2)})
+	if rng.IntN(2) == 0 {
+		f.Arm(FaultWorkerPreCommit, fault.Rule{Action: fault.Crash, After: rng.Int64N(3), Count: 1})
+	}
 }
 
 // scenario assembles the sim.Scenario: generator first, then the builder
@@ -357,20 +486,45 @@ func (sc vscenario) scenario() sim.Scenario {
 func (sc vscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 	topo := sc.topo
 	vr := NewVirtualRuntime(r, topo.auditorID())
-	store := NewVirtual(Config{
+	cfg := Config{
 		Shards:          topo.shards,
 		WorkersPerShard: topo.workers,
 		QueueDepth:      topo.queue,
 		MaxBatch:        topo.batch,
 		Audit:           AuditConfig{WindowOps: 4, QueueDepth: 64},
-	}, vr)
+	}
+	if sc.supervise {
+		cfg.Supervise = SuperviseConfig{
+			Enabled:     true,
+			MaxRestarts: sc.maxRestarts,
+			JitterSeed:  rng.Uint64() | 1,
+			Spares:      topo.seats,
+		}
+	}
+	if sc.armFaults != nil {
+		fs := fault.NewSet()
+		sc.armFaults(fs, rng)
+		cfg.Faults = fs
+	}
+	store := NewVirtual(cfg, vr)
 	if sc.canary || sc.rawCanary {
 		store.debugDropPuts = "poison"
+	}
+	if sc.noDedup {
+		store.debugNoDedup = true
 	}
 
 	st := &runState{}
 	for i := 0; i < topo.subs; i++ {
 		calls := sc.wl.genCalls(i, rng)
+		if rc := sc.retry; rc != nil {
+			sub := i
+			timeout := rc.timeoutMin + rng.Int64N(rc.timeoutVar)
+			r.Spawn(i, func(p *sched.Proc) {
+				runRetrySubmitter(p, store, st, sub, calls, timeout, rc.maxTries)
+			})
+			continue
+		}
 		r.Spawn(i, func(p *sched.Proc) { runSubmitter(p, store, st, calls) })
 	}
 	closeAt := sc.budget / 2
@@ -391,6 +545,9 @@ func (sc vscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 	return func(res sched.Results, sch sim.Schedule) []string {
 		if sc.canary {
 			return canaryOracle(vr, st)
+		}
+		if sc.noDedup {
+			return dedupCanaryOracle(vr, store)
 		}
 		out := append([]string(nil), vr.CheckHistory()...)
 		stats := store.Stats()
@@ -439,6 +596,77 @@ func (sc vscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 						id, res.Steps[id]))
 				}
 			}
+		case recoverComplete:
+			if !sch.Fair() {
+				break
+			}
+			// Crashes were injected and healed: clients (and the driver)
+			// must be oblivious. Workers and seats may legitimately end
+			// Crashed — that is the point — so only the client side asserts
+			// Done.
+			for id := 0; id <= topo.subs; id++ {
+				if res.Status[id] != sched.Done {
+					out = append(out, fmt.Sprintf(
+						"recovery violated: p%d is %v under fair schedule %s", id, res.Status[id], sch.Desc))
+				}
+			}
+			if !st.closedOK {
+				out = append(out, "recovery violated: store did not drain and close")
+			}
+			if st.rejected != 0 || st.answered != st.generated {
+				out = append(out, fmt.Sprintf(
+					"recovery violated: %d/%d ops answered, %d rejected",
+					st.answered, st.generated, st.rejected))
+			}
+			if vr.CommittedOps() != st.generated || int(stats.TotalOps) != st.generated {
+				out = append(out, fmt.Sprintf(
+					"recovery accounting violated: %d generated, %d committed, %d served",
+					st.generated, vr.CommittedOps(), stats.TotalOps))
+			}
+			var acted int64
+			for _, pt := range crashPoints {
+				acted += stats.Faults[pt].Acted
+			}
+			if stats.Supervision.Restarts != acted {
+				out = append(out, fmt.Sprintf(
+					"supervision accounting violated: %d restarts for %d injected crashes",
+					stats.Supervision.Restarts, acted))
+			}
+			if stats.Supervision.Condemned != 0 || stats.Supervision.SparesExhausted != 0 {
+				out = append(out, fmt.Sprintf(
+					"supervision violated: %d slots condemned, %d spare exhaustions, within the restart budget",
+					stats.Supervision.Condemned, stats.Supervision.SparesExhausted))
+			}
+		case retryComplete:
+			if !sch.Fair() {
+				break
+			}
+			// Deadline-bounded clients always terminate, and every logical
+			// op is accounted exactly once. Double-applies are caught by the
+			// always-on history check (op-ID clause).
+			for id := 0; id <= topo.subs; id++ {
+				if res.Status[id] != sched.Done {
+					out = append(out, fmt.Sprintf(
+						"retry progress violated: p%d is %v under fair schedule %s", id, res.Status[id], sch.Desc))
+				}
+			}
+			if !st.closedOK {
+				out = append(out, "retry progress violated: store did not drain and close")
+			}
+			if st.answered+st.abandoned+st.rejected != st.generated {
+				out = append(out, fmt.Sprintf(
+					"retry accounting violated: %d answered + %d abandoned + %d rejected != %d generated",
+					st.answered, st.abandoned, st.rejected, st.generated))
+			}
+		case breakerTrips:
+			if !sch.Fair() {
+				break
+			}
+			if stats.Supervision.Condemned < 1 {
+				out = append(out, fmt.Sprintf(
+					"breaker violated: unlimited crash rule acted %d times but no slot was condemned (restarts=%d)",
+					stats.Faults[FaultWorkerPreCommit].Acted, stats.Supervision.Restarts))
+			}
 		}
 		return out
 	}
@@ -454,6 +682,56 @@ func canaryOracle(vr *VirtualRuntime, st *runState) []string {
 		return []string{"canary: client observed the injected lost update but the exhaustive checker reported no violation"}
 	}
 	return nil
+}
+
+// dedupCanaryOracle is the must-detect control for op-ID deduplication:
+// with dedup deliberately broken, any retry of a committed command
+// double-applies, and the exhaustive checker MUST flag it. The ground
+// truth (debugDoubles, counted by the state machine at the double-apply
+// itself) and the checker's verdict must agree — a run where state was
+// double-mutated but the checker stayed silent means the checker has gone
+// blind.
+func dedupCanaryOracle(vr *VirtualRuntime, store *Store) []string {
+	if store.debugDoubles.Load() > 0 && len(vr.CheckHistory()) == 0 {
+		return []string{fmt.Sprintf(
+			"canary: state machine double-applied %d retried ops but the exhaustive checker reported no violation",
+			store.debugDoubles.Load())}
+	}
+	return nil
+}
+
+// runRetrySubmitter plays one client script through deadline-bounded calls
+// with client-assigned op IDs: each logical op is attempted with
+// DoTimeoutOn and retried (same op, same ID) up to maxTries times on
+// ErrDeadline, then abandoned. The state machine's dedup makes the retries
+// exactly-once; an abandoned op may still commit.
+func runRetrySubmitter(p *sched.Proc, store *Store, st *runState, sub int, calls []call, timeout int64, maxTries int) {
+	seq := uint64(0)
+	for _, c := range calls {
+		for _, op := range c {
+			seq++
+			op.ID = uint64(sub+1)<<32 | seq
+			st.generated++
+			var err error
+			for try := 0; try < maxTries; try++ {
+				_, err = store.DoTimeoutOn(p, op, timeout)
+				if err != ErrDeadline {
+					break
+				}
+			}
+			switch err {
+			case nil:
+				st.answered++
+			case ErrDeadline:
+				st.abandoned++
+			default:
+				st.rejected++
+				st.finished++
+				return
+			}
+		}
+	}
+	st.finished++
 }
 
 // runSubmitter plays one client script, accounting every attempted op.

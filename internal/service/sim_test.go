@@ -2,11 +2,14 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/fault"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -211,5 +214,85 @@ func TestServiceScenarioFaultsExercised(t *testing.T) {
 	}
 	if bitten < 10 {
 		t.Errorf("injected bug observed on only %d of 50 seeds", bitten)
+	}
+	// The fault-injection scenarios must actually kill worker incarnations
+	// (crashed procs in the final accounting) — otherwise supervision,
+	// recovery and retry are never exercised and their oracles are vacuous.
+	for _, name := range []string{"service:recover", "service:crash-loop", "service:timeout-retry"} {
+		sc := find(name)
+		killed := 0
+		for seed := uint64(0); seed < 50; seed++ {
+			killed += sc.Run(seed, false).Crashed
+		}
+		if killed == 0 {
+			t.Errorf("%s never crashed a worker incarnation in 50 seeds", name)
+		}
+	}
+}
+
+// dedupProbe runs one supervised virtual store with post-commit crashes and
+// a deadline-bounded retrying client, returning the ground-truth
+// double-apply count and the exhaustive checker's verdict. Proc layout:
+// 0 client, 1 driver, 2 auditor, 3 worker, 4 supervisor, 5-7 spare seats.
+func dedupProbe(seed uint64, noDedup bool) (doubles int64, violations []string) {
+	r := sched.NewRun(8, sched.NewRandom(seed))
+	vr := NewVirtualRuntime(r, 2)
+	fs := fault.NewSet()
+	fs.Arm(FaultWorkerPostCommit, fault.Rule{Action: fault.Crash, Count: 2})
+	store := NewVirtual(Config{
+		Shards: 1, WorkersPerShard: 1, QueueDepth: 4, MaxBatch: 2,
+		Audit:     AuditConfig{WindowOps: 4},
+		Supervise: SuperviseConfig{Enabled: true, MaxRestarts: 3, JitterSeed: seed | 1, Spares: 3},
+		Faults:    fs,
+	}, vr)
+	store.debugNoDedup = noDedup
+	finished := false
+	r.Spawn(0, func(p *sched.Proc) {
+		defer func() { finished = true }()
+		for i := 0; i < 6; i++ {
+			op := Op{Kind: OpPut, Key: "k", Val: fmt.Sprintf("v%d", i), ID: uint64(i + 1)}
+			for try := 0; try < 4; try++ {
+				if _, err := store.DoTimeoutOn(p, op, 24); err != ErrDeadline {
+					break
+				}
+			}
+		}
+	})
+	r.Spawn(1, func(p *sched.Proc) {
+		p.Park(func() bool { return finished })
+		_ = store.CloseOn(p)
+	})
+	r.Execute(1 << 15)
+	return store.debugDoubles.Load(), vr.CheckHistory()
+}
+
+// TestDedupMustDetect is the direct must-detect control for op-ID
+// deduplication, with ground truth on both sides: with the dedup
+// short-circuit disabled, every run where the state machine really
+// double-applied a retry must be flagged by the exhaustive checker's op-ID
+// clause; with dedup on, the identical seeds must stay violation-free. A
+// vacuous pass (no seed ever double-applies) fails too.
+func TestDedupMustDetect(t *testing.T) {
+	sawDouble := false
+	for seed := uint64(0); seed < 40; seed++ {
+		doubles, violations := dedupProbe(seed, true)
+		if doubles > 0 {
+			sawDouble = true
+			flagged := false
+			for _, v := range violations {
+				if strings.Contains(v, "committed more than once") {
+					flagged = true
+				}
+			}
+			if !flagged {
+				t.Fatalf("seed %d: %d double-applies but checker reported %v", seed, doubles, violations)
+			}
+		}
+		if _, violations := dedupProbe(seed, false); len(violations) != 0 {
+			t.Fatalf("seed %d: dedup enabled but checker reported %v", seed, violations)
+		}
+	}
+	if !sawDouble {
+		t.Error("no seed produced a double-apply; the must-detect control is vacuous")
 	}
 }

@@ -23,9 +23,11 @@ const virtualSyncSteps = 64
 //
 // Construction order fixes the proc layout: NewVirtual spawns the auditor
 // on proc firstProc (when auditing is enabled), then the workers on the
-// following ids in shard-major order. Client submitters and any driver
-// procs are the scenario's own, registered on ids below firstProc, and use
-// DoOn/DoBatchOn/CloseOn with their proc handle.
+// following ids in shard-major order, then — when supervision is enabled —
+// one supervisor per shard and finally the respawn seat pool. Client
+// submitters and any driver procs are the scenario's own, registered on
+// ids below firstProc, and use DoOn/DoBatchOn/CloseOn with their proc
+// handle.
 //
 // A VirtualRuntime also records the complete committed history of the run
 // (every command decided into any shard log, answered or not), so a
@@ -37,6 +39,22 @@ type VirtualRuntime struct {
 	next   int
 	closed bool
 	rec    *historyRecorder
+
+	// Respawn seat pool: a controlled run cannot add procs after Execute,
+	// so supervision pre-spawns seats — parked procs that each wait for a
+	// worker incarnation to run (see provision). seatsClosed releases the
+	// idle ones at store close.
+	seats       []*spareSeat
+	seatsClosed bool
+}
+
+// spareSeat is one pre-spawned respawn proc. fn is the incarnation the
+// supervisor assigned (nil while idle — a seat that is running keeps fn
+// set until the incarnation returns cleanly, and a crashed incarnation
+// takes its seat down with it: exited flips and the seat is never reused).
+type spareSeat struct {
+	fn     func(*sched.Proc)
+	exited bool
 }
 
 // NewVirtualRuntime returns a runtime that spawns the store's procs on
@@ -117,11 +135,92 @@ func (vr *VirtualRuntime) spawn(fn func(*sched.Proc)) func(*sched.Proc) {
 	}
 }
 
-func (vr *VirtualRuntime) complete(r *request) { r.answered = true }
-
-func (vr *VirtualRuntime) await(p *sched.Proc, r *request) {
-	p.Park(func() bool { return r.answered })
+// provision pre-spawns n respawn seats on the next proc ids. Each seat
+// parks until the supervisor assigns it an incarnation (or the store
+// closes); one seat serves at most one incarnation at a time but is
+// reusable after a clean return. An incarnation that crashes unwinds the
+// seat's proc — the scheduler accounts it Crashed — so that seat is spent.
+func (vr *VirtualRuntime) provision(n int) {
+	for i := 0; i < n; i++ {
+		seat := &spareSeat{}
+		vr.seats = append(vr.seats, seat)
+		id := vr.base + vr.next
+		vr.next++
+		vr.run.Spawn(id, func(p *sched.Proc) {
+			defer func() { seat.exited = true }()
+			for {
+				p.Park(func() bool { return seat.fn != nil || vr.seatsClosed })
+				if seat.fn == nil {
+					return
+				}
+				seat.fn(p)
+				seat.fn = nil
+			}
+		})
+	}
 }
+
+// respawn hands fn to the first idle seat; false means the pool is spent.
+// Called under the step token (by a supervisor proc), so the first-idle
+// choice is deterministic.
+func (vr *VirtualRuntime) respawn(fn func(*sched.Proc)) bool {
+	for _, seat := range vr.seats {
+		if !seat.exited && seat.fn == nil {
+			seat.fn = fn
+			return true
+		}
+	}
+	return false
+}
+
+func (vr *VirtualRuntime) closeSeats() { vr.seatsClosed = true }
+
+func (vr *VirtualRuntime) joinSeats(waiter *sched.Proc) {
+	for _, seat := range vr.seats {
+		s := seat
+		waiter.Park(func() bool { return s.exited })
+	}
+}
+
+func (vr *VirtualRuntime) newNotifier(int) notifier { return &virtualNotifier{} }
+
+func (vr *VirtualRuntime) complete(r *request) bool {
+	if r.answered {
+		return false
+	}
+	r.answered = true
+	return true
+}
+
+// await parks until the request is answered. ctx is ignored: virtual runs
+// model client abandonment with DoTimeoutOn deadlines (awaitUntil), crash
+// plans and omission plans, not context cancellation.
+func (vr *VirtualRuntime) await(p *sched.Proc, _ context.Context, r *request) error {
+	p.Park(func() bool { return r.answered })
+	return nil
+}
+
+// awaitUntil parks until the request is answered or the run's logical
+// clock reaches deadline. An answer observed at the deadline still wins.
+func (vr *VirtualRuntime) awaitUntil(p *sched.Proc, r *request, deadline int64) error {
+	p.Park(func() bool { return r.answered || p.Now() >= deadline })
+	if r.answered {
+		return nil
+	}
+	return ErrDeadline
+}
+
+func (vr *VirtualRuntime) sleep(p *sched.Proc, d int64) {
+	t := p.Now() + d
+	p.Park(func() bool { return p.Now() >= t })
+}
+
+// trapPanics is false: a virtual worker's crash signal must unwind into
+// the scheduler, which accounts the proc Crashed exactly like a
+// policy-injected crash (and the panic value never escapes Execute).
+func (vr *VirtualRuntime) trapPanics() bool { return false }
+
+func (vr *VirtualRuntime) backoffDefaults() (int64, int64) { return 16, 256 }
 
 // virtualQueue is a deterministic bounded FIFO. All accesses are serialized
 // by the run's step token; each poll charges one scheduler step, so the
@@ -244,3 +343,24 @@ func (m *virtualMailbox) take(p *sched.Proc) (auditRecord, bool) {
 }
 
 func (m *virtualMailbox) close() { m.closed = true }
+
+// virtualNotifier is the deterministic death-notice queue: post is a plain
+// append (no scheduler step — it runs inside a crashing proc's deferred
+// unwind, where taking a step would suspend the unwind), wait is a Park.
+type virtualNotifier struct {
+	buf  []deathEvent
+	head int
+}
+
+func (n *virtualNotifier) post(ev deathEvent) { n.buf = append(n.buf, ev) }
+
+func (n *virtualNotifier) wait(p *sched.Proc) deathEvent {
+	p.Park(func() bool { return n.head < len(n.buf) })
+	ev := n.buf[n.head]
+	n.buf[n.head] = deathEvent{}
+	n.head++
+	if n.head == len(n.buf) {
+		n.buf, n.head = n.buf[:0], 0
+	}
+	return ev
+}
