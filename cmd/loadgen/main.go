@@ -35,6 +35,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,18 @@ type options struct {
 	timeout time.Duration
 	retries int
 	maxP999 time.Duration
+	summary string
+}
+
+// runSummary is the -summary JSON artifact: the client-side ledger a
+// downstream checker (scripts/metrics_smoke.sh) reconciles against the
+// server's /metrics counters.
+type runSummary struct {
+	Issued    int64 `json:"issued"`
+	Errors    int64 `json:"errors"`
+	Retried   int64 `json:"retried"`
+	Abandoned int64 `json:"abandoned"`
+	P999Ns    int64 `json:"p999_ns"`
 }
 
 func main() {
@@ -74,6 +87,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-op client deadline (0 = none)")
 	flag.IntVar(&o.retries, "retries", 3, "retries with the same op id on deadline/429/504")
 	flag.DurationVar(&o.maxP999, "max-p999", 0, "fail if overall p999 latency exceeds this (0 = off)")
+	flag.StringVar(&o.summary, "summary", "", "write a JSON run summary to this path")
 	flag.Parse()
 	if err := run(o); err != nil {
 		log.Fatalf("loadgen: %v", err)
@@ -288,6 +302,19 @@ func run(o options) error {
 	p999 := time.Duration(all.Quantile(0.999))
 	fmt.Printf("loadgen: all p50=%s p99=%s p999=%s max=%s\n",
 		time.Duration(all.Quantile(0.5)), time.Duration(all.Quantile(0.99)), p999, time.Duration(all.Max))
+
+	if o.summary != "" {
+		buf, err := json.MarshalIndent(runSummary{
+			Issued: issued, Errors: errs, Retried: retried,
+			Abandoned: abandoned, P999Ns: int64(p999),
+		}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.summary, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("summary: %w", err)
+		}
+	}
 
 	// Pull the server's audit verdict: the run only passes if every audited
 	// window of the traffic we just generated linearized.

@@ -9,9 +9,17 @@
 //	POST /op       {"op":"get|put|cas","key":K,"val":V,"old":O,"id":N} → {"val":..,"ok":..}
 //	POST /batch    [op, op, ...] → [result, result, ...]
 //	GET  /stats    full service.Stats JSON plus the process goroutine count
+//	GET  /metrics  Prometheus text exposition of the store's live metrics
+//	GET  /config   current runtime-reloadable tunables (service.Tunables JSON)
+//	POST /config   patch the tunables: absent fields keep their current value,
+//	               invalid values are rejected with 400 and nothing changes
 //	GET  /healthz  "ok"
 //	POST /chaos    {"point":P,"action":"crash|delay|drop",...} arm a fault rule
 //	GET  /chaos    fault-point counters              (both only with -chaos)
+//
+// With -config FILE, SIGHUP re-reads FILE (same JSON shape as POST /config,
+// patched over the current tunables) and applies it — the classic ops
+// workflow of editing a config file and HUPping the process.
 //
 // Typed serving errors map onto distinct status codes, so clients can pick
 // the right reaction:
@@ -38,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/service"
 )
 
@@ -62,6 +72,7 @@ func main() {
 	supervise := flag.Bool("supervise", true, "respawn crashed workers (crash-loop breaker applies)")
 	maxRestarts := flag.Int("max-restarts", 8, "per-slot crash budget before the breaker condemns the slot")
 	chaos := flag.Bool("chaos", false, "expose the /chaos fault-injection endpoint (testing only)")
+	configPath := flag.String("config", "", "tunables file re-read and applied on SIGHUP (JSON, same shape as POST /config)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -91,6 +102,22 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("served: listening on %s (%d shards × %d workers, batch %d, queue %d, audit %v, supervise %v, chaos %v)",
 		*addr, *shards, *workers, *batch, *queue, !*auditOff, *supervise, *chaos)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *configPath == "" {
+				log.Printf("served: SIGHUP ignored (no -config file)")
+				continue
+			}
+			if tun, err := reloadFromFile(store, *configPath); err != nil {
+				log.Printf("served: SIGHUP reload rejected: %v", err)
+			} else {
+				log.Printf("served: SIGHUP reload applied: %+v", tun)
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -171,6 +198,34 @@ func statusOf(err error) int {
 	}
 }
 
+// patchTunables decodes a JSON tunables patch over the store's current
+// tunables and applies it: fields absent from the document keep their live
+// value, so `{"max_batch": 16}` adjusts one knob without restating the rest.
+// Unknown fields are rejected (a typo must not silently no-op). On any
+// error the live tunables are untouched.
+func patchTunables(store *service.Store, r io.Reader) (service.Tunables, error) {
+	tun := store.Tunables()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tun); err != nil {
+		return tun, err
+	}
+	if err := store.Reload(tun); err != nil {
+		return tun, err
+	}
+	return tun, nil
+}
+
+// reloadFromFile applies a tunables patch file (the SIGHUP path).
+func reloadFromFile(store *service.Store, path string) (service.Tunables, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return service.Tunables{}, err
+	}
+	defer f.Close()
+	return patchTunables(store, f)
+}
+
 // wireRule is the JSON shape of one POST /chaos fault rule.
 type wireRule struct {
 	Point   string `json:"point"`
@@ -230,6 +285,23 @@ func newMux(store *service.Store, faults *fault.Set) *http.ServeMux {
 			service.Stats
 			Goroutines int `json:"goroutines"`
 		}{store.Stats(), runtime.NumGoroutine()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		if err := store.Metrics().WriteProm(w); err != nil {
+			log.Printf("served: write metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /config", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, store.Tunables())
+	})
+	mux.HandleFunc("POST /config", func(w http.ResponseWriter, r *http.Request) {
+		tun, err := patchTunables(store, r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, tun)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")

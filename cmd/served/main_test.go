@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -373,5 +374,163 @@ func TestDrainWhileInFlight(t *testing.T) {
 	resp.Body.Close()
 	if st.Audit.Violations != 0 {
 		t.Fatalf("audit violations after drain: %v", st.Audit.ViolationSamples)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves a Prometheus text exposition whose
+// counters reflect the traffic just served.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 2})
+	defer store.Close()
+
+	post(t, srv, "/op", `{"op":"put","key":"a","val":"1"}`)
+	post(t, srv, "/op", `{"op":"get","key":"a"}`)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q, want prometheus 0.0.4 exposition", ct)
+	}
+	for _, want := range []string{
+		"# TYPE service_ops_total counter",
+		`service_ops_total{kind="put"} 1`,
+		`service_ops_total{kind="get"} 1`,
+		"# TYPE service_op_latency_ns histogram",
+		"service_queue_depth{",
+		"service_inflight 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestConfigEndpoint: GET returns the live tunables; POST patches them
+// (absent fields keep their value); invalid patches are rejected with 400
+// and change nothing.
+func TestConfigEndpoint(t *testing.T) {
+	srv, store := testServer(t, service.Config{Shards: 1, QueueDepth: 32, MaxBatch: 8})
+	defer store.Close()
+
+	resp, err := http.Get(srv.URL + "/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tun service.Tunables
+	if err := json.NewDecoder(resp.Body).Decode(&tun); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tun.MaxBatch != 8 || tun.QueueDepth != 32 {
+		t.Fatalf("GET /config = %+v, want boot tunables", tun)
+	}
+
+	// Partial patch: only max_batch stated, the rest must survive.
+	code, body := post(t, srv, "/config", `{"max_batch": 4}`)
+	if code != http.StatusOK {
+		t.Fatalf("patch = %d %q", code, body)
+	}
+	got := store.Tunables()
+	if got.MaxBatch != 4 || got.QueueDepth != 32 {
+		t.Fatalf("after patch: %+v, want max_batch=4 queue_depth=32", got)
+	}
+
+	// Invalid patches: rejected, nothing changes.
+	for _, bad := range []string{
+		`{"queue_depth": 33}`, // above boot capacity
+		`{"max_batch": 0}`,
+		`{"audit_sample": 2}`,
+		`{"que_depth": 16}`, // typo: unknown field must not silently no-op
+		`{not json`,
+	} {
+		code, body = post(t, srv, "/config", bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("patch %q = %d %q, want 400", bad, code, body)
+		}
+	}
+	if store.Tunables() != got {
+		t.Fatalf("rejected patch mutated tunables: %+v", store.Tunables())
+	}
+}
+
+// TestConfigReloadMidLoad patches the tunables while traffic is in flight:
+// the swap is atomic, every op completes, and the audit stays clean.
+func TestConfigReloadMidLoad(t *testing.T) {
+	srv, store := testServer(t, service.Config{
+		Shards: 2, WorkersPerShard: 2, QueueDepth: 32, MaxBatch: 8,
+		Audit: service.AuditConfig{WindowOps: 8},
+	})
+
+	var wg sync.WaitGroup
+	const clients, ops = 4, 150
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				code, body := post(t, srv, "/op",
+					fmt.Sprintf(`{"op":"put","key":"k%d","val":"c%d-%d"}`, i%5, c, i))
+				if code != http.StatusOK {
+					t.Errorf("op under reload = %d %q", code, body)
+					return
+				}
+			}
+		}(c)
+	}
+	for _, patch := range []string{
+		`{"max_batch": 1}`, `{"queue_depth": 2}`,
+		`{"audit_sample": 0.5}`, `{"max_batch": 16, "queue_depth": 32}`,
+	} {
+		if code, body := post(t, srv, "/config", patch); code != http.StatusOK {
+			t.Errorf("mid-load patch %q = %d %q", patch, code, body)
+		}
+	}
+	wg.Wait()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.TotalOps != clients*ops {
+		t.Fatalf("TotalOps = %d, want %d", st.TotalOps, clients*ops)
+	}
+	if st.Audit.Violations != 0 {
+		t.Fatalf("audit violations under reload: %v", st.Audit.ViolationSamples)
+	}
+}
+
+// TestReloadFromFile: the SIGHUP path — a tunables patch file is applied
+// over the live tunables, and a bad file is rejected without effect.
+func TestReloadFromFile(t *testing.T) {
+	store := service.New(service.Config{Shards: 1, QueueDepth: 16, MaxBatch: 8})
+	defer store.Close()
+
+	path := t.TempDir() + "/tunables.json"
+	if err := os.WriteFile(path, []byte(`{"max_batch": 2, "audit_sample": 0.25}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tun, err := reloadFromFile(store, path)
+	if err != nil {
+		t.Fatalf("reload from file: %v", err)
+	}
+	if tun.MaxBatch != 2 || tun.AuditSample != 0.25 || tun.QueueDepth != 16 {
+		t.Fatalf("applied tunables = %+v", tun)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"queue_depth": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reloadFromFile(store, path); err == nil {
+		t.Fatal("out-of-range file accepted")
+	}
+	if _, err := reloadFromFile(store, path+".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if got := store.Tunables(); got.MaxBatch != 2 || got.QueueDepth != 16 {
+		t.Fatalf("failed reloads mutated tunables: %+v", got)
 	}
 }

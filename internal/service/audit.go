@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,10 @@ type auditor struct {
 
 	sampled atomic.Int64
 	dropped atomic.Int64
+	// sample holds math.Float64bits of the live sample fraction: SampleFraction
+	// is read per committed op on the serving path, and config reload swaps it
+	// without a lock.
+	sample atomic.Uint64
 
 	mu             sync.Mutex
 	windowsChecked int64
@@ -124,15 +129,23 @@ type auditor struct {
 // a.run on the runtime (the auditor is a managed proc like the workers, so
 // a virtual run's policy can starve it).
 func newAuditor(cfg AuditConfig, rt Runtime) *auditor {
-	return &auditor{cfg: cfg, in: rt.newMailbox(cfg.QueueDepth)}
+	a := &auditor{cfg: cfg, in: rt.newMailbox(cfg.QueueDepth)}
+	a.setSampleFraction(cfg.SampleFraction)
+	return a
+}
+
+// setSampleFraction swaps the live sample fraction (config reload).
+func (a *auditor) setSampleFraction(f float64) {
+	a.sample.Store(math.Float64bits(f))
 }
 
 // sampled reports whether key is in the audited slice of the keyspace.
 func (a *auditor) sampledKey(key string) bool {
-	if a.cfg.SampleFraction >= 1 {
+	f := math.Float64frombits(a.sample.Load())
+	if f >= 1 {
 		return true
 	}
-	return float64(keyHash(key)%1024) < a.cfg.SampleFraction*1024
+	return float64(keyHash(key)%1024) < f*1024
 }
 
 // observe offers one committed op to the auditor. It never blocks: when the

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestReloadValidation(t *testing.T) {
+	s := New(Config{Shards: 1, WorkersPerShard: 1, QueueDepth: 8, MaxBatch: 4})
+	defer s.Close()
+	boot := s.Tunables()
+
+	bad := []func(*Tunables){
+		func(t *Tunables) { t.MaxBatch = 0 },
+		func(t *Tunables) { t.MaxBatch = 1<<16 + 1 },
+		func(t *Tunables) { t.QueueDepth = 0 },
+		func(t *Tunables) { t.QueueDepth = 9 }, // boot capacity is the ceiling
+		func(t *Tunables) { t.AuditSample = 0 },
+		func(t *Tunables) { t.AuditSample = 1.5 },
+		func(t *Tunables) { t.BackoffBase = -1 },
+		func(t *Tunables) { t.BackoffBase = 100; t.BackoffCap = 50 },
+		func(t *Tunables) { t.MaxRestarts = 0 },
+	}
+	for i, mutate := range bad {
+		tun := boot
+		mutate(&tun)
+		if err := s.Reload(tun); err == nil {
+			t.Errorf("case %d: invalid tunables %+v accepted", i, tun)
+		}
+		if got := s.Tunables(); got != boot {
+			t.Fatalf("case %d: rejected reload mutated live tunables: %+v", i, got)
+		}
+	}
+
+	tun := boot
+	tun.MaxBatch, tun.QueueDepth, tun.AuditSample = 2, 3, 0.5
+	if err := s.Reload(tun); err != nil {
+		t.Fatalf("valid reload rejected: %v", err)
+	}
+	if got := s.Tunables(); got != tun {
+		t.Fatalf("Tunables() = %+v after reload, want %+v", got, tun)
+	}
+}
+
+// TestReloadWhileServing is the free-mode reload hammer (run under -race in
+// CI): client goroutines drive sustained traffic while another goroutine
+// swaps the tunables continuously — shrinking and restoring MaxBatch, the
+// queue bound and the audit sample fraction. Every op must complete, the
+// online audit must stay clean, and the metrics registry must balance
+// exactly against the store's own accounting.
+func TestReloadWhileServing(t *testing.T) {
+	const clients = 4
+	ops := 3000
+	if testing.Short() {
+		ops = 400
+	}
+	s := New(Config{
+		Shards: 2, WorkersPerShard: 2, QueueDepth: 64, MaxBatch: 8,
+		Audit: AuditConfig{WindowOps: 8},
+	})
+	boot := s.Tunables()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				// Restore boot tunables so the drain runs at full depth.
+				if err := s.Reload(boot); err != nil {
+					t.Errorf("restore reload: %v", err)
+				}
+				return
+			default:
+			}
+			tun := boot
+			tun.MaxBatch = 1 + rng.IntN(16)
+			tun.QueueDepth = 1 + rng.IntN(boot.QueueDepth)
+			tun.AuditSample = []float64{1, 0.75, 0.5}[rng.IntN(3)]
+			if err := s.Reload(tun); err != nil {
+				t.Errorf("reload %d: %v", i, err)
+				return
+			}
+			if bad := (Tunables{}); s.Reload(bad) == nil {
+				t.Error("zero tunables accepted mid-load")
+				return
+			}
+		}
+	}()
+
+	issued := make([]int64, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("k%d", i%7)
+				var err error
+				switch i % 3 {
+				case 0:
+					err = s.Put(ctx, key, fmt.Sprintf("c%dv%d", c, i))
+					issued[c]++
+				case 1:
+					_, _, err = s.Get(ctx, key)
+					issued[c]++
+				default:
+					_, err = s.DoBatch(ctx, []Op{
+						{Kind: OpPut, Key: key, Val: fmt.Sprintf("c%dv%d", c, i)},
+						{Kind: OpGet, Key: key},
+					})
+					issued[c] += 2
+				}
+				if err != nil {
+					t.Errorf("client %d op %d: %v", c, i, err)
+					return
+				}
+			}
+			if c == 0 {
+				close(stop)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	var want int64
+	for _, n := range issued {
+		want += n
+	}
+	stats := s.Stats()
+	if stats.TotalOps != want {
+		t.Fatalf("TotalOps = %d, want %d", stats.TotalOps, want)
+	}
+	if stats.Audit.Violations != 0 {
+		t.Fatalf("audit violations under reload: %v", stats.Audit.ViolationSamples)
+	}
+	var mops int64
+	for k := 0; k < numOpKinds; k++ {
+		mops += s.mets.ops[k].Value()
+	}
+	if mops != want {
+		t.Fatalf("service_ops_total = %d, want %d", mops, want)
+	}
+	if got := s.mets.inflight.Value(); got != 0 {
+		t.Fatalf("service_inflight = %d after drain, want 0", got)
+	}
+	var sb strings.Builder
+	if err := s.Metrics().WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	for _, fam := range []string{
+		"service_ops_total", "service_op_latency_ns_bucket", "service_batches_total",
+		"service_queue_depth", "service_audit_windows_total",
+	} {
+		if !strings.Contains(sb.String(), fam) {
+			t.Fatalf("exposition missing %s:\n%s", fam, sb.String())
+		}
+	}
+}

@@ -38,8 +38,10 @@ type Runtime interface {
 	// newRequest mints one in-flight request for op, timestamped with the
 	// runtime clock and carrying the runtime's completion primitive.
 	newRequest(p *sched.Proc, op Op) *request
-	// newQueue creates one shard's bounded request queue.
-	newQueue(capacity int) queue
+	// newQueue creates one shard's bounded request queue. capacity is the
+	// physical (boot) bound; depth returns the live effective admission
+	// bound in [1, capacity] (config reload can shrink it at runtime).
+	newQueue(capacity int, depth func() int) queue
 	// newMailbox creates the auditor's bounded record queue.
 	newMailbox(capacity int) mailbox
 	// newNotifier creates one shard's death-notice queue: worker
@@ -178,8 +180,8 @@ func (rt *freeRuntime) newRequest(_ *sched.Proc, op Op) *request {
 	return &request{op: op, start: time.Now().UnixNano(), done: make(chan struct{})}
 }
 
-func (rt *freeRuntime) newQueue(capacity int) queue {
-	return &freeQueue{ch: make(chan *request, capacity)}
+func (rt *freeRuntime) newQueue(capacity int, depth func() int) queue {
+	return &freeQueue{ch: make(chan *request, capacity), depth: depth}
 }
 
 func (rt *freeRuntime) newMailbox(capacity int) mailbox {
@@ -294,12 +296,41 @@ func (rt *freeRuntime) backoffDefaults() (int64, int64) {
 }
 
 // freeQueue wraps a buffered channel; senders hold the runtime's submit
-// read-lock (see beginSubmit), so close never races a send.
+// read-lock (see beginSubmit), so close never races a send. depth is the
+// live effective admission bound (config reload can shrink it below the
+// channel capacity).
 type freeQueue struct {
-	ch chan *request
+	ch    chan *request
+	depth func() int
 }
 
 func (q *freeQueue) send(_ *sched.Proc, ctx context.Context, r *request) error {
+	// Soft reload bound: when the effective depth is below the channel's
+	// boot capacity, admission polls instead of relying on the channel's own
+	// bound. The fast path (depth == capacity, the common case) is the
+	// original single select. Racing senders can overshoot the soft bound by
+	// at most the sender count, never past the boot capacity.
+	for {
+		eff := q.depth()
+		if eff >= cap(q.ch) {
+			break
+		}
+		if len(q.ch) < eff {
+			select {
+			case q.ch <- r:
+				return nil
+			default:
+				// Lost the slot race; re-check.
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ErrSaturated
+		default:
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
 	select {
 	case q.ch <- r:
 		return nil

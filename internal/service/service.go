@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -210,8 +211,10 @@ type Store struct {
 	rec    *historyRecorder // complete-history capture; nil on the free runtime
 	clock  atomic.Int64     // logical time for audit intervals
 	shards []*shard
-	audit  *auditor   // nil when auditing is disabled
-	faults *fault.Set // nil when fault injection is disarmed
+	audit  *auditor                 // nil when auditing is disabled
+	faults *fault.Set               // nil when fault injection is disarmed
+	mets   *storeMetrics            // always-on observability (see metrics.go)
+	tun    atomic.Pointer[Tunables] // live-reloadable knobs (see reload.go)
 
 	joins      []func(*sched.Proc) // one per original worker, in spawn order
 	superJoins []func(*sched.Proc) // one per shard supervisor
@@ -240,6 +243,8 @@ func New(cfg Config) *Store { return newStore(cfg, newFreeRuntime()) }
 func newStore(cfg Config, rt Runtime) *Store {
 	cfg = cfg.withDefaults()
 	s := &Store{cfg: cfg, rt: rt, faults: cfg.Faults}
+	boot := tunablesFrom(cfg)
+	s.tun.Store(&boot)
 	if vr, ok := rt.(*VirtualRuntime); ok {
 		s.rec = vr.rec
 	}
@@ -250,6 +255,8 @@ func newStore(cfg Config, rt Runtime) *Store {
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, newShard(s, i))
 	}
+	_, virtual := rt.(*VirtualRuntime)
+	s.mets = newStoreMetrics(s, virtual)
 	sup := cfg.Supervise.Enabled
 	if sup {
 		// Notifiers must exist before any worker spawns: an incarnation's
@@ -319,6 +326,10 @@ func (s *Store) shardOf(key string) *shard {
 	return s.shards[keyHash(key)%uint32(len(s.shards))]
 }
 
+// Metrics returns the store's registry, for mounting on a /metrics endpoint
+// (see metrics.WriteProm) or asserting on counter values in oracles.
+func (s *Store) Metrics() *metrics.Registry { return s.mets.reg }
+
 // Do submits one command and waits for its linearized result. A full shard
 // queue blocks (backpressure) until space frees or ctx is done
 // (ErrSaturated — the command was never enqueued, retry as-is); a closed
@@ -363,6 +374,7 @@ func (s *Store) DoTimeoutOn(p *sched.Proc, op Op, timeout int64) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
+	s.mets.inflight.AddAt(sh.id, 1)
 	if err := s.rt.awaitUntil(p, r, s.rt.now(p)+timeout); err != nil {
 		return Result{}, err
 	}
@@ -408,6 +420,7 @@ func (s *Store) do(p *sched.Proc, ctx context.Context, op Op) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	s.mets.inflight.AddAt(sh.id, 1)
 	if err := s.rt.await(p, ctx, r); err != nil {
 		return Result{}, err
 	}
@@ -465,10 +478,12 @@ func (s *Store) doBatch(p *sched.Proc, ctx context.Context, ops []Op) ([]Result,
 	for _, op := range ops {
 		r := s.rt.newRequest(p, op)
 		r.call = s.clock.Add(1)
-		if err := s.shardOf(op.Key).q.send(p, ctx, r); err != nil {
+		sh := s.shardOf(op.Key)
+		if err := sh.q.send(p, ctx, r); err != nil {
 			submitErr = err
 			break
 		}
+		s.mets.inflight.AddAt(sh.id, 1)
 		reqs = append(reqs, r)
 	}
 	s.rt.endSubmit()

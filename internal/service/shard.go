@@ -102,7 +102,7 @@ func newShard(s *Store, id int) *shard {
 	sh := &shard{
 		store: s,
 		id:    id,
-		q:     s.rt.newQueue(s.cfg.QueueDepth),
+		q:     s.rt.newQueue(s.cfg.QueueDepth, s.effectiveQueueDepth),
 	}
 	// Every log position is a write-once consensus cell (consensus number
 	// +inf), the wait-free base object the universal construction assumes.
@@ -240,7 +240,6 @@ func (sl *slot) incarnation() func(*sched.Proc) {
 // committed batch in memory). It exits when the shard queue is closed and
 // drained, catching up one final time so shutdown leaves the log truncated.
 func (sl *slot) serve(p *sched.Proc) {
-	maxBatch := sl.sh.store.cfg.MaxBatch
 	rcv := sl.sh.q.receiver()
 	defer rcv.stop()
 	sl.recoverPrev(p)
@@ -254,6 +253,9 @@ func (sl *slot) serve(p *sched.Proc) {
 			sl.catchUp(p)
 			continue
 		}
+		// MaxBatch is re-read per grant window so a config reload takes
+		// effect at the next window (one atomic pointer load).
+		maxBatch := sl.sh.store.tunables().MaxBatch
 		sl.buf = append(sl.buf[:0], r)
 		for len(sl.buf) < maxBatch {
 			r2, ok := rcv.tryRecv(p)
@@ -357,6 +359,16 @@ func (sl *slot) finish(p *sched.Proc, b *batch) {
 			sl.recovery.Observe(recovered)
 		}
 		sl.mu.Unlock()
+		// Metrics ride the same counted guard, so a crash mid-finish never
+		// double-counts a batch: 0 allocs, single-writer stripe (this slot).
+		mets := st.mets
+		mets.batches.IncAt(sl.gid)
+		mets.batchOcc.ObserveAt(sl.gid, int64(len(b.reqs)))
+		for _, r := range b.reqs {
+			mets.ops[r.op.Kind].IncAt(sl.gid)
+			mets.latency[r.op.Kind].ObserveAt(sl.gid, now-r.start)
+		}
+		mets.inflight.AddAt(sl.sh.id, -int64(len(b.reqs)))
 		if a := st.audit; a != nil {
 			for _, r := range b.reqs {
 				if !st.firePoint(p, FaultAuditRecord) {
@@ -406,6 +418,9 @@ func (sl *slot) applyBatch(m kvState, b *batch) kvState {
 	for _, r := range b.reqs {
 		if id := r.op.ID; id != 0 {
 			if c, hit := m.dedup[id]; hit {
+				if own {
+					st.mets.dedupHits.IncAt(sl.gid)
+				}
 				if !st.debugNoDedup {
 					if own {
 						r.res, r.ver = c.res, c.ver

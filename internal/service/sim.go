@@ -135,6 +135,10 @@ type runState struct {
 	finished  int // submitters whose script completed (or stopped at close)
 	closedOK  bool
 	sawStale  bool // canary: a client observed a lost update
+	// Reload bookkeeping (service:reload): applied counts successful swaps,
+	// badAccepted flags an invalid reload that was not rejected.
+	reloadsApplied int
+	badAccepted    bool
 }
 
 // fairBase draws a fair base policy — round-robin, seeded random, or a
@@ -314,6 +318,12 @@ type vscenario struct {
 	// the oracle passes only if the history checker flags the resulting
 	// double-applies).
 	noDedup bool
+	// reloads, when > 0, makes the driver perform that many seed-chosen
+	// valid config reloads at seed-chosen logical times mid-run (plus one
+	// invalid reload that must be rejected without effect). The oracle
+	// additionally asserts the metrics registry's counters exactly: under
+	// the virtual runtime they are deterministic in (scenario, seed).
+	reloads int
 }
 
 // retryCfg tunes deadline-bounded submitters: each attempt waits
@@ -371,6 +381,15 @@ func serviceScenarios() []sim.Scenario {
 			name: "service:canary", budget: 8192, mode: safetyOnly, canary: true,
 			topo: topology{subs: 1, shards: 1, workers: 1, queue: 4, batch: 2},
 			wl:   workload{keys: []string{"poison", "clean"}, hotFrac: 0.7, casFrac: 0, ops: 6, maxCall: 1},
+		},
+		{
+			// Config reloads land mid-sweep (MaxBatch, queue depth, audit
+			// sampling, restart budget all re-drawn per seed) while clients
+			// are submitting: linearizability, full completion and exact
+			// metric accounting must all survive the swaps.
+			name: "service:reload", budget: 16384, mode: fairComplete, reloads: 3,
+			topo: topology{subs: 2, shards: 2, workers: 2, queue: 6, batch: 4},
+			wl:   workload{keys: []string{"a", "b", "c", "d"}, casFrac: 0.25, ops: 8, maxCall: 2},
 		},
 		{
 			// Injected worker crashes at the pre-commit / post-commit /
@@ -533,7 +552,39 @@ func (sc vscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 		closeAt = 8 + rng.Int64N(sc.drainAt)
 		waitForSubs = false
 	}
+	// Reload plan: times and target tunables are drawn here, at build time,
+	// so they are fixed per (scenario, seed) before the run executes.
+	var reloadAt []int64
+	var reloadTo []Tunables
+	boot := store.Tunables()
+	for i := 0; i < sc.reloads; i++ {
+		reloadAt = append(reloadAt, 16+rng.Int64N(sc.budget/8))
+		t := boot
+		t.MaxBatch = 1 + rng.IntN(2*boot.MaxBatch)
+		t.QueueDepth = 1 + rng.IntN(boot.QueueDepth)
+		t.AuditSample = []float64{1, 0.75, 0.5}[rng.IntN(3)]
+		t.MaxRestarts = 1 + rng.IntN(4)
+		reloadTo = append(reloadTo, t)
+	}
 	r.Spawn(topo.driverID(), func(p *sched.Proc) {
+		for i := range reloadAt {
+			at := reloadAt[i]
+			p.Park(func() bool {
+				return (waitForSubs && st.finished == topo.subs) || p.Now() >= at
+			})
+			if store.Reload(reloadTo[i]) == nil {
+				st.reloadsApplied++
+			}
+		}
+		if sc.reloads > 0 {
+			// An out-of-range reload must be rejected and leave the live
+			// tunables untouched.
+			bad := boot
+			bad.QueueDepth = boot.QueueDepth + 1
+			if store.Reload(bad) == nil {
+				st.badAccepted = true
+			}
+		}
 		p.Park(func() bool {
 			return (waitForSubs && st.finished == topo.subs) || p.Now() >= closeAt
 		})
@@ -554,6 +605,9 @@ func (sc vscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 		if stats.Audit.Violations > 0 {
 			out = append(out, fmt.Sprintf("online audit reported %d violations: %v",
 				stats.Audit.Violations, stats.Audit.ViolationSamples))
+		}
+		if sc.reloads > 0 {
+			out = append(out, reloadOracle(store, st, stats, sc.reloads)...)
 		}
 		switch sc.mode {
 		case fairComplete, drainComplete:
@@ -670,6 +724,47 @@ func (sc vscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 		}
 		return out
 	}
+}
+
+// reloadOracle asserts the reload scenario's extra clauses: every planned
+// valid reload applied, the invalid one was rejected, and the metrics
+// registry agrees exactly with the run's ground truth — under the virtual
+// runtime every record happens inside the controlled run, so the counters
+// are deterministic in (scenario, seed) and == is the right comparison.
+func reloadOracle(store *Store, st *runState, stats Stats, want int) []string {
+	var out []string
+	if st.reloadsApplied != want {
+		out = append(out, fmt.Sprintf(
+			"reload violated: %d of %d valid reloads applied", st.reloadsApplied, want))
+	}
+	if st.badAccepted {
+		out = append(out, "reload violated: out-of-range tunables were accepted")
+	}
+	var mops int64
+	for k := 0; k < numOpKinds; k++ {
+		mops += store.mets.ops[k].Value()
+	}
+	if mops != stats.TotalOps {
+		out = append(out, fmt.Sprintf(
+			"metrics accounting violated: service_ops_total %d != stats %d", mops, stats.TotalOps))
+	}
+	if got := store.mets.batches.Value(); got != stats.Batches {
+		out = append(out, fmt.Sprintf(
+			"metrics accounting violated: service_batches_total %d != stats %d", got, stats.Batches))
+	}
+	if got := store.mets.inflight.Value(); got != 0 {
+		out = append(out, fmt.Sprintf(
+			"metrics accounting violated: service_inflight %d after drain, want 0", got))
+	}
+	var lat int64
+	for k := 0; k < numOpKinds; k++ {
+		lat += store.mets.latency[k].Count()
+	}
+	if lat != stats.TotalOps {
+		out = append(out, fmt.Sprintf(
+			"metrics accounting violated: latency histogram count %d != stats %d", lat, stats.TotalOps))
+	}
+	return out
 }
 
 // canaryOracle inverts the verdict: the injected lost-update bug (puts on

@@ -68,14 +68,7 @@ func (c SuperviseConfig) spares(slots int) int {
 func (sh *shard) supervise(p *sched.Proc) {
 	st := sh.store
 	cfg := st.cfg.Supervise
-	base, max := cfg.BackoffBase, cfg.BackoffCap
 	defBase, defCap := st.rt.backoffDefaults()
-	if base <= 0 {
-		base = defBase
-	}
-	if max <= 0 {
-		max = defCap
-	}
 	rng := rand.New(rand.NewPCG(cfg.JitterSeed, uint64(sh.id)))
 	done := make([]bool, len(sh.slots))
 	closing := false
@@ -105,7 +98,17 @@ func (sh *shard) supervise(p *sched.Proc) {
 		sl.mu.Lock()
 		restarts := sl.restarts
 		sl.mu.Unlock()
-		if restarts >= int64(cfg.MaxRestarts) {
+		// Backoff and the crash budget are re-read per crash, so a config
+		// reload applies to the very next restart decision.
+		tun := st.tunables()
+		base, max := tun.BackoffBase, tun.BackoffCap
+		if base <= 0 {
+			base = defBase
+		}
+		if max <= 0 {
+			max = defCap
+		}
+		if restarts >= int64(tun.MaxRestarts) {
 			// Crash-loop breaker: the slot burned its whole restart budget.
 			sl.condemned.Store(true)
 			st.condemnedSlots.Add(1)

@@ -91,8 +91,8 @@ func (vr *VirtualRuntime) newRequest(p *sched.Proc, op Op) *request {
 	return &request{op: op, start: p.Now()}
 }
 
-func (vr *VirtualRuntime) newQueue(capacity int) queue {
-	return &virtualQueue{vr: vr, capacity: capacity}
+func (vr *VirtualRuntime) newQueue(capacity int, depth func() int) queue {
+	return &virtualQueue{vr: vr, capacity: capacity, depth: depth}
 }
 
 func (vr *VirtualRuntime) newMailbox(capacity int) mailbox {
@@ -229,9 +229,20 @@ func (vr *VirtualRuntime) backoffDefaults() (int64, int64) { return 16, 256 }
 type virtualQueue struct {
 	vr       *VirtualRuntime
 	capacity int
+	depth    func() int // live effective bound, <= capacity (config reload)
 	buf      []*request
 	head     int
 	closed   bool
+}
+
+// bound is the current admission bound: the smaller of the boot capacity
+// and the reloaded effective depth. Reads happen under the step token, so
+// a mid-run reload lands at a deterministic point of the schedule.
+func (q *virtualQueue) bound() int {
+	if d := q.depth(); d < q.capacity {
+		return d
+	}
+	return q.capacity
 }
 
 func (q *virtualQueue) size() int { return len(q.buf) - q.head }
@@ -256,7 +267,7 @@ func (q *virtualQueue) send(p *sched.Proc, _ context.Context, r *request) error 
 		if q.closed {
 			return ErrClosed
 		}
-		if q.size() < q.capacity {
+		if q.size() < q.bound() {
 			q.buf = append(q.buf, r)
 			q.vr.rec.submit(r)
 			return nil

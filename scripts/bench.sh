@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark families (P1–P4 tables, scheduler steps,
 # explorer, sweep harness, free-mode memory primitives, serving tier
-# including crash recovery, fault-injection points) and
+# including crash recovery, fault-injection points, metrics core) and
 # emit a BENCH_<n>.json snapshot at the repo root, seeding the performance
 # trajectory across PRs.
 #
@@ -42,6 +42,7 @@ go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/sim/ | te
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/memory/ | tee -a "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/service/ | tee -a "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/fault/ | tee -a "$raw" >&2
+go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/metrics/ | tee -a "$raw" >&2
 
 # Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
 # has the shape:

@@ -183,7 +183,7 @@ func main() {
 		benchtime string
 		pkgs      []string
 	}{
-		{*stepBenchtime, []string{"./internal/sched/", "./internal/memory/", "./internal/fault/"}},
+		{*stepBenchtime, []string{"./internal/sched/", "./internal/memory/", "./internal/fault/", "./internal/metrics/"}},
 		{*serveBenchtime, []string{"./internal/service/"}},
 		{*benchtime, []string{"./internal/explore/", "./internal/sim/", "."}},
 	}

@@ -1,0 +1,613 @@
+// Command promcheck validates a Prometheus text-exposition (version 0.0.4)
+// document and asserts properties of its samples — the checker behind the
+// metrics-smoke and chaos-soak CI jobs.
+//
+// Validation (always on) rejects:
+//   - sample lines that do not parse (name, label syntax, escapes, value);
+//   - invalid metric or label names;
+//   - a # TYPE line appearing after its family's samples, or twice;
+//   - samples of one family interleaved with another family's;
+//   - duplicate series (same name and label set twice);
+//   - histograms whose buckets are not cumulative, lack an le="+Inf"
+//     bucket, or whose _count disagrees with the +Inf bucket.
+//
+// Assertions (repeatable flags) run after validation:
+//
+//	-require NAME                the family NAME has at least one sample
+//	-assert 'SEL OP N'           sum of samples matching SEL compared to N
+//	-quantile 'SEL pQ OP N'      conservative quantile Q of the histogram
+//	                             SEL (buckets merged across matching
+//	                             series) compared to N
+//
+// SEL is a family name with an optional label subset: queue_depth{shard="0"}
+// matches every series of queue_depth whose labels include shard="0".
+// OP is one of == != >= <= > <.
+//
+// Usage:
+//
+//	promcheck -f metrics.txt -require service_ops_total \
+//	  -assert 'service_ops_total == 20000' \
+//	  -assert 'service_audit_violations_total == 0' \
+//	  -quantile 'service_op_latency_ns p0.999 <= 4294967296'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ", ") }
+func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var requires, asserts, quantiles repeated
+	file := flag.String("f", "-", "exposition file to check (- = stdin)")
+	flag.Var(&requires, "require", "family that must have at least one sample (repeatable)")
+	flag.Var(&asserts, "assert", "'SELECTOR OP VALUE' over the sum of matching samples (repeatable)")
+	flag.Var(&quantiles, "quantile", "'SELECTOR pQ OP VALUE' over a histogram quantile (repeatable)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := parse(in)
+	if err != nil {
+		fatal("invalid exposition: %v", err)
+	}
+	if err := doc.validate(); err != nil {
+		fatal("invalid exposition: %v", err)
+	}
+	for _, name := range requires {
+		if len(doc.samplesOf(name)) == 0 {
+			fatal("require %s: no samples", name)
+		}
+	}
+	for _, a := range asserts {
+		if err := doc.assert(a); err != nil {
+			fatal("assert %q: %v", a, err)
+		}
+	}
+	for _, q := range quantiles {
+		if err := doc.assertQuantile(q); err != nil {
+			fatal("quantile %q: %v", q, err)
+		}
+	}
+	fmt.Printf("promcheck: OK — %d series across %d families, %d assertions\n",
+		len(doc.samples), len(doc.families), len(requires)+len(asserts)+len(quantiles))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// sample is one parsed series line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// family records the metadata seen for one metric family. For histograms,
+// the family name is the base name (without _bucket/_sum/_count).
+type family struct {
+	typ     string
+	hasHelp bool
+}
+
+type document struct {
+	samples  []sample
+	families map[string]*family
+	// order tracks the first and last line each family's samples appeared
+	// on, to detect interleaving.
+	order []string
+}
+
+// base strips a histogram sample suffix down to its family name.
+func base(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if s, ok := strings.CutSuffix(name, suf); ok {
+			return s
+		}
+	}
+	return name
+}
+
+func parse(r io.Reader) (*document, error) {
+	doc := &document{families: map[string]*family{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := doc.meta(line, lineno); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		s, err := parseSample(line, lineno)
+		if err != nil {
+			return nil, err
+		}
+		doc.samples = append(doc.samples, s)
+		fam := base(s.name)
+		if len(doc.order) == 0 || doc.order[len(doc.order)-1] != fam {
+			doc.order = append(doc.order, fam)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// meta handles # HELP and # TYPE lines (other comments are ignored).
+func (d *document) meta(line string, lineno int) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // plain comment
+	}
+	name := fields[2]
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("line %d: invalid metric name %q", lineno, name)
+	}
+	f := d.families[name]
+	if f == nil {
+		f = &family{}
+		d.families[name] = f
+	}
+	if fields[1] == "HELP" {
+		f.hasHelp = true
+		return nil
+	}
+	if f.typ != "" {
+		return fmt.Errorf("line %d: duplicate TYPE for %s", lineno, name)
+	}
+	if len(fields) < 4 {
+		return fmt.Errorf("line %d: TYPE without a type", lineno)
+	}
+	switch fields[3] {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		f.typ = fields[3]
+	default:
+		return fmt.Errorf("line %d: unknown type %q", lineno, fields[3])
+	}
+	for _, s := range d.samples {
+		if base(s.name) == name {
+			return fmt.Errorf("line %d: TYPE %s after its samples", lineno, name)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string, lineno int) (sample, error) {
+	s := sample{labels: map[string]string{}, line: lineno}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("line %d: no value: %q", lineno, line)
+	}
+	s.name = rest[:i]
+	if !nameRe.MatchString(s.name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", lineno, s.name)
+	}
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("line %d: unterminated labels", lineno)
+			}
+			lname := rest[:eq]
+			if !labelRe.MatchString(lname) {
+				return s, fmt.Errorf("line %d: invalid label name %q", lineno, lname)
+			}
+			if _, dup := s.labels[lname]; dup {
+				return s, fmt.Errorf("line %d: duplicate label %q", lineno, lname)
+			}
+			val, n, err := unquoteLabel(rest[eq+1:])
+			if err != nil {
+				return s, fmt.Errorf("line %d: label %s: %v", lineno, lname, err)
+			}
+			s.labels[lname] = val
+			rest = rest[eq+1+n:]
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("line %d: want 'value [timestamp]', got %q", lineno, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("line %d: bad value %q", lineno, fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("line %d: bad timestamp %q", lineno, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// unquoteLabel consumes a quoted label value with \\, \" and \n escapes,
+// returning the value and the number of input bytes consumed.
+func unquoteLabel(in string) (string, int, error) {
+	if !strings.HasPrefix(in, `"`) {
+		return "", 0, fmt.Errorf("value not quoted")
+	}
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch c := in[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", 0, fmt.Errorf("trailing backslash")
+			}
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quote")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validate runs the whole-document checks that need every sample parsed.
+func (d *document) validate() error {
+	// Families must be contiguous blocks.
+	seen := map[string]bool{}
+	for _, fam := range d.order {
+		if seen[fam] {
+			return fmt.Errorf("family %s interleaved with other families", fam)
+		}
+		seen[fam] = true
+	}
+	// No duplicate series.
+	series := map[string]int{}
+	for _, s := range d.samples {
+		key := s.name + sig(s.labels)
+		if prev, dup := series[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s (first at line %d)", s.line, key, prev)
+		}
+		series[key] = s.line
+	}
+	// Histogram integrity per series.
+	for name, f := range d.families {
+		if f.typ != "histogram" {
+			continue
+		}
+		if err := d.validateHistogram(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sig renders a label set canonically for dedup keys and error text.
+func sig(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// validateHistogram checks each series of one histogram family: cumulative
+// buckets, an +Inf bucket, and _count consistent with it.
+func (d *document) validateHistogram(name string) error {
+	type hist struct {
+		buckets []sample
+		count   float64
+		hasCnt  bool
+	}
+	bySeries := map[string]*hist{}
+	get := func(labels map[string]string) *hist {
+		rest := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := sig(rest)
+		h := bySeries[key]
+		if h == nil {
+			h = &hist{}
+			bySeries[key] = h
+		}
+		return h
+	}
+	for _, s := range d.samples {
+		switch s.name {
+		case name + "_bucket":
+			if _, ok := s.labels["le"]; !ok {
+				return fmt.Errorf("line %d: %s without le", s.line, s.name)
+			}
+			h := get(s.labels)
+			h.buckets = append(h.buckets, s)
+		case name + "_count":
+			h := get(s.labels)
+			h.count, h.hasCnt = s.value, true
+		}
+	}
+	for key, h := range bySeries {
+		if len(h.buckets) == 0 {
+			return fmt.Errorf("histogram %s%s has no buckets", name, key)
+		}
+		sort.Slice(h.buckets, func(i, j int) bool {
+			a, _ := parseValue(h.buckets[i].labels["le"])
+			b, _ := parseValue(h.buckets[j].labels["le"])
+			return a < b
+		})
+		prev := math.Inf(-1)
+		prevCount := 0.0
+		for _, b := range h.buckets {
+			le, err := parseValue(b.labels["le"])
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q", b.line, b.labels["le"])
+			}
+			if le == prev {
+				return fmt.Errorf("line %d: duplicate le %q in %s%s", b.line, b.labels["le"], name, key)
+			}
+			if b.value < prevCount {
+				return fmt.Errorf("line %d: %s%s buckets not cumulative", b.line, name, key)
+			}
+			prev, prevCount = le, b.value
+		}
+		last := h.buckets[len(h.buckets)-1]
+		if !math.IsInf(mustValue(last.labels["le"]), 1) {
+			return fmt.Errorf("histogram %s%s lacks an le=\"+Inf\" bucket", name, key)
+		}
+		if h.hasCnt && h.count != last.value {
+			return fmt.Errorf("histogram %s%s: _count %v != +Inf bucket %v", name, key, h.count, last.value)
+		}
+	}
+	return nil
+}
+
+func mustValue(s string) float64 { v, _ := parseValue(s); return v }
+
+// selector is a family name plus a label subset to match.
+type selector struct {
+	name   string
+	labels map[string]string
+}
+
+func parseSelector(s string) (selector, error) {
+	sel := selector{labels: map[string]string{}}
+	i := strings.Index(s, "{")
+	if i < 0 {
+		sel.name = s
+	} else {
+		sel.name = s[:i]
+		rest := s[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if strings.HasPrefix(rest, "}") {
+				if strings.TrimSpace(rest[1:]) != "" {
+					return sel, fmt.Errorf("trailing %q", rest[1:])
+				}
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return sel, fmt.Errorf("unterminated selector")
+			}
+			val, n, err := unquoteLabel(rest[eq+1:])
+			if err != nil {
+				return sel, err
+			}
+			sel.labels[rest[:eq]] = val
+			rest = rest[eq+1+n:]
+		}
+	}
+	if !nameRe.MatchString(sel.name) {
+		return sel, fmt.Errorf("invalid name %q", sel.name)
+	}
+	return sel, nil
+}
+
+func (sel selector) matches(s sample) bool {
+	if s.name != sel.name {
+		return false
+	}
+	for k, v := range sel.labels {
+		if s.labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *document) samplesOf(name string) []sample {
+	var out []sample
+	for _, s := range d.samples {
+		if s.name == name || base(s.name) == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func compare(got float64, op string, want float64) error {
+	ok := false
+	switch op {
+	case "==":
+		ok = got == want
+	case "!=":
+		ok = got != want
+	case ">=":
+		ok = got >= want
+	case "<=":
+		ok = got <= want
+	case ">":
+		ok = got > want
+	case "<":
+		ok = got < want
+	default:
+		return fmt.Errorf("unknown operator %q", op)
+	}
+	if !ok {
+		return fmt.Errorf("got %v, want %s %v", got, op, want)
+	}
+	return nil
+}
+
+// assert evaluates 'SELECTOR OP VALUE' over the sum of matching samples.
+func (d *document) assert(expr string) error {
+	fields := strings.Fields(expr)
+	if len(fields) != 3 {
+		return fmt.Errorf("want 'SELECTOR OP VALUE'")
+	}
+	sel, err := parseSelector(fields[0])
+	if err != nil {
+		return err
+	}
+	want, err := parseValue(fields[2])
+	if err != nil {
+		return fmt.Errorf("bad value %q", fields[2])
+	}
+	sum, n := 0.0, 0
+	for _, s := range d.samples {
+		if sel.matches(s) {
+			sum += s.value
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("no samples match")
+	}
+	return compare(sum, fields[1], want)
+}
+
+// assertQuantile evaluates 'SELECTOR pQ OP VALUE' over a histogram's
+// buckets, merged across every series the selector matches. The quantile is
+// conservative — the upper bound of the bucket where the cumulative count
+// crosses the rank — mirroring the exporter's own Quantile.
+func (d *document) assertQuantile(expr string) error {
+	fields := strings.Fields(expr)
+	if len(fields) != 4 || !strings.HasPrefix(fields[1], "p") {
+		return fmt.Errorf("want 'SELECTOR pQ OP VALUE'")
+	}
+	q, err := strconv.ParseFloat(fields[1][1:], 64)
+	if err != nil || q <= 0 || q > 1 {
+		return fmt.Errorf("bad quantile %q", fields[1])
+	}
+	sel, err := parseSelector(fields[0])
+	if err != nil {
+		return err
+	}
+	want, err := parseValue(fields[3])
+	if err != nil {
+		return fmt.Errorf("bad value %q", fields[3])
+	}
+	// Merge bucket counts by le across matching series.
+	merged := map[float64]float64{}
+	for _, s := range d.samples {
+		if s.name != sel.name+"_bucket" {
+			continue
+		}
+		probe := s
+		probe.name = sel.name
+		if !sel.matches(probe) {
+			continue
+		}
+		le, err := parseValue(s.labels["le"])
+		if err != nil {
+			return fmt.Errorf("bad le %q", s.labels["le"])
+		}
+		merged[le] += s.value
+	}
+	if len(merged) == 0 {
+		return fmt.Errorf("no histogram buckets match")
+	}
+	les := make([]float64, 0, len(merged))
+	for le := range merged {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	total := merged[les[len(les)-1]]
+	if total == 0 {
+		return fmt.Errorf("histogram is empty")
+	}
+	rank := math.Ceil(q * total)
+	got := les[len(les)-1]
+	for _, le := range les {
+		if merged[le] >= rank {
+			got = le
+			break
+		}
+	}
+	if math.IsInf(got, 1) && len(les) > 1 {
+		// Everything above the largest finite bound: report that bound,
+		// like the exporter does.
+		got = les[len(les)-2]
+	}
+	return compare(got, fields[2], want)
+}

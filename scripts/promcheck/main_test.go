@@ -1,0 +1,163 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const good = `# HELP ops_total Completed operations.
+# TYPE ops_total counter
+ops_total{kind="get"} 12
+ops_total{kind="put"} 8
+# HELP temp Current temperature.
+# TYPE temp gauge
+temp{site="a b",note="q\"uo\\te\nnl"} -3.5
+# HELP lat Latency.
+# TYPE lat histogram
+lat_bucket{le="10"} 3
+lat_bucket{le="100"} 7
+lat_bucket{le="+Inf"} 9
+lat_sum 1234
+lat_count 9
+`
+
+func mustParse(t *testing.T, in string) *document {
+	t.Helper()
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := doc.validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return doc
+}
+
+func TestParseAndValidateGood(t *testing.T) {
+	doc := mustParse(t, good)
+	if len(doc.samples) != 8 {
+		t.Fatalf("samples = %d, want 8", len(doc.samples))
+	}
+	if got := doc.samples[2].labels["note"]; got != "q\"uo\\te\nnl" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+	if doc.families["lat"].typ != "histogram" {
+		t.Fatalf("lat type = %q", doc.families["lat"].typ)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":                 `0ops 1` + "\n",
+		"bad label name":           `ops{0k="v"} 1` + "\n",
+		"unquoted label":           `ops{k=v} 1` + "\n",
+		"bad escape":               `ops{k="\q"} 1` + "\n",
+		"no value":                 `ops_total` + "\n",
+		"bad value":                `ops zebra` + "\n",
+		"duplicate series":         "ops{k=\"a\"} 1\nops{k=\"a\"} 2\n",
+		"interleaved families":     "a 1\nb 2\na 3\n",
+		"type after samples":       "ops 1\n# TYPE ops counter\n",
+		"duplicate type":           "# TYPE ops counter\n# TYPE ops gauge\nops 1\n",
+		"unknown type":             "# TYPE ops zcounter\nops 1\n",
+		"non-cumulative histogram": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+		"histogram without inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\n",
+		"count disagrees":          "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n",
+		"bucket without le":        "# TYPE h histogram\nh_bucket{x=\"1\"} 5\n",
+	}
+	for name, in := range cases {
+		doc, err := parse(strings.NewReader(in))
+		if err == nil {
+			err = doc.validate()
+		}
+		if err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+func TestAssert(t *testing.T) {
+	doc := mustParse(t, good)
+	for _, expr := range []string{
+		"ops_total == 20",
+		`ops_total{kind="get"} == 12`,
+		"ops_total >= 20",
+		"ops_total <= 20",
+		"ops_total != 19",
+		"temp < 0",
+		"lat_count > 8",
+	} {
+		if err := doc.assert(expr); err != nil {
+			t.Errorf("assert %q: %v", expr, err)
+		}
+	}
+	for _, expr := range []string{
+		"ops_total == 19",
+		`ops_total{kind="cas"} == 0`, // no matching samples is a failure
+		"ghost == 0",
+		"ops_total",
+		"ops_total ~= 20",
+	} {
+		if err := doc.assert(expr); err == nil {
+			t.Errorf("assert %q: passed, want failure", expr)
+		}
+	}
+}
+
+func TestAssertQuantile(t *testing.T) {
+	doc := mustParse(t, good)
+	// 9 observations: 3 ≤10, 7 ≤100. p0.5 rank 5 → bucket 100.
+	for _, expr := range []string{
+		"lat p0.5 == 100",
+		"lat p0.1 == 10",
+		"lat p0.999 == 100", // +Inf bucket reports the largest finite bound
+		"lat p0.5 <= 100",
+	} {
+		if err := doc.assertQuantile(expr); err != nil {
+			t.Errorf("quantile %q: %v", expr, err)
+		}
+	}
+	for _, expr := range []string{
+		"lat p0.5 == 10",
+		"lat p0.5 <= 50",
+		"ghost p0.5 == 1",
+		"lat q0.5 == 100",
+		"lat p1.5 == 100",
+	} {
+		if err := doc.assertQuantile(expr); err == nil {
+			t.Errorf("quantile %q: passed, want failure", expr)
+		}
+	}
+}
+
+func TestQuantileMergesSeries(t *testing.T) {
+	doc := mustParse(t, `# TYPE lat histogram
+lat_bucket{shard="0",le="10"} 0
+lat_bucket{shard="0",le="+Inf"} 4
+lat_bucket{shard="1",le="10"} 6
+lat_bucket{shard="1",le="+Inf"} 6
+`)
+	// Merged: 6 ≤10, 10 total. p0.5 rank 5 → bucket 10.
+	if err := doc.assertQuantile("lat p0.5 == 10"); err != nil {
+		t.Errorf("merged quantile: %v", err)
+	}
+	// Restricted to shard 1 every observation is ≤10, so any quantile is 10.
+	if err := doc.assertQuantile(`lat{shard="1"} p0.9 == 10`); err != nil {
+		t.Errorf("selected quantile: %v", err)
+	}
+	// Shard 0 alone has everything in +Inf: rank ceil(0.9*4)=4 lands in the
+	// +Inf bucket, which reports the largest finite bound.
+	if err := doc.assertQuantile(`lat{shard="0"} p0.9 == 10`); err != nil {
+		t.Errorf("inf-bucket quantile: %v", err)
+	}
+}
+
+func TestSelectorSubsetMatch(t *testing.T) {
+	doc := mustParse(t, `q{shard="0",slot="1"} 5
+`)
+	if err := doc.assert(`q{shard="0"} == 5`); err != nil {
+		t.Errorf("subset selector: %v", err)
+	}
+	if err := doc.assert(`q{shard="1"} == 5`); err == nil {
+		t.Error("wrong label value matched")
+	}
+}

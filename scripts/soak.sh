@@ -13,10 +13,16 @@
 #   - workers were actually killed and restarted (a vacuous soak fails);
 #   - the server leaked no goroutines (post-soak count near the warm
 #     baseline) and its RSS growth stayed bounded;
+#   - the /metrics exposition agrees: a valid document whose supervision
+#     restart counter saw the kills, whose audit-violation counter is 0,
+#     and whose server-side latency histogram has a bounded p999
+#     (scripts/promcheck does the parsing and the assertions);
 #   - the server drains and exits 0 on SIGTERM (exit 3 = audit violation).
 #
 # Usage:   scripts/soak.sh
 # Env:     SOAK_SECONDS=60  SOAK_ADDR=127.0.0.1:7078
+#          SOAK_ARTIFACTS=dir  copy the /metrics and /stats snapshots there
+#                              (even on failure — CI uploads them for triage)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +34,12 @@ TMP="$(mktemp -d)"
 
 served_pid=""
 cleanup() {
+  if [ -n "${SOAK_ARTIFACTS:-}" ]; then
+    mkdir -p "$SOAK_ARTIFACTS"
+    curl -fs "$URL/metrics" >"$SOAK_ARTIFACTS/soak-metrics.txt" 2>/dev/null || true
+    curl -fs "$URL/stats" >"$SOAK_ARTIFACTS/soak-stats.json" 2>/dev/null || true
+    [ -e "$TMP/metrics.txt" ] && cp "$TMP/metrics.txt" "$SOAK_ARTIFACTS/soak-metrics.txt" || true
+  fi
   [ -n "$served_pid" ] && kill "$served_pid" 2>/dev/null || true
   rm -rf "$TMP"
 }
@@ -35,6 +47,7 @@ trap cleanup EXIT
 
 go build -o "$TMP/served" ./cmd/served
 go build -o "$TMP/loadgen" ./cmd/loadgen
+go build -o "$TMP/promcheck" ./scripts/promcheck
 
 # A huge restart budget: the soak wants sustained recovery, not the
 # breaker (the breaker is covered deterministically by service:crash-loop).
@@ -105,6 +118,23 @@ if [ "$end_rss" -gt $((base_rss * 3 + 65536)) ]; then
   echo "soak: FAIL — unbounded RSS growth: ${base_rss}kB -> ${end_rss}kB" >&2
   exit 1
 fi
+
+# The /metrics view of the same soak: the exposition must be well-formed,
+# the supervision counter must agree that workers were killed, the audit
+# counter must be clean, and the server-side latency histogram's p999 must
+# stay bounded. The bound is one power-of-two bucket above the loadgen's
+# 3s client-side gate: the histogram quantile is conservative (it reports
+# the matched bucket's upper bound), and server-side latency excludes the
+# client's retries and network time, so 2^32ns ≈ 4.3s is generous without
+# being vacuous.
+curl -fs "$URL/metrics" >"$TMP/metrics.txt"
+"$TMP/promcheck" -f "$TMP/metrics.txt" \
+  -require service_ops_total \
+  -require fault_point_fires_total \
+  -assert 'service_supervision_restarts_total >= 1' \
+  -assert 'service_audit_violations_total == 0' \
+  -assert 'service_inflight == 0' \
+  -quantile 'service_op_latency_ns p0.999 <= 4294967296'
 
 kill -TERM "$served_pid"
 wait "$served_pid" # exit 3 here means the final audit found a violation
