@@ -21,15 +21,29 @@
 // -max-p999 asserts a tail-latency ceiling over every issued op (retries
 // included), the soak harness's bounded-tail gate.
 //
+// Two transports:
+//
+//   - -proto http (default): one HTTP/JSON POST /op per operation, the
+//     compatibility front end;
+//   - -proto wire: the binary protocol of docs/PROTOCOL.md over -conns
+//     pipelined connections (workers share connections round-robin, so the
+//     per-connection pipeline depth is workers/conns). -batch N packs N ops
+//     into each batch frame — the protocol's throughput lever. -addr is then
+//     host:port of served's -wire listener, and -timeout (a client-side HTTP
+//     deadline) does not apply; saturation and deadline errors still arrive
+//     as typed wire errors and are retried the same way.
+//
 // Run with:
 //
 //	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -workers 8 -ops 50000
+//	go run ./cmd/loadgen -proto wire -addr 127.0.0.1:9090 -conns 2 -batch 64
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,10 +56,14 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 type options struct {
 	addr    string
+	proto   string
+	conns   int
+	batch   int
 	workers int
 	ops     int64
 	dur     time.Duration
@@ -74,7 +92,10 @@ type runSummary struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "base URL of cmd/served")
+	flag.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "base URL of cmd/served (-proto wire: host:port of its -wire listener)")
+	flag.StringVar(&o.proto, "proto", "http", `transport: "http" (JSON per op) or "wire" (binary, pipelined)`)
+	flag.IntVar(&o.conns, "conns", 2, "wire connections shared round-robin by the workers (-proto wire)")
+	flag.IntVar(&o.batch, "batch", 1, "ops per wire batch frame; 1 = one op frame per op (-proto wire)")
 	flag.IntVar(&o.workers, "workers", 8, "concurrent client workers")
 	flag.Int64Var(&o.ops, "ops", 50_000, "total ops to issue (0 = run for -duration)")
 	flag.DurationVar(&o.dur, "duration", 5*time.Second, "run length when -ops is 0")
@@ -89,6 +110,15 @@ func main() {
 	flag.DurationVar(&o.maxP999, "max-p999", 0, "fail if overall p999 latency exceeds this (0 = off)")
 	flag.StringVar(&o.summary, "summary", "", "write a JSON run summary to this path")
 	flag.Parse()
+	if o.proto != "http" && o.proto != "wire" {
+		log.Fatalf(`loadgen: -proto must be "http" or "wire", got %q`, o.proto)
+	}
+	if o.proto == "http" && o.batch > 1 {
+		log.Fatalf("loadgen: -batch needs -proto wire")
+	}
+	if o.conns < 1 || o.batch < 1 || o.batch > wire.MaxBatchOps {
+		log.Fatalf("loadgen: -conns must be >= 1 and -batch in [1, %d]", wire.MaxBatchOps)
+	}
 	if err := run(o); err != nil {
 		log.Fatalf("loadgen: %v", err)
 	}
@@ -100,6 +130,7 @@ type worker struct {
 	o         *options
 	id        int
 	client    *http.Client
+	conn      *wire.Conn // non-nil in -proto wire mode, shared with workers/conns others
 	rng       *rand.Rand
 	zipf      *rand.Zipf
 	issued    int64
@@ -116,19 +147,43 @@ func (w *worker) key() string {
 	return fmt.Sprintf("k%05d", w.rng.Intn(w.o.keys))
 }
 
-func (w *worker) op(i int64) (service.OpKind, map[string]any) {
+// op draws one operation from the configured mix. The ID is the
+// client-assigned idempotency token that makes retries safe: the server
+// dedups a resend of an op that did commit before its client gave up on it.
+func (w *worker) op(i int64) service.Op {
+	id := uint64(w.id+1)<<32 | uint64(i+1)
 	key := w.key()
 	p := w.rng.Intn(100)
 	switch {
 	case p < w.o.readPct:
-		return service.OpGet, map[string]any{"op": "get", "key": key}
+		return service.Op{Kind: service.OpGet, Key: key, ID: id}
 	case p < w.o.readPct+w.o.casPct:
-		return service.OpCAS, map[string]any{"op": "cas", "key": key,
-			"old": "", "val": fmt.Sprintf("cas-%d", i)}
+		return service.Op{Kind: service.OpCAS, Key: key, Old: "",
+			Val: fmt.Sprintf("cas-%d", i), ID: id}
 	default:
-		return service.OpPut, map[string]any{"op": "put", "key": key,
-			"val": fmt.Sprintf("put-%d", i)}
+		return service.Op{Kind: service.OpPut, Key: key,
+			Val: fmt.Sprintf("put-%d", i), ID: id}
 	}
+}
+
+// kindNames maps service.OpKind to the HTTP front end's op names.
+var kindNames = [3]string{service.OpGet: "get", service.OpPut: "put", service.OpCAS: "cas"}
+
+// jsonBody renders op as the HTTP front end's wire shape (POST /op body).
+func jsonBody(op service.Op) []byte {
+	buf, _ := json.Marshal(map[string]any{
+		"op": kindNames[op.Kind], "key": op.Key, "val": op.Val, "old": op.Old, "id": op.ID,
+	})
+	return buf
+}
+
+// retriableWire marks the wire errors (saturation, server deadline) where
+// resending the identical op — same client-assigned id — is the correct
+// reaction; wire.Error.Unwrap maps the in-band error codes back onto the
+// service's typed errors, so this is the same taxonomy attempt dispatches
+// on via HTTP status codes.
+func retriableWire(err error) bool {
+	return errors.Is(err, service.ErrSaturated) || errors.Is(err, service.ErrDeadline)
 }
 
 // attempt posts one request, with the worker's client deadline when
@@ -166,17 +221,22 @@ func (w *worker) attempt(buf []byte) (res service.Result, retriable bool, err er
 }
 
 func (w *worker) issue(i int64) error {
-	kind, body := w.op(i)
-	// The op id makes retries idempotent: the server dedups a resend of an
-	// op that did commit before its client's deadline fired.
-	body["id"] = uint64(w.id+1)<<32 | uint64(i+1)
-	buf, _ := json.Marshal(body)
+	op := w.op(i)
+	var buf []byte
+	if w.conn == nil {
+		buf = jsonBody(op)
+	}
 	start := time.Now()
 	var res service.Result
 	var err error
 	for try := 0; ; try++ {
 		var retriable bool
-		res, retriable, err = w.attempt(buf)
+		if w.conn != nil {
+			res, err = w.conn.Do(op)
+			retriable = err != nil && retriableWire(err)
+		} else {
+			res, retriable, err = w.attempt(buf)
+		}
 		if err == nil {
 			break
 		}
@@ -186,19 +246,57 @@ func (w *worker) issue(i int64) error {
 				// not have committed, exactly like a crashed client. The
 				// server's audit decides if the history stayed consistent.
 				w.abandoned++
-				w.latency[kind].Observe(time.Since(start).Nanoseconds())
+				w.latency[op.Kind].Observe(time.Since(start).Nanoseconds())
 				return nil
 			}
 			return err
 		}
 		w.retried++
 	}
-	if kind == service.OpPut && !res.OK {
+	if op.Kind == service.OpPut && !res.OK {
 		return fmt.Errorf("put returned ok=false")
 	}
-	w.latency[kind].Observe(time.Since(start).Nanoseconds())
+	w.latency[op.Kind].Observe(time.Since(start).Nanoseconds())
 	w.issued++
 	return nil
+}
+
+// issueBatch sends ops as one wire batch frame, retrying the whole frame —
+// same ids — on retriable errors (DoBatch is all-or-error, so the frame is
+// the retry unit). results is the reused decode slice, returned for the
+// next call. Latency is observed per op at frame granularity: every op in
+// the frame shares the frame's round-trip time, which is what an end client
+// batching its traffic actually experiences.
+func (w *worker) issueBatch(ops []service.Op, results []service.Result) ([]service.Result, error) {
+	start := time.Now()
+	var err error
+	for try := 0; ; try++ {
+		results, err = w.conn.DoBatch(ops, results[:0])
+		if err == nil {
+			break
+		}
+		if !retriableWire(err) || try >= w.o.retries {
+			if retriableWire(err) {
+				w.abandoned += int64(len(ops))
+				el := time.Since(start).Nanoseconds()
+				for _, op := range ops {
+					w.latency[op.Kind].Observe(el)
+				}
+				return results, nil
+			}
+			return results, err
+		}
+		w.retried++
+	}
+	el := time.Since(start).Nanoseconds()
+	for i, op := range ops {
+		if op.Kind == service.OpPut && !results[i].OK {
+			return results, fmt.Errorf("put returned ok=false")
+		}
+		w.latency[op.Kind].Observe(el)
+	}
+	w.issued += int64(len(ops))
+	return results, nil
 }
 
 func run(o options) error {
@@ -208,29 +306,72 @@ func run(o options) error {
 	}
 	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
 
-	// Wait for the server to come up (CI starts it in the background).
-	var up bool
-	for i := 0; i < 50; i++ {
-		if resp, err := client.Get(o.addr + "/healthz"); err == nil {
-			resp.Body.Close()
-			up = true
-			break
+	// Wait for the server to come up (CI starts it in the background), then
+	// in wire mode open the shared connection pool.
+	var conns []*wire.Conn
+	if o.proto == "wire" {
+		var err error
+		for i := 0; i < 50; i++ {
+			var c *wire.Conn
+			if c, err = wire.Dial(o.addr); err == nil {
+				conns = append(conns, c)
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
 		}
-		time.Sleep(100 * time.Millisecond)
-	}
-	if !up {
-		return fmt.Errorf("server at %s not reachable", o.addr)
+		if len(conns) == 0 {
+			return fmt.Errorf("wire server at %s not reachable: %w", o.addr, err)
+		}
+		for len(conns) < o.conns {
+			c, err := wire.Dial(o.addr)
+			if err != nil {
+				return fmt.Errorf("wire dial: %w", err)
+			}
+			conns = append(conns, c)
+		}
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+	} else {
+		var up bool
+		for i := 0; i < 50; i++ {
+			if resp, err := client.Get(o.addr + "/healthz"); err == nil {
+				resp.Body.Close()
+				up = true
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if !up {
+			return fmt.Errorf("server at %s not reachable", o.addr)
+		}
 	}
 
 	var budget atomic.Int64
 	budget.Store(o.ops)
 	deadline := time.Now().Add(o.dur)
 	useDeadline := o.ops == 0
+	// take claims up to n ops from the shared budget (the batch path claims
+	// a whole frame at once, so the last frame of a run may be short).
+	take := func(n int64) int64 {
+		rem := budget.Add(-n)
+		switch {
+		case rem >= 0:
+			return n
+		case rem > -n:
+			return n + rem
+		default:
+			return 0
+		}
+	}
 
-	// Open-loop pacing: each worker offers rate/workers ops/s.
+	// Open-loop pacing: each worker offers rate/workers ops/s, batch frames
+	// counting for their op count.
 	var interval time.Duration
 	if o.rate > 0 {
-		interval = time.Duration(float64(o.workers) / o.rate * float64(time.Second))
+		interval = time.Duration(float64(o.workers) * float64(o.batch) / o.rate * float64(time.Second))
 	}
 
 	workers := make([]*worker, o.workers)
@@ -239,6 +380,9 @@ func run(o options) error {
 	for wi := 0; wi < o.workers; wi++ {
 		rng := rand.New(rand.NewSource(o.seed + int64(wi)))
 		w := &worker{o: &o, id: wi, client: client, rng: rng}
+		if len(conns) > 0 {
+			w.conn = conns[wi%len(conns)]
+		}
 		if o.zipf > 1 && o.keys > 1 {
 			w.zipf = rand.NewZipf(rng, o.zipf, 1, uint64(o.keys-1))
 		}
@@ -247,26 +391,54 @@ func run(o options) error {
 		go func() {
 			defer wg.Done()
 			next := time.Now()
-			for i := int64(0); ; i++ {
-				if useDeadline {
-					if time.Now().After(deadline) {
-						return
-					}
-				} else if budget.Add(-1) < 0 {
-					return
-				}
+			pace := func() {
 				if interval > 0 {
 					if d := time.Until(next); d > 0 {
 						time.Sleep(d)
 					}
 					next = next.Add(interval)
 				}
-				if err := w.issue(i); err != nil {
-					w.errors++
-					log.Printf("loadgen: worker error: %v", err)
-					if w.errors > 10 {
+			}
+			fail := func(err error) bool {
+				w.errors++
+				log.Printf("loadgen: worker error: %v", err)
+				return w.errors > 10
+			}
+			if o.batch > 1 {
+				ops := make([]service.Op, 0, o.batch)
+				results := make([]service.Result, 0, o.batch)
+				for i := int64(0); ; {
+					n := int64(o.batch)
+					if useDeadline {
+						if time.Now().After(deadline) {
+							return
+						}
+					} else if n = take(n); n == 0 {
 						return
 					}
+					pace()
+					ops = ops[:0]
+					for j := int64(0); j < n; j++ {
+						ops = append(ops, w.op(i))
+						i++
+					}
+					var err error
+					if results, err = w.issueBatch(ops, results); err != nil && fail(err) {
+						return
+					}
+				}
+			}
+			for i := int64(0); ; i++ {
+				if useDeadline {
+					if time.Now().After(deadline) {
+						return
+					}
+				} else if take(1) == 0 {
+					return
+				}
+				pace()
+				if err := w.issue(i); err != nil && fail(err) {
+					return
 				}
 			}
 		}()
@@ -317,15 +489,28 @@ func run(o options) error {
 	}
 
 	// Pull the server's audit verdict: the run only passes if every audited
-	// window of the traffic we just generated linearized.
-	resp, err := client.Get(o.addr + "/stats")
-	if err != nil {
-		return fmt.Errorf("stats: %w", err)
-	}
-	defer resp.Body.Close()
+	// window of the traffic we just generated linearized. In wire mode,
+	// drain every connection first (the pipeline fence of PROTOCOL.md §3.5)
+	// so the stats snapshot is taken after our last op was answered.
 	var stats service.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		return fmt.Errorf("stats decode: %w", err)
+	if o.proto == "wire" {
+		for _, c := range conns {
+			if err := c.Drain(); err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+		}
+		if err := conns[0].Stats(&stats); err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+	} else {
+		resp, err := client.Get(o.addr + "/stats")
+		if err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			return fmt.Errorf("stats decode: %w", err)
+		}
 	}
 	a := stats.Audit
 	fmt.Printf("loadgen: server: %d ops, %d batches (mean %.1f cmds/batch)\n",

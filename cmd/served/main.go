@@ -21,6 +21,14 @@
 // patched over the current tunables) and applies it — the classic ops
 // workflow of editing a config file and HUPping the process.
 //
+// With -wire ADDR the server additionally listens for the binary wire
+// protocol (docs/PROTOCOL.md, internal/wire) on ADDR: length-prefixed
+// frames, connection multiplexing, pipelining, and batch frames that feed
+// the store's per-shard batch windows directly. The HTTP/JSON mux stays up
+// as the compatibility front end; the wire listener is the performance
+// front end (~50x the HTTP throughput, see EXPERIMENTS.md PR 8). On
+// shutdown the wire listener drains before the store closes.
+//
 // Typed serving errors map onto distinct status codes, so clients can pick
 // the right reaction:
 //
@@ -48,6 +56,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -58,6 +67,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -73,6 +83,7 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 8, "per-slot crash budget before the breaker condemns the slot")
 	chaos := flag.Bool("chaos", false, "expose the /chaos fault-injection endpoint (testing only)")
 	configPath := flag.String("config", "", "tunables file re-read and applied on SIGHUP (JSON, same shape as POST /config)")
+	wireAddr := flag.String("wire", "", "also listen for the binary wire protocol on this address (docs/PROTOCOL.md)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -103,6 +114,21 @@ func main() {
 	log.Printf("served: listening on %s (%d shards × %d workers, batch %d, queue %d, audit %v, supervise %v, chaos %v)",
 		*addr, *shards, *workers, *batch, *queue, !*auditOff, *supervise, *chaos)
 
+	var wireSrv *wire.Server
+	if *wireAddr != "" {
+		lis, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("served: wire listen: %v", err)
+		}
+		wireSrv = wire.NewServer(store, wire.ServerConfig{Logf: log.Printf})
+		go func() {
+			if err := wireSrv.Serve(lis); err != nil {
+				errCh <- fmt.Errorf("wire: %w", err)
+			}
+		}()
+		log.Printf("served: wire protocol (RPW1) on %s", lis.Addr())
+	}
+
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -132,6 +158,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("served: http shutdown: %v", err)
+	}
+	if wireSrv != nil {
+		if err := wireSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("served: wire shutdown: %v", err)
+		}
 	}
 	if err := store.Close(); err != nil {
 		log.Printf("served: store close: %v", err)

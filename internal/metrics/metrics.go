@@ -241,6 +241,7 @@ const (
 	kindHistogram
 )
 
+// String returns the Prometheus exposition TYPE keyword for the kind.
 func (k metricKind) String() string {
 	switch k {
 	case kindCounter:

@@ -22,8 +22,8 @@ type storeMetrics struct {
 
 	// Hot-path instruments, striped by worker gid (finish runs on the
 	// owning slot's proc, a single writer per stripe).
-	ops       [numOpKinds]*metrics.Counter
-	latency   [numOpKinds]*metrics.Histogram
+	ops       [NumOpKinds]*metrics.Counter
+	latency   [NumOpKinds]*metrics.Histogram
 	batches   *metrics.Counter
 	batchOcc  *metrics.Histogram
 	dedupHits *metrics.Counter
@@ -44,7 +44,7 @@ func newStoreMetrics(s *Store, virtual bool) *storeMetrics {
 		latBounds = metrics.Pow2Bounds(0, 24)
 	}
 	m := &storeMetrics{reg: metrics.NewRegistry()}
-	for k := 0; k < numOpKinds; k++ {
+	for k := 0; k < NumOpKinds; k++ {
 		kind := metrics.Labels{{Name: "kind", Value: OpKind(k).String()}}
 		m.ops[k] = m.reg.CounterStriped("service_ops_total",
 			"Committed commands by kind.", kind, workers)

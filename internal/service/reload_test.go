@@ -145,7 +145,7 @@ func TestReloadWhileServing(t *testing.T) {
 		t.Fatalf("audit violations under reload: %v", stats.Audit.ViolationSamples)
 	}
 	var mops int64
-	for k := 0; k < numOpKinds; k++ {
+	for k := 0; k < NumOpKinds; k++ {
 		mops += s.mets.ops[k].Value()
 	}
 	if mops != want {

@@ -50,11 +50,13 @@ import (
 type OpKind uint8
 
 // The store's commands: read a key, write a key, compare-and-swap a key.
+// NumOpKinds is one past the highest valid OpKind — decoders (the HTTP and
+// wire front ends) validate kinds against it.
 const (
 	OpGet OpKind = iota
 	OpPut
 	OpCAS
-	numOpKinds = 3
+	NumOpKinds = 3
 )
 
 // String returns the wire name of the op kind.
@@ -357,7 +359,7 @@ func (s *Store) DoOn(p *sched.Proc, op Op) (Result, error) {
 // wait — backpressure on a full queue still blocks, and an ErrDeadline'd
 // command may still commit (see Do); retry with the same Op.ID.
 func (s *Store) DoTimeoutOn(p *sched.Proc, op Op, timeout int64) (Result, error) {
-	if op.Kind >= numOpKinds {
+	if op.Kind >= NumOpKinds {
 		return Result{}, fmt.Errorf("service: invalid op kind %d", op.Kind)
 	}
 	if err := s.fireSend(p); err != nil {
@@ -403,7 +405,7 @@ func (s *Store) fireSend(p *sched.Proc) error {
 }
 
 func (s *Store) do(p *sched.Proc, ctx context.Context, op Op) (Result, error) {
-	if op.Kind >= numOpKinds {
+	if op.Kind >= NumOpKinds {
 		return Result{}, fmt.Errorf("service: invalid op kind %d", op.Kind)
 	}
 	if err := s.fireSend(p); err != nil {
@@ -466,7 +468,7 @@ func (s *Store) DoBatchOn(p *sched.Proc, ops []Op) ([]Result, error) {
 
 func (s *Store) doBatch(p *sched.Proc, ctx context.Context, ops []Op) ([]Result, error) {
 	for _, op := range ops {
-		if op.Kind >= numOpKinds {
+		if op.Kind >= NumOpKinds {
 			return nil, fmt.Errorf("service: invalid op kind %d", op.Kind)
 		}
 	}
@@ -623,12 +625,12 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Shards:          s.cfg.Shards,
 		WorkersPerShard: s.cfg.WorkersPerShard,
-		Ops:             make(map[string]int64, numOpKinds),
-		Latency:         make(map[string]LatencySummary, numOpKinds),
+		Ops:             make(map[string]int64, NumOpKinds),
+		Latency:         make(map[string]LatencySummary, NumOpKinds),
 		QueueDepth:      make([]int, len(s.shards)),
 		Committed:       make([]int64, len(s.shards)),
 	}
-	var lat [numOpKinds]sim.Histogram
+	var lat [NumOpKinds]sim.Histogram
 	var recovery sim.Histogram
 	for si, sh := range s.shards {
 		st.QueueDepth[si] = sh.q.len()
@@ -638,7 +640,7 @@ func (s *Store) Stats() Stats {
 				st.Committed[si] = pos
 			}
 			sl.mu.Lock()
-			for k := 0; k < numOpKinds; k++ {
+			for k := 0; k < NumOpKinds; k++ {
 				st.Ops[OpKind(k).String()] += sl.ops[k]
 				st.TotalOps += sl.ops[k]
 				lat[k].Merge(sl.latency[k])
@@ -650,7 +652,7 @@ func (s *Store) Stats() Stats {
 			sl.mu.Unlock()
 		}
 	}
-	for k := 0; k < numOpKinds; k++ {
+	for k := 0; k < NumOpKinds; k++ {
 		st.Latency[OpKind(k).String()] = summarize(lat[k])
 	}
 	st.Supervision.Enabled = s.cfg.Supervise.Enabled

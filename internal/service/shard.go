@@ -183,10 +183,10 @@ type slot struct {
 
 	mu        sync.Mutex
 	restarts  int64
-	ops       [numOpKinds]int64
+	ops       [NumOpKinds]int64
 	batches   int64
 	batchSize sim.Histogram
-	latency   [numOpKinds]sim.Histogram
+	latency   [NumOpKinds]sim.Histogram
 	recovery  sim.Histogram // crash-to-first-commit latency, runtime clock units
 }
 

@@ -741,7 +741,7 @@ func reloadOracle(store *Store, st *runState, stats Stats, want int) []string {
 		out = append(out, "reload violated: out-of-range tunables were accepted")
 	}
 	var mops int64
-	for k := 0; k < numOpKinds; k++ {
+	for k := 0; k < NumOpKinds; k++ {
 		mops += store.mets.ops[k].Value()
 	}
 	if mops != stats.TotalOps {
@@ -757,7 +757,7 @@ func reloadOracle(store *Store, st *runState, stats Stats, want int) []string {
 			"metrics accounting violated: service_inflight %d after drain, want 0", got))
 	}
 	var lat int64
-	for k := 0; k < numOpKinds; k++ {
+	for k := 0; k < NumOpKinds; k++ {
 		lat += store.mets.latency[k].Count()
 	}
 	if lat != stats.TotalOps {

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// The codec benchmarks are the transport's regression discipline: encode
+// and decode must stay at 0 allocs/op (pinned hard by
+// TestWireCodecZeroAllocs and by benchgate against the BENCH_<n>.json
+// snapshot), exactly like the internal/sched step path.
+
+var benchOp = service.Op{Kind: service.OpPut, Key: "k00042", Val: "put-123456", ID: 42}
+
+func benchBatch(n int) []service.Op {
+	ops := make([]service.Op, n)
+	for i := range ops {
+		ops[i] = service.Op{Kind: service.OpPut, Key: fmt.Sprintf("k%05d", i%256),
+			Val: fmt.Sprintf("put-%d", i), ID: uint64(i + 1)}
+	}
+	return ops
+}
+
+func BenchmarkWireEncodeOp(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendOpFrame(buf[:0], uint64(i), benchOp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeOp(b *testing.B) {
+	frame, err := AppendOpFrame(nil, 1, benchOp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := frame[HeaderSize:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op, n, err := DecodeOp(payload)
+		if err != nil || n != len(payload) || op.Kind != service.OpPut {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeBatch64(b *testing.B) {
+	ops := benchBatch(64)
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendBatchFrame(buf[:0], uint64(i), ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeBatch64(b *testing.B) {
+	frame, err := AppendBatchFrame(nil, 1, benchBatch(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := frame[HeaderSize:]
+	ops := make([]service.Op, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		ops, err = DecodeBatch(payload, ops[:0])
+		if err != nil || len(ops) != 64 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeResults64(b *testing.B) {
+	results := make([]service.Result, 64)
+	for i := range results {
+		results[i] = service.Result{OK: true, Val: "put-123456"}
+	}
+	buf := make([]byte, 0, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendResultsFrame(buf[:0], uint64(i), results)
+	}
+}
+
+func BenchmarkWireDecodeResults64(b *testing.B) {
+	results := make([]service.Result, 64)
+	for i := range results {
+		results[i] = service.Result{OK: true, Val: "put-123456"}
+	}
+	frame := AppendResultsFrame(nil, 1, results)
+	payload := frame[HeaderSize:]
+	dst := make([]service.Result, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = DecodeResults(payload, dst[:0])
+		if err != nil || len(dst) != 64 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWireCodecZeroAllocs is the hard in-repo gate behind the benchmark
+// numbers: encode and decode of op, batch, and result payloads allocate
+// nothing when the caller reuses buffers, CI-enforced alongside the sched
+// and metrics zero-alloc regressions.
+func TestWireCodecZeroAllocs(t *testing.T) {
+	ops := benchBatch(64)
+	results := make([]service.Result, 64)
+	for i := range results {
+		results[i] = service.Result{OK: true, Val: "v"}
+	}
+	encBuf := make([]byte, 0, 8192)
+	opFrame, err := AppendOpFrame(nil, 1, benchOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchFrame, err := AppendBatchFrame(nil, 1, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFrame := AppendResultsFrame(nil, 1, results)
+	decOps := make([]service.Op, 0, 64)
+	decRes := make([]service.Result, 0, 64)
+
+	cases := map[string]func(){
+		"encode-op":      func() { encBuf, _ = AppendOpFrame(encBuf[:0], 1, benchOp) },
+		"encode-batch":   func() { encBuf, _ = AppendBatchFrame(encBuf[:0], 1, ops) },
+		"encode-results": func() { encBuf = AppendResultsFrame(encBuf[:0], 1, results) },
+		"decode-op":      func() { _, _, _ = DecodeOp(opFrame[HeaderSize:]) },
+		"decode-batch":   func() { decOps, _ = DecodeBatch(batchFrame[HeaderSize:], decOps[:0]) },
+		"decode-results": func() { decRes, _ = DecodeResults(resFrame[HeaderSize:], decRes[:0]) },
+		"parse-header":   func() { _, _ = ParseHeader(opFrame) },
+	}
+	for name, fn := range cases {
+		if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, avg)
+		}
+	}
+}
+
+// BenchmarkWireLoopback measures end-to-end serving throughput over the
+// wire protocol on loopback TCP: pipelined client goroutines issuing
+// batch frames against a live store. ops/s here is the number the
+// HTTP/JSON front end pays ~100x for; see EXPERIMENTS.md PR 8.
+func BenchmarkWireLoopback(b *testing.B) {
+	for _, cfg := range []struct{ pipeline, batch int }{{4, 64}, {4, 256}} {
+		b.Run(fmt.Sprintf("pipe=%d/batch=%d", cfg.pipeline, cfg.batch), func(b *testing.B) {
+			benchLoopback(b, cfg.pipeline, cfg.batch)
+		})
+	}
+}
+
+func benchLoopback(b *testing.B, pipeline, batch int) {
+	store := service.New(service.Config{Shards: 4, Audit: service.AuditConfig{SampleFraction: 0.05}})
+	srv := NewServer(store, ServerConfig{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		store.Close()
+	}()
+
+	conn, err := Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := b.N / pipeline
+	for w := 0; w < pipeline; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := make([]service.Op, batch)
+			results := make([]service.Result, 0, batch)
+			done := 0
+			for done < per {
+				n := batch
+				if rem := per - done; rem < n {
+					n = rem
+				}
+				for i := 0; i < n; i++ {
+					ops[i] = service.Op{Kind: service.OpPut,
+						Key: fmt.Sprintf("k%05d", (done+i)%256), Val: "v"}
+				}
+				var err error
+				results, err = conn.DoBatch(ops[:n], results[:0])
+				if err != nil || len(results) != n {
+					b.Errorf("batch: %v", err)
+					return
+				}
+				done += n
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(per*pipeline)/elapsed.Seconds(), "ops/s")
+}

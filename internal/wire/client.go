@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/service"
+)
+
+// ErrConnClosed is returned by calls on a Conn whose transport has failed
+// or been closed; in-flight calls fail with the underlying read error.
+var ErrConnClosed = errors.New("wire: connection closed")
+
+// Conn is a pipelined client connection: any number of goroutines may
+// issue Do/DoBatch/Stats concurrently, each call is stamped with a
+// connection-local request ID, and a single reader goroutine correlates
+// the (possibly reordered) responses back to their callers. N goroutines
+// sharing one Conn give a pipeline depth of N with no further ceremony.
+type Conn struct {
+	c net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	nextID  uint64
+	pending map[uint64]*call
+	readErr error // set once the reader exits; nil until then
+}
+
+// call is one in-flight request awaiting its response frame.
+type call struct {
+	done    chan struct{}
+	res     service.Result
+	results []service.Result // batch responses (appended into the caller's slice)
+	raw     []byte           // stats responses
+	err     error
+}
+
+// Dial connects to a wire server at addr (host:port).
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewConn(nc), nil
+}
+
+// NewConn wraps an established transport (any net.Conn — tests use
+// net.Pipe) as a wire client and starts its reader.
+func NewConn(nc net.Conn) *Conn {
+	c := &Conn{c: nc, pending: map[uint64]*call{}}
+	go c.readLoop()
+	return c
+}
+
+// register allocates a request ID and parks a call under it. results, when
+// non-nil, is the caller's slice for a batch response's decoded results.
+func (c *Conn) register(results []service.Result) (uint64, *call, error) {
+	cl := &call{done: make(chan struct{}), results: results}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.readErr != nil {
+		return 0, nil, c.readErr
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cl
+	return id, cl, nil
+}
+
+func (c *Conn) abandon(id uint64) {
+	c.pmu.Lock()
+	delete(c.pending, id)
+	c.pmu.Unlock()
+}
+
+// write sends one encoded frame; the buffer is recycled here.
+func (c *Conn) write(frame []byte) error {
+	c.wmu.Lock()
+	_, err := c.c.Write(frame)
+	c.wmu.Unlock()
+	PutBuffer(frame)
+	return err
+}
+
+// roundTrip sends the frame for (id, cl) and blocks for the response.
+func (c *Conn) roundTrip(id uint64, cl *call, frame []byte) error {
+	if err := c.write(frame); err != nil {
+		c.abandon(id)
+		return err
+	}
+	<-cl.done
+	return cl.err
+}
+
+// Do issues one command and blocks for its result. The result's Val is an
+// owned string (the response buffer is never recycled), so callers may
+// retain it freely.
+func (c *Conn) Do(op service.Op) (service.Result, error) {
+	id, cl, err := c.register(nil)
+	if err != nil {
+		return service.Result{}, err
+	}
+	frame, err := AppendOpFrame(GetBuffer(), id, op)
+	if err != nil {
+		c.abandon(id)
+		PutBuffer(frame)
+		return service.Result{}, err
+	}
+	if err := c.roundTrip(id, cl, frame); err != nil {
+		return service.Result{}, err
+	}
+	return cl.res, nil
+}
+
+// DoBatch issues ops as one batch frame and blocks for the index-aligned
+// results, appended into results (pass a reused slice to amortize).
+func (c *Conn) DoBatch(ops []service.Op, results []service.Result) ([]service.Result, error) {
+	id, cl, err := c.register(results)
+	if err != nil {
+		return results, err
+	}
+	frame, err := AppendBatchFrame(GetBuffer(), id, ops)
+	if err != nil {
+		c.abandon(id)
+		PutBuffer(frame)
+		return results, err
+	}
+	if err := c.roundTrip(id, cl, frame); err != nil {
+		return results, err
+	}
+	if len(cl.results)-len(results) != len(ops) {
+		return results, fmt.Errorf("wire: batch answered %d results for %d ops",
+			len(cl.results)-len(results), len(ops))
+	}
+	return cl.results, nil
+}
+
+// Stats fetches the server's stats snapshot, JSON-decoded into v
+// (typically a *service.Stats).
+func (c *Conn) Stats(v any) error {
+	id, cl, err := c.register(nil)
+	if err != nil {
+		return err
+	}
+	if err := c.roundTrip(id, cl, AppendEmptyFrame(GetBuffer(), OpcodeStats, 0, id)); err != nil {
+		return err
+	}
+	return json.Unmarshal(cl.raw, v)
+}
+
+// Drain sends the pipeline fence and blocks until the server confirms that
+// every request frame sent on this connection before the fence has been
+// answered (docs/PROTOCOL.md §3.5). Call it before Close for a clean
+// shutdown.
+func (c *Conn) Drain() error {
+	id, cl, err := c.register(nil)
+	if err != nil {
+		return err
+	}
+	return c.roundTrip(id, cl, AppendEmptyFrame(GetBuffer(), OpcodeDrain, 0, id))
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// readLoop consumes response frames and completes their calls. On any
+// transport or framing error it fails every pending and future call.
+func (c *Conn) readLoop() {
+	err := c.read()
+	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		err = ErrConnClosed
+	}
+	c.c.Close()
+	c.pmu.Lock()
+	c.readErr = err
+	for id, cl := range c.pending {
+		delete(c.pending, id)
+		cl.err = err
+		close(cl.done)
+	}
+	c.pmu.Unlock()
+}
+
+func (c *Conn) read() error {
+	var hdr [HeaderSize]byte
+	for {
+		if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+			return err
+		}
+		h, err := ParseHeader(hdr[:])
+		if err != nil {
+			return err
+		}
+		if !h.IsResp() {
+			return ErrBadFrame
+		}
+		// Response payloads are fresh buffers: decoded result Vals alias
+		// them and are handed to callers as owned strings.
+		var payload []byte
+		if h.Len > 0 {
+			payload = make([]byte, h.Len)
+			if _, err := io.ReadFull(c.c, payload); err != nil {
+				return err
+			}
+		}
+		c.pmu.Lock()
+		cl, ok := c.pending[h.ReqID]
+		delete(c.pending, h.ReqID)
+		c.pmu.Unlock()
+		if !ok {
+			// A response to an abandoned (failed-write) request: ignore.
+			continue
+		}
+		cl.err = c.complete(h, payload, cl)
+		close(cl.done)
+	}
+}
+
+// complete decodes one response payload into its call.
+func (c *Conn) complete(h Header, payload []byte, cl *call) error {
+	if h.IsError() {
+		werr, err := DecodeError(payload)
+		if err != nil {
+			return err
+		}
+		return werr
+	}
+	switch h.Opcode {
+	case OpcodeOp:
+		res, n, err := DecodeResult(payload)
+		if err != nil || n != len(payload) {
+			return ErrBadFrame
+		}
+		cl.res = res
+	case OpcodeBatch:
+		results, err := DecodeResults(payload, cl.results)
+		if err != nil {
+			return err
+		}
+		cl.results = results
+	case OpcodeStats:
+		cl.raw = payload
+	case OpcodeDrain:
+		// No payload.
+	default:
+		return ErrBadFrame
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/service"
+)
+
+// ServerConfig tunes a wire Server. The zero value gets sensible defaults.
+type ServerConfig struct {
+	// AcceptLoops is the number of concurrent accept goroutines on the
+	// listener (per-core accept so a connection storm never serializes on
+	// one loop). Default GOMAXPROCS.
+	AcceptLoops int
+	// Logf, when non-nil, receives connection-level error logs.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.AcceptLoops <= 0 {
+		c.AcceptLoops = runtime.GOMAXPROCS(0)
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server serves the wire protocol over a listener, translating frames into
+// store.Do/DoBatch calls. Decoded batch frames feed the store's per-shard
+// batch windows directly — the transport adds framing, not an extra
+// queueing layer.
+type Server struct {
+	store *service.Store
+	cfg   ServerConfig
+
+	mu     sync.Mutex
+	lis    []net.Listener
+	conns  map[*serverConn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds a Server over store.
+func NewServer(store *service.Store, cfg ServerConfig) *Server {
+	return &Server{store: store, cfg: cfg.withDefaults(), conns: map[*serverConn]struct{}{}}
+}
+
+// Serve accepts connections on lis until the listener fails or Shutdown is
+// called, spawning cfg.AcceptLoops concurrent acceptors. It blocks; run it
+// in a goroutine per listener.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return net.ErrClosed
+	}
+	s.lis = append(s.lis, lis)
+	s.mu.Unlock()
+
+	errs := make(chan error, s.cfg.AcceptLoops)
+	for i := 0; i < s.cfg.AcceptLoops; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				c, err := lis.Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				sc := s.track(c)
+				if sc == nil {
+					c.Close()
+					return
+				}
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					sc.serve()
+					s.untrack(sc)
+				}()
+			}
+		}()
+	}
+	err := <-errs
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) track(c net.Conn) *serverConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	sc := &serverConn{s: s, c: c}
+	s.conns[sc] = struct{}{}
+	return sc
+}
+
+func (s *Server) untrack(sc *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+}
+
+// Shutdown stops accepting, then waits for every connection's in-flight
+// requests to be answered and their readers to exit. If ctx expires first,
+// remaining connections are force-closed before waiting again. The store
+// itself is not closed — the caller owns that ordering (drain the
+// transport, then the store).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for _, l := range s.lis {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// serverConn is one accepted connection: a reader loop that decodes and
+// dispatches frames, per-frame handler goroutines, and a writer loop that
+// serializes response frames (batching flushes while the response channel
+// has backlog).
+type serverConn struct {
+	s   *Server
+	c   net.Conn
+	out chan []byte // encoded response frames, buffers from GetBuffer
+
+	// inflight tracks dispatched-but-unanswered request frames; only the
+	// reader Adds, so the reader may Wait to implement the drain fence.
+	inflight sync.WaitGroup
+	// writeFailed marks the writer dead (it keeps draining out so handlers
+	// never block, but discards).
+	writeFailed atomic.Bool
+}
+
+func (sc *serverConn) serve() {
+	defer sc.c.Close()
+	sc.out = make(chan []byte, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		sc.writeLoop()
+	}()
+
+	err := sc.readLoop()
+	// Let every dispatched handler answer (or discard) before the response
+	// channel closes; then the writer exits and the conn closes. Handlers
+	// never outlive serve, so a dropped conn leaks nothing.
+	sc.inflight.Wait()
+	close(sc.out)
+	<-writerDone
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		sc.s.cfg.Logf("wire: conn %s: %v", sc.c.RemoteAddr(), err)
+	}
+}
+
+// send hands an encoded response frame to the writer. It never blocks
+// indefinitely against a dead writer: the writer keeps consuming (and
+// discarding) until the channel closes.
+func (sc *serverConn) send(frame []byte) { sc.out <- frame }
+
+func (sc *serverConn) writeLoop() {
+	bw := bufio.NewWriterSize(sc.c, 64<<10)
+	for frame := range sc.out {
+		if sc.writeFailed.Load() {
+			PutBuffer(frame)
+			continue
+		}
+		_, err := bw.Write(frame)
+		PutBuffer(frame)
+		if err == nil && len(sc.out) == 0 {
+			err = bw.Flush()
+		}
+		if err != nil {
+			sc.writeFailed.Store(true)
+		}
+	}
+}
+
+// readLoop decodes frames until EOF, a framing error, or a fatal protocol
+// error. Request-level errors are answered in-band; fatal ones are
+// answered best-effort and then the loop returns, closing the connection
+// (docs/PROTOCOL.md §4).
+func (sc *serverConn) readLoop() error {
+	var hdr [HeaderSize]byte
+	for {
+		if _, err := io.ReadFull(sc.c, hdr[:]); err != nil {
+			return err
+		}
+		h, err := ParseHeader(hdr[:])
+		if err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				sc.fail(hdr[5], getU64(hdr[8:]), ErrCodeTooLarge, "payload exceeds MaxPayload")
+			}
+			return err
+		}
+		if h.Version != Version {
+			sc.fail(h.Opcode, h.ReqID, ErrCodeVersion,
+				fmt.Sprintf("version %d unsupported (want %d)", h.Version, Version))
+			return ErrVersion
+		}
+		// Op-bearing payloads are read into a FRESH buffer on purpose: the
+		// decoded strings alias it and flow into the state machine, so its
+		// lifetime belongs to the garbage collector, not a pool.
+		var payload []byte
+		if h.Len > 0 {
+			payload = make([]byte, h.Len)
+			if _, err := io.ReadFull(sc.c, payload); err != nil {
+				return err
+			}
+		}
+		switch h.Opcode {
+		case OpcodeOp:
+			op, n, err := DecodeOp(payload)
+			if err != nil || n != len(payload) {
+				sc.fail(h.Opcode, h.ReqID, ErrCodeBadRequest, "malformed op payload")
+				continue
+			}
+			sc.inflight.Add(1)
+			go sc.handleOp(h.ReqID, op)
+		case OpcodeBatch:
+			ops, err := DecodeBatch(payload, make([]service.Op, 0, 16))
+			if err != nil {
+				sc.fail(h.Opcode, h.ReqID, ErrCodeBadRequest, "malformed batch payload")
+				continue
+			}
+			sc.inflight.Add(1)
+			go sc.handleBatch(h.ReqID, ops)
+		case OpcodeStats:
+			sc.inflight.Add(1)
+			go sc.handleStats(h.ReqID)
+		case OpcodeDrain:
+			// The pipeline fence (§3.5): only the reader Adds to inflight,
+			// so waiting here is race-free — every previously dispatched
+			// request has answered (its response frame is queued ahead of
+			// ours) before the drain response is sent.
+			sc.inflight.Wait()
+			sc.send(AppendEmptyFrame(GetBuffer(), OpcodeDrain, FlagResp, h.ReqID))
+		default:
+			sc.fail(h.Opcode, h.ReqID, ErrCodeOpcode,
+				fmt.Sprintf("unknown opcode 0x%02x", h.Opcode))
+		}
+	}
+}
+
+func (sc *serverConn) fail(opcode byte, reqid uint64, code byte, msg string) {
+	sc.send(AppendErrorFrame(GetBuffer(), opcode, reqid, code, msg))
+}
+
+func (sc *serverConn) handleOp(reqid uint64, op service.Op) {
+	defer sc.inflight.Done()
+	res, err := sc.s.store.Do(context.Background(), op)
+	if err != nil {
+		sc.fail(OpcodeOp, reqid, ErrCodeOf(err), err.Error())
+		return
+	}
+	sc.send(AppendResultFrame(GetBuffer(), reqid, res))
+}
+
+func (sc *serverConn) handleBatch(reqid uint64, ops []service.Op) {
+	defer sc.inflight.Done()
+	results, err := sc.s.store.DoBatch(context.Background(), ops)
+	if err != nil {
+		sc.fail(OpcodeBatch, reqid, ErrCodeOf(err), err.Error())
+		return
+	}
+	sc.send(AppendResultsFrame(GetBuffer(), reqid, results))
+}
+
+func (sc *serverConn) handleStats(reqid uint64) {
+	defer sc.inflight.Done()
+	doc, err := json.Marshal(sc.s.store.Stats())
+	if err != nil {
+		sc.fail(OpcodeStats, reqid, ErrCodeInternal, err.Error())
+		return
+	}
+	sc.send(AppendRawFrame(GetBuffer(), OpcodeStats, FlagResp, reqid, doc))
+}

@@ -11,9 +11,9 @@
 // Three suites run: the scheduler-step and memory-primitive
 // micro-benchmarks with a high iteration count (-step-benchtime; they cost
 // nanoseconds per iteration, so a short run would measure setup instead of
-// the hot path), the µs-scale serving-tier benchmarks (-serve-benchtime),
-// and the ms-scale benchmarks (root + explorer + sim) with a short count
-// (-benchtime).
+// the hot path), the µs-scale serving-tier and wire-transport benchmarks
+// (-serve-benchtime), and the ms-scale benchmarks (root + explorer + sim)
+// with a short count (-benchtime).
 //
 // Tolerances are generous multipliers, not noise gates: ns/op varies across
 // machines (the snapshot may come from different hardware than CI), so the
@@ -184,7 +184,7 @@ func main() {
 		pkgs      []string
 	}{
 		{*stepBenchtime, []string{"./internal/sched/", "./internal/memory/", "./internal/fault/", "./internal/metrics/"}},
-		{*serveBenchtime, []string{"./internal/service/"}},
+		{*serveBenchtime, []string{"./internal/service/", "./internal/wire/"}},
 		{*benchtime, []string{"./internal/explore/", "./internal/sim/", "."}},
 	}
 

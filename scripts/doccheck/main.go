@@ -1,0 +1,176 @@
+// Command doccheck is the CI docs gate. It makes two classes of rot fail
+// loudly instead of accumulating:
+//
+//   - every Go package under the named roots must open with a package doc
+//     comment ("Package x ..." / "Command x ..."), so `go doc` is never
+//     blank — the gofmt-style rule for documentation;
+//   - every relative link in the named markdown files must resolve to a
+//     file in the repository (anchors are stripped; absolute URLs are
+//     ignored), so a moved or renamed document breaks the build, not the
+//     reader.
+//
+// Usage (from the repo root):
+//
+//	go run ./scripts/doccheck -pkgs ./cmd,./internal,./scripts -md README.md,docs,EXPERIMENTS.md
+//
+// -pkgs roots are walked recursively for directories containing non-test
+// .go files; -md entries are markdown files or directories walked for
+// *.md. Exit status is non-zero with one line per finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	pkgs := flag.String("pkgs", "./cmd,./internal,./scripts", "comma-separated roots to walk for Go packages")
+	md := flag.String("md", "README.md,docs", "comma-separated markdown files or directories")
+	flag.Parse()
+
+	var problems []string
+	for _, root := range strings.Split(*pkgs, ",") {
+		found, err := checkPackageDocs(strings.TrimSpace(root))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, found...)
+	}
+	for _, entry := range strings.Split(*md, ",") {
+		found, err := checkMarkdown(strings.TrimSpace(entry))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, found...)
+	}
+
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("doccheck: %d problems\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: OK")
+}
+
+// checkPackageDocs walks root for package directories and reports each one
+// where no non-test file carries a package doc comment.
+func checkPackageDocs(root string) ([]string, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dirs[filepath.Dir(path)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for dir := range dirs {
+		documented, err := packageDocumented(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !documented {
+			problems = append(problems, fmt.Sprintf("%s: package has no doc comment", dir))
+		}
+	}
+	return problems, nil
+}
+
+// packageDocumented reports whether any non-test file in dir has a package
+// doc comment (the comment group attached to its package clause).
+func packageDocumented(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// mdLink matches inline markdown links [text](target). Images and
+// reference-style links are out of scope — the repo does not use them.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkMarkdown resolves every relative link in entry (a .md file, or a
+// directory walked for them) against the filesystem.
+func checkMarkdown(entry string) ([]string, error) {
+	info, err := os.Stat(entry)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if info.IsDir() {
+		err := filepath.WalkDir(entry, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		files = []string{entry}
+	}
+
+	var problems []string
+	for _, file := range files {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(buf), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue // external: liveness is not this gate's business
+				}
+				if frag := strings.IndexByte(target, '#'); frag >= 0 {
+					target = target[:frag]
+					if target == "" {
+						continue // same-document anchor
+					}
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: broken link %q (%s)", file, i+1, m[1], resolved))
+				}
+			}
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackageDocs(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "good", "a.go"), "// Package good exists.\npackage good\n")
+	write(t, filepath.Join(dir, "bad", "a.go"), "package bad\n")
+	// Doc on any one file in the package is enough.
+	write(t, filepath.Join(dir, "split", "a.go"), "package split\n")
+	write(t, filepath.Join(dir, "split", "doc.go"), "// Package split is documented elsewhere.\npackage split\n")
+	// Test files and non-Go dirs don't count as packages.
+	write(t, filepath.Join(dir, "testonly", "a_test.go"), "package testonly\n")
+
+	problems, err := checkPackageDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], filepath.Join(dir, "bad")) {
+		t.Fatalf("want exactly the bad package flagged, got %q", problems)
+	}
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "A.md"),
+		"[ok](B.md) [up](../top.md) [anchor](B.md#sec) [self](#sec)\n"+
+			"[ext](https://example.com/x) [gone](missing.md)\n")
+	write(t, filepath.Join(dir, "docs", "B.md"), "b\n")
+	write(t, filepath.Join(dir, "top.md"), "t\n")
+
+	problems, err := checkMarkdown(filepath.Join(dir, "docs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing.md") {
+		t.Fatalf("want exactly the missing link flagged, got %q", problems)
+	}
+	if !strings.Contains(problems[0], "A.md:2") {
+		t.Fatalf("want file:line in the finding, got %q", problems[0])
+	}
+}
+
+func TestMarkdownSingleFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "R.md"), "[d](docs/X.md)\n")
+	problems, err := checkMarkdown(filepath.Join(dir, "R.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("want 1 problem, got %q", problems)
+	}
+	write(t, filepath.Join(dir, "docs", "X.md"), "x\n")
+	problems, err = checkMarkdown(filepath.Join(dir, "R.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("want no problems after creating target, got %q", problems)
+	}
+}
