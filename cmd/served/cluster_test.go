@@ -1,0 +1,142 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// clusterTestConfig is a small store config for single-node cluster tests.
+func clusterTestConfig() service.Config {
+	return service.Config{
+		Shards: 2, WorkersPerShard: 1, QueueDepth: 64, MaxBatch: 16,
+	}
+}
+
+// reserveAddr binds and releases one loopback ephemeral port.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestStartClusterSingleNode: a one-peer cluster (quorum 1) serves through
+// the same mux as the single-process mode — ops route and commit, /healthz
+// returns the node status document, the per-role probes answer by role, and
+// /metrics carries the cluster families.
+func TestStartClusterSingleNode(t *testing.T) {
+	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "frontend,store", "")
+	if err != nil {
+		t.Fatalf("startCluster: %v", err)
+	}
+	defer node.Close()
+
+	srv := httptest.NewServer(buildMux(node, nil, node, nil))
+	defer srv.Close()
+
+	// The first op blocks through the initial ownership election (production
+	// default timers), so give it time.
+	client := srv.Client()
+	client.Timeout = 60 * time.Second
+	if code, body := post(t, srv, "/op", `{"op":"put","key":"k1","val":"v1"}`); code != http.StatusOK {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	code, body := post(t, srv, "/op", `{"op":"get","key":"k1"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"v1"`) {
+		t.Fatalf("get: %d %s", code, body)
+	}
+	if code, body := post(t, srv, "/batch", `[{"op":"put","key":"k2","val":"v2"},{"op":"get","key":"k2"}]`); code != http.StatusOK || !strings.Contains(body, `"v2"`) {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, readAll(t, resp)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"frontend":true`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, body := get("/healthz/frontend"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz/frontend: %d %s", code, body)
+	}
+	if code, body := get("/healthz/store"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz/store: %d %s", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "cluster_owned_shards") {
+		t.Fatalf("metrics: %d missing cluster families:\n%s", code, body)
+	}
+	if code, body := get("/stats"); code != http.StatusOK || !strings.Contains(body, `"goroutines"`) {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	// Single-process-only endpoints are absent in cluster mode.
+	if code, _ := get("/config"); code == http.StatusOK {
+		t.Fatal("GET /config should not exist in cluster mode")
+	}
+}
+
+// TestClusterRoleHealth: a store-only node answers 503 on the frontend
+// probe and ok on the store probe.
+func TestClusterRoleHealth(t *testing.T) {
+	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "store", "0")
+	if err != nil {
+		t.Fatalf("startCluster: %v", err)
+	}
+	defer node.Close()
+	srv := httptest.NewServer(buildMux(node, nil, node, nil))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz/frontend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "not a frontend") {
+		t.Fatalf("healthz/frontend on store-only node: %d %s", resp.StatusCode, body)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/healthz/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz/store on store-only node: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestStartClusterFlagErrors: every malformed flag combination is refused
+// before any listener binds.
+func TestStartClusterFlagErrors(t *testing.T) {
+	cfg := clusterTestConfig()
+	cases := []struct {
+		name       string
+		node       int
+		peers      string
+		roles      string
+		storeNodes string
+	}{
+		{"node out of range", 2, "a:1,b:2", "frontend,store", ""},
+		{"negative node", -1, "a:1", "frontend,store", ""},
+		{"unknown role", 0, "a:1", "frontend,zebra", ""},
+		{"no role", 0, "a:1", ",", ""},
+		{"non-numeric store node", 0, "a:1", "frontend,store", "x"},
+		{"store node out of range", 0, "a:1", "frontend,store", "7"},
+	}
+	for _, tc := range cases {
+		if n, err := startCluster(cfg, tc.node, tc.peers, tc.roles, tc.storeNodes); err == nil {
+			n.Close()
+			t.Errorf("%s: startCluster accepted", tc.name)
+		}
+	}
+}

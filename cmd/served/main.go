@@ -61,14 +61,25 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/wire"
 )
+
+// backend is the serving surface the HTTP and wire front ends need: a
+// single-process store and a cluster front-end node both provide it.
+type backend interface {
+	Do(ctx context.Context, op service.Op) (service.Result, error)
+	DoBatch(ctx context.Context, ops []service.Op) ([]service.Result, error)
+	Stats() service.Stats
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -84,6 +95,10 @@ func main() {
 	chaos := flag.Bool("chaos", false, "expose the /chaos fault-injection endpoint (testing only)")
 	configPath := flag.String("config", "", "tunables file re-read and applied on SIGHUP (JSON, same shape as POST /config)")
 	wireAddr := flag.String("wire", "", "also listen for the binary wire protocol on this address (docs/PROTOCOL.md)")
+	nodeID := flag.Int("node", 0, "this process's cluster node id (with -peers)")
+	peers := flag.String("peers", "", "comma-separated cluster transport addresses indexed by node id; enables multi-node replication (docs/ARCHITECTURE.md)")
+	roles := flag.String("roles", "frontend,store", "this node's cluster roles: comma subset of frontend,store")
+	storeNodes := flag.String("store-nodes", "", "comma-separated node ids holding shard replicas (default: every peer)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -106,9 +121,29 @@ func main() {
 		faults = fault.NewSet()
 		cfg.Faults = faults
 	}
-	store := service.New(cfg)
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(store, faults)}
+	// Single-process mode serves a store directly; -peers switches to a
+	// cluster node replicating every shard across the store-role peers
+	// (docs/ARCHITECTURE.md, "Multi-node topology").
+	var (
+		store *service.Store
+		node  *cluster.Node
+		be    backend
+	)
+	if *peers != "" {
+		var err error
+		node, err = startCluster(cfg, *nodeID, *peers, *roles, *storeNodes)
+		if err != nil {
+			log.Fatalf("served: cluster: %v", err)
+		}
+		be = node
+		log.Printf("served: cluster node %d up (roles %s, peers %s)", *nodeID, *roles, *peers)
+	} else {
+		store = service.New(cfg)
+		be = store
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: buildMux(be, store, node, faults)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("served: listening on %s (%d shards × %d workers, batch %d, queue %d, audit %v, supervise %v, chaos %v)",
@@ -120,7 +155,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("served: wire listen: %v", err)
 		}
-		wireSrv = wire.NewServer(store, wire.ServerConfig{Logf: log.Printf})
+		wireSrv = wire.NewServer(be, wire.ServerConfig{Logf: log.Printf})
 		go func() {
 			if err := wireSrv.Serve(lis); err != nil {
 				errCh <- fmt.Errorf("wire: %w", err)
@@ -133,8 +168,8 @@ func main() {
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			if *configPath == "" {
-				log.Printf("served: SIGHUP ignored (no -config file)")
+			if *configPath == "" || store == nil {
+				log.Printf("served: SIGHUP ignored (no -config file, or cluster mode)")
 				continue
 			}
 			if tun, err := reloadFromFile(store, *configPath); err != nil {
@@ -154,21 +189,41 @@ func main() {
 		log.Fatalf("served: %v", err)
 	}
 
+	// Drain each listener in turn, timing every stage for the final report:
+	// the HTTP front end first, then the wire listener, then the store (or
+	// the whole cluster node — replica stores and transport included).
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	drainStart := time.Now()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("served: http shutdown: %v", err)
 	}
+	httpDrain := time.Since(drainStart)
+	var wireDrain time.Duration
 	if wireSrv != nil {
+		t := time.Now()
 		if err := wireSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("served: wire shutdown: %v", err)
 		}
+		wireDrain = time.Since(t)
 	}
-	if err := store.Close(); err != nil {
+	t := time.Now()
+	if node != nil {
+		if err := node.Close(); err != nil {
+			log.Printf("served: node close: %v", err)
+		}
+	} else if err := store.Close(); err != nil {
 		log.Printf("served: store close: %v", err)
 	}
+	backendDrain := time.Since(t)
+	backendName := "store"
+	if node != nil {
+		backendName = "node"
+	}
+	log.Printf("served: drain: http=%s wire=%s %s=%s total=%s",
+		httpDrain, wireDrain, backendName, backendDrain, time.Since(drainStart))
 
-	st := store.Stats()
+	st := be.Stats()
 	log.Printf("served: final: %d ops in %d batches (mean %.1f cmds/batch)",
 		st.TotalOps, st.Batches, st.BatchSize.Mean())
 	for _, kind := range []string{"get", "put", "cas"} {
@@ -183,6 +238,11 @@ func main() {
 		log.Printf("served: supervision: %d restarts, %d condemned, recovery mean=%.0fns p99=%dns",
 			sup.Restarts, sup.Condemned, sup.Recovery.MeanNs, sup.Recovery.P99Ns)
 	}
+	if node != nil {
+		cs := node.Status()
+		log.Printf("served: cluster: %d failovers, %d elections, %d condemned replicas, %d redirects, %d route retries",
+			cs.Failovers, cs.Elections, cs.Condemned, cs.Redirects, cs.RouteRetries)
+	}
 	a := st.Audit
 	log.Printf("served: audit: %d ops sampled, %d windows checked, %d violations, %d gaps, %d dropped",
 		a.SampledOps, a.WindowsChecked, a.Violations, a.Gaps, a.DroppedOps)
@@ -192,6 +252,65 @@ func main() {
 		}
 		os.Exit(3)
 	}
+}
+
+// startCluster parses the -node/-peers/-roles/-store-nodes flags, builds
+// the per-shard replica stores (store role) and the RPW1 free transport,
+// and starts the cluster node's event loop.
+func startCluster(cfg service.Config, nodeID int, peers, roles, storeNodes string) (*cluster.Node, error) {
+	addrs := strings.Split(peers, ",")
+	if nodeID < 0 || nodeID >= len(addrs) {
+		return nil, fmt.Errorf("-node %d out of range for %d peers", nodeID, len(addrs))
+	}
+	var frontend, storeRole bool
+	for _, r := range strings.Split(roles, ",") {
+		switch strings.TrimSpace(r) {
+		case "frontend":
+			frontend = true
+		case "store":
+			storeRole = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown role %q (want frontend,store)", r)
+		}
+	}
+	if !frontend && !storeRole {
+		return nil, errors.New("-roles selects neither frontend nor store")
+	}
+	var replicas []cluster.NodeID
+	if storeNodes == "" {
+		for i := range addrs {
+			replicas = append(replicas, cluster.NodeID(i))
+		}
+	} else {
+		for _, f := range strings.Split(storeNodes, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || id < 0 || id >= len(addrs) {
+				return nil, fmt.Errorf("bad -store-nodes entry %q", f)
+			}
+			replicas = append(replicas, cluster.NodeID(id))
+		}
+	}
+	var stores []*service.Store
+	if storeRole {
+		for s := 0; s < cfg.Shards; s++ {
+			shardCfg := cfg
+			shardCfg.Shards = 1
+			shardCfg.Faults = nil // chaos targets the single-process mode
+			stores = append(stores, service.New(shardCfg))
+		}
+	}
+	tr, err := cluster.NewFreeTransport(cluster.NodeID(nodeID), addrs, cluster.FreeConfig{Logf: log.Printf})
+	if err != nil {
+		return nil, err
+	}
+	n := cluster.New(cluster.Config{
+		ID: cluster.NodeID(nodeID), Nodes: len(addrs), StoreNodes: replicas,
+		Shards: cfg.Shards, Frontend: frontend, Store: storeRole,
+		Logf: log.Printf,
+	}, tr, stores)
+	go n.Run(nil)
+	return n, nil
 }
 
 // wireOp is the JSON shape of one command on /op and /batch. ID, when
@@ -266,10 +385,17 @@ type wireRule struct {
 	DelayNs int64  `json:"delay_ns"`
 }
 
-// newMux builds the HTTP front end over a store. Factored out of main so
-// the handlers are testable with httptest against an in-process store.
-// faults, when non-nil, additionally exposes the /chaos arming endpoint.
+// newMux builds the single-process HTTP front end over a store (the shape
+// the tests drive with httptest).
 func newMux(store *service.Store, faults *fault.Set) *http.ServeMux {
+	return buildMux(store, store, nil, faults)
+}
+
+// buildMux builds the HTTP front end over a backend. store is non-nil only
+// in single-process mode (config reload and chaos act on one store); node
+// is non-nil only in cluster mode (role-aware health, cluster metrics).
+// faults, when non-nil, additionally exposes the /chaos arming endpoint.
+func buildMux(be backend, store *service.Store, node *cluster.Node, faults *fault.Set) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /op", func(w http.ResponseWriter, r *http.Request) {
 		var wire wireOp
@@ -282,7 +408,7 @@ func newMux(store *service.Store, faults *fault.Set) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := store.Do(r.Context(), op)
+		res, err := be.Do(r.Context(), op)
 		if err != nil {
 			http.Error(w, err.Error(), statusOf(err))
 			return
@@ -304,7 +430,7 @@ func newMux(store *service.Store, faults *fault.Set) *http.ServeMux {
 			}
 			ops[i] = op
 		}
-		res, err := store.DoBatch(r.Context(), ops)
+		res, err := be.DoBatch(r.Context(), ops)
 		if err != nil {
 			http.Error(w, err.Error(), statusOf(err))
 			return
@@ -315,28 +441,65 @@ func newMux(store *service.Store, faults *fault.Set) *http.ServeMux {
 		writeJSON(w, struct {
 			service.Stats
 			Goroutines int `json:"goroutines"`
-		}{store.Stats(), runtime.NumGoroutine()})
+		}{be.Stats(), runtime.NumGoroutine()})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", metrics.ContentType)
-		if err := store.Metrics().WriteProm(w); err != nil {
+		reg := func() *metrics.Registry {
+			if node != nil {
+				return node.Metrics()
+			}
+			return store.Metrics()
+		}()
+		if err := reg.WriteProm(w); err != nil {
 			log.Printf("served: write metrics: %v", err)
 		}
 	})
-	mux.HandleFunc("GET /config", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, store.Tunables())
-	})
-	mux.HandleFunc("POST /config", func(w http.ResponseWriter, r *http.Request) {
-		tun, err := patchTunables(store, r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+	if store != nil {
+		mux.HandleFunc("GET /config", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, store.Tunables())
+		})
+		mux.HandleFunc("POST /config", func(w http.ResponseWriter, r *http.Request) {
+			tun, err := patchTunables(store, r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, tun)
+		})
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if node == nil {
+			fmt.Fprintln(w, "ok")
 			return
 		}
-		writeJSON(w, tun)
+		writeJSON(w, node.Status())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	if node != nil {
+		// Per-role health: a load balancer fronting the cluster checks
+		// /healthz/frontend on routing targets; an operator watching replica
+		// health checks /healthz/store (503 once any replica is condemned).
+		mux.HandleFunc("GET /healthz/frontend", func(w http.ResponseWriter, r *http.Request) {
+			st := node.Status()
+			if !st.Frontend {
+				http.Error(w, "not a frontend", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("GET /healthz/store", func(w http.ResponseWriter, r *http.Request) {
+			st := node.Status()
+			if !st.Store {
+				http.Error(w, "not a store", http.StatusServiceUnavailable)
+				return
+			}
+			if st.Condemned > 0 {
+				http.Error(w, fmt.Sprintf("%d condemned shard replicas", st.Condemned), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+	}
 	if faults != nil {
 		mux.HandleFunc("POST /chaos", func(w http.ResponseWriter, r *http.Request) {
 			var wire wireRule

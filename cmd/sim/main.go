@@ -46,6 +46,7 @@ import (
 
 	// Each algorithm package registers its scenarios in init.
 	_ "repro/internal/arbiter"
+	_ "repro/internal/cluster"
 	_ "repro/internal/common2"
 	_ "repro/internal/consensus"
 	_ "repro/internal/group"

@@ -1,0 +1,222 @@
+// Package cluster replicates the serving tier's per-shard logs across a
+// set of nodes. Each shard has one owner at a time: the owner drives the
+// shard's batch window through the idempotent universal construction
+// (internal/service), streams committed log suffixes to the follower
+// replicas, and answers clients only once a majority of replicas has
+// acknowledged the entry — so a committed response survives the owner's
+// death. Followers apply entries continuously, keeping live replicas whose
+// dedup tables already hold every applied client op; failover is therefore
+// an election plus a log reconciliation, not a replay from scratch, and a
+// retried client op lands in the dedup table instead of applying twice.
+//
+// The package is written against a sealed Transport seam with two
+// implementations:
+//
+//   - free mode (transport_free.go): real TCP between processes, framing
+//     replication messages as the RPW1 OpcodeRep* opcodes (internal/wire,
+//     docs/PROTOCOL.md §5) over pipelined wire connections, with
+//     wire.Conn.Ping as the per-peer liveness probe;
+//   - virtual mode (transport_virtual.go): a simulated network inside one
+//     deterministic sched.Run, where delay, loss, duplication and
+//     partition are schedule decisions — every cluster behaviour,
+//     including failover, replays bit-identically from a seed.
+//
+// One Node value is the whole per-process state machine: a front end that
+// routes client ops to shard owners, and/or a store node that holds one
+// single-shard service.Store per cluster shard. All protocol logic runs in
+// a single event loop (Node.Run), identical in both modes, so what the
+// virtual scenarios in sim.go exhaust is the code that serves real
+// traffic.
+//
+// Safety notes (why the protocol is linearizable across handoff):
+//
+//   - Acks are cumulative: a follower acknowledging frontier F has applied
+//     every entry ≤ F, so when an entry commits, everything it could have
+//     read from is committed too — an answered read never exposes state
+//     that a failover could roll back.
+//   - Elections use the Raft vote rule: a candidate must present a
+//     (last-entry epoch, frontier) pair lexicographically ≥ the voter's,
+//     and each voter grants one vote per epoch, so the winner's log
+//     contains every committed entry.
+//   - A new owner appends an empty barrier entry in its own epoch and
+//     counts commits only through it (the Raft §5.4.2 rule), so an
+//     old-epoch entry is never committed by counting alone.
+//   - A replica whose log provably diverged from the elected owner's (it
+//     applied entries a quorum never saw) cannot truncate its state
+//     machine, so it condemns itself: it stops serving, acking and voting.
+//     Condemned replicas cost fault tolerance but never correctness.
+package cluster
+
+import (
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// NodeID identifies one node of the deployment; node ids are dense
+// [0, Nodes) and double as indices into address lists and wire.Rep.From.
+type NodeID uint16
+
+// Config shapes one Node. Durations are in transport clock units:
+// nanoseconds in free mode, scheduler steps in virtual mode — call
+// withDefaults with the right mode to fill the zero fields.
+type Config struct {
+	// ID is this node's id; Nodes is the deployment size (ids are dense).
+	ID    NodeID
+	Nodes int
+	// StoreNodes lists the nodes holding shard replicas, in preference
+	// order: shard s's initial owner is StoreNodes[s%len(StoreNodes)], and
+	// election staggering follows the same rotation. Every store node
+	// replicates every shard. Quorum is a majority of StoreNodes.
+	StoreNodes []NodeID
+	// Shards is the cluster-wide shard count (service.ShardIndex keyspace).
+	Shards int
+	// Frontend nodes accept client ops and route them to shard owners;
+	// Store nodes hold replicas. A node may be both (the default single
+	// binary deployment) or either.
+	Frontend bool
+	Store    bool
+
+	// MaxEntryOps bounds the client ops batched into one log entry.
+	MaxEntryOps int
+	// TickEvery is the event loop's timer granularity.
+	TickEvery int64
+	// HeartbeatEvery paces node-level heartbeats and owner append keepalives.
+	HeartbeatEvery int64
+	// OwnerTimeout is how long a follower waits without hearing its shard's
+	// owner before considering an election.
+	OwnerTimeout int64
+	// ElectionStagger spaces candidate start times by preference rank, so
+	// the preferred live successor usually wins uncontested.
+	ElectionStagger int64
+	// ElectionBackoff is how long a candidate waits before retrying a
+	// stalled election with a higher epoch.
+	ElectionBackoff int64
+	// RouteTimeout is how long a front end waits for a routed op's RepDone
+	// before resending (to the currently believed owner).
+	RouteTimeout int64
+	// RetransmitEvery paces the owner's resend of unacknowledged suffixes.
+	RetransmitEvery int64
+	// RetainLog keeps the whole replication log in memory (virtual mode:
+	// the checker replays it). Free mode truncates below the committed
+	// frontier acknowledged by all live replicas.
+	RetainLog bool
+
+	// Logf, when non-nil, receives protocol-level event logs.
+	Logf func(format string, args ...any)
+}
+
+// Durations here are tuned so that free-mode failover lands well under a
+// second while heartbeat traffic stays negligible, and so that virtual
+// failovers complete within a few thousand scheduler steps (budgets in
+// sim.go depend on these).
+func (c Config) withDefaults(virtual bool) Config {
+	type defaults struct{ tick, beat, own, stag, back, route, retx int64 }
+	d := defaults{ // free mode: nanoseconds
+		tick: 5e6, beat: 25e6, own: 150e6, stag: 75e6, back: 300e6, route: 100e6, retx: 50e6,
+	}
+	if virtual { // scheduler steps
+		d = defaults{tick: 32, beat: 128, own: 640, stag: 320, back: 1024, route: 512, retx: 256}
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if len(c.StoreNodes) == 0 {
+		for i := 0; i < c.Nodes; i++ {
+			c.StoreNodes = append(c.StoreNodes, NodeID(i))
+		}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxEntryOps <= 0 {
+		c.MaxEntryOps = 512
+		if virtual {
+			c.MaxEntryOps = 8
+		}
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = d.tick
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = d.beat
+	}
+	if c.OwnerTimeout <= 0 {
+		c.OwnerTimeout = d.own
+	}
+	if c.ElectionStagger <= 0 {
+		c.ElectionStagger = d.stag
+	}
+	if c.ElectionBackoff <= 0 {
+		c.ElectionBackoff = d.back
+	}
+	if c.RouteTimeout <= 0 {
+		c.RouteTimeout = d.route
+	}
+	if c.RetransmitEvery <= 0 {
+		c.RetransmitEvery = d.retx
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// quorum is the majority of the full replica set. Membership is static, so
+// the quorum never moves — a condemned or dead replica still counts in the
+// denominator (safety over availability).
+func (c Config) quorum() int { return len(c.StoreNodes)/2 + 1 }
+
+// pref returns shard s's owner preference order: StoreNodes rotated by s,
+// so initial ownership spreads across the store nodes.
+func (c Config) pref(s int) []NodeID {
+	n := len(c.StoreNodes)
+	out := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.StoreNodes[(s+i)%n]
+	}
+	return out
+}
+
+// Local-only message kinds. Values ≥ 0x80 never appear on the wire (RPW1
+// opcodes are below it); they are injected into a node's own inbox.
+const (
+	// kindClient carries a client call into the event loop (m.call set).
+	kindClient byte = 0x80
+	// kindShutdown asks the loop to drain and exit.
+	kindShutdown byte = 0x81
+	// kindPeerDown is the free transport's advisory that a peer connection
+	// died (ping or send failure); m.rep.Peer is the dead node. It ages the
+	// peer's liveness, it does not by itself depose an owner.
+	kindPeerDown byte = 0x82
+)
+
+// message is one event-loop input: a decoded replication envelope (kind is
+// the wire opcode) or a local control message (kind ≥ 0x80). Messages are
+// immutable after send — the virtual transport delivers duplicates by
+// sharing the pointer.
+type message struct {
+	kind byte
+	rep  wire.Rep
+	call *clientCall
+}
+
+// clientCall is one client batch traversing the front end: ops in, index-
+// aligned results out. In free mode done is closed when the call is
+// answered (the caller blocks on it); in virtual mode the submitting proc
+// Parks on answered, which the event loop sets under the step token.
+type clientCall struct {
+	ops       []service.Op
+	results   []service.Result
+	remaining int // routes not yet answered
+	err       error
+	answered  bool
+	done      chan struct{} // free mode only
+}
+
+func (cc *clientCall) finish(err error) {
+	cc.err = err
+	cc.answered = true
+	if cc.done != nil {
+		close(cc.done)
+	}
+}

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// reservePorts picks n distinct loopback addresses by binding and releasing
+// ephemeral ports. The tiny reuse race is acceptable in tests.
+func reservePorts(t testing.TB, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs
+}
+
+// freeNodeConfig shortens the free-mode failure detectors so the tests
+// converge in milliseconds instead of the production defaults.
+func freeNodeConfig(id NodeID, nodes int, stores []NodeID, shards int) Config {
+	return Config{
+		ID: id, Nodes: nodes, StoreNodes: stores, Shards: shards,
+		Frontend: true, Store: true,
+		TickEvery:       2 * time.Millisecond.Nanoseconds(),
+		HeartbeatEvery:  5 * time.Millisecond.Nanoseconds(),
+		OwnerTimeout:    40 * time.Millisecond.Nanoseconds(),
+		ElectionStagger: 20 * time.Millisecond.Nanoseconds(),
+		ElectionBackoff: 80 * time.Millisecond.Nanoseconds(),
+		RouteTimeout:    25 * time.Millisecond.Nanoseconds(),
+		RetransmitEvery: 15 * time.Millisecond.Nanoseconds(),
+	}
+}
+
+// startFreeCluster brings up a full free-mode cluster on loopback TCP:
+// every node both frontend and store, real stores, real RPW1 transports.
+// The returned nodes are running; callers own shutdown.
+func startFreeCluster(t testing.TB, nodes, shards int, retain bool) []*Node {
+	t.Helper()
+	addrs := reservePorts(t, nodes)
+	stores := make([]NodeID, nodes)
+	for i := range stores {
+		stores[i] = NodeID(i)
+	}
+	out := make([]*Node, nodes)
+	for i := 0; i < nodes; i++ {
+		ft, err := NewFreeTransport(NodeID(i), addrs, FreeConfig{
+			PingEvery:   5 * time.Millisecond,
+			DialBackoff: 5 * time.Millisecond,
+			DialTimeout: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("node %d transport: %v", i, err)
+		}
+		reps := make([]*service.Store, shards)
+		for s := range reps {
+			reps[s] = service.New(service.Config{
+				Shards: 1, WorkersPerShard: 1, QueueDepth: 64, MaxBatch: 16,
+			})
+		}
+		cfg := freeNodeConfig(NodeID(i), nodes, stores, shards)
+		cfg.RetainLog = retain
+		n := New(cfg, ft, reps)
+		go n.Run(nil)
+		out[i] = n
+	}
+	return out
+}
+
+// TestFreeClusterReplicates: a 3-node free cluster answers routed ops from
+// any front end, replicates them to a quorum, and reports consistent
+// status, stats and metrics.
+func TestFreeClusterReplicates(t *testing.T) {
+	nodes := startFreeCluster(t, 3, 2, false)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Every node serves as front end; ops fan over both shards.
+	id := uint64(1)
+	for i := 0; i < 30; i++ {
+		n := nodes[i%3]
+		key := fmt.Sprintf("k%d", i%7)
+		if _, err := n.Do(ctx, service.Op{Kind: service.OpPut, Key: key, Val: fmt.Sprintf("v%d", i), ID: id}); err != nil {
+			t.Fatalf("put %d via node %d: %v", i, i%3, err)
+		}
+		id++
+	}
+	var batch []service.Op
+	for i := 0; i < 7; i++ {
+		batch = append(batch, service.Op{Kind: service.OpGet, Key: fmt.Sprintf("k%d", i), ID: id})
+		id++
+	}
+	res, err := nodes[1].DoBatch(ctx, batch)
+	if err != nil {
+		t.Fatalf("batch get: %v", err)
+	}
+	for i, r := range res {
+		// Last writer of key k_i is the largest op index < 30 congruent to
+		// i mod 7.
+		last := 21 + i
+		if i < 2 {
+			last = 28 + i
+		}
+		want := fmt.Sprintf("v%d", last)
+		if !r.OK || r.Val != want {
+			t.Fatalf("k%d = %+v, want %q", i, r, want)
+		}
+	}
+	if r, err := nodes[2].Do(ctx, service.Op{Kind: service.OpCAS, Key: "k0", Old: "v28", Val: "swapped", ID: id}); err != nil || !r.OK {
+		t.Fatalf("cas: %+v %v", r, err)
+	}
+
+	st := nodes[0].Status()
+	if !st.Frontend || !st.Store || len(st.Shards) != 2 {
+		t.Fatalf("status: %+v", st)
+	}
+	if owned := st.OwnedShards(); owned != 1 {
+		t.Fatalf("node 0 owns %v, want exactly one shard under the rotated preference", owned)
+	}
+	stats := nodes[0].Stats()
+	if stats.TotalOps == 0 {
+		t.Fatalf("stats: no ops applied on node 0: %+v", stats)
+	}
+	if nodes[0].Metrics() == nil {
+		t.Fatal("nil metrics registry")
+	}
+	for s := 0; s < 2; s++ {
+		sh := nodes[0].ShardState(s)
+		if sh.Condemned || sh.Epoch != 1 {
+			t.Fatalf("shard %d state: %+v", s, sh)
+		}
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := nodes[0].Close(); err != service.ErrClosed {
+		t.Fatalf("second close: %v, want ErrClosed", err)
+	}
+	if _, err := nodes[0].Do(ctx, service.Op{Kind: service.OpGet, Key: "k0"}); err != service.ErrClosed {
+		t.Fatalf("do after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestFreeClusterFailover: killing the owner of shard 0 mid-load must be
+// survived — the ping probes report the peer down, a follower wins the
+// election, the front ends re-route, and every subsequent op is answered.
+func TestFreeClusterFailover(t *testing.T) {
+	nodes := startFreeCluster(t, 3, 1, false)
+	closed := make([]bool, 3)
+	defer func() {
+		for i, n := range nodes {
+			if !closed[i] {
+				n.Close()
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	for i := 0; i < 10; i++ {
+		if _, err := nodes[1].Do(ctx, service.Op{Kind: service.OpPut, Key: "k", Val: fmt.Sprintf("v%d", i), ID: uint64(i + 1)}); err != nil {
+			t.Fatalf("preload %d: %v", i, err)
+		}
+	}
+	// Node 0 owns shard 0 (preference order). Kill it.
+	if nodes[0].ShardState(0).IsOwner != true {
+		t.Fatal("node 0 does not own shard 0 at start")
+	}
+	nodes[0].Close()
+	closed[0] = true
+
+	// Ops through the survivors must be answered after failover; DoBatch
+	// blocks through the election, so a single call suffices — but drive a
+	// few to exercise the re-routing on both survivors.
+	for i := 0; i < 6; i++ {
+		r, err := nodes[1+i%2].Do(ctx, service.Op{Kind: service.OpPut, Key: "k", Val: fmt.Sprintf("post%d", i), ID: uint64(100 + i)})
+		if err != nil {
+			t.Fatalf("post-failover put %d: %v", i, err)
+		}
+		if !r.OK {
+			t.Fatalf("post-failover put %d: %+v", i, r)
+		}
+	}
+	r, err := nodes[2].Do(ctx, service.Op{Kind: service.OpGet, Key: "k", ID: 200})
+	if err != nil || !r.OK || r.Val != "post5" {
+		t.Fatalf("post-failover get: %+v %v", r, err)
+	}
+	failovers := int64(0)
+	for _, n := range nodes[1:] {
+		failovers += n.Status().Failovers
+	}
+	if failovers == 0 {
+		t.Fatal("no survivor reports a won election")
+	}
+	owner := nodes[1].Status().Shards[0].Owner
+	if owner == 0 {
+		t.Fatalf("shard 0 still owned by the dead node")
+	}
+	// The audit verdict across the survivors must be clean.
+	for i, n := range nodes[1:] {
+		if st := n.Stats(); st.Audit.Violations != 0 {
+			t.Fatalf("node %d audit violations: %+v", i+1, st.Audit)
+		}
+	}
+}

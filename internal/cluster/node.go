@@ -1,0 +1,1224 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// maxChunkEntries bounds the entries in one RepAppend frame; well under
+// wire.MaxRepEntries so even MaxEntryOps-sized entries stay far below
+// MaxPayload.
+const maxChunkEntries = 64
+
+// pendRoute is one client route queued (or in flight) at a shard owner.
+type pendRoute struct {
+	from  NodeID
+	reqid uint64
+	ops   []service.Op
+}
+
+// route is one shard's slice of a client call, tracked by the front end
+// until the owning node answers it with RepDone.
+type route struct {
+	call   *clientCall
+	shard  int
+	ops    []service.Op
+	idxs   []int // positions in call.ops/call.results
+	sentAt int64
+}
+
+// shardRep is one shard's replica state on a store node: the replicated
+// log, the role (owner or follower), and the owner/election bookkeeping.
+// All fields are event-loop-owned.
+type shardRep struct {
+	shard     int
+	epoch     uint64
+	owner     NodeID
+	isOwner   bool
+	condemned bool
+
+	// Replicated log. entries holds seqs (base, frontier]; an entry's ops
+	// have already been applied to the local store when it is appended.
+	base      uint64
+	entries   []wire.RepEntry
+	frontier  uint64
+	lastEpoch uint64 // epoch of the entry at frontier (0 when log empty)
+	committed uint64
+
+	lastOwnerHeard int64
+
+	// Owner state.
+	nextSeq         uint64
+	pend            []pendRoute
+	pendSet         map[uint64]struct{}
+	inflightSeq     uint64 // 0 = no outstanding entry
+	inflightRoutes  []pendRoute
+	inflightResults []service.Result
+	acked           map[NodeID]uint64
+	lastRetx        int64
+
+	// Election state (candidate side).
+	electEpoch   uint64
+	electStarted int64
+	votes        map[NodeID]bool
+	votedEpoch   uint64
+}
+
+func (sr *shardRep) appendLocal(e wire.RepEntry) {
+	sr.entries = append(sr.entries, e)
+	sr.frontier = e.Seq
+	sr.lastEpoch = e.Epoch
+}
+
+// entryAt returns the retained entry with the given seq, nil if truncated
+// or beyond the frontier.
+func (sr *shardRep) entryAt(seq uint64) *wire.RepEntry {
+	if seq <= sr.base || seq > sr.frontier {
+		return nil
+	}
+	return &sr.entries[seq-sr.base-1]
+}
+
+// entriesFrom returns up to max retained entries starting at seq.
+func (sr *shardRep) entriesFrom(seq uint64, max int) []wire.RepEntry {
+	if seq <= sr.base || seq > sr.frontier {
+		return nil
+	}
+	i := int(seq - sr.base - 1)
+	j := i + max
+	if j > len(sr.entries) {
+		j = len(sr.entries)
+	}
+	return sr.entries[i:j]
+}
+
+// truncate drops retained entries with seq ≤ below.
+func (sr *shardRep) truncate(below uint64) {
+	if below <= sr.base {
+		return
+	}
+	cut := below - sr.base
+	if cut > uint64(len(sr.entries)) {
+		cut = uint64(len(sr.entries))
+	}
+	sr.entries = append([]wire.RepEntry(nil), sr.entries[cut:]...)
+	sr.base += cut
+}
+
+func (sr *shardRep) dropOwnerState() {
+	sr.pend = nil
+	sr.pendSet = map[uint64]struct{}{}
+	sr.inflightSeq = 0
+	sr.inflightRoutes = nil
+	sr.inflightResults = nil
+}
+
+// ShardStatus is one shard's view from one node, for health endpoints and
+// tests.
+type ShardStatus struct {
+	Shard     int    `json:"shard"`
+	Owner     NodeID `json:"owner"`
+	Epoch     uint64 `json:"epoch"`
+	IsOwner   bool   `json:"is_owner"`
+	Condemned bool   `json:"condemned"`
+	Frontier  uint64 `json:"frontier"`
+	Committed uint64 `json:"committed"`
+}
+
+// Status is a point-in-time snapshot of one node's cluster state.
+type Status struct {
+	Node          NodeID        `json:"node"`
+	Frontend      bool          `json:"frontend"`
+	Store         bool          `json:"store"`
+	Shards        []ShardStatus `json:"shards"`
+	PendingRoutes int           `json:"pending_routes"`
+	Failovers     int64         `json:"failovers"`
+	Elections     int64         `json:"elections"`
+	Condemned     int64         `json:"condemned"`
+	Redirects     int64         `json:"redirects"`
+	RouteRetries  int64         `json:"route_retries"`
+}
+
+// OwnedShards counts the shards this node currently owns.
+func (s Status) OwnedShards() int {
+	n := 0
+	for _, sh := range s.Shards {
+		if sh.IsOwner && !sh.Condemned {
+			n++
+		}
+	}
+	return n
+}
+
+// Node is one process of the cluster: the front end router (when
+// cfg.Frontend), the per-shard replicas (when cfg.Store), and the single
+// event loop that runs the whole replication protocol over the Transport
+// seam. The same Node code runs under real TCP and under the simulated
+// network — only the Transport differs.
+type Node struct {
+	cfg     Config
+	tr      Transport
+	stores  []*service.Store // len cfg.Shards when cfg.Store, else nil
+	virtual bool
+	quorum  int
+
+	// Event-loop-owned state.
+	shards    []*shardRep
+	owners    []NodeID // front end's believed owner per shard
+	lastHeard []int64
+	lastBeat  int64
+	routes    map[uint64]*route
+	nextReq   uint64
+	nextOpSeq uint64
+	stopping  bool
+
+	// Metrics (atomic counters; safe to scrape off-loop).
+	reg            *metrics.Registry
+	cFailovers     *metrics.Counter
+	cElections     *metrics.Counter
+	cCondemned     *metrics.Counter
+	cRedirects     *metrics.Counter
+	cRouteRetries  *metrics.Counter
+	cEntriesSent   *metrics.Counter
+	cEntriesApp    *metrics.Counter
+	cMsgSent       [16]*metrics.Counter
+	cMsgRecv       [16]*metrics.Counter
+	gOwned         *metrics.Gauge
+	gCondemned     *metrics.Gauge
+	gPendingRoutes *metrics.Gauge
+
+	// debugSkipApply makes this node's followers acknowledge replicated
+	// entries WITHOUT applying them to the local store — the injected
+	// stale-read-after-failover bug behind the cluster:stale-canary
+	// must-detect scenario. Never set outside tests.
+	debugSkipApply bool
+
+	// Off-loop snapshot for Status, refreshed by the loop.
+	smu       sync.Mutex
+	view      []ShardStatus
+	viewPend  int
+	closed    atomic.Bool
+	loopEnded bool          // virtual CloseOn parks on this (token-serialized)
+	loopDone  chan struct{} // free Close blocks on this
+}
+
+var opcodeNames = map[byte]string{
+	wire.OpcodeRepHeartbeat: "heartbeat",
+	wire.OpcodeRepRoute:     "route",
+	wire.OpcodeRepDone:      "done",
+	wire.OpcodeRepRedirect:  "redirect",
+	wire.OpcodeRepAppend:    "append",
+	wire.OpcodeRepAck:       "ack",
+	wire.OpcodeRepStale:     "stale",
+	wire.OpcodeRepVote:      "vote",
+	wire.OpcodeRepVoteOK:    "voteok",
+	wire.OpcodeRepOwner:     "owner",
+}
+
+// New builds a Node over a transport. stores must have cfg.Shards entries
+// when cfg.Store is set (each a single-shard service.Store the node may
+// drive exclusively) and is ignored otherwise. The caller then runs the
+// event loop: go n.Run(nil) in free mode, run.Spawn(id, n.Run) in virtual
+// mode.
+func New(cfg Config, tr Transport, stores []*service.Store) *Node {
+	_, virtual := tr.(*vEndpoint)
+	cfg = cfg.withDefaults(virtual)
+	n := &Node{
+		cfg:      cfg,
+		tr:       tr,
+		stores:   stores,
+		virtual:  virtual,
+		quorum:   cfg.quorum(),
+		routes:   map[uint64]*route{},
+		loopDone: make(chan struct{}),
+		reg:      metrics.NewRegistry(),
+	}
+	if !cfg.Store {
+		n.stores = nil
+	}
+	n.cFailovers = n.reg.Counter("cluster_failovers_total", "elections won by this node", nil)
+	n.cElections = n.reg.Counter("cluster_elections_total", "elections started by this node", nil)
+	n.cCondemned = n.reg.Counter("cluster_condemned_total", "shard replicas condemned on this node", nil)
+	n.cRedirects = n.reg.Counter("cluster_redirects_total", "routes redirected to the current owner", nil)
+	n.cRouteRetries = n.reg.Counter("cluster_route_retries_total", "client routes resent after RouteTimeout", nil)
+	n.cEntriesSent = n.reg.Counter("cluster_entries_replicated_total", "log entries sent to followers", nil)
+	n.cEntriesApp = n.reg.Counter("cluster_entries_applied_total", "replicated log entries applied locally", nil)
+	n.gOwned = n.reg.Gauge("cluster_owned_shards", "shards this node currently owns", nil)
+	n.gCondemned = n.reg.Gauge("cluster_condemned_shards", "shard replicas condemned on this node", nil)
+	n.gPendingRoutes = n.reg.Gauge("cluster_pending_routes", "client routes awaiting RepDone", nil)
+	for op, name := range opcodeNames {
+		n.cMsgSent[op] = n.reg.Counter("cluster_messages_sent_total", "replication messages sent by kind",
+			metrics.Labels{{Name: "kind", Value: name}})
+		n.cMsgRecv[op] = n.reg.Counter("cluster_messages_recv_total", "replication messages received by kind",
+			metrics.Labels{{Name: "kind", Value: name}})
+	}
+
+	n.owners = make([]NodeID, cfg.Shards)
+	n.shards = make([]*shardRep, cfg.Shards)
+	n.view = make([]ShardStatus, cfg.Shards)
+	n.lastHeard = make([]int64, cfg.Nodes)
+	for s := 0; s < cfg.Shards; s++ {
+		owner := cfg.pref(s)[0]
+		n.owners[s] = owner
+		sr := &shardRep{
+			shard:   s,
+			epoch:   1,
+			owner:   owner,
+			isOwner: cfg.Store && owner == cfg.ID,
+			nextSeq: 1,
+			pendSet: map[uint64]struct{}{},
+			acked:   map[NodeID]uint64{},
+		}
+		n.shards[s] = sr
+		n.view[s] = ShardStatus{Shard: s, Owner: owner, Epoch: 1, IsOwner: sr.isOwner}
+	}
+	return n
+}
+
+// Metrics returns the node's cluster metric registry (Prometheus families
+// cluster_*; see docs/OPERATIONS.md).
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Status snapshots the node's cluster state; safe from any goroutine.
+func (n *Node) Status() Status {
+	n.smu.Lock()
+	shards := append([]ShardStatus(nil), n.view...)
+	pend := n.viewPend
+	n.smu.Unlock()
+	return Status{
+		Node: n.cfg.ID, Frontend: n.cfg.Frontend, Store: n.cfg.Store,
+		Shards: shards, PendingRoutes: pend,
+		Failovers: n.cFailovers.Value(), Elections: n.cElections.Value(),
+		Condemned: n.cCondemned.Value(), Redirects: n.cRedirects.Value(),
+		RouteRetries: n.cRouteRetries.Value(),
+	}
+}
+
+// Stats implements wire.Backend by aggregating the node's stores: op and
+// audit counters sum across shards (latency summaries are per-store and
+// not merged). A frontend-only node reports an empty Stats.
+func (n *Node) Stats() service.Stats {
+	out := service.Stats{Shards: n.cfg.Shards, Ops: map[string]int64{}}
+	for _, st := range n.stores {
+		s := st.Stats()
+		out.WorkersPerShard = s.WorkersPerShard
+		out.TotalOps += s.TotalOps
+		out.Batches += s.Batches
+		out.BatchSize.Merge(s.BatchSize)
+		for k, v := range s.Ops {
+			out.Ops[k] += v
+		}
+		out.QueueDepth = append(out.QueueDepth, s.QueueDepth...)
+		out.Committed = append(out.Committed, s.Committed...)
+		out.Audit.SampledOps += s.Audit.SampledOps
+		out.Audit.DroppedOps += s.Audit.DroppedOps
+		out.Audit.WindowsChecked += s.Audit.WindowsChecked
+		out.Audit.Violations += s.Audit.Violations
+		out.Audit.Truncated += s.Audit.Truncated
+		out.Audit.Gaps += s.Audit.Gaps
+		out.Audit.ViolationSamples = append(out.Audit.ViolationSamples, s.Audit.ViolationSamples...)
+		out.Supervision.Enabled = out.Supervision.Enabled || s.Supervision.Enabled
+		out.Supervision.Restarts += s.Supervision.Restarts
+		out.Supervision.Condemned += s.Supervision.Condemned
+		out.Supervision.SparesExhausted += s.Supervision.SparesExhausted
+	}
+	return out
+}
+
+// Entries returns a copy of one shard's retained log (virtual-mode
+// checkers read the canonical chain after the run; free-mode tests
+// must only call this after the loop has exited).
+func (n *Node) Entries(shard int) (base uint64, entries []wire.RepEntry) {
+	sr := n.shards[shard]
+	return sr.base, append([]wire.RepEntry(nil), sr.entries...)
+}
+
+// ShardState exposes one shard's replica bookkeeping for checkers (same
+// caveat as Entries).
+func (n *Node) ShardState(shard int) ShardStatus {
+	sr := n.shards[shard]
+	return ShardStatus{
+		Shard: shard, Owner: sr.owner, Epoch: sr.epoch, IsOwner: sr.isOwner,
+		Condemned: sr.condemned, Frontier: sr.frontier, Committed: sr.committed,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client surface.
+
+// Do routes one op through the cluster (front end role required).
+func (n *Node) Do(ctx context.Context, op service.Op) (service.Result, error) {
+	res, err := n.DoBatch(ctx, []service.Op{op})
+	if err != nil {
+		return service.Result{}, err
+	}
+	return res[0], nil
+}
+
+// DoBatch routes a batch: ops are split per shard, routed to each shard's
+// owner, and the index-aligned results assembled as the owners answer.
+// It blocks until every split has been answered (failover included — the
+// front end retransmits until a new owner emerges) or ctx is done.
+func (n *Node) DoBatch(ctx context.Context, ops []service.Op) ([]service.Result, error) {
+	if n.closed.Load() {
+		return nil, service.ErrClosed
+	}
+	cc := &clientCall{ops: ops, results: make([]service.Result, len(ops)), done: make(chan struct{})}
+	n.tr.inject(nil, &message{kind: kindClient, call: cc})
+	select {
+	case <-cc.done:
+		return cc.results, cc.err
+	case <-ctx.Done():
+		// The call stays routed; like a crashed client, its ops may still
+		// commit (idempotently, under their stamped ids).
+		return nil, service.ErrDeadline
+	}
+}
+
+// DoBatchOn is DoBatch for a virtual-mode proc: it parks p until the call
+// is answered.
+func (n *Node) DoBatchOn(p *sched.Proc, ops []service.Op) ([]service.Result, error) {
+	if n.closed.Load() {
+		return nil, service.ErrClosed
+	}
+	cc := &clientCall{ops: ops, results: make([]service.Result, len(ops))}
+	n.tr.inject(p, &message{kind: kindClient, call: cc})
+	p.Park(func() bool { return cc.answered })
+	return cc.results, cc.err
+}
+
+// Close shuts the free-mode node down: the loop drains, pending client
+// calls fail with ErrClosed, the stores close, the transport tears down.
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		<-n.loopDone
+		return service.ErrClosed
+	}
+	n.tr.inject(nil, &message{kind: kindShutdown})
+	<-n.loopDone
+	return nil
+}
+
+// closeAsyncOn injects the shutdown message without waiting for the loop
+// to exit — for scenario drivers shutting down a node whose loop may have
+// been crashed by the schedule (waiting would park forever).
+func (n *Node) closeAsyncOn(p *sched.Proc) {
+	if !n.closed.Swap(true) {
+		n.tr.inject(p, &message{kind: kindShutdown})
+	}
+}
+
+// CloseOn is Close for a virtual-mode driver proc.
+func (n *Node) CloseOn(p *sched.Proc) error {
+	if n.closed.Swap(true) {
+		return service.ErrClosed
+	}
+	n.tr.inject(p, &message{kind: kindShutdown})
+	p.Park(func() bool { return n.loopEnded })
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The event loop.
+
+// Run is the node's event loop; it returns when the node is closed. In
+// free mode call it on its own goroutine with p = nil; in virtual mode
+// spawn it as a proc of the run.
+func (n *Node) Run(p *sched.Proc) {
+	now := n.tr.now(p)
+	n.lastBeat = now
+	for i := range n.lastHeard {
+		n.lastHeard[i] = now
+	}
+	for _, sr := range n.shards {
+		sr.lastOwnerHeard = now
+	}
+	for !n.stopping {
+		m, ok := n.tr.recv(p, n.tr.now(p)+n.cfg.TickEvery)
+		if ok {
+			n.handle(p, m)
+		}
+		n.tick(p)
+	}
+	n.shutdown(p)
+}
+
+func (n *Node) shutdown(p *sched.Proc) {
+	n.closed.Store(true)
+	// Fail every unanswered client call.
+	ids := make([]uint64, 0, len(n.routes))
+	for id := range n.routes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := n.routes[id]
+		delete(n.routes, id)
+		if !r.call.answered {
+			r.call.finish(service.ErrClosed)
+		}
+	}
+	for _, st := range n.stores {
+		if p != nil {
+			st.CloseOn(p)
+		} else {
+			st.Close()
+		}
+	}
+	n.tr.close()
+	n.smu.Lock()
+	n.loopEnded = true
+	n.smu.Unlock()
+	close(n.loopDone)
+}
+
+// handle dispatches one inbox message.
+func (n *Node) handle(p *sched.Proc, m *message) {
+	if m.kind < 0x80 {
+		if c := n.cMsgRecv[m.kind&0x0F]; c != nil && wire.IsRepOpcode(m.kind) {
+			c.Inc()
+		}
+		from := int(m.rep.From)
+		if from >= n.cfg.Nodes || int(m.rep.Shard) >= n.cfg.Shards {
+			return // malformed or from an unknown deployment
+		}
+		n.lastHeard[from] = n.tr.now(p)
+	}
+	switch m.kind {
+	case kindClient:
+		n.startCall(p, m.call)
+	case kindShutdown:
+		n.stopping = true
+	case kindPeerDown:
+		n.onPeerDown(p, NodeID(m.rep.Peer))
+	case wire.OpcodeRepHeartbeat:
+		// lastHeard already refreshed above.
+	case wire.OpcodeRepRoute:
+		n.onRoute(p, m)
+	case wire.OpcodeRepDone:
+		n.onDone(p, m)
+	case wire.OpcodeRepRedirect:
+		n.onRedirect(p, m)
+	case wire.OpcodeRepAppend:
+		n.onAppend(p, m)
+	case wire.OpcodeRepAck:
+		n.onAck(p, m)
+	case wire.OpcodeRepStale:
+		n.onStale(p, m)
+	case wire.OpcodeRepVote:
+		n.onVote(p, m)
+	case wire.OpcodeRepVoteOK:
+		n.onVoteOK(p, m)
+	case wire.OpcodeRepOwner:
+		n.onOwner(p, m)
+	}
+}
+
+// tick runs the timers: heartbeats, owner retransmission, follower
+// election timeouts, front end route resends.
+func (n *Node) tick(p *sched.Proc) {
+	if n.stopping {
+		return
+	}
+	now := n.tr.now(p)
+	n.lastHeard[n.cfg.ID] = now
+	if now-n.lastBeat >= n.cfg.HeartbeatEvery {
+		n.lastBeat = now
+		for i := 0; i < n.cfg.Nodes; i++ {
+			if NodeID(i) != n.cfg.ID {
+				n.sendRep(p, NodeID(i), wire.OpcodeRepHeartbeat, wire.Rep{})
+			}
+		}
+	}
+	if n.cfg.Store {
+		for _, sr := range n.shards {
+			if sr.condemned {
+				continue
+			}
+			if sr.isOwner {
+				n.pump(p, sr)
+				if now-sr.lastRetx >= n.cfg.RetransmitEvery {
+					sr.lastRetx = now
+					for _, f := range n.cfg.StoreNodes {
+						if f != n.cfg.ID {
+							n.sendSuffix(p, sr, f)
+						}
+					}
+				}
+			} else {
+				n.maybeElect(p, sr, now)
+			}
+		}
+	}
+	if n.cfg.Frontend && len(n.routes) > 0 {
+		ids := make([]uint64, 0, len(n.routes))
+		for id := range n.routes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			r := n.routes[id]
+			if now-r.sentAt >= n.cfg.RouteTimeout {
+				r.sentAt = now
+				n.cRouteRetries.Inc()
+				n.sendRoute(p, id, r)
+			}
+		}
+	}
+	n.gPendingRoutes.Set(int64(len(n.routes)))
+	n.smu.Lock()
+	n.viewPend = len(n.routes)
+	n.smu.Unlock()
+}
+
+// sendRep stamps From and counts the send.
+func (n *Node) sendRep(p *sched.Proc, to NodeID, kind byte, rep wire.Rep) {
+	rep.From = uint16(n.cfg.ID)
+	if c := n.cMsgSent[kind&0x0F]; c != nil && wire.IsRepOpcode(kind) {
+		c.Inc()
+	}
+	n.tr.send(p, to, &message{kind: kind, rep: rep})
+}
+
+// apply drives ops through the shard's local store (the idempotent
+// universal construction: ops with ids already applied replay their cached
+// results).
+func (n *Node) apply(p *sched.Proc, shard int, ops []service.Op) ([]service.Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if p != nil {
+		return n.stores[shard].DoBatchOn(p, ops)
+	}
+	return n.stores[shard].DoBatch(context.Background(), ops)
+}
+
+func (n *Node) syncView(sr *shardRep) {
+	n.smu.Lock()
+	n.view[sr.shard] = ShardStatus{
+		Shard: sr.shard, Owner: sr.owner, Epoch: sr.epoch, IsOwner: sr.isOwner,
+		Condemned: sr.condemned, Frontier: sr.frontier, Committed: sr.committed,
+	}
+	n.smu.Unlock()
+	var owned, cond int64
+	for _, s := range n.shards {
+		if s.condemned {
+			cond++
+		} else if s.isOwner {
+			owned++
+		}
+	}
+	n.gOwned.Set(owned)
+	n.gCondemned.Set(cond)
+}
+
+// ---------------------------------------------------------------------------
+// Front end: routing.
+
+// startCall splits a client call per shard and routes each slice to its
+// owner.
+func (n *Node) startCall(p *sched.Proc, cc *clientCall) {
+	if !n.cfg.Frontend || n.stopping {
+		cc.finish(service.ErrClosed)
+		return
+	}
+	if len(cc.ops) == 0 {
+		cc.finish(nil)
+		return
+	}
+	rts := make([]*route, n.cfg.Shards)
+	for i, op := range cc.ops {
+		if op.ID == 0 {
+			// Stamp an idempotency id so a failover retransmission can never
+			// apply the op twice (high 16 bits: node, below: a local counter).
+			n.nextOpSeq++
+			op.ID = (uint64(n.cfg.ID)+1)<<48 | n.nextOpSeq
+		}
+		s := service.ShardIndex(op.Key, n.cfg.Shards)
+		if rts[s] == nil {
+			rts[s] = &route{call: cc, shard: s}
+		}
+		rts[s].ops = append(rts[s].ops, op)
+		rts[s].idxs = append(rts[s].idxs, i)
+	}
+	now := n.tr.now(p)
+	for _, r := range rts {
+		if r == nil {
+			continue
+		}
+		cc.remaining++
+		n.nextReq++
+		reqid := (uint64(n.cfg.ID)+1)<<48 | n.nextReq
+		n.routes[reqid] = r
+		r.sentAt = now
+		n.sendRoute(p, reqid, r)
+	}
+}
+
+func (n *Node) sendRoute(p *sched.Proc, reqid uint64, r *route) {
+	n.sendRep(p, n.owners[r.shard], wire.OpcodeRepRoute, wire.Rep{
+		Shard: uint16(r.shard), ReqID: reqid, Ops: r.ops,
+	})
+}
+
+// onDone completes one route with the owner's results.
+func (n *Node) onDone(_ *sched.Proc, m *message) {
+	r, ok := n.routes[m.rep.ReqID]
+	if !ok {
+		return // duplicate answer
+	}
+	delete(n.routes, m.rep.ReqID)
+	cc := r.call
+	if cc.answered {
+		return
+	}
+	if len(m.rep.Results) != len(r.ops) {
+		cc.finish(errors.New("cluster: misaligned route results"))
+		return
+	}
+	for i, res := range m.rep.Results {
+		cc.results[r.idxs[i]] = res
+	}
+	cc.remaining--
+	if cc.remaining == 0 {
+		cc.finish(nil)
+	}
+}
+
+// onRedirect re-aims a pending route at the owner the store node named.
+func (n *Node) onRedirect(p *sched.Proc, m *message) {
+	s := int(m.rep.Shard)
+	w := NodeID(m.rep.Peer)
+	if int(w) >= n.cfg.Nodes {
+		return
+	}
+	n.owners[s] = w
+	if r, ok := n.routes[m.rep.ReqID]; ok && !r.call.answered {
+		n.cRedirects.Inc()
+		r.sentAt = n.tr.now(p)
+		n.sendRoute(p, m.rep.ReqID, r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Store node: owner side.
+
+// onRoute queues a client route at the owner (or redirects the front end
+// to where it believes the owner is).
+func (n *Node) onRoute(p *sched.Proc, m *message) {
+	if !n.cfg.Store {
+		return
+	}
+	sr := n.shards[m.rep.Shard]
+	from := NodeID(m.rep.From)
+	if !sr.isOwner || sr.condemned {
+		n.sendRep(p, from, wire.OpcodeRepRedirect, wire.Rep{
+			Shard: m.rep.Shard, ReqID: m.rep.ReqID, Peer: uint16(sr.owner),
+		})
+		return
+	}
+	if _, dup := sr.pendSet[m.rep.ReqID]; dup {
+		return // retransmission of a queued or in-flight route
+	}
+	sr.pendSet[m.rep.ReqID] = struct{}{}
+	sr.pend = append(sr.pend, pendRoute{from: from, reqid: m.rep.ReqID, ops: m.rep.Ops})
+	n.pump(p, sr)
+}
+
+// pump drives the owner's replication pipeline: while no entry is
+// outstanding and routes are pending, batch routes into the next log
+// entry, apply it locally (results become the client answers), and stream
+// it to the followers. One entry is outstanding at a time per shard; the
+// batch window is how the pipeline absorbs load.
+func (n *Node) pump(p *sched.Proc, sr *shardRep) {
+	for sr.inflightSeq == 0 && len(sr.pend) > 0 && !n.stopping && sr.isOwner && !sr.condemned {
+		var batch []pendRoute
+		total := 0
+		for len(sr.pend) > 0 {
+			r := sr.pend[0]
+			if len(batch) > 0 && total+len(r.ops) > n.cfg.MaxEntryOps {
+				break
+			}
+			batch = append(batch, r)
+			total += len(r.ops)
+			sr.pend = sr.pend[1:]
+			if total >= n.cfg.MaxEntryOps {
+				break
+			}
+		}
+		ops := make([]service.Op, 0, total)
+		for _, r := range batch {
+			ops = append(ops, r.ops...)
+		}
+		results, err := n.apply(p, sr.shard, ops)
+		if err != nil {
+			// Closing or saturated: drop the routes, the front ends retry.
+			n.cfg.Logf("cluster: node %d shard %d: apply: %v", n.cfg.ID, sr.shard, err)
+			for _, r := range batch {
+				delete(sr.pendSet, r.reqid)
+			}
+			return
+		}
+		n.appendEntry(p, sr, wire.RepEntry{Seq: sr.nextSeq, Epoch: sr.epoch, Ops: ops}, batch, results)
+	}
+}
+
+// appendEntry installs the owner's next log entry (already applied
+// locally) and streams it out.
+func (n *Node) appendEntry(p *sched.Proc, sr *shardRep, e wire.RepEntry, batch []pendRoute, results []service.Result) {
+	sr.appendLocal(e)
+	sr.nextSeq = e.Seq + 1
+	sr.acked[n.cfg.ID] = sr.frontier
+	sr.inflightSeq = e.Seq
+	sr.inflightRoutes = batch
+	sr.inflightResults = results
+	for _, f := range n.cfg.StoreNodes {
+		if f != n.cfg.ID {
+			n.sendSuffix(p, sr, f)
+		}
+	}
+	n.checkCommit(p, sr) // single-replica clusters commit immediately
+}
+
+// sendSuffix sends follower f its missing log suffix (or an empty append
+// as a keepalive and commit-frontier carrier).
+func (n *Node) sendSuffix(p *sched.Proc, sr *shardRep, f NodeID) {
+	af := sr.acked[f]
+	rep := wire.Rep{Shard: uint16(sr.shard), Epoch: sr.epoch, Frontier: sr.committed}
+	if af < sr.frontier && af >= sr.base {
+		rep.Entries = sr.entriesFrom(af+1, maxChunkEntries)
+		n.cEntriesSent.Add(int64(len(rep.Entries)))
+	}
+	// af < base: the follower is behind the truncation point and cannot be
+	// caught up from the retained log; the empty append still probes its
+	// real frontier in case our acked view is just stale.
+	n.sendRep(p, f, wire.OpcodeRepAppend, rep)
+}
+
+// onAck advances a follower's acknowledged frontier, checks for log
+// divergence, commits what a quorum now holds, and pushes the next chunk
+// to a lagging follower.
+func (n *Node) onAck(p *sched.Proc, m *message) {
+	if !n.cfg.Store {
+		return
+	}
+	sr := n.shards[m.rep.Shard]
+	if !sr.isOwner || sr.condemned || m.rep.Epoch != sr.epoch {
+		return
+	}
+	f := NodeID(m.rep.From)
+	af, lastE := m.rep.Frontier, m.rep.Seq
+	diverged := af > sr.frontier
+	if !diverged && af > 0 {
+		if ex := sr.entryAt(af); ex != nil && ex.Epoch != lastE {
+			diverged = true
+		}
+	}
+	if diverged {
+		// The follower holds entries no quorum committed under a deposed
+		// owner; it cannot truncate its state machine, so it must condemn.
+		n.sendRep(p, f, wire.OpcodeRepStale, wire.Rep{
+			Shard: m.rep.Shard, Epoch: sr.epoch, Peer: uint16(f),
+		})
+		return
+	}
+	if af > sr.acked[f] {
+		sr.acked[f] = af
+	}
+	n.checkCommit(p, sr)
+	if sr.acked[f] < sr.frontier {
+		n.sendSuffix(p, sr, f)
+	}
+}
+
+// checkCommit advances the committed frontier to the highest seq a quorum
+// has acknowledged — but only through entries of the owner's own epoch
+// (the Raft §5.4.2 rule; the barrier entry appended at election makes this
+// live), answers the in-flight entry's routes once it commits, and pumps
+// the next entry.
+func (n *Node) checkCommit(p *sched.Proc, sr *shardRep) {
+	acks := make([]uint64, 0, len(n.cfg.StoreNodes))
+	for _, f := range n.cfg.StoreNodes {
+		acks = append(acks, sr.acked[f])
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] > acks[j] })
+	c := acks[n.quorum-1]
+	if c > sr.committed {
+		if ex := sr.entryAt(c); ex != nil && ex.Epoch == sr.epoch {
+			sr.committed = c
+			n.syncView(sr)
+		}
+	}
+	if sr.inflightSeq != 0 && sr.committed >= sr.inflightSeq {
+		off := 0
+		for _, r := range sr.inflightRoutes {
+			res := sr.inflightResults[off : off+len(r.ops)]
+			off += len(r.ops)
+			delete(sr.pendSet, r.reqid)
+			n.sendRep(p, r.from, wire.OpcodeRepDone, wire.Rep{
+				Shard: uint16(sr.shard), ReqID: r.reqid, Results: res,
+			})
+		}
+		sr.inflightSeq = 0
+		sr.inflightRoutes = nil
+		sr.inflightResults = nil
+		if !n.cfg.RetainLog {
+			// Truncate below what every live replica holds (a dead replica
+			// that revives beyond the horizon stays behind until condemned
+			// by the divergence check or caught by an operator).
+			now := n.tr.now(p)
+			trunc := sr.committed
+			for _, f := range n.cfg.StoreNodes {
+				if f == n.cfg.ID {
+					continue
+				}
+				if now-n.lastHeard[f] < n.cfg.OwnerTimeout && sr.acked[f] < trunc {
+					trunc = sr.acked[f]
+				}
+			}
+			sr.truncate(trunc)
+		}
+		n.pump(p, sr)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Store node: follower side.
+
+// onAppend applies a replicated suffix: in-order entries feed the local
+// store (keeping the replica and its dedup table live), the commit
+// frontier advances, and the follower acks its applied frontier.
+func (n *Node) onAppend(p *sched.Proc, m *message) {
+	if !n.cfg.Store {
+		return
+	}
+	sr := n.shards[m.rep.Shard]
+	if sr.condemned {
+		return
+	}
+	from := NodeID(m.rep.From)
+	if m.rep.Epoch < sr.epoch {
+		n.sendRep(p, from, wire.OpcodeRepStale, wire.Rep{
+			Shard: m.rep.Shard, Epoch: sr.epoch, Peer: uint16(sr.owner),
+		})
+		return
+	}
+	if m.rep.Epoch > sr.epoch || sr.owner != from || sr.isOwner {
+		n.adoptOwner(p, sr, m.rep.Epoch, from)
+		if sr.condemned {
+			return
+		}
+	}
+	sr.lastOwnerHeard = n.tr.now(p)
+	for _, e := range m.rep.Entries {
+		if e.Seq <= sr.frontier {
+			if ex := sr.entryAt(e.Seq); ex != nil && ex.Epoch != e.Epoch {
+				n.condemn(p, sr, "replicated entry conflicts with applied log")
+				return
+			}
+			continue // duplicate
+		}
+		if e.Seq != sr.frontier+1 {
+			break // gap; ack our real frontier and let the owner resend
+		}
+		if len(e.Ops) > 0 && !n.debugSkipApply {
+			if _, err := n.apply(p, sr.shard, e.Ops); err != nil {
+				n.cfg.Logf("cluster: node %d shard %d: follower apply: %v", n.cfg.ID, sr.shard, err)
+				return
+			}
+			n.cEntriesApp.Inc()
+		}
+		sr.appendLocal(e)
+	}
+	if m.rep.Frontier > sr.committed {
+		c := m.rep.Frontier
+		if c > sr.frontier {
+			c = sr.frontier
+		}
+		if c > sr.committed {
+			sr.committed = c
+		}
+	}
+	if !n.cfg.RetainLog {
+		sr.truncate(sr.committed)
+	}
+	n.syncView(sr)
+	n.sendRep(p, from, wire.OpcodeRepAck, wire.Rep{
+		Shard: m.rep.Shard, Epoch: sr.epoch, Frontier: sr.frontier, Seq: sr.lastEpoch,
+	})
+}
+
+// adoptOwner accepts a (new) owner for the shard, stepping down if this
+// node owned it.
+func (n *Node) adoptOwner(p *sched.Proc, sr *shardRep, epoch uint64, w NodeID) {
+	if sr.isOwner {
+		// Deposed: unanswered in-flight routes are dropped, their front
+		// ends retransmit to the new owner, where the dedup table makes the
+		// retry idempotent.
+		sr.dropOwnerState()
+	}
+	sr.epoch = epoch
+	sr.owner = w
+	sr.isOwner = w == n.cfg.ID
+	sr.electEpoch = 0
+	sr.lastOwnerHeard = n.tr.now(p)
+	n.owners[sr.shard] = w
+	n.syncView(sr)
+}
+
+// condemn permanently retires this node's replica of one shard: its state
+// machine applied entries that provably diverged from the committed chain
+// and cannot be rolled back. The replica stops serving, acking and voting;
+// the shard's fault tolerance drops by one.
+func (n *Node) condemn(p *sched.Proc, sr *shardRep, why string) {
+	if sr.condemned {
+		return
+	}
+	sr.condemned = true
+	sr.dropOwnerState()
+	sr.isOwner = false
+	n.cCondemned.Inc()
+	n.cfg.Logf("cluster: node %d shard %d CONDEMNED (epoch %d, frontier %d): %s",
+		n.cfg.ID, sr.shard, sr.epoch, sr.frontier, why)
+	n.syncView(sr)
+	_ = p
+}
+
+// onStale handles the fencing message. Addressed to this node (Peer ==
+// self) it is the owner's divergence verdict: condemn. Otherwise it tells
+// a deposed owner (or stale candidate) the current epoch and owner.
+func (n *Node) onStale(p *sched.Proc, m *message) {
+	if !n.cfg.Store {
+		return
+	}
+	sr := n.shards[m.rep.Shard]
+	if sr.condemned {
+		return
+	}
+	if NodeID(m.rep.Peer) == n.cfg.ID && m.rep.Epoch >= sr.epoch {
+		n.condemn(p, sr, "owner reported log divergence")
+		return
+	}
+	if m.rep.Epoch > sr.epoch {
+		n.adoptOwner(p, sr, m.rep.Epoch, NodeID(m.rep.Peer))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Elections and failover.
+
+// onPeerDown ages a peer after the free transport lost its connection:
+// node-level liveness expires immediately, and any shard the peer owned
+// has its owner timeout expired so the election stagger starts now.
+func (n *Node) onPeerDown(p *sched.Proc, id NodeID) {
+	if int(id) >= n.cfg.Nodes || id == n.cfg.ID {
+		return
+	}
+	now := n.tr.now(p)
+	n.lastHeard[id] = now - n.cfg.OwnerTimeout - 1
+	if n.cfg.Store {
+		for _, sr := range n.shards {
+			if sr.owner == id && !sr.isOwner && !sr.condemned &&
+				sr.lastOwnerHeard > now-n.cfg.OwnerTimeout {
+				sr.lastOwnerHeard = now - n.cfg.OwnerTimeout
+			}
+		}
+	}
+}
+
+// rank returns this node's position among the shard's live preferred
+// successors (0 = preferred): candidates stagger their elections by rank
+// so the best-placed live replica usually runs unopposed.
+func (n *Node) rank(sr *shardRep, now int64) int64 {
+	r := int64(0)
+	for _, f := range n.cfg.StoreNodes {
+		if f == n.cfg.ID {
+			break
+		}
+		if f == sr.owner {
+			continue // the silent owner is who we're replacing
+		}
+		if now-n.lastHeard[f] < n.cfg.OwnerTimeout {
+			r++
+		}
+	}
+	return r
+}
+
+// maybeElect starts (or retries) an election once the owner has been
+// silent past OwnerTimeout plus this node's stagger.
+func (n *Node) maybeElect(p *sched.Proc, sr *shardRep, now int64) {
+	elapsed := now - sr.lastOwnerHeard
+	if elapsed < n.cfg.OwnerTimeout+n.rank(sr, now)*n.cfg.ElectionStagger {
+		return
+	}
+	if sr.electEpoch != 0 && now-sr.electStarted < n.cfg.ElectionBackoff {
+		return // election in progress; give it time before escalating
+	}
+	n.startElection(p, sr, now, 0)
+}
+
+// startElection opens a candidacy at an epoch above everything this node
+// has seen or voted (and at least atLeast — the escalation path uses it to
+// jump past a stalled rival).
+func (n *Node) startElection(p *sched.Proc, sr *shardRep, now int64, atLeast uint64) {
+	e := sr.epoch
+	if sr.votedEpoch > e {
+		e = sr.votedEpoch
+	}
+	e++
+	if e < atLeast {
+		e = atLeast
+	}
+	sr.electEpoch = e
+	sr.electStarted = now
+	sr.votedEpoch = e // vote for self
+	sr.votes = map[NodeID]bool{n.cfg.ID: true}
+	n.cElections.Inc()
+	n.cfg.Logf("cluster: node %d shard %d: election epoch %d (frontier %d)",
+		n.cfg.ID, sr.shard, e, sr.frontier)
+	if len(sr.votes) >= n.quorum {
+		n.becomeOwner(p, sr)
+		return
+	}
+	for _, f := range n.cfg.StoreNodes {
+		if f != n.cfg.ID {
+			n.sendRep(p, f, wire.OpcodeRepVote, wire.Rep{
+				Shard: uint16(sr.shard), Epoch: e, Frontier: sr.frontier, Seq: sr.lastEpoch,
+			})
+		}
+	}
+}
+
+// onVote grants (once per epoch) if the candidate's log is at least as
+// up to date — the Raft vote rule, compared as (last-entry epoch,
+// frontier). Condemned replicas never vote: their grant could elect a
+// candidate missing committed entries.
+func (n *Node) onVote(p *sched.Proc, m *message) {
+	if !n.cfg.Store {
+		return
+	}
+	sr := n.shards[m.rep.Shard]
+	if sr.condemned {
+		return
+	}
+	e := m.rep.Epoch
+	if e <= sr.epoch || e <= sr.votedEpoch {
+		return
+	}
+	candLast, candFrontier := m.rep.Seq, m.rep.Frontier
+	if candLast < sr.lastEpoch || (candLast == sr.lastEpoch && candFrontier < sr.frontier) {
+		// The candidate's log is behind ours: it must not win. If our own
+		// owner is also silent, escalate — run for the epoch above the
+		// rival's, which it must grant (our log is ahead). Without this, a
+		// behind candidate that fires its timer first stays one self-voted
+		// epoch ahead forever and the fixed backoffs livelock the election.
+		now := n.tr.now(p)
+		if !sr.isOwner && now-sr.lastOwnerHeard >= n.cfg.OwnerTimeout {
+			n.startElection(p, sr, now, e+1)
+		}
+		return
+	}
+	sr.votedEpoch = e
+	sr.electEpoch = 0               // granting a higher epoch cancels our own candidacy
+	sr.lastOwnerHeard = n.tr.now(p) // don't start a rival election immediately
+	n.sendRep(p, NodeID(m.rep.From), wire.OpcodeRepVoteOK, wire.Rep{
+		Shard: m.rep.Shard, Epoch: e, Frontier: sr.frontier, Seq: sr.lastEpoch,
+	})
+}
+
+// onVoteOK collects grants; a majority of the full replica set wins.
+func (n *Node) onVoteOK(p *sched.Proc, m *message) {
+	if !n.cfg.Store {
+		return
+	}
+	sr := n.shards[m.rep.Shard]
+	if sr.condemned || sr.electEpoch == 0 || m.rep.Epoch != sr.electEpoch || sr.isOwner {
+		return
+	}
+	sr.votes[NodeID(m.rep.From)] = true
+	if len(sr.votes) >= n.quorum {
+		n.becomeOwner(p, sr)
+	}
+}
+
+// becomeOwner completes a won election: adopt the new epoch, announce
+// ownership to every node, and append the barrier entry that (once a
+// quorum acks it) commits the whole inherited log under the new epoch.
+func (n *Node) becomeOwner(p *sched.Proc, sr *shardRep) {
+	sr.epoch = sr.electEpoch
+	sr.electEpoch = 0
+	sr.owner = n.cfg.ID
+	sr.isOwner = true
+	sr.nextSeq = sr.frontier + 1
+	sr.acked = map[NodeID]uint64{n.cfg.ID: sr.frontier}
+	sr.dropOwnerState()
+	sr.lastRetx = n.tr.now(p)
+	n.owners[sr.shard] = n.cfg.ID
+	n.cFailovers.Inc()
+	n.cfg.Logf("cluster: node %d shard %d: OWNER at epoch %d (frontier %d)",
+		n.cfg.ID, sr.shard, sr.epoch, sr.frontier)
+	for i := 0; i < n.cfg.Nodes; i++ {
+		if NodeID(i) != n.cfg.ID {
+			n.sendRep(p, NodeID(i), wire.OpcodeRepOwner, wire.Rep{
+				Shard: uint16(sr.shard), Epoch: sr.epoch, Frontier: sr.frontier,
+				Seq: sr.lastEpoch, Peer: uint16(n.cfg.ID),
+			})
+		}
+	}
+	// The barrier: an empty entry in the new epoch. Its commit commits
+	// everything beneath it (checkCommit only counts own-epoch entries).
+	n.appendEntry(p, sr, wire.RepEntry{Seq: sr.nextSeq, Epoch: sr.epoch}, nil, nil)
+	n.syncView(sr)
+}
+
+// onOwner records an election result. A store node adopts the winner (or
+// condemns itself if its log is ahead of the winner's — it applied
+// entries the electorate never committed); a front end re-aims its
+// pending routes.
+func (n *Node) onOwner(p *sched.Proc, m *message) {
+	s := int(m.rep.Shard)
+	w := NodeID(m.rep.Peer)
+	if int(w) >= n.cfg.Nodes {
+		return
+	}
+	e := m.rep.Epoch
+	if n.cfg.Store {
+		sr := n.shards[s]
+		if !sr.condemned && w != n.cfg.ID && (e > sr.epoch || (e == sr.epoch && !sr.isOwner && sr.owner != w)) {
+			ahead := sr.frontier > m.rep.Frontier ||
+				(sr.frontier == m.rep.Frontier && sr.frontier > 0 && sr.lastEpoch != m.rep.Seq)
+			if ahead {
+				sr.epoch = e
+				sr.owner = w
+				n.condemn(p, sr, "log ahead of elected owner")
+			} else {
+				n.adoptOwner(p, sr, e, w)
+			}
+		}
+	}
+	if n.cfg.Frontend {
+		n.owners[s] = w
+		now := n.tr.now(p)
+		ids := make([]uint64, 0, len(n.routes))
+		for id, r := range n.routes {
+			if r.shard == s {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			r := n.routes[id]
+			r.sentAt = now
+			n.sendRoute(p, id, r)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/service"
+)
+
+// TestRedirectReroutesStaleFrontend: a front end whose owner hint is stale
+// routes to a non-owner store node, which must answer with RepRedirect
+// naming the owner it believes in; the front end re-aims the pending route
+// and the op still completes — counted in Status().Redirects.
+func TestRedirectReroutesStaleFrontend(t *testing.T) {
+	const procs = 8 // submitter, driver, 3 node loops, 3 store procs
+	r := sched.NewRun(procs, &sched.RoundRobin{})
+	stores := []NodeID{0, 1, 2}
+	vn := NewVirtualNet(3, NetPlan{})
+	nodes := make([]*Node, 3)
+	for i := 0; i < 3; i++ {
+		vr := service.NewVirtualRuntime(r, 5+i)
+		st := service.NewVirtual(service.Config{
+			Shards: 1, WorkersPerShard: 1, QueueDepth: 64, MaxBatch: 16,
+			Audit: service.AuditConfig{Disabled: true},
+		}, vr)
+		n := New(Config{
+			ID: NodeID(i), Nodes: 3, StoreNodes: stores, Shards: 1,
+			Frontend: true, Store: true, RetainLog: true,
+		}, vn.Endpoint(NodeID(i)), []*service.Store{st})
+		nodes[i] = n
+		r.Spawn(2+i, n.Run)
+	}
+	finished := false
+	r.Spawn(0, func(p *sched.Proc) {
+		if _, err := nodes[0].DoBatchOn(p, []service.Op{{Kind: service.OpPut, Key: "k", Val: "v1", ID: 1}}); err != nil {
+			t.Errorf("eager put: %v", err)
+		}
+		// Stale the front end's owner hint: shard 0 is owned by node 0, but
+		// the front end now believes node 2 owns it. Mutating loop-owned
+		// state is safe here — every proc of a controlled run holds the step
+		// token exclusively.
+		nodes[0].owners[0] = 2
+		res, err := nodes[0].DoBatchOn(p, []service.Op{{Kind: service.OpGet, Key: "k", ID: 2}})
+		if err != nil {
+			t.Errorf("redirected get: %v", err)
+		} else if !res[0].OK || res[0].Val != "v1" {
+			t.Errorf("redirected get = %+v, want v1", res[0])
+		}
+		finished = true
+	})
+	r.Spawn(1, func(p *sched.Proc) {
+		p.Park(func() bool { return finished })
+		for _, n := range nodes {
+			n.CloseOn(p)
+		}
+	})
+	res := r.Execute(1 << 20)
+	for id, s := range res.Status {
+		if s != sched.Done {
+			t.Fatalf("proc %d ended %v", id, s)
+		}
+	}
+	if got := nodes[0].Status().Redirects; got == 0 {
+		t.Fatal("front end reports no redirects")
+	}
+	if nodes[2].Status().Shards[0].Owner != 0 {
+		t.Fatalf("node 2 owner hint corrupted: %+v", nodes[2].Status().Shards[0])
+	}
+}

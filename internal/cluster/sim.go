@@ -1,0 +1,477 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+// Sweep-harness registration: whole cluster deployments under the
+// simulated network. Every scenario runs a complete multi-node cluster —
+// submitter clients, a front end router, store nodes with per-shard
+// replica stores, and the full replication protocol (ownership, quorum
+// commit, elections, condemnation) — as procs of one controlled sched.Run,
+// with the VirtualNet's delay, loss, duplication and partition faults all
+// drawn from the seed. Node event-loop crashes (the owner dying mid-load)
+// are CrashAt schedule decisions like any other proc crash.
+//
+// After every run the checker (check.go) reconstructs the canonical
+// committed chain from the retained replica logs and judges every client
+// observation exhaustively: replay equality, cross-replica agreement, and
+// per-key linearizability over the real-time client history. Failures
+// replay bit-identically from their "cluster:<scenario>:<seed>" token
+// (cmd/sim -replay).
+//
+// Proc layout of every scenario's run (crash plans index into it):
+//
+//	0 .. subs-1     submitter clients
+//	subs            driver (waits for the submitters, then closes the nodes)
+//	subs+1+i        node i's event loop, i in [0, nodes)
+//	then            replica store procs: one per (store node, shard),
+//	                store-node-major (audit disabled, 1 worker, so each
+//	                replica store is exactly one proc)
+func init() {
+	for _, sc := range clusterScenarios() {
+		sim.Register(sc)
+	}
+}
+
+// ctopo fixes one scenario's deployment shape.
+type ctopo struct {
+	subs   int
+	nodes  int
+	stores []NodeID // store-role nodes, preference order
+	fronts []NodeID // frontend-role nodes; submitters round-robin over them
+	shards int
+}
+
+func (t ctopo) procs() int         { return t.subs + 1 + t.nodes + len(t.stores)*t.shards }
+func (t ctopo) driverID() int      { return t.subs }
+func (t ctopo) nodeProc(i int) int { return t.subs + 1 + i }
+func (t ctopo) storeBase() int     { return t.subs + 1 + t.nodes }
+
+func (t ctopo) isStore(id NodeID) bool {
+	for _, s := range t.stores {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (t ctopo) isFront(id NodeID) bool {
+	for _, f := range t.fronts {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// cworkload tunes the generated client scripts (values are globally unique
+// so every write is distinguishable to the checker).
+type cworkload struct {
+	keys    []string
+	hotFrac float64
+	casFrac float64
+	ops     int // per submitter
+	maxCall int // max ops per client batch (1 = singles)
+}
+
+func (wl cworkload) genCalls(sub int, rng *rand.Rand) [][]service.Op {
+	pick := func() service.Op {
+		key := wl.keys[0]
+		if rng.Float64() >= wl.hotFrac {
+			key = wl.keys[rng.IntN(len(wl.keys))]
+		}
+		switch {
+		case rng.Float64() < wl.casFrac:
+			return service.Op{Kind: service.OpCAS, Key: key,
+				Old: fmt.Sprintf("p%dv%d", rng.IntN(4), rng.IntN(wl.ops)),
+				Val: fmt.Sprintf("p%dv%d", sub, rng.IntN(wl.ops))}
+		case rng.IntN(2) == 0:
+			return service.Op{Kind: service.OpGet, Key: key}
+		default:
+			return service.Op{Kind: service.OpPut, Key: key, Val: fmt.Sprintf("p%dv%d", sub, rng.IntN(wl.ops))}
+		}
+	}
+	var calls [][]service.Op
+	remaining := wl.ops
+	for remaining > 0 {
+		n := 1
+		if wl.maxCall > 1 {
+			n = 1 + rng.IntN(wl.maxCall)
+			if n > remaining {
+				n = remaining
+			}
+		}
+		c := make([]service.Op, n)
+		for i := range c {
+			c[i] = pick()
+		}
+		calls = append(calls, c)
+		remaining -= n
+	}
+	return calls
+}
+
+// cmode selects the progress clauses asserted on top of the always-on
+// checker.
+type cmode int
+
+const (
+	// cSafety: checker only (fault plans whose liveness premises may not
+	// hold within the budget).
+	cSafety cmode = iota
+	// cFair: fault-free fair schedule — every proc Done, every op answered.
+	cFair
+	// cFailover: the owner's event loop crashes mid-load; the cluster must
+	// still answer every op (via election and client retransmission) and
+	// the submitters and driver must finish.
+	cFailover
+)
+
+// cscenario is one registered cluster scenario.
+type cscenario struct {
+	name   string
+	topo   ctopo
+	budget int64
+	wl     cworkload
+	mode   cmode
+	// crashOwner crashes the event loop of shard 0's initial owner
+	// (topo.stores[0]) after a seed-chosen number of its own steps.
+	crashOwner bool
+	// canary injects the stale-read bug (a follower acks entries without
+	// applying them) on topo.stores[1], crashes the owner so that follower
+	// wins the election, and inverts the oracle: the run passes only if a
+	// client-visible stale read was caught by the checker.
+	canary bool
+	// rawCanary injects the same bug but keeps the normal oracle, so the
+	// checker's violations surface as sweep failures (the test fixture
+	// proving the checker actually detects the bug).
+	rawCanary bool
+	// plan, when set, draws the network fault plan (loss, dup, delay,
+	// partitions) from the scenario rng; nil means a reliable unit-delay
+	// network.
+	plan func(t ctopo, budget int64, rng *rand.Rand) NetPlan
+}
+
+// obsNet, when set (tests only), receives every finished run's VirtualNet
+// so fault-exercise tests can prove the plans actually cut and drop
+// messages. Called from the oracle; observers must be self-synchronizing.
+var obsNet func(scenario string, vn *VirtualNet)
+
+// crunState is the blackboard between procs and oracle, written under the
+// step token.
+type crunState struct {
+	generated int
+	answered  int
+	rejected  int
+	finished  int
+	closedOK  bool
+}
+
+func clusterScenarios() []sim.Scenario {
+	three := []NodeID{1, 2, 3}
+	specs := []cscenario{
+		{
+			// Single shard, every node both frontend and store: the minimal
+			// deployment cmd/served -roles defaults to.
+			name: "cluster:smoke", budget: 65536, mode: cFair,
+			topo: ctopo{subs: 2, nodes: 3, stores: []NodeID{0, 1, 2}, fronts: []NodeID{0, 1, 2}, shards: 1},
+			wl:   cworkload{keys: []string{"a", "b", "c"}, casFrac: 0.2, ops: 5, maxCall: 1},
+		},
+		{
+			// Dedicated front end, three store nodes, multiple shards with
+			// distinct owners; client batches split across shards.
+			name: "cluster:shards", budget: 98304, mode: cFair,
+			topo: ctopo{subs: 2, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 3},
+			wl:   cworkload{keys: []string{"a", "b", "c", "d", "e", "f"}, casFrac: 0.25, ops: 6, maxCall: 3},
+		},
+		{
+			// The owner of the only shard dies mid-load: followers elect,
+			// front ends retransmit, every op must still be answered exactly
+			// once.
+			name: "cluster:owner-crash", budget: 131072, mode: cFailover, crashOwner: true,
+			topo: ctopo{subs: 2, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
+			wl:   cworkload{keys: []string{"a", "b", "c"}, casFrac: 0.25, ops: 5, maxCall: 1},
+		},
+		{
+			// A seed-chosen store node is cut off for a window mid-run: the
+			// majority side keeps serving, the minority catches up (or is
+			// condemned) on heal.
+			name: "cluster:partition", budget: 131072, mode: cFair, plan: partitionPlan,
+			topo: ctopo{subs: 2, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
+			wl:   cworkload{keys: []string{"a", "b", "c"}, casFrac: 0.2, ops: 5, maxCall: 1},
+		},
+		{
+			// Lossy, duplicating, reordering network: retransmission and the
+			// dedup tables must mask all of it.
+			name: "cluster:loss", budget: 131072, mode: cFair, plan: lossPlan,
+			topo: ctopo{subs: 2, nodes: 3, stores: []NodeID{0, 1, 2}, fronts: []NodeID{0, 1, 2}, shards: 1},
+			wl:   cworkload{keys: []string{"a", "b"}, casFrac: 0.2, ops: 4, maxCall: 1},
+		},
+		{
+			// Owner crash during loss and duplication: safety only — the
+			// checker must hold whatever progress the budget allowed.
+			name: "cluster:handoff-crash", budget: 131072, mode: cSafety, crashOwner: true, plan: lossPlan,
+			topo: ctopo{subs: 2, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
+			wl:   cworkload{keys: []string{"a", "b", "c"}, casFrac: 0.25, ops: 4, maxCall: 1},
+		},
+		{
+			// Must-detect canary: stale reads after a rigged failover MUST be
+			// flagged by the checker (negative control for the whole
+			// verification stack).
+			name: "cluster:stale-canary", budget: 131072, mode: cSafety, crashOwner: true, canary: true,
+			topo: ctopo{subs: 1, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
+			wl:   cworkload{keys: []string{"k1", "k2"}, hotFrac: 0.5, casFrac: 0, ops: 10, maxCall: 1},
+		},
+	}
+	out := make([]sim.Scenario, 0, len(specs))
+	for _, sc := range specs {
+		out = append(out, sc.scenario())
+	}
+	return out
+}
+
+// partitionPlan cuts one seed-chosen store node off for a mid-run window,
+// healed with plenty of budget to spare.
+func partitionPlan(t ctopo, _ int64, rng *rand.Rand) NetPlan {
+	victim := t.stores[rng.IntN(len(t.stores))]
+	// The window must overlap the load phase (runs finish within a few
+	// thousand global steps) or the scenario degenerates to fault-free.
+	from := 128 + rng.Int64N(1024)
+	return NetPlan{
+		Seed: rng.Uint64(),
+		Partitions: []Partition{{
+			From: from, To: from + 1024 + rng.Int64N(3072), GroupA: []NodeID{victim},
+		}},
+	}
+}
+
+// lossPlan draws a lossy, duplicating, reordering network.
+func lossPlan(_ ctopo, _ int64, rng *rand.Rand) NetPlan {
+	return NetPlan{
+		Seed:     rng.Uint64(),
+		LossFrac: 0.02 + rng.Float64()*0.10,
+		DupFrac:  rng.Float64() * 0.10,
+		DelayMax: 1 + rng.Int64N(8),
+	}
+}
+
+// cfairBase mirrors the service package's fair base-policy draw.
+func cfairBase(n int, rng *rand.Rand) (sim.Schedule, func() sched.Policy) {
+	var s sim.Schedule
+	s.SoloID = -1
+	s.FairBase = true
+	var mk func() sched.Policy
+	switch rng.IntN(3) {
+	case 0:
+		s.Desc = "round-robin"
+		mk = func() sched.Policy { return &sched.RoundRobin{} }
+	case 1:
+		seed := rng.Uint64()
+		s.Desc = fmt.Sprintf("random(%d)", seed)
+		mk = func() sched.Policy { return sched.NewRandom(seed) }
+	default:
+		perm := rng.Perm(n)
+		s.Desc = fmt.Sprintf("cycle(%v)", perm)
+		mk = func() sched.Policy { return &sched.Cycle{Seq: perm} }
+	}
+	return s, mk
+}
+
+func csourceOf(mk func() sched.Policy) sched.PolicySource {
+	return sched.PolicySourceFunc(func(uint64) sched.Policy { return mk() })
+}
+
+func cfairGen(n int, _ int64, rng *rand.Rand) sim.Schedule {
+	s, mk := cfairBase(n, rng)
+	s.Source = csourceOf(mk)
+	return s
+}
+
+// nodeCrashGen crashes the victim node's event loop after a seed-chosen
+// number of its own steps, over a fair base.
+func nodeCrashGen(t ctopo, victim NodeID) sim.Generator {
+	return func(n int, _ int64, rng *rand.Rand) sim.Schedule {
+		s, mk := cfairBase(n, rng)
+		// The node loop takes roughly one own-step per grant while parked, so
+		// its own-step clock runs ~1/procs of the global one; this window
+		// lands the crash mid-load for the scenario workload sizes.
+		at := 20 + rng.Int64N(300)
+		plan := map[int]int64{t.nodeProc(int(victim)): at}
+		s.CrashPlan = plan
+		s.Desc += fmt.Sprintf("+crash{node%d@%d}", victim, at)
+		inner := mk
+		s.Source = csourceOf(func() sched.Policy { return &sched.CrashAt{Inner: inner(), At: plan} })
+		return s
+	}
+}
+
+func (sc cscenario) scenario() sim.Scenario {
+	gen := sim.Generator(cfairGen)
+	if sc.crashOwner {
+		gen = nodeCrashGen(sc.topo, sc.topo.stores[0])
+	}
+	return sim.System(sc.name, "cluster", sc.topo.procs(), sc.budget, gen, sc.build)
+}
+
+func (sc cscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
+	t := sc.topo
+	var plan NetPlan
+	if sc.plan != nil {
+		plan = sc.plan(t, sc.budget, rng)
+	}
+	vn := NewVirtualNet(t.nodes, plan)
+
+	// Replica stores: one single-proc store per (store node, shard).
+	var vrs []*service.VirtualRuntime
+	nodes := make([]*Node, t.nodes)
+	victimStores := []*service.Store(nil)
+	next := t.storeBase()
+	for i := 0; i < t.nodes; i++ {
+		id := NodeID(i)
+		var stores []*service.Store
+		if t.isStore(id) {
+			for s := 0; s < t.shards; s++ {
+				vr := service.NewVirtualRuntime(r, next)
+				next++
+				st := service.NewVirtual(service.Config{
+					Shards: 1, WorkersPerShard: 1, QueueDepth: 64, MaxBatch: 16,
+					Audit: service.AuditConfig{Disabled: true},
+				}, vr)
+				vrs = append(vrs, vr)
+				stores = append(stores, st)
+			}
+		}
+		n := New(Config{
+			ID: id, Nodes: t.nodes, StoreNodes: t.stores, Shards: t.shards,
+			Frontend: t.isFront(id), Store: t.isStore(id), RetainLog: true,
+		}, vn.Endpoint(id), stores)
+		if (sc.canary || sc.rawCanary) && len(t.stores) > 1 && id == t.stores[1] {
+			n.debugSkipApply = true
+		}
+		if sc.crashOwner && id == t.stores[0] {
+			victimStores = stores
+		}
+		nodes[i] = n
+		r.Spawn(t.nodeProc(i), n.Run)
+	}
+
+	obs := &obsLog{}
+	st := &crunState{}
+	for i := 0; i < t.subs; i++ {
+		sub := i
+		front := nodes[t.fronts[i%len(t.fronts)]]
+		calls := sc.wl.genCalls(i, rng)
+		r.Spawn(i, func(p *sched.Proc) { runClusterSubmitter(p, front, obs, st, sub, calls) })
+	}
+
+	victim := NodeID(0xFFFF)
+	if sc.crashOwner {
+		victim = t.stores[0]
+	}
+	r.Spawn(t.driverID(), func(p *sched.Proc) {
+		p.Park(func() bool { return st.finished == t.subs })
+		for i, n := range nodes {
+			if NodeID(i) == victim {
+				// The victim's loop may have been crashed by the schedule:
+				// ask it to stop without waiting, and close its replica
+				// stores directly so their worker procs drain either way.
+				n.closeAsyncOn(p)
+				for _, rs := range victimStores {
+					rs.CloseOn(p)
+				}
+				continue
+			}
+			n.CloseOn(p)
+		}
+		st.closedOK = true
+	})
+
+	return func(res sched.Results, sch sim.Schedule) []string {
+		if obsNet != nil {
+			obsNet(sc.name, vn)
+		}
+		viol := checkRun(nodes, obs, sc.budget+1)
+		for _, vr := range vrs {
+			viol = append(viol, vr.CheckHistory()...)
+		}
+		if sc.canary {
+			// Inverted verdict: when the injected bug produced a
+			// client-visible stale read, the checker MUST have flagged the
+			// run. (Seeds where the rigged failover did not manifest pass
+			// vacuously.)
+			if obs.sawStale && len(viol) == 0 {
+				return []string{"canary: client observed a stale read after failover but the checker reported no violation"}
+			}
+			return nil
+		}
+		out := viol
+		assertLive := func() {
+			for id := 0; id <= t.subs; id++ {
+				if res.Status[id] != sched.Done {
+					out = append(out, fmt.Sprintf(
+						"progress violated: p%d is %v (%s)", id, res.Status[id], sch.Desc))
+				}
+			}
+			if !st.closedOK {
+				out = append(out, "progress violated: the deployment did not drain and close")
+			}
+			if st.rejected != 0 || st.answered != st.generated {
+				out = append(out, fmt.Sprintf(
+					"progress violated: %d/%d ops answered, %d rejected",
+					st.answered, st.generated, st.rejected))
+			}
+		}
+		switch sc.mode {
+		case cFair:
+			if sch.Fair() {
+				assertLive()
+			}
+		case cFailover:
+			// The crash is the scenario's point: liveness must hold THROUGH
+			// it, so assert completion even though the schedule is unfair.
+			assertLive()
+		}
+		return out
+	}
+}
+
+// runClusterSubmitter plays one client script against a front end node,
+// stamping client-unique op IDs and recording every observation for the
+// checker. Ops are recorded before submission (an op whose answer never
+// arrives may still commit — the checker accounts for it), and marked
+// answered with their results after.
+func runClusterSubmitter(p *sched.Proc, front *Node, obs *obsLog, st *crunState, sub int, calls [][]service.Op) {
+	seq := uint64(0)
+	for _, c := range calls {
+		for i := range c {
+			seq++
+			c[i].ID = uint64(sub+1)<<32 | seq
+		}
+		st.generated += len(c)
+		callAt := p.Now()
+		recs := make([]*opObs, len(c))
+		for i, op := range c {
+			recs[i] = &opObs{sub: sub, op: op, call: callAt}
+			obs.obs = append(obs.obs, recs[i])
+		}
+		res, err := front.DoBatchOn(p, c)
+		if err != nil {
+			st.rejected += len(c)
+			break
+		}
+		retAt := p.Now()
+		for i := range c {
+			recs[i].ret, recs[i].res, recs[i].answered = retAt, res[i], true
+			obs.trackStale(sub, c[i], res[i])
+		}
+		st.answered += len(c)
+	}
+	st.finished++
+}

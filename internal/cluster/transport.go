@@ -1,0 +1,34 @@
+package cluster
+
+import "repro/internal/sched"
+
+// Transport is the sealed seam between the cluster state machine and the
+// network: Node.Run speaks only this interface, and the two
+// implementations — real TCP framing RPW1 replication opcodes
+// (transport_free.go) and a simulated network inside one deterministic
+// sched.Run (transport_virtual.go) — are the only ones possible, because
+// the methods are unexported. That is what lets the virtual scenarios in
+// sim.go exhaust the exact protocol code that serves production traffic.
+//
+// The p argument is the calling proc in virtual mode and ignored (may be
+// nil) in free mode. Clock readings from now are in transport units:
+// nanoseconds (free) or run steps (virtual).
+type Transport interface {
+	// send delivers m to node to, best-effort: the free transport drops on
+	// connection failure, the virtual transport drops, delays, duplicates
+	// or partitions by schedule decision. Self-sends loop back through the
+	// inbox (reliably), so broadcast code needs no self special-case.
+	send(p *sched.Proc, to NodeID, m *message)
+	// inject enqueues a local control or client message into this node's
+	// own inbox, reliably and fault-free. In free mode it is safe from any
+	// goroutine; in virtual mode the caller must be a proc of the run.
+	inject(p *sched.Proc, m *message)
+	// recv returns the next inbox message, blocking until one is due, the
+	// transport closes, or now reaches deadline (ok=false for the latter
+	// two — the event loop then runs its timers).
+	recv(p *sched.Proc, deadline int64) (m *message, ok bool)
+	// now reads the transport clock.
+	now(p *sched.Proc) int64
+	// close tears the transport down; blocked recvs return.
+	close()
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// FreeConfig tunes the free (real TCP) transport.
+type FreeConfig struct {
+	// PingEvery paces the per-peer wire.Conn.Ping liveness probe
+	// (docs/PROTOCOL.md §3.7). Default 250ms.
+	PingEvery time.Duration
+	// DialBackoff is the minimum gap between dial attempts to one peer.
+	// Default 250ms.
+	DialBackoff time.Duration
+	// DialTimeout bounds one dial attempt. Default 500ms.
+	DialTimeout time.Duration
+	// Logf, when non-nil, receives transport-level error logs.
+	Logf func(format string, args ...any)
+}
+
+func (c FreeConfig) withDefaults() FreeConfig {
+	if c.PingEvery <= 0 {
+		c.PingEvery = 250 * time.Millisecond
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 250 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// FreeTransport carries cluster messages between processes as RPW1
+// replication frames (docs/PROTOCOL.md §5): one outbound pipelined
+// wire.Conn per peer for sends and pings, and an accept loop that decodes
+// inbound one-way frames into the local inbox. Connection failures are
+// surfaced to the event loop as kindPeerDown advisories and healed by
+// redial with backoff; the cluster protocol's own retransmission makes the
+// lossy send contract safe.
+type FreeTransport struct {
+	self  NodeID
+	cfg   FreeConfig
+	lis   net.Listener
+	peers []*freePeer
+	in    inbox
+
+	mu      sync.Mutex
+	inConns map[net.Conn]struct{}
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewFreeTransport listens on addrs[self] and starts the per-peer pingers.
+// addrs is indexed by NodeID; the peer set is fixed for the transport's
+// lifetime.
+func NewFreeTransport(self NodeID, addrs []string, cfg FreeConfig) (*FreeTransport, error) {
+	lis, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, err
+	}
+	ft := &FreeTransport{
+		self:    self,
+		cfg:     cfg.withDefaults(),
+		lis:     lis,
+		inConns: map[net.Conn]struct{}{},
+		stop:    make(chan struct{}),
+	}
+	ft.in.notify = make(chan struct{}, 1)
+	for id, addr := range addrs {
+		ft.peers = append(ft.peers, &freePeer{ft: ft, id: NodeID(id), addr: addr})
+	}
+	ft.wg.Add(1)
+	go ft.acceptLoop()
+	for _, p := range ft.peers {
+		if p.id == self {
+			continue
+		}
+		ft.wg.Add(1)
+		go p.pingLoop()
+	}
+	return ft, nil
+}
+
+// Addr returns the transport's bound listen address (useful when addrs
+// used port 0).
+func (ft *FreeTransport) Addr() net.Addr { return ft.lis.Addr() }
+
+func (ft *FreeTransport) send(_ *sched.Proc, to NodeID, m *message) {
+	if to == ft.self {
+		ft.in.push(m)
+		return
+	}
+	ft.peers[to].send(m)
+}
+
+func (ft *FreeTransport) inject(_ *sched.Proc, m *message) { ft.in.push(m) }
+
+func (ft *FreeTransport) recv(_ *sched.Proc, deadline int64) (*message, bool) {
+	for {
+		if m := ft.in.tryPop(); m != nil {
+			return m, true
+		}
+		wait := time.Duration(deadline - time.Now().UnixNano())
+		if wait <= 0 {
+			return nil, false
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ft.in.notify:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+func (ft *FreeTransport) now(_ *sched.Proc) int64 { return time.Now().UnixNano() }
+
+func (ft *FreeTransport) close() {
+	ft.mu.Lock()
+	if ft.closed {
+		ft.mu.Unlock()
+		return
+	}
+	ft.closed = true
+	for c := range ft.inConns {
+		c.Close()
+	}
+	ft.mu.Unlock()
+	close(ft.stop)
+	ft.lis.Close()
+	for _, p := range ft.peers {
+		p.close()
+	}
+	ft.wg.Wait()
+}
+
+// peerDown injects the node-level death notice for peer id.
+func (ft *FreeTransport) peerDown(id NodeID) {
+	ft.in.push(&message{kind: kindPeerDown, rep: wire.Rep{Peer: uint16(id)}})
+}
+
+func (ft *FreeTransport) acceptLoop() {
+	defer ft.wg.Done()
+	for {
+		c, err := ft.lis.Accept()
+		if err != nil {
+			return
+		}
+		ft.mu.Lock()
+		if ft.closed {
+			ft.mu.Unlock()
+			c.Close()
+			return
+		}
+		ft.inConns[c] = struct{}{}
+		ft.mu.Unlock()
+		ft.wg.Add(1)
+		go func() {
+			defer ft.wg.Done()
+			ft.serveInbound(c)
+			ft.mu.Lock()
+			delete(ft.inConns, c)
+			ft.mu.Unlock()
+		}()
+	}
+}
+
+// serveInbound reads one peer's frames: replication envelopes go to the
+// inbox, ping requests are answered in place (this is the server half of
+// the peer's liveness probe).
+func (ft *FreeTransport) serveInbound(c net.Conn) {
+	defer c.Close()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	var wmu sync.Mutex
+	var hdr [wire.HeaderSize]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		h, err := wire.ParseHeader(hdr[:])
+		if err != nil || h.Version != wire.Version {
+			return
+		}
+		// Fresh buffer on purpose: decoded ops alias it and flow into logs
+		// and state machines (see wire.DecodeRep's contract).
+		var payload []byte
+		if h.Len > 0 {
+			payload = make([]byte, h.Len)
+			if _, err := io.ReadFull(c, payload); err != nil {
+				return
+			}
+		}
+		switch {
+		case h.Opcode == wire.OpcodePing && !h.IsResp():
+			wmu.Lock()
+			frame := wire.AppendEmptyFrame(wire.GetBuffer(), wire.OpcodePing, wire.FlagResp, h.ReqID)
+			_, err := c.Write(frame)
+			wire.PutBuffer(frame)
+			wmu.Unlock()
+			if err != nil {
+				return
+			}
+		case wire.IsRepOpcode(h.Opcode):
+			rep, err := wire.DecodeRep(payload)
+			if err != nil {
+				ft.cfg.Logf("cluster: bad rep frame from %s: %v", c.RemoteAddr(), err)
+				return
+			}
+			ft.in.push(&message{kind: h.Opcode, rep: rep})
+		default:
+			ft.cfg.Logf("cluster: unexpected opcode 0x%02x from %s", h.Opcode, c.RemoteAddr())
+			return
+		}
+	}
+}
+
+// freePeer is one outbound connection slot: dialed lazily, probed by
+// pingLoop, re-dialed with backoff after failures.
+type freePeer struct {
+	ft   *FreeTransport
+	id   NodeID
+	addr string
+
+	mu      sync.Mutex
+	conn    *wire.Conn
+	lastTry time.Time
+}
+
+// get returns the live conn, dialing if the backoff allows. nil means the
+// peer is currently unreachable.
+func (p *freePeer) get() *wire.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return p.conn
+	}
+	if time.Since(p.lastTry) < p.ft.cfg.DialBackoff {
+		return nil
+	}
+	p.lastTry = time.Now()
+	nc, err := net.DialTimeout("tcp", p.addr, p.ft.cfg.DialTimeout)
+	if err != nil {
+		return nil
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p.conn = wire.NewConn(nc)
+	return p.conn
+}
+
+// drop retires a failed conn and emits the death notice (once per conn).
+func (p *freePeer) drop(c *wire.Conn) {
+	p.mu.Lock()
+	mine := p.conn == c
+	if mine {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+	c.Close()
+	if mine {
+		p.ft.peerDown(p.id)
+	}
+}
+
+func (p *freePeer) send(m *message) {
+	c := p.get()
+	if c == nil {
+		return // unreachable; the protocol retransmits
+	}
+	if err := c.SendRep(m.kind, &m.rep); err != nil {
+		if !errors.Is(err, wire.ErrConnClosed) {
+			p.ft.cfg.Logf("cluster: send to node %d: %v", p.id, err)
+		}
+		p.drop(c)
+	}
+}
+
+func (p *freePeer) pingLoop() {
+	defer p.ft.wg.Done()
+	t := time.NewTicker(p.ft.cfg.PingEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ft.stop:
+			return
+		case <-t.C:
+		}
+		if c := p.get(); c != nil {
+			if err := c.Ping(); err != nil {
+				p.drop(c)
+			}
+		}
+	}
+}
+
+func (p *freePeer) close() {
+	p.mu.Lock()
+	c := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// inbox is the unbounded local delivery queue: pushes never block or drop
+// (self-sends and client injections must be reliable), pops support the
+// event loop's deadline.
+type inbox struct {
+	mu     sync.Mutex
+	q      []*message
+	notify chan struct{} // cap 1
+}
+
+func (in *inbox) push(m *message) {
+	in.mu.Lock()
+	in.q = append(in.q, m)
+	in.mu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (in *inbox) tryPop() *message {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.q) == 0 {
+		return nil
+	}
+	m := in.q[0]
+	in.q[0] = nil
+	in.q = in.q[1:]
+	return m
+}

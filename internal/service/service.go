@@ -323,9 +323,17 @@ func keyHash(key string) uint32 {
 	return h
 }
 
+// ShardIndex is the key→shard routing function, exported so layers above
+// the store (internal/cluster's front ends) route ops to shard owners with
+// the exact function the store uses internally — a divergent reimplementation
+// would silently send ops to the wrong node.
+func ShardIndex(key string, shards int) int {
+	return int(keyHash(key) % uint32(shards))
+}
+
 // shardOf routes a key to its shard.
 func (s *Store) shardOf(key string) *shard {
-	return s.shards[keyHash(key)%uint32(len(s.shards))]
+	return s.shards[ShardIndex(key, len(s.shards))]
 }
 
 // Metrics returns the store's registry, for mounting on a /metrics endpoint

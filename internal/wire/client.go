@@ -156,6 +156,38 @@ func (c *Conn) Stats(v any) error {
 	return json.Unmarshal(cl.raw, v)
 }
 
+// Ping issues the no-op round trip (docs/PROTOCOL.md §3.7) and blocks for
+// the empty response: a liveness probe that exercises the peer's full
+// read-dispatch-write path. internal/cluster's free-mode transport pings
+// each peer connection on a timer to detect dead nodes faster than TCP
+// would.
+func (c *Conn) Ping() error {
+	id, cl, err := c.register(nil)
+	if err != nil {
+		return err
+	}
+	return c.roundTrip(id, cl, AppendEmptyFrame(GetBuffer(), OpcodePing, 0, id))
+}
+
+// SendRep encodes and sends one one-way replication frame (docs/PROTOCOL.md
+// §5) and returns as soon as the bytes are written: replication frames have
+// no responses, so there is nothing to wait for. Delivery is best-effort —
+// the cluster protocol retransmits on its own timers.
+func (c *Conn) SendRep(opcode byte, r *Rep) error {
+	c.pmu.Lock()
+	err := c.readErr
+	c.pmu.Unlock()
+	if err != nil {
+		return err
+	}
+	frame, err := AppendRepFrame(GetBuffer(), opcode, r)
+	if err != nil {
+		PutBuffer(frame)
+		return err
+	}
+	return c.write(frame)
+}
+
 // Drain sends the pipeline fence and blocks until the server confirms that
 // every request frame sent on this connection before the fence has been
 // answered (docs/PROTOCOL.md §3.5). Call it before Close for a clean
@@ -248,7 +280,7 @@ func (c *Conn) complete(h Header, payload []byte, cl *call) error {
 		cl.results = results
 	case OpcodeStats:
 		cl.raw = payload
-	case OpcodeDrain:
+	case OpcodeDrain, OpcodePing:
 		// No payload.
 	default:
 		return ErrBadFrame

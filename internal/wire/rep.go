@@ -1,0 +1,230 @@
+package wire
+
+import "repro/internal/service"
+
+// Replication envelope (docs/PROTOCOL.md §5.1). Every OpcodeRep* frame
+// carries the same payload shape — a fixed 38-byte preamble followed by
+// three counted sections — and the opcode alone distinguishes message
+// kinds. Fields unused by a kind are zero on the wire; a few are
+// overloaded where a second integer is needed (Seq carries the candidate's
+// last-entry epoch in Vote/VoteOK/Owner frames, Peer carries the subject
+// node in Redirect/Owner frames). internal/cluster documents the per-kind
+// field meanings next to its message constructors.
+//
+//	preamble = from(2) peer(2) shard(2) epoch(8) seq(8) frontier(8) reqid(8)
+//	payload  = preamble  nops(2) op...  nresults(2) result...  nentries(2) entry...
+//	entry    = seq(8) epoch(8) nops(2) op...
+//
+// The op and result encodings are exactly §3.2's; counts are bounded by
+// MaxBatchOps (ops, results) and MaxRepEntries (entries).
+
+// MaxRepEntries is the largest entry count in one RepAppend frame
+// (docs/PROTOCOL.md §5.1). Owners chunk longer suffixes across frames.
+const MaxRepEntries = 1024
+
+// repPreambleSize is the fixed-size prefix of every Rep payload.
+const repPreambleSize = 38
+
+// RepEntry is one committed log entry as replicated: the owner-assigned
+// entry sequence number, the owner epoch that committed it, and the client
+// ops it carries in commit order.
+type RepEntry struct {
+	Seq   uint64
+	Epoch uint64
+	Ops   []service.Op
+}
+
+// Rep is the decoded replication envelope. From is always the sending
+// node; the remaining fields are kind-specific (see the OpcodeRep*
+// constants and docs/PROTOCOL.md §5.2).
+type Rep struct {
+	From     uint16
+	Peer     uint16
+	Shard    uint16
+	Epoch    uint64
+	Seq      uint64
+	Frontier uint64
+	ReqID    uint64
+	Ops      []service.Op
+	Results  []service.Result
+	Entries  []RepEntry
+}
+
+// AppendRep appends the encoded envelope payload (no header).
+func AppendRep(dst []byte, r *Rep) []byte {
+	var pre [repPreambleSize]byte
+	putU16(pre[0:], r.From)
+	putU16(pre[2:], r.Peer)
+	putU16(pre[4:], r.Shard)
+	putU64(pre[6:], r.Epoch)
+	putU64(pre[14:], r.Seq)
+	putU64(pre[22:], r.Frontier)
+	putU64(pre[30:], r.ReqID)
+	dst = append(dst, pre[:]...)
+	dst = AppendBatch(dst, r.Ops)
+	dst = AppendResults(dst, r.Results)
+	var c [2]byte
+	putU16(c[:], uint16(len(r.Entries)))
+	dst = append(dst, c[:]...)
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		var fix [16]byte
+		putU64(fix[0:], e.Seq)
+		putU64(fix[8:], e.Epoch)
+		dst = append(dst, fix[:]...)
+		dst = AppendBatch(dst, e.Ops)
+	}
+	return dst
+}
+
+// repSizeOK validates the envelope's counts and string lengths before
+// encoding, mirroring AppendBatchFrame's client-side refusal of frames the
+// receiver would reject.
+func repSizeOK(r *Rep) bool {
+	if len(r.Ops) > MaxBatchOps || len(r.Results) > MaxBatchOps || len(r.Entries) > MaxRepEntries {
+		return false
+	}
+	for _, op := range r.Ops {
+		if !opSizeOK(op) {
+			return false
+		}
+	}
+	for _, res := range r.Results {
+		if len(res.Val) > MaxStr {
+			return false
+		}
+	}
+	for i := range r.Entries {
+		if len(r.Entries[i].Ops) > MaxBatchOps {
+			return false
+		}
+		for _, op := range r.Entries[i].Ops {
+			if !opSizeOK(op) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AppendRepFrame appends a complete replication frame: a §2.1 header with
+// the given OpcodeRep* opcode, no flags, reqid 0 (correlation lives in the
+// payload), around the §5.1 envelope payload. Oversized envelopes are
+// refused with ErrBadFrame.
+func AppendRepFrame(dst []byte, opcode byte, r *Rep) ([]byte, error) {
+	if !repSizeOK(r) {
+		return dst, ErrBadFrame
+	}
+	dst, start := beginFrame(dst, opcode, 0, 0)
+	dst = AppendRep(dst, r)
+	if len(dst)-start-HeaderSize > MaxPayload {
+		return dst[:start], ErrBadFrame
+	}
+	return endFrame(dst, start), nil
+}
+
+// DecodeRep decodes a whole envelope payload. Strings alias b (see
+// DecodeOp's contract); the payload must be exactly consumed — trailing
+// bytes are ErrBadFrame.
+func DecodeRep(b []byte) (Rep, error) {
+	var r Rep
+	if len(b) < repPreambleSize {
+		return r, ErrTruncated
+	}
+	r.From = getU16(b[0:])
+	r.Peer = getU16(b[2:])
+	r.Shard = getU16(b[4:])
+	r.Epoch = getU64(b[6:])
+	r.Seq = getU64(b[14:])
+	r.Frontier = getU64(b[22:])
+	r.ReqID = getU64(b[30:])
+	i := repPreambleSize
+	var err error
+	if r.Ops, i, err = decOps(b, i); err != nil {
+		return Rep{}, err
+	}
+	if r.Results, i, err = decResults(b, i); err != nil {
+		return Rep{}, err
+	}
+	if len(b)-i < 2 {
+		return Rep{}, ErrTruncated
+	}
+	nent := int(getU16(b[i:]))
+	i += 2
+	if nent > MaxRepEntries {
+		return Rep{}, ErrBadFrame
+	}
+	if nent > 0 {
+		r.Entries = make([]RepEntry, nent)
+		for k := 0; k < nent; k++ {
+			if len(b)-i < 16 {
+				return Rep{}, ErrTruncated
+			}
+			r.Entries[k].Seq = getU64(b[i:])
+			r.Entries[k].Epoch = getU64(b[i+8:])
+			i += 16
+			if r.Entries[k].Ops, i, err = decOps(b, i); err != nil {
+				return Rep{}, err
+			}
+		}
+	}
+	if i != len(b) {
+		return Rep{}, ErrBadFrame
+	}
+	return r, nil
+}
+
+// decOps decodes one §3.3 counted op section starting at b[i], returning
+// the ops (nil when the count is zero) and the cursor past the section.
+func decOps(b []byte, i int) ([]service.Op, int, error) {
+	if len(b)-i < 2 {
+		return nil, 0, ErrTruncated
+	}
+	count := int(getU16(b[i:]))
+	i += 2
+	if count > MaxBatchOps {
+		return nil, 0, ErrBadFrame
+	}
+	var ops []service.Op
+	if count > 0 {
+		ops = make([]service.Op, 0, count)
+	}
+	for k := 0; k < count; k++ {
+		op, n, err := DecodeOp(b[i:])
+		if err != nil {
+			return nil, 0, err
+		}
+		ops = append(ops, op)
+		i += n
+	}
+	return ops, i, nil
+}
+
+// decResults decodes one counted result section starting at b[i].
+func decResults(b []byte, i int) ([]service.Result, int, error) {
+	if len(b)-i < 2 {
+		return nil, 0, ErrTruncated
+	}
+	count := int(getU16(b[i:]))
+	i += 2
+	if count > MaxBatchOps {
+		return nil, 0, ErrBadFrame
+	}
+	var results []service.Result
+	if count > 0 {
+		results = make([]service.Result, 0, count)
+	}
+	for k := 0; k < count; k++ {
+		res, n, err := DecodeResult(b[i:])
+		if err != nil {
+			return nil, 0, err
+		}
+		results = append(results, res)
+		i += n
+	}
+	return results, i, nil
+}
+
+// IsRepOpcode reports whether op is one of the one-way replication
+// opcodes (docs/PROTOCOL.md §5).
+func IsRepOpcode(op byte) bool { return op >= OpcodeRepHeartbeat && op <= OpcodeRepOwner }

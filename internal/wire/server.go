@@ -35,12 +35,23 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
+// Backend is what a Server serves: the op-execution surface shared by
+// *service.Store (single-node serving, PR 8) and internal/cluster's front
+// end (which routes each op to its shard owner). The method contracts are
+// service.Store's: DoBatch answers index-aligned results, errors are the
+// typed service errors (mapped to wire codes by ErrCodeOf).
+type Backend interface {
+	Do(ctx context.Context, op service.Op) (service.Result, error)
+	DoBatch(ctx context.Context, ops []service.Op) ([]service.Result, error)
+	Stats() service.Stats
+}
+
 // Server serves the wire protocol over a listener, translating frames into
-// store.Do/DoBatch calls. Decoded batch frames feed the store's per-shard
+// backend Do/DoBatch calls. Decoded batch frames feed the store's per-shard
 // batch windows directly — the transport adds framing, not an extra
 // queueing layer.
 type Server struct {
-	store *service.Store
+	store Backend
 	cfg   ServerConfig
 
 	mu     sync.Mutex
@@ -51,8 +62,8 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// NewServer builds a Server over store.
-func NewServer(store *service.Store, cfg ServerConfig) *Server {
+// NewServer builds a Server over a backend.
+func NewServer(store Backend, cfg ServerConfig) *Server {
 	return &Server{store: store, cfg: cfg.withDefaults(), conns: map[*serverConn]struct{}{}}
 }
 
@@ -263,6 +274,10 @@ func (sc *serverConn) readLoop() error {
 		case OpcodeStats:
 			sc.inflight.Add(1)
 			go sc.handleStats(h.ReqID)
+		case OpcodePing:
+			// The no-op round trip (§3.7): answered inline — a ping measures
+			// the read-dispatch-write path, not the store.
+			sc.send(AppendEmptyFrame(GetBuffer(), OpcodePing, FlagResp, h.ReqID))
 		case OpcodeDrain:
 			// The pipeline fence (§3.5): only the reader Adds to inflight,
 			// so waiting here is race-free — every previously dispatched

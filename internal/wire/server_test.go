@@ -300,7 +300,7 @@ func TestBadRequestPayload(t *testing.T) {
 	}
 }
 
-// TestUnknownOpcode: code 6, connection stays usable (PROTOCOL.md §4/§5).
+// TestUnknownOpcode: code 6, connection stays usable (PROTOCOL.md §4/§6).
 func TestUnknownOpcode(t *testing.T) {
 	addr := startServer(t, service.Config{Shards: 1})
 	nc, err := net.Dial("tcp", addr)
@@ -330,7 +330,7 @@ func TestUnknownOpcode(t *testing.T) {
 }
 
 // TestUnsupportedVersion: code 5, then the server closes the connection
-// (PROTOCOL.md §5).
+// (PROTOCOL.md §6).
 func TestUnsupportedVersion(t *testing.T) {
 	addr := startServer(t, service.Config{Shards: 1})
 	nc, err := net.Dial("tcp", addr)
@@ -404,7 +404,7 @@ func assertConnClosed(t *testing.T, nc net.Conn) {
 // TestConnDropMidPipeline: a client vanishing with requests in flight —
 // including a pending drain fence — must leak nothing: the server
 // completes the ops, discards the answers, and its goroutine count
-// settles back to the baseline (PROTOCOL.md §6).
+// settles back to the baseline (PROTOCOL.md §7).
 func TestConnDropMidPipeline(t *testing.T) {
 	addr := startServer(t, service.Config{Shards: 2})
 

@@ -67,6 +67,45 @@ const (
 	// OpcodeDrain is the pipeline fence: its response is sent only after
 	// every request frame received before it has been answered (§3.5).
 	OpcodeDrain byte = 0x04
+	// OpcodePing is the no-op round trip: empty request payload, empty
+	// response payload. Clients and cluster peers use it as a liveness
+	// probe and RTT measurement (§3.7).
+	OpcodePing byte = 0x05
+)
+
+// Replication opcodes (docs/PROTOCOL.md §5): the message layer of
+// internal/cluster's leader-per-shard replication. Unlike opcodes
+// 0x01-0x05 these are ONE-WAY frames — no response is ever sent, FlagResp
+// is never set, and the header's reqid is zero (request/response
+// correlation for routed client ops lives in the payload's reqid field
+// instead). Every replication frame carries the same Rep envelope payload
+// (§5.1); the opcode is the message kind.
+const (
+	// OpcodeRepHeartbeat is the periodic peer liveness beacon.
+	OpcodeRepHeartbeat byte = 0x06
+	// OpcodeRepRoute forwards client ops from a front end to the believed
+	// shard owner (payload reqid correlates the eventual RepDone).
+	OpcodeRepRoute byte = 0x07
+	// OpcodeRepDone answers a RepRoute with its index-aligned results.
+	OpcodeRepDone byte = 0x08
+	// OpcodeRepRedirect tells a front end who the sender believes owns the
+	// shard (peer = the owner's node id).
+	OpcodeRepRedirect byte = 0x09
+	// OpcodeRepAppend streams committed log entries from a shard owner to
+	// a follower; an entry-less append probes the follower's frontier.
+	OpcodeRepAppend byte = 0x0A
+	// OpcodeRepAck is a follower's cumulative applied frontier.
+	OpcodeRepAck byte = 0x0B
+	// OpcodeRepStale fences a deposed owner: the sender has seen a higher
+	// epoch for the shard.
+	OpcodeRepStale byte = 0x0C
+	// OpcodeRepVote requests an election vote (epoch = candidate epoch,
+	// frontier/seq = the candidate's log position, see §5.3).
+	OpcodeRepVote byte = 0x0D
+	// OpcodeRepVoteOK grants a vote (frontier = the voter's frontier).
+	OpcodeRepVoteOK byte = 0x0E
+	// OpcodeRepOwner announces an election winner to every node.
+	OpcodeRepOwner byte = 0x0F
 )
 
 // Flags (docs/PROTOCOL.md §2.2).

@@ -44,6 +44,7 @@ go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/service/ 
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/fault/ | tee -a "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/metrics/ | tee -a "$raw" >&2
 go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/wire/ | tee -a "$raw" >&2
+go test -run xxx -bench . -benchmem -benchtime="$benchtime" ./internal/cluster/ | tee -a "$raw" >&2
 
 # Convert `go test -bench` lines into a JSON snapshot. Each benchmark line
 # has the shape:

@@ -185,7 +185,7 @@ func main() {
 	}{
 		{*stepBenchtime, []string{"./internal/sched/", "./internal/memory/", "./internal/fault/", "./internal/metrics/"}},
 		{*serveBenchtime, []string{"./internal/service/", "./internal/wire/"}},
-		{*benchtime, []string{"./internal/explore/", "./internal/sim/", "."}},
+		{*benchtime, []string{"./internal/explore/", "./internal/sim/", "./internal/cluster/", "."}},
 	}
 
 	path := *baselinePath

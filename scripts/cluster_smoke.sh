@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — free-mode failover smoke of the replicated cluster.
+#
+# Boots a 3-node cluster (every node frontend+store, 2 shards, RPW1
+# replication between peers), pushes 50k loadgen ops through a surviving
+# front end's wire listener, and SIGKILLs the shard-0 owner mid-run. The
+# smoke passes only if:
+#
+#   - loadgen exits 0: zero request errors and zero audited linearizability
+#     violations across the failover (idempotent retries are on, so the
+#     election may slow requests but must never fail them);
+#   - a survivor actually won an election (a vacuous smoke fails): the
+#     final cluster report of the survivors counts >= 1 failover;
+#   - the survivors leaked no goroutines (post-load count near the warm
+#     baseline);
+#   - both survivors drain all listeners and exit 0 on SIGTERM (exit 3 =
+#     final audit violation) and print the per-listener drain report.
+#
+# Usage:   scripts/cluster_smoke.sh
+# Env:     CLUSTER_OPS=50000  CLUSTER_BASE_PORT=7200
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+OPS="${CLUSTER_OPS:-50000}"
+BASE="${CLUSTER_BASE_PORT:-7200}"
+TMP="$(mktemp -d)"
+
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/served" ./cmd/served
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+# Port plan: peers (replication) at BASE+i, HTTP at BASE+10+i, wire at
+# BASE+20+i.
+PEERS="127.0.0.1:$BASE,127.0.0.1:$((BASE + 1)),127.0.0.1:$((BASE + 2))"
+for i in 0 1 2; do
+  "$TMP/served" -node "$i" -peers "$PEERS" -roles frontend,store -shards 2 \
+    -addr "127.0.0.1:$((BASE + 10 + i))" -wire "127.0.0.1:$((BASE + 20 + i))" \
+    >"$TMP/served-$i.log" 2>&1 &
+  pids[i]=$!
+done
+
+for i in 0 1 2; do
+  up=0
+  for _ in $(seq 1 50); do
+    if curl -fs "http://127.0.0.1:$((BASE + 10 + i))/healthz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.2
+  done
+  [ "$up" = 1 ] || { echo "cluster-smoke: node $i never came up" >&2; cat "$TMP/served-$i.log" >&2; exit 1; }
+done
+
+goroutines() { curl -fs "http://127.0.0.1:$((BASE + 10 + $1))/stats" | sed -n 's/.*"goroutines":\([0-9]*\).*/\1/p'; }
+
+# Warm the survivors (peer links, connection pools, shard logs) before
+# taking the leak baselines; node 0 is about to die, so only 1 and 2 count.
+"$TMP/loadgen" -proto wire -addr "127.0.0.1:$((BASE + 21))" -conns 2 -workers 4 -ops 2000 >/dev/null
+base_g1="$(goroutines 1)"
+base_g2="$(goroutines 2)"
+echo "cluster-smoke: baseline goroutines node1=$base_g1 node2=$base_g2; pushing $OPS ops"
+
+# The main load goes through node 1's wire listener — a front end that
+# survives the kill. Routing to shard 0 still crosses to node 0 (its owner
+# under the rotated preference) until the failover.
+"$TMP/loadgen" -proto wire -addr "127.0.0.1:$((BASE + 21))" -conns 4 -workers 8 -ops "$OPS" \
+  >"$TMP/loadgen.log" 2>&1 &
+lg=$!
+
+sleep 1.2
+echo "cluster-smoke: SIGKILL node 0 (shard-0 owner) mid-run"
+kill -9 "${pids[0]}"
+wait "${pids[0]}" 2>/dev/null
+
+if ! wait "$lg"; then
+  echo "cluster-smoke: FAIL — loadgen reported errors or audit violations" >&2
+  cat "$TMP/loadgen.log" >&2
+  exit 1
+fi
+tail -n 3 "$TMP/loadgen.log"
+
+sleep 1 # let post-failover retransmissions and closed peer links settle
+end_g1="$(goroutines 1)"
+end_g2="$(goroutines 2)"
+echo "cluster-smoke: after load goroutines node1=$end_g1 node2=$end_g2"
+if [ "$end_g1" -gt $((base_g1 + 20)) ] || [ "$end_g2" -gt $((base_g2 + 20)) ]; then
+  echo "cluster-smoke: FAIL — goroutine leak: node1 $base_g1 -> $end_g1, node2 $base_g2 -> $end_g2" >&2
+  exit 1
+fi
+
+kill -TERM "${pids[1]}" "${pids[2]}"
+wait "${pids[1]}"; rc1=$?
+wait "${pids[2]}"; rc2=$?
+pids=()
+if [ "$rc1" -ne 0 ] || [ "$rc2" -ne 0 ]; then
+  echo "cluster-smoke: FAIL — survivor exit codes node1=$rc1 node2=$rc2 (3 = audit violation)" >&2
+  tail -n 20 "$TMP/served-1.log" "$TMP/served-2.log" >&2
+  exit 1
+fi
+
+# The survivors' final reports: the drain must be per-listener and the
+# cluster counters must show a real failover happened somewhere.
+failovers=0
+for i in 1 2; do
+  if ! grep -q 'served: drain: http=' "$TMP/served-$i.log"; then
+    echo "cluster-smoke: FAIL — node $i printed no per-listener drain report" >&2
+    tail -n 20 "$TMP/served-$i.log" >&2
+    exit 1
+  fi
+  f="$(sed -n 's/.*served: cluster: \([0-9]*\) failovers.*/\1/p' "$TMP/served-$i.log" | head -n 1)"
+  failovers=$((failovers + ${f:-0}))
+  grep -E 'served: (cluster|drain):' "$TMP/served-$i.log" | sed "s/^/cluster-smoke: node $i: /"
+done
+if [ "$failovers" -eq 0 ]; then
+  echo "cluster-smoke: FAIL — no survivor won an election (vacuous smoke)" >&2
+  exit 1
+fi
+
+echo "cluster-smoke: OK — $failovers failover(s) absorbed, audit clean, no leaks"
