@@ -132,11 +132,84 @@ func TestStartClusterFlagErrors(t *testing.T) {
 		{"no role", 0, "a:1", ",", ""},
 		{"non-numeric store node", 0, "a:1", "frontend,store", "x"},
 		{"store node out of range", 0, "a:1", "frontend,store", "7"},
+		// Role/membership inconsistency: a store-role node outside the
+		// replica set would campaign forever; a replica-set member without
+		// the store role would silently weaken the quorum; a frontend-only
+		// node under the all-peers default is the latter in disguise.
+		{"store role not in store-nodes", 0, "a:1,b:2,c:3", "frontend,store", "1,2"},
+		{"replica without store role", 0, "a:1,b:2,c:3", "frontend", "0,1"},
+		{"frontend-only without store-nodes", 0, "a:1,b:2,c:3", "frontend", ""},
+		{"duplicate store node", 0, "a:1,b:2,c:3", "frontend,store", "0,0,1"},
 	}
 	for _, tc := range cases {
 		if n, err := startCluster(cfg, tc.node, tc.peers, tc.roles, tc.storeNodes); err == nil {
 			n.Close()
 			t.Errorf("%s: startCluster accepted", tc.name)
+		}
+	}
+}
+
+// TestStartClusterSplitRoles: the canonical split topology — store role on
+// an explicit replica subset, frontend elsewhere — passes validation on
+// both sides.
+func TestStartClusterSplitRoles(t *testing.T) {
+	addrs := []string{reserveAddr(t), reserveAddr(t), reserveAddr(t)}
+	peers := strings.Join(addrs, ",")
+	store, err := startCluster(clusterTestConfig(), 0, peers, "store", "0,1")
+	if err != nil {
+		t.Fatalf("store node refused: %v", err)
+	}
+	defer store.Close()
+	fe, err := startCluster(clusterTestConfig(), 2, peers, "frontend", "0,1")
+	if err != nil {
+		t.Fatalf("frontend node refused: %v", err)
+	}
+	defer fe.Close()
+}
+
+// TestClusterMetricsIncludeStores: cluster-mode /metrics must expose the
+// shard replica stores' service families (distinguished by cluster_shard)
+// alongside the node's cluster families — one scrape, no duplicate TYPE
+// blocks.
+func TestClusterMetricsIncludeStores(t *testing.T) {
+	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "frontend,store", "")
+	if err != nil {
+		t.Fatalf("startCluster: %v", err)
+	}
+	defer node.Close()
+	srv := httptest.NewServer(buildMux(node, nil, node, nil))
+	defer srv.Close()
+
+	client := srv.Client()
+	client.Timeout = 60 * time.Second
+	if code, body := post(t, srv, "/op", `{"op":"put","key":"mk","val":"mv"}`); code != http.StatusOK {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d\n%s", resp.StatusCode, body)
+	}
+	for _, want := range []string{
+		"cluster_owned_shards",
+		`cluster_shard="0"`,
+		`cluster_shard="1"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Merged exposition stays a valid scrape: one TYPE line per family.
+	types := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if types[line] {
+				t.Fatalf("duplicate %q in merged scrape", line)
+			}
+			types[line] = true
 		}
 	}
 }

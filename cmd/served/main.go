@@ -291,6 +291,32 @@ func startCluster(cfg service.Config, nodeID int, peers, roles, storeNodes strin
 			replicas = append(replicas, cluster.NodeID(id))
 		}
 	}
+	// Role/membership consistency. A store-role node outside the replica
+	// set never receives appends, so its owner timeout fires on every shard
+	// and it campaigns forever (vote escalation can depose live owners); a
+	// replica-set member without the store role counts in the quorum
+	// denominator but never acks or votes, silently costing fault
+	// tolerance. Both are misconfigurations, not deployments — refuse them.
+	selfReplica := false
+	seen := map[cluster.NodeID]bool{}
+	for _, id := range replicas {
+		if seen[id] {
+			return nil, fmt.Errorf("-store-nodes lists node %d twice", id)
+		}
+		seen[id] = true
+		if id == cluster.NodeID(nodeID) {
+			selfReplica = true
+		}
+	}
+	if storeRole && !selfReplica {
+		return nil, fmt.Errorf("-roles includes store but node %d is not in -store-nodes %q: the replica would never receive appends and would campaign forever", nodeID, storeNodes)
+	}
+	if !storeRole && selfReplica {
+		if storeNodes == "" {
+			return nil, fmt.Errorf("-roles %q excludes store but -store-nodes is unset (default: all peers replicate): a frontend-only node needs an explicit -store-nodes naming the store-role peers", roles)
+		}
+		return nil, fmt.Errorf("node %d is in -store-nodes %q but -roles %q excludes store: it would count toward the quorum without ever acking or voting", nodeID, storeNodes, roles)
+	}
 	var stores []*service.Store
 	if storeRole {
 		for s := 0; s < cfg.Shards; s++ {
@@ -445,13 +471,25 @@ func buildMux(be backend, store *service.Store, node *cluster.Node, faults *faul
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", metrics.ContentType)
-		reg := func() *metrics.Registry {
-			if node != nil {
-				return node.Metrics()
+		var err error
+		if node != nil {
+			// Cluster mode: merge the node's cluster_* registry with every
+			// shard replica store's service_* registry (distinguished by a
+			// cluster_shard label) into one valid exposition, so cluster
+			// deployments keep the op/batch/latency visibility of
+			// single-process mode.
+			parts := []metrics.LabeledRegistry{{Reg: node.Metrics()}}
+			for s, reg := range node.StoreRegistries() {
+				parts = append(parts, metrics.LabeledRegistry{
+					Reg:   reg,
+					Extra: metrics.Labels{{Name: "cluster_shard", Value: strconv.Itoa(s)}},
+				})
 			}
-			return store.Metrics()
-		}()
-		if err := reg.WriteProm(w); err != nil {
+			err = metrics.WriteMultiProm(w, parts)
+		} else {
+			err = store.Metrics().WriteProm(w)
+		}
+		if err != nil {
 			log.Printf("served: write metrics: %v", err)
 		}
 	})

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // reservePorts picks n distinct loopback addresses by binding and releasing
@@ -215,6 +217,147 @@ func TestFreeClusterFailover(t *testing.T) {
 	for i, n := range nodes[1:] {
 		if st := n.Stats(); st.Audit.Violations != 0 {
 			t.Fatalf("node %d audit violations: %+v", i+1, st.Audit)
+		}
+	}
+}
+
+// TestFrameByteBudgets pins the budget chain against the wire encoders:
+// the hand-written entry overhead must match the real encoding, and a
+// maximally-sized route must survive the whole pipeline — route frame,
+// single-route log entry, single-entry append frame — without tripping
+// AppendRepFrame's MaxPayload refusal.
+func TestFrameByteBudgets(t *testing.T) {
+	if got := wire.EncodedEntrySize(wire.RepEntry{}); got != entryOverheadBytes {
+		t.Fatalf("entryOverheadBytes = %d, wire encodes %d", entryOverheadBytes, got)
+	}
+	// Build ops right at the route budget.
+	val := strings.Repeat("x", 60<<10)
+	var ops []service.Op
+	bytes := 0
+	for id := uint64(1); ; id++ {
+		op := service.Op{Kind: service.OpPut, Key: "k", Val: val, ID: id}
+		if sz := wire.EncodedOpSize(op); bytes+sz > maxRouteBytes {
+			break
+		} else {
+			bytes += sz
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) < 2 {
+		t.Fatalf("budget admits only %d large ops", len(ops))
+	}
+	if _, err := wire.AppendRepFrame(nil, wire.OpcodeRepRoute, &wire.Rep{Ops: ops}); err != nil {
+		t.Fatalf("budget-bounded route frame refused: %v", err)
+	}
+	entry := wire.RepEntry{Seq: 1, Epoch: 1, Ops: ops}
+	if wire.EncodedEntrySize(entry) > maxChunkBytes {
+		t.Fatal("a route at maxRouteBytes does not fit one append chunk")
+	}
+	if _, err := wire.AppendRepFrame(nil, wire.OpcodeRepAppend, &wire.Rep{Entries: []wire.RepEntry{entry}}); err != nil {
+		t.Fatalf("budget-bounded append frame refused: %v", err)
+	}
+}
+
+// TestFreeClusterLargePayloads: client batches and read results far larger
+// than one wire frame (MaxPayload = 1 MiB) must still commit and answer —
+// the front end splits routes by encoded size, the owner byte-bounds log
+// entries and append chunks, and oversized answers come back as result
+// chunks. Before byte bounding, the first oversized frame wedged its route
+// (ErrBadFrame retried identically forever) and this test hung.
+func TestFreeClusterLargePayloads(t *testing.T) {
+	nodes := startFreeCluster(t, 3, 1, false)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// ~1.5 MiB of puts in ONE client batch: must split into multiple routes
+	// and replicate across several append frames.
+	const keys = 25
+	val := strings.Repeat("v", 60<<10)
+	var puts []service.Op
+	for i := 0; i < keys; i++ {
+		puts = append(puts, service.Op{
+			Kind: service.OpPut, Key: fmt.Sprintf("big%d", i), Val: val + fmt.Sprint(i), ID: uint64(i + 1),
+		})
+	}
+	res, err := nodes[0].DoBatch(ctx, puts)
+	if err != nil {
+		t.Fatalf("oversized put batch: %v", err)
+	}
+	for i, r := range res {
+		if !r.OK {
+			t.Fatalf("put %d not OK: %+v", i, r)
+		}
+	}
+
+	// ~1.5 MiB of results from one batch of tiny gets: the answer cannot fit
+	// one RepDone frame, so it must arrive chunked and reassemble in order.
+	var gets []service.Op
+	for i := 0; i < keys; i++ {
+		gets = append(gets, service.Op{Kind: service.OpGet, Key: fmt.Sprintf("big%d", i), ID: uint64(100 + i)})
+	}
+	res, err = nodes[1].DoBatch(ctx, gets)
+	if err != nil {
+		t.Fatalf("oversized get batch: %v", err)
+	}
+	for i, r := range res {
+		if !r.OK || r.Val != val+fmt.Sprint(i) {
+			t.Fatalf("get big%d: OK=%v len=%d, want %d", i, r.OK, len(r.Val), len(val)+1)
+		}
+	}
+
+	// Replication really crossed the wire: a quorum holds the data, so the
+	// shard keeps answering after the original owner dies.
+	owner := int(nodes[0].Status().Shards[0].Owner)
+	nodes[owner].Close()
+	survivor := (owner + 1) % 3
+	r, err := nodes[survivor].Do(ctx, service.Op{Kind: service.OpGet, Key: "big7", ID: 900})
+	if err != nil || !r.OK || r.Val != val+"7" {
+		t.Fatalf("post-failover big get: err=%v OK=%v len=%d", err, r.OK, len(r.Val))
+	}
+}
+
+// TestFreeClusterCloseDuringLoad: Close racing concurrent DoBatch calls
+// must strand nobody — a call that slips its inject past the closed check
+// is either drained and failed with ErrClosed by the shutting-down loop or
+// refused at inject time; a deadline-free caller previously could block on
+// its done channel forever.
+func TestFreeClusterCloseDuringLoad(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		nodes := startFreeCluster(t, 1, 1, false)
+		n := nodes[0]
+		const callers = 8
+		done := make(chan struct{}, callers)
+		for c := 0; c < callers; c++ {
+			go func(c int) {
+				defer func() { done <- struct{}{} }()
+				for i := 0; ; i++ {
+					// No deadline on purpose: a stranded call would hang here.
+					_, err := n.DoBatch(context.Background(), []service.Op{{
+						Kind: service.OpPut, Key: fmt.Sprintf("k%d", c),
+						Val: "v", ID: uint64(round+1)<<32 | uint64(c)<<16 | uint64(i+1),
+					}})
+					if err != nil {
+						if err != service.ErrClosed {
+							t.Errorf("caller %d: %v, want ErrClosed", c, err)
+						}
+						return
+					}
+				}
+			}(c)
+		}
+		time.Sleep(20 * time.Millisecond)
+		n.Close()
+		for c := 0; c < callers; c++ {
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("round %d: caller stranded after Close", round)
+			}
 		}
 	}
 }

@@ -13,26 +13,47 @@ import (
 	"repro/internal/wire"
 )
 
-// maxChunkEntries bounds the entries in one RepAppend frame; well under
-// wire.MaxRepEntries so even MaxEntryOps-sized entries stay far below
-// MaxPayload.
+// maxChunkEntries bounds the entry count in one RepAppend frame (the
+// byte budget below is the binding limit for large entries).
 const maxChunkEntries = 64
+
+// Byte budgets keeping every frame this package emits encodable
+// (≤ wire.MaxPayload), derived from wire.MaxRepData so the chain of
+// guarantees composes: a route's ops fit a RepRoute frame AND a log
+// entry built from that route alone (maxRouteBytes leaves room for the
+// per-entry overhead), an entry fits a RepAppend frame, and RepDone
+// results are chunked against the same budget. Without these bounds an
+// oversized frame would fail AppendRepFrame with ErrBadFrame and be
+// retried identically forever — wedging replication or a client route.
+const (
+	entryOverheadBytes = 18 // wire.EncodedEntrySize(wire.RepEntry{})
+	maxEntryBytes      = wire.MaxRepData
+	maxChunkBytes      = wire.MaxRepData
+	maxDoneBytes       = wire.MaxRepData
+	maxRouteBytes      = maxEntryBytes - entryOverheadBytes
+)
 
 // pendRoute is one client route queued (or in flight) at a shard owner.
 type pendRoute struct {
 	from  NodeID
 	reqid uint64
 	ops   []service.Op
+	bytes int // encoded size of ops, toward maxEntryBytes
 }
 
 // route is one shard's slice of a client call, tracked by the front end
-// until the owning node answers it with RepDone.
+// until the owning node answers it with RepDone. Large calls split into
+// several routes per shard so each route's ops stay under maxRouteBytes;
+// answers may arrive as several result chunks (got/recvd reassemble).
 type route struct {
 	call   *clientCall
 	shard  int
 	ops    []service.Op
 	idxs   []int // positions in call.ops/call.results
+	bytes  int   // encoded size of ops
 	sentAt int64
+	got    []bool // results received, by position in ops
+	recvd  int
 }
 
 // shardRep is one shard's replica state on a store node: the replicated
@@ -287,6 +308,19 @@ func New(cfg Config, tr Transport, stores []*service.Store) *Node {
 // cluster_*; see docs/OPERATIONS.md).
 func (n *Node) Metrics() *metrics.Registry { return n.reg }
 
+// StoreRegistries returns the per-shard replica stores' metric registries,
+// indexed by shard (empty for a frontend-only node). Safe from any
+// goroutine — the store set is fixed at construction. Cluster-mode
+// /metrics merges these with Metrics() so the op/batch/latency families of
+// single-process mode stay scrapable in a deployment.
+func (n *Node) StoreRegistries() []*metrics.Registry {
+	out := make([]*metrics.Registry, len(n.stores))
+	for i, st := range n.stores {
+		out[i] = st.Metrics()
+	}
+	return out
+}
+
 // Status snapshots the node's cluster state; safe from any goroutine.
 func (n *Node) Status() Status {
 	n.smu.Lock()
@@ -372,7 +406,9 @@ func (n *Node) DoBatch(ctx context.Context, ops []service.Op) ([]service.Result,
 		return nil, service.ErrClosed
 	}
 	cc := &clientCall{ops: ops, results: make([]service.Result, len(ops)), done: make(chan struct{})}
-	n.tr.inject(nil, &message{kind: kindClient, call: cc})
+	if !n.tr.inject(nil, &message{kind: kindClient, call: cc}) {
+		return nil, service.ErrClosed // lost the race with shutdown's inbox drain
+	}
 	select {
 	case <-cc.done:
 		return cc.results, cc.err
@@ -390,7 +426,9 @@ func (n *Node) DoBatchOn(p *sched.Proc, ops []service.Op) ([]service.Result, err
 		return nil, service.ErrClosed
 	}
 	cc := &clientCall{ops: ops, results: make([]service.Result, len(ops))}
-	n.tr.inject(p, &message{kind: kindClient, call: cc})
+	if !n.tr.inject(p, &message{kind: kindClient, call: cc}) {
+		return nil, service.ErrClosed // lost the race with shutdown's inbox drain
+	}
 	p.Park(func() bool { return cc.answered })
 	return cc.results, cc.err
 }
@@ -453,6 +491,16 @@ func (n *Node) Run(p *sched.Proc) {
 
 func (n *Node) shutdown(p *sched.Proc) {
 	n.closed.Store(true)
+	// A client call can race the shutdown message into the inbox (its
+	// closed check passed before Close stored the flag). Close the inbox to
+	// further injects and fail whatever landed behind the shutdown message;
+	// an inject arriving after the close returns false and the submitter
+	// fails the call itself — either way nobody blocks forever.
+	for _, m := range n.tr.drain(p) {
+		if m.kind == kindClient && !m.call.answered {
+			m.call.finish(service.ErrClosed)
+		}
+	}
 	// Fail every unanswered client call.
 	ids := make([]uint64, 0, len(n.routes))
 	for id := range n.routes {
@@ -634,7 +682,14 @@ func (n *Node) startCall(p *sched.Proc, cc *clientCall) {
 		cc.finish(nil)
 		return
 	}
-	rts := make([]*route, n.cfg.Shards)
+	// Per shard, a call may split into several routes: each route's ops are
+	// bounded by encoded byte size (maxRouteBytes) and count (MaxBatchOps),
+	// so the route frame, the log entry batching it, and the append frame
+	// replicating that entry are all encodable — an unbounded client batch
+	// (the HTTP /batch path has no cap) must never produce a frame the wire
+	// layer refuses, because refused frames retry identically forever.
+	open := make([]*route, n.cfg.Shards) // the still-filling route per shard
+	var rts []*route
 	for i, op := range cc.ops {
 		if op.ID == 0 {
 			// Stamp an idempotency id so a failover retransmission can never
@@ -643,17 +698,19 @@ func (n *Node) startCall(p *sched.Proc, cc *clientCall) {
 			op.ID = (uint64(n.cfg.ID)+1)<<48 | n.nextOpSeq
 		}
 		s := service.ShardIndex(op.Key, n.cfg.Shards)
-		if rts[s] == nil {
-			rts[s] = &route{call: cc, shard: s}
+		sz := wire.EncodedOpSize(op)
+		r := open[s]
+		if r == nil || len(r.ops) >= wire.MaxBatchOps || r.bytes+sz > maxRouteBytes {
+			r = &route{call: cc, shard: s}
+			open[s] = r
+			rts = append(rts, r)
 		}
-		rts[s].ops = append(rts[s].ops, op)
-		rts[s].idxs = append(rts[s].idxs, i)
+		r.ops = append(r.ops, op)
+		r.idxs = append(r.idxs, i)
+		r.bytes += sz
 	}
 	now := n.tr.now(p)
 	for _, r := range rts {
-		if r == nil {
-			continue
-		}
 		cc.remaining++
 		n.nextReq++
 		reqid := (uint64(n.cfg.ID)+1)<<48 | n.nextReq
@@ -669,24 +726,42 @@ func (n *Node) sendRoute(p *sched.Proc, reqid uint64, r *route) {
 	})
 }
 
-// onDone completes one route with the owner's results.
+// onDone merges one answer chunk into its route and completes the route
+// once every result has arrived. Seq carries the chunk's first result
+// index and Frontier the route's total result count (docs/PROTOCOL.md
+// §5.2); the common small answer is a single chunk covering everything.
+// Chunks are idempotent by index, so duplicated frames and the full
+// resend after a route retransmission merge cleanly.
 func (n *Node) onDone(_ *sched.Proc, m *message) {
 	r, ok := n.routes[m.rep.ReqID]
 	if !ok {
 		return // duplicate answer
 	}
-	delete(n.routes, m.rep.ReqID)
 	cc := r.call
 	if cc.answered {
+		delete(n.routes, m.rep.ReqID)
 		return
 	}
-	if len(m.rep.Results) != len(r.ops) {
+	total, off := int(m.rep.Frontier), int(m.rep.Seq)
+	if total != len(r.ops) || off < 0 || off+len(m.rep.Results) > total {
+		delete(n.routes, m.rep.ReqID)
 		cc.finish(errors.New("cluster: misaligned route results"))
 		return
 	}
-	for i, res := range m.rep.Results {
-		cc.results[r.idxs[i]] = res
+	if r.got == nil {
+		r.got = make([]bool, len(r.ops))
 	}
+	for i, res := range m.rep.Results {
+		cc.results[r.idxs[off+i]] = res
+		if !r.got[off+i] {
+			r.got[off+i] = true
+			r.recvd++
+		}
+	}
+	if r.recvd < len(r.ops) {
+		return // more chunks outstanding
+	}
+	delete(n.routes, m.rep.ReqID)
 	cc.remaining--
 	if cc.remaining == 0 {
 		cc.finish(nil)
@@ -728,8 +803,20 @@ func (n *Node) onRoute(p *sched.Proc, m *message) {
 	if _, dup := sr.pendSet[m.rep.ReqID]; dup {
 		return // retransmission of a queued or in-flight route
 	}
+	bytes := 0
+	for _, op := range m.rep.Ops {
+		bytes += wire.EncodedOpSize(op)
+	}
+	if bytes > maxRouteBytes {
+		// Our own front ends split by byte size, so only a foreign sender
+		// can produce this; queuing it would build an unencodable log entry
+		// and wedge the shard's replication stream. Drop just this route.
+		n.cfg.Logf("cluster: node %d shard %d: dropping oversized route from node %d (%d encoded bytes)",
+			n.cfg.ID, sr.shard, from, bytes)
+		return
+	}
 	sr.pendSet[m.rep.ReqID] = struct{}{}
-	sr.pend = append(sr.pend, pendRoute{from: from, reqid: m.rep.ReqID, ops: m.rep.Ops})
+	sr.pend = append(sr.pend, pendRoute{from: from, reqid: m.rep.ReqID, ops: m.rep.Ops, bytes: bytes})
 	n.pump(p, sr)
 }
 
@@ -741,14 +828,15 @@ func (n *Node) onRoute(p *sched.Proc, m *message) {
 func (n *Node) pump(p *sched.Proc, sr *shardRep) {
 	for sr.inflightSeq == 0 && len(sr.pend) > 0 && !n.stopping && sr.isOwner && !sr.condemned {
 		var batch []pendRoute
-		total := 0
+		total, bytes := 0, entryOverheadBytes
 		for len(sr.pend) > 0 {
 			r := sr.pend[0]
-			if len(batch) > 0 && total+len(r.ops) > n.cfg.MaxEntryOps {
+			if len(batch) > 0 && (total+len(r.ops) > n.cfg.MaxEntryOps || bytes+r.bytes > maxEntryBytes) {
 				break
 			}
 			batch = append(batch, r)
 			total += len(r.ops)
+			bytes += r.bytes
 			sr.pend = sr.pend[1:]
 			if total >= n.cfg.MaxEntryOps {
 				break
@@ -794,8 +882,22 @@ func (n *Node) sendSuffix(p *sched.Proc, sr *shardRep, f NodeID) {
 	af := sr.acked[f]
 	rep := wire.Rep{Shard: uint16(sr.shard), Epoch: sr.epoch, Frontier: sr.committed}
 	if af < sr.frontier && af >= sr.base {
-		rep.Entries = sr.entriesFrom(af+1, maxChunkEntries)
-		n.cEntriesSent.Add(int64(len(rep.Entries)))
+		// Chunk by encoded byte size as well as entry count: every entry
+		// fits alone (pump bounds entries by maxEntryBytes ≤ maxChunkBytes),
+		// so the chunk always carries at least one entry and a long suffix
+		// streams across acks without ever building an unencodable frame.
+		avail := sr.entriesFrom(af+1, maxChunkEntries)
+		bytes, cnt := 0, 0
+		for _, e := range avail {
+			sz := wire.EncodedEntrySize(e)
+			if cnt > 0 && bytes+sz > maxChunkBytes {
+				break
+			}
+			bytes += sz
+			cnt++
+		}
+		rep.Entries = avail[:cnt]
+		n.cEntriesSent.Add(int64(cnt))
 	}
 	// af < base: the follower is behind the truncation point and cannot be
 	// caught up from the retained log; the empty append still probes its
@@ -839,6 +941,37 @@ func (n *Node) onAck(p *sched.Proc, m *message) {
 	}
 }
 
+// sendDone answers one route, chunking the results so every frame stays
+// encodable: a route of small get ops can legally return far more result
+// bytes than it carried (values up to MaxStr each), so the answer — not
+// just the route — must be byte-bounded. Seq carries the chunk's first
+// result index, Frontier the route's total count; onDone reassembles.
+// Lost chunks are recovered by the front end's route retransmission (the
+// retry re-applies idempotently and the full answer is resent).
+func (n *Node) sendDone(p *sched.Proc, shard int, to NodeID, reqid uint64, results []service.Result) {
+	total := len(results)
+	if total == 0 {
+		n.sendRep(p, to, wire.OpcodeRepDone, wire.Rep{Shard: uint16(shard), ReqID: reqid})
+		return
+	}
+	for off := 0; off < total; {
+		bytes, cnt := 0, 0
+		for off+cnt < total && cnt < wire.MaxBatchOps {
+			sz := wire.EncodedResultSize(results[off+cnt])
+			if cnt > 0 && bytes+sz > maxDoneBytes {
+				break
+			}
+			bytes += sz
+			cnt++
+		}
+		n.sendRep(p, to, wire.OpcodeRepDone, wire.Rep{
+			Shard: uint16(shard), ReqID: reqid, Seq: uint64(off), Frontier: uint64(total),
+			Results: results[off : off+cnt],
+		})
+		off += cnt
+	}
+}
+
 // checkCommit advances the committed frontier to the highest seq a quorum
 // has acknowledged — but only through entries of the owner's own epoch
 // (the Raft §5.4.2 rule; the barrier entry appended at election makes this
@@ -863,9 +996,7 @@ func (n *Node) checkCommit(p *sched.Proc, sr *shardRep) {
 			res := sr.inflightResults[off : off+len(r.ops)]
 			off += len(r.ops)
 			delete(sr.pendSet, r.reqid)
-			n.sendRep(p, r.from, wire.OpcodeRepDone, wire.Rep{
-				Shard: uint16(sr.shard), ReqID: r.reqid, Results: res,
-			})
+			n.sendDone(p, sr.shard, r.from, r.reqid, res)
 		}
 		sr.inflightSeq = 0
 		sr.inflightRoutes = nil

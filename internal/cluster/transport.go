@@ -22,11 +22,20 @@ type Transport interface {
 	// inject enqueues a local control or client message into this node's
 	// own inbox, reliably and fault-free. In free mode it is safe from any
 	// goroutine; in virtual mode the caller must be a proc of the run.
-	inject(p *sched.Proc, m *message)
+	// It returns false once drain has closed the inbox — the message will
+	// never be delivered and the caller must fail the call itself.
+	inject(p *sched.Proc, m *message) bool
 	// recv returns the next inbox message, blocking until one is due, the
 	// transport closes, or now reaches deadline (ok=false for the latter
 	// two — the event loop then runs its timers).
 	recv(p *sched.Proc, deadline int64) (m *message, ok bool)
+	// drain closes the inbox to further deliveries and returns what was
+	// still queued, in arrival order. The event loop calls it exactly once,
+	// at shutdown: a client call racing the shutdown message lands either
+	// in the returned tail (the loop fails it with ErrClosed) or after the
+	// close (inject returns false and the submitter fails it) — never in
+	// limbo with its submitter blocked forever.
+	drain(p *sched.Proc) []*message
 	// now reads the transport clock.
 	now(p *sched.Proc) int64
 	// close tears the transport down; blocked recvs return.

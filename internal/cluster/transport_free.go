@@ -106,7 +106,9 @@ func (ft *FreeTransport) send(_ *sched.Proc, to NodeID, m *message) {
 	ft.peers[to].send(m)
 }
 
-func (ft *FreeTransport) inject(_ *sched.Proc, m *message) { ft.in.push(m) }
+func (ft *FreeTransport) inject(_ *sched.Proc, m *message) bool { return ft.in.push(m) }
+
+func (ft *FreeTransport) drain(_ *sched.Proc) []*message { return ft.in.closeAndDrain() }
 
 func (ft *FreeTransport) recv(_ *sched.Proc, deadline int64) (*message, bool) {
 	for {
@@ -284,6 +286,16 @@ func (p *freePeer) send(m *message) {
 		return // unreachable; the protocol retransmits
 	}
 	if err := c.SendRep(m.kind, &m.rep); err != nil {
+		if errors.Is(err, wire.ErrBadFrame) {
+			// Encode refusal, not an IO failure: the connection is healthy,
+			// so retiring it would flap the link and age the peer's liveness
+			// (spurious OwnerTimeout expiry, unnecessary elections) on every
+			// retry of the same message. Drop just this message; the node
+			// bounds its frames by encoded size, so this is a backstop.
+			p.ft.cfg.Logf("cluster: dropping unencodable %s frame to node %d: %v",
+				opcodeNames[m.kind], p.id, err)
+			return
+		}
 		if !errors.Is(err, wire.ErrConnClosed) {
 			p.ft.cfg.Logf("cluster: send to node %d: %v", p.id, err)
 		}
@@ -320,22 +332,40 @@ func (p *freePeer) close() {
 }
 
 // inbox is the unbounded local delivery queue: pushes never block or drop
-// (self-sends and client injections must be reliable), pops support the
-// event loop's deadline.
+// (self-sends and client injections must be reliable) until closeAndDrain
+// seals it at shutdown, pops support the event loop's deadline.
 type inbox struct {
 	mu     sync.Mutex
 	q      []*message
+	closed bool
 	notify chan struct{} // cap 1
 }
 
-func (in *inbox) push(m *message) {
+func (in *inbox) push(m *message) bool {
 	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return false
+	}
 	in.q = append(in.q, m)
 	in.mu.Unlock()
 	select {
 	case in.notify <- struct{}{}:
 	default:
 	}
+	return true
+}
+
+// closeAndDrain seals the inbox and hands back whatever was queued: the
+// mutex makes "push succeeded" and "message in the drained tail" the same
+// event, so shutdown cannot strand a racing client call.
+func (in *inbox) closeAndDrain() []*message {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.closed = true
+	q := in.q
+	in.q = nil
+	return q
 }
 
 func (in *inbox) tryPop() *message {

@@ -151,8 +151,25 @@ func (ep *vEndpoint) send(p *sched.Proc, to NodeID, m *message) {
 	}
 }
 
-func (ep *vEndpoint) inject(p *sched.Proc, m *message) {
+func (ep *vEndpoint) inject(p *sched.Proc, m *message) bool {
+	if ep.closed {
+		return false
+	}
 	ep.insert(p.Now(), m)
+	return true
+}
+
+// drain seals the endpoint and returns the undelivered queue in delivery
+// order. Network messages in the tail are simply dropped by the caller;
+// what matters is that injected client calls are surfaced for failing.
+func (ep *vEndpoint) drain(_ *sched.Proc) []*message {
+	ep.closed = true
+	out := make([]*message, 0, len(ep.q))
+	for _, d := range ep.q {
+		out = append(out, d.m)
+	}
+	ep.q = nil
+	return out
 }
 
 func (ep *vEndpoint) recv(p *sched.Proc, deadline int64) (*message, bool) {

@@ -25,6 +25,38 @@ const MaxRepEntries = 1024
 // repPreambleSize is the fixed-size prefix of every Rep payload.
 const repPreambleSize = 38
 
+// MaxRepData is the byte budget for a Rep payload's three variable
+// sections combined (ops, results, entries — including the per-entry
+// fixed overhead, excluding the three top-level section counts): a
+// payload whose sections fit MaxRepData always fits MaxPayload. Senders
+// bound what they put in a frame against it — EncodedOpSize,
+// EncodedResultSize and EncodedEntrySize give the per-item costs — so
+// AppendRepFrame never has to refuse a frame the protocol needs to send.
+const MaxRepData = MaxPayload - repPreambleSize - 6
+
+// EncodedOpSize returns the §3.2 encoded length of one op:
+// kind(1) id(8) key(2+n) val(2+n) old(2+n).
+func EncodedOpSize(op service.Op) int {
+	return 15 + len(op.Key) + len(op.Val) + len(op.Old)
+}
+
+// EncodedResultSize returns the §3.2 encoded length of one result:
+// ok(1) val(2+n).
+func EncodedResultSize(res service.Result) int {
+	return 3 + len(res.Val)
+}
+
+// EncodedEntrySize returns the §5.1 encoded length of one log entry:
+// seq(8) epoch(8) nops(2) op... The zero entry's 18 bytes are the fixed
+// per-entry overhead.
+func EncodedEntrySize(e RepEntry) int {
+	n := 18
+	for _, op := range e.Ops {
+		n += EncodedOpSize(op)
+	}
+	return n
+}
+
 // RepEntry is one committed log entry as replicated: the owner-assigned
 // entry sequence number, the owner epoch that committed it, and the client
 // ops it carries in commit order.

@@ -232,3 +232,59 @@ func TestServerPing(t *testing.T) {
 		t.Fatal("ping on a closed conn succeeded")
 	}
 }
+
+// TestEncodedSizeAccounting: the size helpers senders budget frames with
+// must agree byte-for-byte with what the encoders actually emit — an
+// under-count would let a "bounded" frame exceed MaxPayload and be
+// refused with ErrBadFrame on every retransmission.
+func TestEncodedSizeAccounting(t *testing.T) {
+	ops := []service.Op{
+		{Kind: service.OpGet, ID: 1, Key: "k"},
+		{Kind: service.OpPut, ID: 2, Key: "key", Val: strings.Repeat("v", 300)},
+		{Kind: service.OpCAS, ID: 3, Key: "kk", Val: "new", Old: "old"},
+		{},
+	}
+	for i, op := range ops {
+		if got, want := EncodedOpSize(op), len(AppendOp(nil, op)); got != want {
+			t.Fatalf("op %d: EncodedOpSize %d, encoder emits %d", i, got, want)
+		}
+	}
+	results := []service.Result{{}, {OK: true, Val: strings.Repeat("r", 500)}}
+	for i, res := range results {
+		if got, want := EncodedResultSize(res), len(AppendResult(nil, res)); got != want {
+			t.Fatalf("result %d: EncodedResultSize %d, encoder emits %d", i, got, want)
+		}
+	}
+	entries := []RepEntry{
+		{},
+		{Seq: 9, Epoch: 2, Ops: ops},
+	}
+	for i, e := range entries {
+		// An entry encodes as fix(16) + the §3.3 batch section.
+		want := 16 + len(AppendBatch(nil, e.Ops))
+		if got := EncodedEntrySize(e); got != want {
+			t.Fatalf("entry %d: EncodedEntrySize %d, encoder emits %d", i, got, want)
+		}
+	}
+
+	// A Rep whose sections sum exactly to the per-item sizes must encode to
+	// preamble + 3 section counts + those sizes, and MaxRepData must be the
+	// payload budget that guarantees MaxPayload.
+	r := Rep{From: 1, Shard: 2, ReqID: 3, Ops: ops, Results: results, Entries: entries}
+	sum := 0
+	for _, op := range r.Ops {
+		sum += EncodedOpSize(op)
+	}
+	for _, res := range r.Results {
+		sum += EncodedResultSize(res)
+	}
+	for _, e := range r.Entries {
+		sum += EncodedEntrySize(e)
+	}
+	if got, want := len(AppendRep(nil, &r)), repPreambleSize+6+sum; got != want {
+		t.Fatalf("AppendRep emits %d bytes, size accounting says %d", got, want)
+	}
+	if repPreambleSize+6+MaxRepData != MaxPayload {
+		t.Fatalf("MaxRepData %d does not fill MaxPayload %d", MaxRepData, MaxPayload)
+	}
+}
