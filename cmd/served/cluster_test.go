@@ -35,7 +35,7 @@ func reserveAddr(t *testing.T) string {
 // returns the node status document, the per-role probes answer by role, and
 // /metrics carries the cluster families.
 func TestStartClusterSingleNode(t *testing.T) {
-	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "frontend,store", "")
+	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "frontend,store", "", 0, 0)
 	if err != nil {
 		t.Fatalf("startCluster: %v", err)
 	}
@@ -91,7 +91,7 @@ func TestStartClusterSingleNode(t *testing.T) {
 // TestClusterRoleHealth: a store-only node answers 503 on the frontend
 // probe and ok on the store probe.
 func TestClusterRoleHealth(t *testing.T) {
-	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "store", "0")
+	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "store", "0", 0, 0)
 	if err != nil {
 		t.Fatalf("startCluster: %v", err)
 	}
@@ -142,7 +142,7 @@ func TestStartClusterFlagErrors(t *testing.T) {
 		{"duplicate store node", 0, "a:1,b:2,c:3", "frontend,store", "0,0,1"},
 	}
 	for _, tc := range cases {
-		if n, err := startCluster(cfg, tc.node, tc.peers, tc.roles, tc.storeNodes); err == nil {
+		if n, err := startCluster(cfg, tc.node, tc.peers, tc.roles, tc.storeNodes, 0, 0); err == nil {
 			n.Close()
 			t.Errorf("%s: startCluster accepted", tc.name)
 		}
@@ -155,12 +155,12 @@ func TestStartClusterFlagErrors(t *testing.T) {
 func TestStartClusterSplitRoles(t *testing.T) {
 	addrs := []string{reserveAddr(t), reserveAddr(t), reserveAddr(t)}
 	peers := strings.Join(addrs, ",")
-	store, err := startCluster(clusterTestConfig(), 0, peers, "store", "0,1")
+	store, err := startCluster(clusterTestConfig(), 0, peers, "store", "0,1", 0, 0)
 	if err != nil {
 		t.Fatalf("store node refused: %v", err)
 	}
 	defer store.Close()
-	fe, err := startCluster(clusterTestConfig(), 2, peers, "frontend", "0,1")
+	fe, err := startCluster(clusterTestConfig(), 2, peers, "frontend", "0,1", 0, 0)
 	if err != nil {
 		t.Fatalf("frontend node refused: %v", err)
 	}
@@ -172,7 +172,7 @@ func TestStartClusterSplitRoles(t *testing.T) {
 // alongside the node's cluster families — one scrape, no duplicate TYPE
 // blocks.
 func TestClusterMetricsIncludeStores(t *testing.T) {
-	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "frontend,store", "")
+	node, err := startCluster(clusterTestConfig(), 0, reserveAddr(t), "frontend,store", "", 0, 0)
 	if err != nil {
 		t.Fatalf("startCluster: %v", err)
 	}

@@ -99,6 +99,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated cluster transport addresses indexed by node id; enables multi-node replication (docs/ARCHITECTURE.md)")
 	roles := flag.String("roles", "frontend,store", "this node's cluster roles: comma subset of frontend,store")
 	storeNodes := flag.String("store-nodes", "", "comma-separated node ids holding shard replicas (default: every peer)")
+	maxInflight := flag.Int("max-inflight-entries", 0, "uncommitted log entries a shard owner may pipeline (0 = cluster default)")
+	batchWindow := flag.Duration("batch-window", 0, "how long a shard owner holds a non-full log entry open for more routes (0 = commit-latency-first)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -132,7 +134,7 @@ func main() {
 	)
 	if *peers != "" {
 		var err error
-		node, err = startCluster(cfg, *nodeID, *peers, *roles, *storeNodes)
+		node, err = startCluster(cfg, *nodeID, *peers, *roles, *storeNodes, *maxInflight, *batchWindow)
 		if err != nil {
 			log.Fatalf("served: cluster: %v", err)
 		}
@@ -256,8 +258,9 @@ func main() {
 
 // startCluster parses the -node/-peers/-roles/-store-nodes flags, builds
 // the per-shard replica stores (store role) and the RPW1 free transport,
-// and starts the cluster node's event loop.
-func startCluster(cfg service.Config, nodeID int, peers, roles, storeNodes string) (*cluster.Node, error) {
+// and starts the cluster node's event loop. maxInflight and batchWindow
+// tune the owner's replication pipeline (docs/OPERATIONS.md).
+func startCluster(cfg service.Config, nodeID int, peers, roles, storeNodes string, maxInflight int, batchWindow time.Duration) (*cluster.Node, error) {
 	addrs := strings.Split(peers, ",")
 	if nodeID < 0 || nodeID >= len(addrs) {
 		return nil, fmt.Errorf("-node %d out of range for %d peers", nodeID, len(addrs))
@@ -333,6 +336,7 @@ func startCluster(cfg service.Config, nodeID int, peers, roles, storeNodes strin
 	n := cluster.New(cluster.Config{
 		ID: cluster.NodeID(nodeID), Nodes: len(addrs), StoreNodes: replicas,
 		Shards: cfg.Shards, Frontend: frontend, Store: storeRole,
+		MaxInflightEntries: maxInflight, BatchWindow: batchWindow.Nanoseconds(),
 		Logf: log.Printf,
 	}, tr, stores)
 	go n.Run(nil)

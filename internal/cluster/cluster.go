@@ -78,6 +78,18 @@ type Config struct {
 
 	// MaxEntryOps bounds the client ops batched into one log entry.
 	MaxEntryOps int
+	// MaxInflightEntries bounds the owner's pipelined window: how many
+	// uncommitted log entries may be outstanding per shard before pump
+	// stops cutting new ones. 1 degenerates to stop-and-wait (every entry
+	// pays a full quorum round trip before the next forms). Commits are
+	// still strictly in order — cumulative acks commit prefixes.
+	MaxInflightEntries int
+	// BatchWindow is how long the owner lets pending routes accumulate
+	// before cutting a log entry (free mode: ns, virtual mode: steps),
+	// trading bounded latency for fan-out amortization. 0 cuts on first
+	// arrival. A full batch (MaxEntryOps) always cuts immediately; the
+	// effective wait is bounded by BatchWindow + TickEvery.
+	BatchWindow int64
 	// TickEvery is the event loop's timer granularity.
 	TickEvery int64
 	// HeartbeatEvery paces node-level heartbeats and owner append keepalives.
@@ -133,6 +145,15 @@ func (c Config) withDefaults(virtual bool) Config {
 		if virtual {
 			c.MaxEntryOps = 8
 		}
+	}
+	if c.MaxInflightEntries <= 0 {
+		c.MaxInflightEntries = 16
+		if virtual {
+			c.MaxInflightEntries = 4
+		}
+	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
 	}
 	if c.TickEvery <= 0 {
 		c.TickEvery = d.tick

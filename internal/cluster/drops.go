@@ -1,0 +1,60 @@
+package cluster
+
+import "repro/internal/metrics"
+
+// Frame-drop reasons, indices into dropCounters. Every place a frame is
+// silently discarded — encode refusal, dead connection, malformed inbound
+// bytes, simulated network fault — increments exactly one of these, so an
+// operator (or a sim oracle) can tell "quiet network" from "black hole".
+const (
+	dropUnencodable = iota // outbound frame refused by the encoder (size backstop)
+	dropNoConn             // outbound burst with no live connection to the peer
+	dropBadHeader          // inbound frame with a bad or wrong-version header
+	dropBadRep             // inbound rep payload that failed to decode
+	dropBadOpcode          // inbound frame with an unexpected opcode
+	dropNetLoss            // virtual network loss decision
+	dropNetCut             // virtual network partition cut
+	numDropReasons
+)
+
+var dropReasonNames = [numDropReasons]string{
+	dropUnencodable: "unencodable",
+	dropNoConn:      "no_conn",
+	dropBadHeader:   "bad_header",
+	dropBadRep:      "bad_rep",
+	dropBadOpcode:   "bad_opcode",
+	dropNetLoss:     "net_loss",
+	dropNetCut:      "net_cut",
+}
+
+// dropCounters is the cluster_frames_dropped_total{reason} family, wired
+// into the transport by Node.New. A nil *dropCounters is valid and counts
+// nothing (transports constructed without a node, e.g. in tests).
+type dropCounters struct {
+	c [numDropReasons]*metrics.Counter
+}
+
+func newDropCounters(reg *metrics.Registry) *dropCounters {
+	d := &dropCounters{}
+	for r, name := range dropReasonNames {
+		d.c[r] = reg.Counter("cluster_frames_dropped_total",
+			"replication frames dropped by reason",
+			metrics.Labels{{Name: "reason", Value: name}})
+	}
+	return d
+}
+
+func (d *dropCounters) inc(reason int, n int64) {
+	if d == nil || n <= 0 {
+		return
+	}
+	d.c[reason].Add(n)
+}
+
+// value reads one reason's count; 0 on a nil receiver.
+func (d *dropCounters) value(reason int) int64 {
+	if d == nil {
+		return 0
+	}
+	return d.c[reason].Value()
+}

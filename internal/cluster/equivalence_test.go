@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/service"
@@ -71,12 +72,29 @@ func isPrefix(a, b []flatEntry) bool {
 // 3-node cluster in free mode (real TCP, real clocks) and in virtual mode
 // (one deterministic sched.Run over the simulated network) must yield
 // identical per-op results, identical committed log chains, and clean
-// audit verdicts in both runtimes.
+// audit verdicts in both runtimes — in the stop-and-wait configuration and
+// with the replication window pipelined and batched.
 func TestCrossRuntimeEquivalence(t *testing.T) {
+	t.Run("stopandwait", func(t *testing.T) {
+		testCrossRuntimeEquivalence(t, 1, 0, 0)
+	})
+	t.Run("pipelined", func(t *testing.T) {
+		// The batch window is wall-clock in free mode (2ms ≈ one tick) and
+		// steps in virtual mode; the sequential client keeps the committed
+		// chains identical either way — what this adds is coverage of the
+		// deferred pump, the piggybacked acks and the coalesced flushes.
+		testCrossRuntimeEquivalence(t, 4, 2*time.Millisecond.Nanoseconds(), 64)
+	})
+}
+
+func testCrossRuntimeEquivalence(t *testing.T, inflight int, freeWindow, virtWindow int64) {
 	script := equivalenceScript()
 
 	// --- Free mode ---
-	freeNodes := startFreeCluster(t, 3, 1, true)
+	freeNodes := startFreeClusterCfg(t, 3, 1, true, func(c *Config) {
+		c.MaxInflightEntries = inflight
+		c.BatchWindow = freeWindow
+	})
 	ctx := context.Background()
 	freeResults := make([]service.Result, 0, len(script))
 	for _, op := range script {
@@ -112,6 +130,7 @@ func TestCrossRuntimeEquivalence(t *testing.T) {
 		n := New(Config{
 			ID: NodeID(i), Nodes: 3, StoreNodes: stores, Shards: 1,
 			Frontend: true, Store: true, RetainLog: true,
+			MaxInflightEntries: inflight, BatchWindow: virtWindow,
 		}, vn.Endpoint(NodeID(i)), []*service.Store{st})
 		virtNodes[i] = n
 		r.Spawn(2+i, n.Run)

@@ -48,6 +48,13 @@ func freeNodeConfig(id NodeID, nodes int, stores []NodeID, shards int) Config {
 // every node both frontend and store, real stores, real RPW1 transports.
 // The returned nodes are running; callers own shutdown.
 func startFreeCluster(t testing.TB, nodes, shards int, retain bool) []*Node {
+	return startFreeClusterCfg(t, nodes, shards, retain, nil)
+}
+
+// startFreeClusterCfg is startFreeCluster with a per-node Config hook (run
+// after the test defaults, before New) for tests that tune the replication
+// window or batch timings.
+func startFreeClusterCfg(t testing.TB, nodes, shards int, retain bool, mod func(*Config)) []*Node {
 	t.Helper()
 	addrs := reservePorts(t, nodes)
 	stores := make([]NodeID, nodes)
@@ -72,6 +79,9 @@ func startFreeCluster(t testing.TB, nodes, shards int, retain bool) []*Node {
 		}
 		cfg := freeNodeConfig(NodeID(i), nodes, stores, shards)
 		cfg.RetainLog = retain
+		if mod != nil {
+			mod(&cfg)
+		}
 		n := New(cfg, ft, reps)
 		go n.Run(nil)
 		out[i] = n

@@ -38,7 +38,19 @@ type pendRoute struct {
 	from  NodeID
 	reqid uint64
 	ops   []service.Op
-	bytes int // encoded size of ops, toward maxEntryBytes
+	bytes int   // encoded size of ops, toward maxEntryBytes
+	at    int64 // arrival time; bounds the batch window wait
+}
+
+// inflightEntry is one uncommitted entry in the owner's pipelined window,
+// carrying the client routes (and their already-computed results) it
+// answers once the entry commits. The window is ordered by seq and
+// commits strictly in prefix order — cumulative acks make committing seq
+// c commit everything ≤ c.
+type inflightEntry struct {
+	seq     uint64
+	routes  []pendRoute
+	results []service.Result
 }
 
 // route is one shard's slice of a client call, tracked by the front end
@@ -76,15 +88,23 @@ type shardRep struct {
 
 	lastOwnerHeard int64
 
+	// Follower state: an ack is owed to the owner and will piggyback on
+	// the next outbound frame toward it (or a dedicated frame at the end
+	// of the loop iteration — see flushAcks).
+	ackOwed bool
+
 	// Owner state.
-	nextSeq         uint64
-	pend            []pendRoute
-	pendSet         map[uint64]struct{}
-	inflightSeq     uint64 // 0 = no outstanding entry
-	inflightRoutes  []pendRoute
-	inflightResults []service.Result
-	acked           map[NodeID]uint64
-	lastRetx        int64
+	nextSeq  uint64
+	pend     []pendRoute
+	pendSet  map[uint64]struct{}
+	inflight []inflightEntry // uncommitted window, ascending seq
+	acked    map[NodeID]uint64
+	// sentTo is the highest seq streamed to each follower (≥ acked while
+	// frames are in flight): appends push only the new suffix instead of
+	// re-sending the whole unacked window, and retransmission resets it
+	// to acked so a lost frame is recovered from the lowest unacked seq.
+	sentTo   map[NodeID]uint64
+	lastRetx int64
 
 	// Election state (candidate side).
 	electEpoch   uint64
@@ -137,9 +157,18 @@ func (sr *shardRep) truncate(below uint64) {
 func (sr *shardRep) dropOwnerState() {
 	sr.pend = nil
 	sr.pendSet = map[uint64]struct{}{}
-	sr.inflightSeq = 0
-	sr.inflightRoutes = nil
-	sr.inflightResults = nil
+	sr.inflight = nil
+	sr.sentTo = map[NodeID]uint64{}
+}
+
+// sendFrom is the seq after which follower f still needs entries: the
+// higher of what it acknowledged and what is already streaming to it.
+func (sr *shardRep) sendFrom(f NodeID) uint64 {
+	af := sr.acked[f]
+	if st := sr.sentTo[f]; st > af {
+		return st
+	}
+	return af
 }
 
 // ShardStatus is one shard's view from one node, for health endpoints and
@@ -192,14 +221,15 @@ type Node struct {
 	quorum  int
 
 	// Event-loop-owned state.
-	shards    []*shardRep
-	owners    []NodeID // front end's believed owner per shard
-	lastHeard []int64
-	lastBeat  int64
-	routes    map[uint64]*route
-	nextReq   uint64
-	nextOpSeq uint64
-	stopping  bool
+	shards     []*shardRep
+	owners     []NodeID // front end's believed owner per shard
+	lastHeard  []int64
+	lastBeat   int64
+	routes     map[uint64]*route
+	nextReq    uint64
+	nextOpSeq  uint64
+	stopping   bool
+	dueScratch []uint64 // tick's reused timed-out-route id buffer
 
 	// Metrics (atomic counters; safe to scrape off-loop).
 	reg            *metrics.Registry
@@ -215,12 +245,19 @@ type Node struct {
 	gOwned         *metrics.Gauge
 	gCondemned     *metrics.Gauge
 	gPendingRoutes *metrics.Gauge
+	drops          *dropCounters
 
 	// debugSkipApply makes this node's followers acknowledge replicated
 	// entries WITHOUT applying them to the local store — the injected
 	// stale-read-after-failover bug behind the cluster:stale-canary
 	// must-detect scenario. Never set outside tests.
 	debugSkipApply bool
+	// debugAckFullWindow makes this node, as owner, treat ANY follower ack
+	// as acknowledging its full pipelined window — the injected
+	// out-of-window-order commit bug behind the cluster:batch-canary
+	// must-detect scenario (entries commit and answer clients before a
+	// quorum holds them). Never set outside tests.
+	debugAckFullWindow bool
 
 	// Off-loop snapshot for Status, refreshed by the loop.
 	smu       sync.Mutex
@@ -275,6 +312,13 @@ func New(cfg Config, tr Transport, stores []*service.Store) *Node {
 	n.gOwned = n.reg.Gauge("cluster_owned_shards", "shards this node currently owns", nil)
 	n.gCondemned = n.reg.Gauge("cluster_condemned_shards", "shard replicas condemned on this node", nil)
 	n.gPendingRoutes = n.reg.Gauge("cluster_pending_routes", "client routes awaiting RepDone", nil)
+	n.drops = newDropCounters(n.reg)
+	switch t := tr.(type) {
+	case *vEndpoint:
+		t.drops = n.drops
+	case *FreeTransport:
+		t.setDrops(n.drops) // accept/ping goroutines already run, hence atomic
+	}
 	for op, name := range opcodeNames {
 		n.cMsgSent[op] = n.reg.Counter("cluster_messages_sent_total", "replication messages sent by kind",
 			metrics.Labels{{Name: "kind", Value: name}})
@@ -297,6 +341,7 @@ func New(cfg Config, tr Transport, stores []*service.Store) *Node {
 			nextSeq: 1,
 			pendSet: map[uint64]struct{}{},
 			acked:   map[NodeID]uint64{},
+			sentTo:  map[NodeID]uint64{},
 		}
 		n.shards[s] = sr
 		n.view[s] = ShardStatus{Shard: s, Owner: owner, Epoch: 1, IsOwner: sr.isOwner}
@@ -483,13 +528,33 @@ func (n *Node) Run(p *sched.Proc) {
 		m, ok := n.tr.recv(p, n.tr.now(p)+n.cfg.TickEvery)
 		if ok {
 			n.handle(p, m)
+			// Drain the rest of the burst before ticking: everything the
+			// burst makes us send coalesces into one flush below, and the
+			// acks it leaves owed fold into that same flush's frames.
+			for i := 0; i < burstDrain && !n.stopping; i++ {
+				if m, ok = n.tr.tryRecv(p); !ok {
+					break
+				}
+				n.handle(p, m)
+			}
 		}
 		n.tick(p)
+		// Ordering matters: tick's own traffic (heartbeats, suffixes) gets
+		// first chance to carry owed acks, flushAcks sends dedicated frames
+		// for the leftovers, and the transport flush pushes the whole burst
+		// out as one write per peer.
+		n.flushAcks(p)
+		n.tr.flush(p)
 	}
 	n.shutdown(p)
 }
 
+// burstDrain caps how many already-due messages one loop iteration
+// handles before running timers, so a flooded inbox cannot starve ticks.
+const burstDrain = 64
+
 func (n *Node) shutdown(p *sched.Proc) {
+	n.tr.flush(p) // push out anything the final iteration buffered
 	n.closed.Store(true)
 	// A client call can race the shutdown message into the inbox (its
 	// closed check passed before Close stored the flag). Close the inbox to
@@ -539,6 +604,9 @@ func (n *Node) handle(p *sched.Proc, m *message) {
 			return // malformed or from an unknown deployment
 		}
 		n.lastHeard[from] = n.tr.now(p)
+		if len(m.rep.Acks) > 0 && n.cfg.Store {
+			n.onAcks(p, m)
+		}
 	}
 	switch m.kind {
 	case kindClient:
@@ -558,7 +626,9 @@ func (n *Node) handle(p *sched.Proc, m *message) {
 	case wire.OpcodeRepAppend:
 		n.onAppend(p, m)
 	case wire.OpcodeRepAck:
-		n.onAck(p, m)
+		// Ack content rides the envelope's Acks section, handled above for
+		// every replication frame; a dedicated RepAck frame is just the
+		// carrier of last resort (flushAcks).
 	case wire.OpcodeRepStale:
 		n.onStale(p, m)
 	case wire.OpcodeRepVote:
@@ -580,11 +650,7 @@ func (n *Node) tick(p *sched.Proc) {
 	n.lastHeard[n.cfg.ID] = now
 	if now-n.lastBeat >= n.cfg.HeartbeatEvery {
 		n.lastBeat = now
-		for i := 0; i < n.cfg.Nodes; i++ {
-			if NodeID(i) != n.cfg.ID {
-				n.sendRep(p, NodeID(i), wire.OpcodeRepHeartbeat, wire.Rep{})
-			}
-		}
+		n.sendHeartbeats(p)
 	}
 	if n.cfg.Store {
 		for _, sr := range n.shards {
@@ -596,9 +662,13 @@ func (n *Node) tick(p *sched.Proc) {
 				if now-sr.lastRetx >= n.cfg.RetransmitEvery {
 					sr.lastRetx = now
 					for _, f := range n.cfg.StoreNodes {
-						if f != n.cfg.ID {
-							n.sendSuffix(p, sr, f)
+						if f == n.cfg.ID || sr.acked[f] >= sr.frontier {
+							continue // fully acked: the heartbeat keepalive suffices
 						}
+						// Retransmit from the lowest unacked seq: whatever was
+						// streamed since the last ack may have been lost.
+						sr.sentTo[f] = sr.acked[f]
+						n.sendSuffix(p, sr, f)
 					}
 				}
 			} else {
@@ -607,19 +677,25 @@ func (n *Node) tick(p *sched.Proc) {
 		}
 	}
 	if n.cfg.Frontend && len(n.routes) > 0 {
-		ids := make([]uint64, 0, len(n.routes))
-		for id := range n.routes {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			r := n.routes[id]
+		// Scan for timed-out routes only, into a reused buffer: the common
+		// tick (nothing due) allocates nothing, and the sort keeps resends
+		// deterministic despite map iteration order.
+		due := n.dueScratch[:0]
+		for id, r := range n.routes {
 			if now-r.sentAt >= n.cfg.RouteTimeout {
+				due = append(due, id)
+			}
+		}
+		if len(due) > 0 {
+			sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+			for _, id := range due {
+				r := n.routes[id]
 				r.sentAt = now
 				n.cRouteRetries.Inc()
 				n.sendRoute(p, id, r)
 			}
 		}
+		n.dueScratch = due[:0]
 	}
 	n.gPendingRoutes.Set(int64(len(n.routes)))
 	n.smu.Lock()
@@ -627,13 +703,125 @@ func (n *Node) tick(p *sched.Proc) {
 	n.smu.Unlock()
 }
 
-// sendRep stamps From and counts the send.
+// sendRep stamps From, piggybacks any acks owed to the destination, and
+// counts the send.
 func (n *Node) sendRep(p *sched.Proc, to NodeID, kind byte, rep wire.Rep) {
 	rep.From = uint16(n.cfg.ID)
+	if wire.IsRepOpcode(kind) && len(rep.Acks) < wire.MaxRepAcks {
+		if extra := n.takeAcks(to, wire.MaxRepAcks-len(rep.Acks)); len(extra) > 0 {
+			// Fresh slice: rep.Acks may be a window into a shared array
+			// (sendHeartbeats chunks one keepalive list across frames).
+			acks := make([]wire.RepAck, 0, len(rep.Acks)+len(extra))
+			rep.Acks = append(append(acks, rep.Acks...), extra...)
+		}
+	}
 	if c := n.cMsgSent[kind&0x0F]; c != nil && wire.IsRepOpcode(kind) {
 		c.Inc()
 	}
 	n.tr.send(p, to, &message{kind: kind, rep: rep})
+}
+
+// sendHeartbeats broadcasts the node-level liveness beat. Toward fellow
+// store nodes the owner folds in one AckCommit keepalive per owned shard
+// — the committed-frontier carrier that used to be a per-shard empty
+// append, now amortized over the heartbeat it rode next to anyway.
+func (n *Node) sendHeartbeats(p *sched.Proc) {
+	var commits []wire.RepAck
+	if n.cfg.Store {
+		for _, sr := range n.shards {
+			if sr.isOwner && !sr.condemned {
+				commits = append(commits, wire.RepAck{
+					Kind: wire.AckCommit, Shard: uint16(sr.shard),
+					Epoch: sr.epoch, Frontier: sr.committed,
+				})
+			}
+		}
+	}
+	isStore := make(map[NodeID]bool, len(n.cfg.StoreNodes))
+	for _, f := range n.cfg.StoreNodes {
+		isStore[f] = true
+	}
+	for i := 0; i < n.cfg.Nodes; i++ {
+		to := NodeID(i)
+		if to == n.cfg.ID {
+			continue
+		}
+		if len(commits) > 0 && isStore[to] {
+			for off := 0; off < len(commits); off += wire.MaxRepAcks {
+				end := min(off+wire.MaxRepAcks, len(commits))
+				n.sendRep(p, to, wire.OpcodeRepHeartbeat, wire.Rep{Acks: commits[off:end]})
+			}
+			continue
+		}
+		n.sendRep(p, to, wire.OpcodeRepHeartbeat, wire.Rep{})
+	}
+}
+
+// takeAcks collects the piggybacked follower acks owed to node to, up to
+// max, clearing their owed flags. Every outbound replication frame calls
+// this through sendRep, so an owed ack rides whatever traffic goes the
+// owner's way first.
+func (n *Node) takeAcks(to NodeID, max int) []wire.RepAck {
+	if !n.cfg.Store || max <= 0 {
+		return nil
+	}
+	var acks []wire.RepAck
+	for _, sr := range n.shards {
+		if !sr.ackOwed {
+			continue
+		}
+		if sr.condemned || sr.isOwner {
+			sr.ackOwed = false // condemned replicas never ack; owners owe none
+			continue
+		}
+		if sr.owner != to {
+			continue
+		}
+		sr.ackOwed = false
+		acks = append(acks, wire.RepAck{
+			Kind: wire.AckApplied, Shard: uint16(sr.shard), Epoch: sr.epoch,
+			Frontier: sr.frontier, Last: sr.lastEpoch,
+		})
+		if len(acks) >= max {
+			break
+		}
+	}
+	return acks
+}
+
+// flushAcks sends a dedicated carrier frame per owner still owed acks
+// after the iteration's own traffic had its chance to carry them. The
+// sendRep inside collects every owed shard for that owner at once, so
+// this is one frame per owner per loop iteration (more only past the
+// per-frame ack cap).
+func (n *Node) flushAcks(p *sched.Proc) {
+	if !n.cfg.Store || n.stopping {
+		return
+	}
+	for _, sr := range n.shards {
+		if sr.ackOwed && !sr.condemned && !sr.isOwner {
+			n.sendRep(p, sr.owner, wire.OpcodeRepAck, wire.Rep{Shard: uint16(sr.shard)})
+		}
+	}
+}
+
+// onAcks dispatches the piggybacked acks of one frame: applied-frontier
+// acks feed the owner's commit machinery, commit keepalives feed the
+// follower's.
+func (n *Node) onAcks(p *sched.Proc, m *message) {
+	from := NodeID(m.rep.From)
+	for i := range m.rep.Acks {
+		a := &m.rep.Acks[i]
+		if int(a.Shard) >= n.cfg.Shards {
+			continue
+		}
+		switch a.Kind {
+		case wire.AckApplied:
+			n.onAppliedAck(p, from, a)
+		case wire.AckCommit:
+			n.onCommitKeepalive(p, from, a)
+		}
+	}
 }
 
 // apply drives ops through the shard's local store (the idempotent
@@ -816,17 +1004,32 @@ func (n *Node) onRoute(p *sched.Proc, m *message) {
 		return
 	}
 	sr.pendSet[m.rep.ReqID] = struct{}{}
-	sr.pend = append(sr.pend, pendRoute{from: from, reqid: m.rep.ReqID, ops: m.rep.Ops, bytes: bytes})
+	sr.pend = append(sr.pend, pendRoute{
+		from: from, reqid: m.rep.ReqID, ops: m.rep.Ops, bytes: bytes, at: n.tr.now(p),
+	})
 	n.pump(p, sr)
 }
 
-// pump drives the owner's replication pipeline: while no entry is
-// outstanding and routes are pending, batch routes into the next log
+// pump drives the owner's replication pipeline: while the pipelined
+// window has room and routes are pending, batch routes into the next log
 // entry, apply it locally (results become the client answers), and stream
-// it to the followers. One entry is outstanding at a time per shard; the
-// batch window is how the pipeline absorbs load.
+// it to the followers. Up to MaxInflightEntries entries are outstanding
+// per shard; commits stay strictly in order (checkCommit answers
+// prefixes). With a BatchWindow, a non-full batch waits out the window
+// before cutting — tick re-pumps, so the extra wait is bounded by
+// BatchWindow + TickEvery.
 func (n *Node) pump(p *sched.Proc, sr *shardRep) {
-	for sr.inflightSeq == 0 && len(sr.pend) > 0 && !n.stopping && sr.isOwner && !sr.condemned {
+	for len(sr.inflight) < n.cfg.MaxInflightEntries && len(sr.pend) > 0 &&
+		!n.stopping && sr.isOwner && !sr.condemned {
+		if n.cfg.BatchWindow > 0 {
+			total := 0
+			for _, r := range sr.pend {
+				total += len(r.ops)
+			}
+			if total < n.cfg.MaxEntryOps && n.tr.now(p)-sr.pend[0].at < n.cfg.BatchWindow {
+				return // let the batch fill; the oldest route bounds the wait
+			}
+		}
 		var batch []pendRoute
 		total, bytes := 0, entryOverheadBytes
 		for len(sr.pend) > 0 {
@@ -860,26 +1063,26 @@ func (n *Node) pump(p *sched.Proc, sr *shardRep) {
 }
 
 // appendEntry installs the owner's next log entry (already applied
-// locally) and streams it out.
+// locally) and streams the new suffix to followers that aren't already
+// being streamed it.
 func (n *Node) appendEntry(p *sched.Proc, sr *shardRep, e wire.RepEntry, batch []pendRoute, results []service.Result) {
 	sr.appendLocal(e)
 	sr.nextSeq = e.Seq + 1
 	sr.acked[n.cfg.ID] = sr.frontier
-	sr.inflightSeq = e.Seq
-	sr.inflightRoutes = batch
-	sr.inflightResults = results
+	sr.inflight = append(sr.inflight, inflightEntry{seq: e.Seq, routes: batch, results: results})
 	for _, f := range n.cfg.StoreNodes {
-		if f != n.cfg.ID {
+		if f != n.cfg.ID && sr.sendFrom(f) < sr.frontier {
 			n.sendSuffix(p, sr, f)
 		}
 	}
 	n.checkCommit(p, sr) // single-replica clusters commit immediately
 }
 
-// sendSuffix sends follower f its missing log suffix (or an empty append
-// as a keepalive and commit-frontier carrier).
+// sendSuffix sends follower f its next missing log chunk, starting after
+// what it acked or is already being streamed (or an empty append as a
+// frontier probe when the follower is behind the truncation point).
 func (n *Node) sendSuffix(p *sched.Proc, sr *shardRep, f NodeID) {
-	af := sr.acked[f]
+	af := sr.sendFrom(f)
 	rep := wire.Rep{Shard: uint16(sr.shard), Epoch: sr.epoch, Frontier: sr.committed}
 	if af < sr.frontier && af >= sr.base {
 		// Chunk by encoded byte size as well as entry count: every entry
@@ -897,6 +1100,7 @@ func (n *Node) sendSuffix(p *sched.Proc, sr *shardRep, f NodeID) {
 			cnt++
 		}
 		rep.Entries = avail[:cnt]
+		sr.sentTo[f] = avail[cnt-1].Seq
 		n.cEntriesSent.Add(int64(cnt))
 	}
 	// af < base: the follower is behind the truncation point and cannot be
@@ -905,19 +1109,18 @@ func (n *Node) sendSuffix(p *sched.Proc, sr *shardRep, f NodeID) {
 	n.sendRep(p, f, wire.OpcodeRepAppend, rep)
 }
 
-// onAck advances a follower's acknowledged frontier, checks for log
-// divergence, commits what a quorum now holds, and pushes the next chunk
-// to a lagging follower.
-func (n *Node) onAck(p *sched.Proc, m *message) {
-	if !n.cfg.Store {
+// onAppliedAck advances a follower's acknowledged frontier, checks for
+// log divergence, commits what a quorum now holds, and pushes the next
+// chunk to a follower with more suffix outstanding than streamed.
+func (n *Node) onAppliedAck(p *sched.Proc, from NodeID, a *wire.RepAck) {
+	sr := n.shards[a.Shard]
+	if !sr.isOwner || sr.condemned || a.Epoch != sr.epoch {
 		return
 	}
-	sr := n.shards[m.rep.Shard]
-	if !sr.isOwner || sr.condemned || m.rep.Epoch != sr.epoch {
-		return
+	af, lastE := a.Frontier, a.Last
+	if n.debugAckFullWindow {
+		af, lastE = sr.frontier, sr.lastEpoch
 	}
-	f := NodeID(m.rep.From)
-	af, lastE := m.rep.Frontier, m.rep.Seq
 	diverged := af > sr.frontier
 	if !diverged && af > 0 {
 		if ex := sr.entryAt(af); ex != nil && ex.Epoch != lastE {
@@ -927,18 +1130,54 @@ func (n *Node) onAck(p *sched.Proc, m *message) {
 	if diverged {
 		// The follower holds entries no quorum committed under a deposed
 		// owner; it cannot truncate its state machine, so it must condemn.
-		n.sendRep(p, f, wire.OpcodeRepStale, wire.Rep{
-			Shard: m.rep.Shard, Epoch: sr.epoch, Peer: uint16(f),
+		n.sendRep(p, from, wire.OpcodeRepStale, wire.Rep{
+			Shard: uint16(a.Shard), Epoch: sr.epoch, Peer: uint16(from),
 		})
 		return
 	}
-	if af > sr.acked[f] {
-		sr.acked[f] = af
+	if af > sr.acked[from] {
+		sr.acked[from] = af
 	}
 	n.checkCommit(p, sr)
-	if sr.acked[f] < sr.frontier {
-		n.sendSuffix(p, sr, f)
+	if sr.sendFrom(from) < sr.frontier {
+		n.sendSuffix(p, sr, from)
 	}
+}
+
+// onCommitKeepalive is the follower half of the owner's heartbeat-borne
+// AckCommit: refresh owner liveness, advance the committed frontier, and
+// owe an applied ack back so the owner's view tracks our real frontier —
+// the probe/ack exchange that used to ride dedicated empty appends.
+func (n *Node) onCommitKeepalive(p *sched.Proc, from NodeID, a *wire.RepAck) {
+	sr := n.shards[a.Shard]
+	if sr.condemned {
+		return
+	}
+	if a.Epoch < sr.epoch {
+		// A deposed owner's keepalive: fence it with the current epoch.
+		n.sendRep(p, from, wire.OpcodeRepStale, wire.Rep{
+			Shard: uint16(a.Shard), Epoch: sr.epoch, Peer: uint16(sr.owner),
+		})
+		return
+	}
+	if a.Epoch > sr.epoch || sr.owner != from || sr.isOwner {
+		n.adoptOwner(p, sr, a.Epoch, from)
+	}
+	sr.lastOwnerHeard = n.tr.now(p)
+	if a.Frontier > sr.committed {
+		c := a.Frontier
+		if c > sr.frontier {
+			c = sr.frontier
+		}
+		if c > sr.committed {
+			sr.committed = c
+			if !n.cfg.RetainLog {
+				sr.truncate(sr.committed)
+			}
+			n.syncView(sr)
+		}
+	}
+	sr.ackOwed = true
 }
 
 // sendDone answers one route, chunking the results so every frame stays
@@ -975,8 +1214,9 @@ func (n *Node) sendDone(p *sched.Proc, shard int, to NodeID, reqid uint64, resul
 // checkCommit advances the committed frontier to the highest seq a quorum
 // has acknowledged — but only through entries of the owner's own epoch
 // (the Raft §5.4.2 rule; the barrier entry appended at election makes this
-// live), answers the in-flight entry's routes once it commits, and pumps
-// the next entry.
+// live; acks are cumulative, so committing seq c commits the prefix
+// beneath it) — then answers every in-flight entry the commit covers, in
+// window order, and pumps the freed window slots.
 func (n *Node) checkCommit(p *sched.Proc, sr *shardRep) {
 	acks := make([]uint64, 0, len(n.cfg.StoreNodes))
 	for _, f := range n.cfg.StoreNodes {
@@ -990,17 +1230,21 @@ func (n *Node) checkCommit(p *sched.Proc, sr *shardRep) {
 			n.syncView(sr)
 		}
 	}
-	if sr.inflightSeq != 0 && sr.committed >= sr.inflightSeq {
+	answered := false
+	for len(sr.inflight) > 0 && sr.inflight[0].seq <= sr.committed {
+		e := sr.inflight[0]
+		sr.inflight[0] = inflightEntry{}
+		sr.inflight = sr.inflight[1:]
 		off := 0
-		for _, r := range sr.inflightRoutes {
-			res := sr.inflightResults[off : off+len(r.ops)]
+		for _, r := range e.routes {
+			res := e.results[off : off+len(r.ops)]
 			off += len(r.ops)
 			delete(sr.pendSet, r.reqid)
 			n.sendDone(p, sr.shard, r.from, r.reqid, res)
 		}
-		sr.inflightSeq = 0
-		sr.inflightRoutes = nil
-		sr.inflightResults = nil
+		answered = true
+	}
+	if answered {
 		if !n.cfg.RetainLog {
 			// Truncate below what every live replica holds (a dead replica
 			// that revives beyond the horizon stays behind until condemned
@@ -1082,9 +1326,10 @@ func (n *Node) onAppend(p *sched.Proc, m *message) {
 		sr.truncate(sr.committed)
 	}
 	n.syncView(sr)
-	n.sendRep(p, from, wire.OpcodeRepAck, wire.Rep{
-		Shard: m.rep.Shard, Epoch: sr.epoch, Frontier: sr.frontier, Seq: sr.lastEpoch,
-	})
+	// The cumulative ack piggybacks on the next frame toward the owner
+	// (flushAcks guarantees one this loop iteration), folding the whole
+	// handled burst into one ack instead of one per append frame.
+	sr.ackOwed = true
 }
 
 // adoptOwner accepts a (new) owner for the shard, stepping down if this
@@ -1116,6 +1361,7 @@ func (n *Node) condemn(p *sched.Proc, sr *shardRep, why string) {
 	sr.condemned = true
 	sr.dropOwnerState()
 	sr.isOwner = false
+	sr.ackOwed = false
 	n.cCondemned.Inc()
 	n.cfg.Logf("cluster: node %d shard %d CONDEMNED (epoch %d, frontier %d): %s",
 		n.cfg.ID, sr.shard, sr.epoch, sr.frontier, why)
@@ -1292,6 +1538,7 @@ func (n *Node) becomeOwner(p *sched.Proc, sr *shardRep) {
 	sr.nextSeq = sr.frontier + 1
 	sr.acked = map[NodeID]uint64{n.cfg.ID: sr.frontier}
 	sr.dropOwnerState()
+	sr.ackOwed = false
 	sr.lastRetx = n.tr.now(p)
 	n.owners[sr.shard] = n.cfg.ID
 	n.cFailovers.Inc()

@@ -153,6 +153,19 @@ type cscenario struct {
 	// checker's violations surface as sweep failures (the test fixture
 	// proving the checker actually detects the bug).
 	rawCanary bool
+	// batchCanary injects the out-of-window-order commit bug (the owner
+	// treats any follower ack as acking its full pipelined window, so
+	// entries commit and answer clients before a quorum holds them) on
+	// shard 0's initial owner, and inverts the oracle like canary: runs
+	// where the premature answers became client-visible staleness pass
+	// only if the checker flagged them. rawBatchCanary injects the same
+	// bug under the normal oracle (the detection-rate test fixture).
+	batchCanary    bool
+	rawBatchCanary bool
+	// inflight/window override the virtual-mode pipelining defaults
+	// (Config.MaxInflightEntries / Config.BatchWindow) when non-zero.
+	inflight int
+	window   int64
 	// plan, when set, draws the network fault plan (loss, dup, delay,
 	// partitions) from the scenario rng; nil means a reliable unit-delay
 	// network.
@@ -160,9 +173,11 @@ type cscenario struct {
 }
 
 // obsNet, when set (tests only), receives every finished run's VirtualNet
-// so fault-exercise tests can prove the plans actually cut and drop
-// messages. Called from the oracle; observers must be self-synchronizing.
-var obsNet func(scenario string, vn *VirtualNet)
+// and nodes so fault-exercise tests can prove the plans actually cut and
+// drop messages — and that the per-node cluster_frames_dropped_total
+// counters account for every one. Called from the oracle; observers must
+// be self-synchronizing.
+var obsNet func(scenario string, vn *VirtualNet, nodes []*Node)
 
 // crunState is the blackboard between procs and oracle, written under the
 // step token.
@@ -229,6 +244,33 @@ func clusterScenarios() []sim.Scenario {
 			topo: ctopo{subs: 1, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
 			wl:   cworkload{keys: []string{"k1", "k2"}, hotFrac: 0.5, casFrac: 0, ops: 10, maxCall: 1},
 		},
+		{
+			// Pipelined window + batch window under a fair fault-free
+			// schedule: several uncommitted entries in flight per shard,
+			// commits in prefix order, every op answered exactly once.
+			name: "cluster:batch", budget: 98304, mode: cFair, inflight: 4, window: 64,
+			topo: ctopo{subs: 2, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 2},
+			wl:   cworkload{keys: []string{"a", "b", "c", "d"}, casFrac: 0.2, ops: 6, maxCall: 3},
+		},
+		{
+			// Owner crash with a pipelined window outstanding: every op is
+			// re-driven through the new owner (or cleanly failed) without
+			// double-apply — op-ID dedup makes the retries idempotent.
+			name: "cluster:batch-crash", budget: 131072, mode: cFailover, crashOwner: true,
+			inflight: 4, window: 64,
+			topo: ctopo{subs: 2, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
+			wl:   cworkload{keys: []string{"a", "b", "c"}, casFrac: 0.25, ops: 5, maxCall: 2},
+		},
+		{
+			// Must-detect canary for the pipelined commit rule: an owner that
+			// commits out of window order answers clients before a quorum
+			// holds their entries; across a lossy network plus its own crash,
+			// the client-visible staleness MUST be flagged.
+			name: "cluster:batch-canary", budget: 131072, mode: cSafety,
+			crashOwner: true, batchCanary: true, plan: batchLossPlan, inflight: 4,
+			topo: ctopo{subs: 1, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
+			wl:   cworkload{keys: []string{"k1", "k2"}, hotFrac: 0.5, casFrac: 0, ops: 12, maxCall: 2},
+		},
 	}
 	out := make([]sim.Scenario, 0, len(specs))
 	for _, sc := range specs {
@@ -258,6 +300,19 @@ func lossPlan(_ ctopo, _ int64, rng *rand.Rand) NetPlan {
 		Seed:     rng.Uint64(),
 		LossFrac: 0.02 + rng.Float64()*0.10,
 		DupFrac:  rng.Float64() * 0.10,
+		DelayMax: 1 + rng.Int64N(8),
+	}
+}
+
+// batchLossPlan is lossPlan with the loss dial turned up, for the
+// batch-canary fixtures: the out-of-window-order commit bug manifests
+// when a lost append outlives its owner (retransmission is the healer),
+// so losses must be frequent enough for that to recur across seeds.
+func batchLossPlan(_ ctopo, _ int64, rng *rand.Rand) NetPlan {
+	return NetPlan{
+		Seed:     rng.Uint64(),
+		LossFrac: 0.15 + rng.Float64()*0.20,
+		DupFrac:  rng.Float64() * 0.05,
 		DelayMax: 1 + rng.Int64N(8),
 	}
 }
@@ -351,9 +406,13 @@ func (sc cscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 		n := New(Config{
 			ID: id, Nodes: t.nodes, StoreNodes: t.stores, Shards: t.shards,
 			Frontend: t.isFront(id), Store: t.isStore(id), RetainLog: true,
+			MaxInflightEntries: sc.inflight, BatchWindow: sc.window,
 		}, vn.Endpoint(id), stores)
 		if (sc.canary || sc.rawCanary) && len(t.stores) > 1 && id == t.stores[1] {
 			n.debugSkipApply = true
+		}
+		if (sc.batchCanary || sc.rawBatchCanary) && id == t.stores[0] {
+			n.debugAckFullWindow = true
 		}
 		if sc.crashOwner && id == t.stores[0] {
 			victimStores = stores
@@ -395,13 +454,13 @@ func (sc cscenario) build(r *sched.Run, rng *rand.Rand) sim.Oracle {
 
 	return func(res sched.Results, sch sim.Schedule) []string {
 		if obsNet != nil {
-			obsNet(sc.name, vn)
+			obsNet(sc.name, vn, nodes)
 		}
 		viol := checkRun(nodes, obs, sc.budget+1)
 		for _, vr := range vrs {
 			viol = append(viol, vr.CheckHistory()...)
 		}
-		if sc.canary {
+		if sc.canary || sc.batchCanary {
 			// Inverted verdict: when the injected bug produced a
 			// client-visible stale read, the checker MUST have flagged the
 			// run. (Seeds where the rigged failover did not manifest pass

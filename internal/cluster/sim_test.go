@@ -25,8 +25,24 @@ func brokenClusterScenario() sim.Scenario {
 	return sc.scenario()
 }
 
+// brokenBatchScenario is the raw fixture for the pipelined-commit bug: an
+// owner that counts any follower ack as acking its full window (entries
+// answer clients before a quorum holds them), under loss and its own
+// crash, with the standard oracle so the checker's violations surface.
+func brokenBatchScenario() sim.Scenario {
+	three := []NodeID{1, 2, 3}
+	sc := cscenario{
+		name: "test/cluster-batch-broken", budget: 131072, mode: cSafety,
+		crashOwner: true, rawBatchCanary: true, plan: batchLossPlan, inflight: 4,
+		topo: ctopo{subs: 1, nodes: 4, stores: three, fronts: []NodeID{0}, shards: 1},
+		wl:   cworkload{keys: []string{"k1", "k2"}, hotFrac: 0.5, casFrac: 0, ops: 12, maxCall: 2},
+	}
+	return sc.scenario()
+}
+
 func init() {
 	sim.Register(brokenClusterScenario())
+	sim.Register(brokenBatchScenario())
 }
 
 func clusterRegistered(t *testing.T) []sim.Scenario {
@@ -37,8 +53,8 @@ func clusterRegistered(t *testing.T) []sim.Scenario {
 			out = append(out, s)
 		}
 	}
-	if len(out) < 7 {
-		t.Fatalf("only %d cluster scenarios registered, want >= 7", len(out))
+	if len(out) < 10 {
+		t.Fatalf("only %d cluster scenarios registered, want >= 10", len(out))
 	}
 	return out
 }
@@ -137,6 +153,32 @@ func TestClusterCanaryDetectsInjectedBug(t *testing.T) {
 	}
 }
 
+// TestClusterBatchCanaryDetectsInjectedBug: the raw pipelined-commit bug
+// fixture — an owner answering clients out of window order, before a
+// quorum holds their entries — must fail on a healthy share of seeds
+// under loss plus the owner's crash.
+func TestClusterBatchCanaryDetectsInjectedBug(t *testing.T) {
+	s, ok := sim.Find("test/cluster-batch-broken")
+	if !ok {
+		t.Fatal("test/cluster-batch-broken not registered")
+	}
+	rep := sim.Sweep([]sim.Scenario{s},
+		sim.Options{Seeds: 200, Workers: 4, MaxFailures: 1 << 20})
+	if rep.Failures == 0 {
+		t.Fatal("checker missed the injected out-of-window-order commit bug on every seed")
+	}
+	// The bug needs lost appends the crash prevents from being
+	// retransmitted; that must be a recurring outcome, not a fluke.
+	if rep.Failures < int64(rep.Runs)/20 {
+		t.Fatalf("bug detected on only %d of %d seeds", rep.Failures, rep.Runs)
+	}
+	sample := rep.Scenarios[0].FailureSamples[0]
+	if sample.Token == "" || len(sample.Violations) == 0 {
+		t.Fatalf("failure sample incomplete: %+v", sample)
+	}
+	t.Logf("out-of-window-order commit bug bit on %d of %d seeds", rep.Failures, rep.Runs)
+}
+
 // TestClusterReplayTokenBitIdentical: replaying a failing cluster token
 // reproduces the exact failing run — schedule, network faults, violations.
 func TestClusterReplayTokenBitIdentical(t *testing.T) {
@@ -201,14 +243,24 @@ func TestClusterFaultsExercised(t *testing.T) {
 		t.Error("injected stale-read bug never observed in 100 seeds")
 	}
 	// The network fault plans must actually drop, duplicate and cut
-	// messages during the runs they shape.
+	// messages during the runs they shape — and every drop must be
+	// accounted for by the sending node's cluster_frames_dropped_total
+	// counters, or the new metric family is a silent no-op.
 	var mu sync.Mutex
 	var lost, duplicated, cut int64
-	obsNet = func(_ string, vn *VirtualNet) {
+	var dropLost, dropCut int64
+	obsNet = func(_ string, vn *VirtualNet, nodes []*Node) {
+		var nl, nc int64
+		for _, n := range nodes {
+			nl += n.drops.value(dropNetLoss)
+			nc += n.drops.value(dropNetCut)
+		}
 		mu.Lock()
 		lost += vn.Lost
 		duplicated += vn.Duplicated
 		cut += vn.Cut
+		dropLost += nl
+		dropCut += nc
 		mu.Unlock()
 	}
 	defer func() { obsNet = nil }()
@@ -222,6 +274,12 @@ func TestClusterFaultsExercised(t *testing.T) {
 	}
 	if cut == 0 {
 		t.Error("cluster:partition never cut a message in 50 seeds")
+	}
+	if dropLost != lost {
+		t.Errorf("frames_dropped{net_loss} counted %d, virtual net lost %d", dropLost, lost)
+	}
+	if dropCut != cut {
+		t.Errorf("frames_dropped{net_cut} counted %d, virtual net cut %d", dropCut, cut)
 	}
 	t.Logf("owner-crash crashed=%d/50, raw canary bitten=%d/100, lost=%d dup=%d cut=%d",
 		crashed, bitten, lost, duplicated, cut)

@@ -29,6 +29,18 @@ type Transport interface {
 	// transport closes, or now reaches deadline (ok=false for the latter
 	// two — the event loop then runs its timers).
 	recv(p *sched.Proc, deadline int64) (m *message, ok bool)
+	// tryRecv returns the next already-due inbox message without blocking
+	// (ok=false when none is due) — the event loop drains bursts with it
+	// so piggybacked acks and coalesced frames amortize across a whole
+	// burst instead of one message.
+	tryRecv(p *sched.Proc) (m *message, ok bool)
+	// flush pushes out every send buffered since the last flush. Sends
+	// coalesce per destination between flushes: the free transport writes
+	// a peer's whole burst as one syscall, the virtual transport gives it
+	// one loss/delay/duplication decision — so the cross-runtime
+	// behaviours stay equivalent. The event loop flushes once per
+	// iteration, after handling a burst and running its timers.
+	flush(p *sched.Proc)
 	// drain closes the inbox to further deliveries and returns what was
 	// still queued, in arrival order. The event loop calls it exactly once,
 	// at shutdown: a client call racing the shutdown message lands either

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sched"
@@ -23,6 +24,17 @@ type FreeConfig struct {
 	DialTimeout time.Duration
 	// Logf, when non-nil, receives transport-level error logs.
 	Logf func(format string, args ...any)
+
+	// dialFn overrides the dialer. Tests inject hanging or failing dials
+	// to prove the event loop never waits behind one.
+	dialFn func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (c FreeConfig) dial(addr string) (net.Conn, error) {
+	if c.dialFn != nil {
+		return c.dialFn(addr, c.DialTimeout)
+	}
+	return net.DialTimeout("tcp", addr, c.DialTimeout)
 }
 
 func (c FreeConfig) withDefaults() FreeConfig {
@@ -54,6 +66,11 @@ type FreeTransport struct {
 	lis   net.Listener
 	peers []*freePeer
 	in    inbox
+	timer *time.Timer // recv's reused wakeup timer (event-loop goroutine only)
+
+	// drops is wired in by Node.New after construction; the accept and
+	// ping goroutines are already running by then, hence the atomic.
+	drops atomic.Pointer[dropCounters]
 
 	mu      sync.Mutex
 	inConns map[net.Conn]struct{}
@@ -62,6 +79,9 @@ type FreeTransport struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+func (ft *FreeTransport) setDrops(d *dropCounters) { ft.drops.Store(d) }
+func (ft *FreeTransport) dropCtrs() *dropCounters  { return ft.drops.Load() }
 
 // NewFreeTransport listens on addrs[self] and starts the per-peer pingers.
 // addrs is indexed by NodeID; the peer set is fixed for the transport's
@@ -119,11 +139,35 @@ func (ft *FreeTransport) recv(_ *sched.Proc, deadline int64) (*message, bool) {
 		if wait <= 0 {
 			return nil, false
 		}
-		t := time.NewTimer(wait)
+		// One timer for the transport's lifetime, Reset per wakeup: recv
+		// runs thousands of times a second on the event loop, and a fresh
+		// NewTimer each wakeup was measurable garbage. Only the event-loop
+		// goroutine touches it, and Go ≥1.23 timers make a bare Reset after
+		// Stop/fire race-free.
+		if ft.timer == nil {
+			ft.timer = time.NewTimer(wait)
+		} else {
+			ft.timer.Reset(wait)
+		}
 		select {
 		case <-ft.in.notify:
-			t.Stop()
-		case <-t.C:
+			ft.timer.Stop()
+		case <-ft.timer.C:
+		}
+	}
+}
+
+func (ft *FreeTransport) tryRecv(_ *sched.Proc) (*message, bool) {
+	if m := ft.in.tryPop(); m != nil {
+		return m, true
+	}
+	return nil, false
+}
+
+func (ft *FreeTransport) flush(_ *sched.Proc) {
+	for _, p := range ft.peers {
+		if p.id != ft.self {
+			p.flush()
 		}
 	}
 }
@@ -196,6 +240,7 @@ func (ft *FreeTransport) serveInbound(c net.Conn) {
 		}
 		h, err := wire.ParseHeader(hdr[:])
 		if err != nil || h.Version != wire.Version {
+			ft.dropCtrs().inc(dropBadHeader, 1)
 			return
 		}
 		// Fresh buffer on purpose: decoded ops alias it and flow into logs
@@ -220,19 +265,28 @@ func (ft *FreeTransport) serveInbound(c net.Conn) {
 		case wire.IsRepOpcode(h.Opcode):
 			rep, err := wire.DecodeRep(payload)
 			if err != nil {
+				ft.dropCtrs().inc(dropBadRep, 1)
 				ft.cfg.Logf("cluster: bad rep frame from %s: %v", c.RemoteAddr(), err)
 				return
 			}
 			ft.in.push(&message{kind: h.Opcode, rep: rep})
 		default:
+			ft.dropCtrs().inc(dropBadOpcode, 1)
 			ft.cfg.Logf("cluster: unexpected opcode 0x%02x from %s", h.Opcode, c.RemoteAddr())
 			return
 		}
 	}
 }
 
-// freePeer is one outbound connection slot: dialed lazily, probed by
-// pingLoop, re-dialed with backoff after failures.
+// maxCoalescedBytes bounds a peer's pending flush buffer: a burst growing
+// past it flushes early inline, so memory stays bounded even if the event
+// loop sends heavily between flushes.
+const maxCoalescedBytes = 256 << 10
+
+// freePeer is one outbound connection slot: dialed in the background by
+// pingLoop (never on the send path), probed by Ping, re-dialed with
+// backoff after failures. Sends encode into a pending buffer that flush
+// writes as one syscall per burst.
 type freePeer struct {
 	ft   *FreeTransport
 	id   NodeID
@@ -241,29 +295,48 @@ type freePeer struct {
 	mu      sync.Mutex
 	conn    *wire.Conn
 	lastTry time.Time
+	closed  bool
+	buf     []byte // encoded frames awaiting flush
+	frames  int
+	spare   []byte // recycled flush buffer
 }
 
-// get returns the live conn, dialing if the backoff allows. nil means the
-// peer is currently unreachable.
+// get returns the live conn if any; nil means currently unreachable. It
+// never dials — the event loop must not block behind a black-holed peer,
+// so connection building lives on pingLoop's goroutine.
 func (p *freePeer) get() *wire.Conn {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.conn != nil {
-		return p.conn
-	}
-	if time.Since(p.lastTry) < p.ft.cfg.DialBackoff {
-		return nil
+	return p.conn
+}
+
+// dial makes one backoff-gated connection attempt. Only pingLoop calls
+// it, and the network wait happens outside p.mu, so send/flush observe at
+// most a pointer read while a dial is hanging.
+func (p *freePeer) dial() {
+	p.mu.Lock()
+	if p.closed || p.conn != nil || time.Since(p.lastTry) < p.ft.cfg.DialBackoff {
+		p.mu.Unlock()
+		return
 	}
 	p.lastTry = time.Now()
-	nc, err := net.DialTimeout("tcp", p.addr, p.ft.cfg.DialTimeout)
+	p.mu.Unlock()
+	nc, err := p.ft.cfg.dial(p.addr)
 	if err != nil {
-		return nil
+		return
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	p.conn = wire.NewConn(nc)
-	return p.conn
+	c := wire.NewConn(nc)
+	p.mu.Lock()
+	if !p.closed && p.conn == nil {
+		p.conn, c = c, nil
+	}
+	p.mu.Unlock()
+	if c != nil {
+		c.Close() // lost a race with close(); don't leak the socket
+	}
 }
 
 // drop retires a failed conn and emits the death notice (once per conn).
@@ -280,22 +353,55 @@ func (p *freePeer) drop(c *wire.Conn) {
 	}
 }
 
+// send encodes m onto the pending buffer; flush writes the burst. Nothing
+// here waits on the network.
 func (p *freePeer) send(m *message) {
-	c := p.get()
-	if c == nil {
-		return // unreachable; the protocol retransmits
+	p.mu.Lock()
+	if p.buf == nil && p.spare != nil {
+		p.buf, p.spare = p.spare[:0], nil
 	}
-	if err := c.SendRep(m.kind, &m.rep); err != nil {
-		if errors.Is(err, wire.ErrBadFrame) {
-			// Encode refusal, not an IO failure: the connection is healthy,
-			// so retiring it would flap the link and age the peer's liveness
-			// (spurious OwnerTimeout expiry, unnecessary elections) on every
-			// retry of the same message. Drop just this message; the node
-			// bounds its frames by encoded size, so this is a backstop.
-			p.ft.cfg.Logf("cluster: dropping unencodable %s frame to node %d: %v",
-				opcodeNames[m.kind], p.id, err)
-			return
-		}
+	n := len(p.buf)
+	buf, err := wire.AppendRepFrame(p.buf, m.kind, &m.rep)
+	if err != nil {
+		// Encode refusal: drop just this message, keep the burst. The node
+		// bounds its frames by encoded size, so this is a backstop.
+		p.buf = buf[:n]
+		p.mu.Unlock()
+		p.ft.dropCtrs().inc(dropUnencodable, 1)
+		p.ft.cfg.Logf("cluster: dropping unencodable %s frame to node %d: %v",
+			opcodeNames[m.kind], p.id, err)
+		return
+	}
+	p.buf = buf
+	p.frames++
+	big := len(p.buf) >= maxCoalescedBytes
+	p.mu.Unlock()
+	if big {
+		p.flush()
+	}
+}
+
+// flush writes the pending burst as one syscall. With no live connection
+// the burst is dropped and counted — the peer is unreachable and the
+// protocol retransmits.
+func (p *freePeer) flush() {
+	p.mu.Lock()
+	buf, frames := p.buf, p.frames
+	c := p.conn
+	p.buf, p.frames = nil, 0
+	p.mu.Unlock()
+	if frames == 0 {
+		p.reclaim(buf)
+		return
+	}
+	if c == nil {
+		p.ft.dropCtrs().inc(dropNoConn, int64(frames))
+		p.reclaim(buf)
+		return
+	}
+	err := c.WriteFrames(buf)
+	p.reclaim(buf)
+	if err != nil {
 		if !errors.Is(err, wire.ErrConnClosed) {
 			p.ft.cfg.Logf("cluster: send to node %d: %v", p.id, err)
 		}
@@ -303,8 +409,21 @@ func (p *freePeer) send(m *message) {
 	}
 }
 
+// reclaim stashes a flushed buffer for the next burst.
+func (p *freePeer) reclaim(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.buf == nil && cap(buf) > cap(p.spare) {
+		p.spare = buf[:0]
+	}
+	p.mu.Unlock()
+}
+
 func (p *freePeer) pingLoop() {
 	defer p.ft.wg.Done()
+	p.dial() // connect eagerly; redials ride the ticker below
 	t := time.NewTicker(p.ft.cfg.PingEvery)
 	defer t.Stop()
 	for {
@@ -312,6 +431,9 @@ func (p *freePeer) pingLoop() {
 		case <-p.ft.stop:
 			return
 		case <-t.C:
+		}
+		if p.get() == nil {
+			p.dial()
 		}
 		if c := p.get(); c != nil {
 			if err := c.Ping(); err != nil {
@@ -325,6 +447,8 @@ func (p *freePeer) close() {
 	p.mu.Lock()
 	c := p.conn
 	p.conn = nil
+	p.closed = true
+	p.buf, p.spare, p.frames = nil, nil, 0
 	p.mu.Unlock()
 	if c != nil {
 		c.Close()

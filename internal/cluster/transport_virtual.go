@@ -100,12 +100,20 @@ type vDelivery struct {
 	m   *message
 }
 
+// vSend is one buffered outbound message awaiting flush.
+type vSend struct {
+	to NodeID
+	m  *message
+}
+
 // vEndpoint is one node's side of the VirtualNet.
 type vEndpoint struct {
 	net    *VirtualNet
 	id     NodeID
 	q      []vDelivery // sorted by (at, seq)
+	pend   []vSend     // sends buffered since the last flush
 	closed bool
+	drops  *dropCounters // set by cluster.New; nil-safe
 }
 
 func (ep *vEndpoint) insert(at int64, m *message) {
@@ -122,32 +130,70 @@ func (ep *vEndpoint) insert(at int64, m *message) {
 	ep.q[i] = d
 }
 
+// send buffers the message for the next flush; self-sends bypass the
+// buffer (a node's loopback is memory, not network) with unit delay.
 func (ep *vEndpoint) send(p *sched.Proc, to NodeID, m *message) {
-	now := p.Now()
-	dst := ep.net.eps[to]
 	if to == ep.id {
-		dst.insert(now+1, m)
+		ep.net.eps[to].insert(p.Now()+1, m)
 		return
 	}
+	ep.pend = append(ep.pend, vSend{to: to, m: m})
+}
+
+// flush delivers the buffered burst, one delivery decision per
+// destination: every message of a peer's burst shares one loss, delay and
+// duplication draw, mirroring the free transport writing the burst as a
+// single TCP segment run that arrives (or is lost with the connection)
+// as a unit. Decisions are drawn per destination in first-send order, so
+// the whole network stays a pure function of (plan, schedule).
+func (ep *vEndpoint) flush(p *sched.Proc) {
+	if len(ep.pend) == 0 {
+		return
+	}
+	pend := ep.pend
+	ep.pend = ep.pend[:0]
+	now := p.Now()
 	vn := ep.net
-	if vn.cut(now, ep.id, to) {
-		vn.Cut++
-		return
-	}
-	// Draw loss, delay, dup in a fixed order so the stream stays aligned
-	// whatever the outcome.
-	lost := vn.plan.LossFrac > 0 && vn.rng.Float64() < vn.plan.LossFrac
-	lo, hi := vn.plan.delayBounds()
-	delay := lo + vn.rng.Int64N(hi-lo+1)
-	dup := vn.plan.DupFrac > 0 && vn.rng.Float64() < vn.plan.DupFrac
-	if lost {
-		vn.Lost++
-	} else {
-		dst.insert(now+delay, m)
-	}
-	if dup {
-		vn.Duplicated++
-		dst.insert(now+lo+vn.rng.Int64N(hi-lo+1), m)
+	for i := range pend {
+		if pend[i].m == nil {
+			continue // already delivered with an earlier destination's burst
+		}
+		to := pend[i].to
+		dst := vn.eps[to]
+		if vn.cut(now, ep.id, to) {
+			for j := i; j < len(pend); j++ {
+				if pend[j].m != nil && pend[j].to == to {
+					pend[j].m = nil
+					vn.Cut++
+					ep.drops.inc(dropNetCut, 1)
+				}
+			}
+			continue
+		}
+		// Draw loss, delay, dup in a fixed order so the stream stays
+		// aligned whatever the outcome.
+		lost := vn.plan.LossFrac > 0 && vn.rng.Float64() < vn.plan.LossFrac
+		lo, hi := vn.plan.delayBounds()
+		delay := lo + vn.rng.Int64N(hi-lo+1)
+		dup := vn.plan.DupFrac > 0 && vn.rng.Float64() < vn.plan.DupFrac
+		dupDelay := now + lo + vn.rng.Int64N(hi-lo+1)
+		for j := i; j < len(pend); j++ {
+			if pend[j].m == nil || pend[j].to != to {
+				continue
+			}
+			m := pend[j].m
+			pend[j].m = nil
+			if lost {
+				vn.Lost++
+				ep.drops.inc(dropNetLoss, 1)
+			} else {
+				dst.insert(now+delay, m)
+			}
+			if dup {
+				vn.Duplicated++
+				dst.insert(dupDelay, m)
+			}
+		}
 	}
 }
 
@@ -187,9 +233,21 @@ func (ep *vEndpoint) recv(p *sched.Proc, deadline int64) (*message, bool) {
 	return nil, false
 }
 
+// tryRecv pops an already-due delivery without parking, so the event loop
+// can drain a whole burst within one wakeup.
+func (ep *vEndpoint) tryRecv(p *sched.Proc) (*message, bool) {
+	if !ep.closed && len(ep.q) > 0 && ep.q[0].at <= p.Now() {
+		m := ep.q[0].m
+		ep.q = ep.q[1:]
+		return m, true
+	}
+	return nil, false
+}
+
 func (ep *vEndpoint) now(p *sched.Proc) int64 { return p.Now() }
 
 func (ep *vEndpoint) close() {
 	ep.closed = true
 	ep.q = nil
+	ep.pend = nil
 }

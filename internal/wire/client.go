@@ -188,6 +188,23 @@ func (c *Conn) SendRep(opcode byte, r *Rep) error {
 	return c.write(frame)
 }
 
+// WriteFrames writes a pre-encoded sequence of complete frames as one
+// syscall — the coalescing point for a burst of one-way replication
+// frames. The caller owns buf (it is not recycled here) and is
+// responsible for every frame in it being well-formed.
+func (c *Conn) WriteFrames(buf []byte) error {
+	c.pmu.Lock()
+	err := c.readErr
+	c.pmu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	_, werr := c.c.Write(buf)
+	c.wmu.Unlock()
+	return werr
+}
+
 // Drain sends the pipeline fence and blocks until the server confirms that
 // every request frame sent on this connection before the fence has been
 // answered (docs/PROTOCOL.md §3.5). Call it before Close for a clean

@@ -4,7 +4,7 @@ import "repro/internal/service"
 
 // Replication envelope (docs/PROTOCOL.md §5.1). Every OpcodeRep* frame
 // carries the same payload shape — a fixed 38-byte preamble followed by
-// three counted sections — and the opcode alone distinguishes message
+// four counted sections — and the opcode alone distinguishes message
 // kinds. Fields unused by a kind are zero on the wire; a few are
 // overloaded where a second integer is needed (Seq carries the candidate's
 // last-entry epoch in Vote/VoteOK/Owner frames, Peer carries the subject
@@ -12,27 +12,52 @@ import "repro/internal/service"
 // field meanings next to its message constructors.
 //
 //	preamble = from(2) peer(2) shard(2) epoch(8) seq(8) frontier(8) reqid(8)
-//	payload  = preamble  nops(2) op...  nresults(2) result...  nentries(2) entry...
+//	payload  = preamble  nops(2) op...  nresults(2) result...
+//	           nentries(2) entry...  nacks(2) ack...
 //	entry    = seq(8) epoch(8) nops(2) op...
+//	ack      = kind(1) shard(2) epoch(8) frontier(8) last(8)
 //
 // The op and result encodings are exactly §3.2's; counts are bounded by
-// MaxBatchOps (ops, results) and MaxRepEntries (entries).
+// MaxBatchOps (ops, results), MaxRepEntries (entries) and MaxRepAcks
+// (acks). The acks section lets any frame piggyback per-shard
+// acknowledgements — a follower folds its cumulative applied-frontier ack
+// into whatever it sends next, an owner folds its commit-frontier
+// keepalives into heartbeats — so the steady-state protocol needs no
+// dedicated ack frame per append.
 
 // MaxRepEntries is the largest entry count in one RepAppend frame
 // (docs/PROTOCOL.md §5.1). Owners chunk longer suffixes across frames.
 const MaxRepEntries = 1024
 
+// MaxRepAcks is the largest piggybacked-ack count in one frame; senders
+// with more dirty shards spread them across frames.
+const MaxRepAcks = 64
+
+// Piggybacked-ack kinds (RepAck.Kind, docs/PROTOCOL.md §5.1).
+const (
+	// AckApplied is a follower's cumulative acknowledgement: Frontier is
+	// its applied frontier, Last the epoch of the entry there.
+	AckApplied byte = 0
+	// AckCommit is an owner's commit-frontier keepalive: Frontier is the
+	// shard's committed frontier under Epoch (Last unused).
+	AckCommit byte = 1
+)
+
+// EncodedAckSize is the fixed encoded length of one piggybacked ack.
+const EncodedAckSize = 27
+
 // repPreambleSize is the fixed-size prefix of every Rep payload.
 const repPreambleSize = 38
 
-// MaxRepData is the byte budget for a Rep payload's three variable
-// sections combined (ops, results, entries — including the per-entry
-// fixed overhead, excluding the three top-level section counts): a
-// payload whose sections fit MaxRepData always fits MaxPayload. Senders
-// bound what they put in a frame against it — EncodedOpSize,
-// EncodedResultSize and EncodedEntrySize give the per-item costs — so
-// AppendRepFrame never has to refuse a frame the protocol needs to send.
-const MaxRepData = MaxPayload - repPreambleSize - 6
+// MaxRepData is the byte budget for a Rep payload's ops, results and
+// entries sections combined (including the per-entry fixed overhead,
+// excluding the four top-level section counts): a payload whose sections
+// fit MaxRepData always fits MaxPayload even with a full complement of
+// MaxRepAcks piggybacked acks attached. Senders bound what they put in a
+// frame against it — EncodedOpSize, EncodedResultSize and
+// EncodedEntrySize give the per-item costs — so AppendRepFrame never has
+// to refuse a frame the protocol needs to send.
+const MaxRepData = MaxPayload - repPreambleSize - 8 - MaxRepAcks*EncodedAckSize
 
 // EncodedOpSize returns the §3.2 encoded length of one op:
 // kind(1) id(8) key(2+n) val(2+n) old(2+n).
@@ -66,9 +91,20 @@ type RepEntry struct {
 	Ops   []service.Op
 }
 
+// RepAck is one piggybacked per-shard acknowledgement (docs/PROTOCOL.md
+// §5.1): Kind selects the direction (AckApplied: follower → owner,
+// AckCommit: owner → follower).
+type RepAck struct {
+	Kind     byte
+	Shard    uint16
+	Epoch    uint64
+	Frontier uint64
+	Last     uint64
+}
+
 // Rep is the decoded replication envelope. From is always the sending
 // node; the remaining fields are kind-specific (see the OpcodeRep*
-// constants and docs/PROTOCOL.md §5.2).
+// constants and docs/PROTOCOL.md §5.2). Acks may ride on any frame.
 type Rep struct {
 	From     uint16
 	Peer     uint16
@@ -80,6 +116,7 @@ type Rep struct {
 	Ops      []service.Op
 	Results  []service.Result
 	Entries  []RepEntry
+	Acks     []RepAck
 }
 
 // AppendRep appends the encoded envelope payload (no header).
@@ -106,6 +143,17 @@ func AppendRep(dst []byte, r *Rep) []byte {
 		dst = append(dst, fix[:]...)
 		dst = AppendBatch(dst, e.Ops)
 	}
+	putU16(c[:], uint16(len(r.Acks)))
+	dst = append(dst, c[:]...)
+	for _, a := range r.Acks {
+		var fix [EncodedAckSize]byte
+		fix[0] = a.Kind
+		putU16(fix[1:], a.Shard)
+		putU64(fix[3:], a.Epoch)
+		putU64(fix[11:], a.Frontier)
+		putU64(fix[19:], a.Last)
+		dst = append(dst, fix[:]...)
+	}
 	return dst
 }
 
@@ -113,7 +161,8 @@ func AppendRep(dst []byte, r *Rep) []byte {
 // encoding, mirroring AppendBatchFrame's client-side refusal of frames the
 // receiver would reject.
 func repSizeOK(r *Rep) bool {
-	if len(r.Ops) > MaxBatchOps || len(r.Results) > MaxBatchOps || len(r.Entries) > MaxRepEntries {
+	if len(r.Ops) > MaxBatchOps || len(r.Results) > MaxBatchOps ||
+		len(r.Entries) > MaxRepEntries || len(r.Acks) > MaxRepAcks {
 		return false
 	}
 	for _, op := range r.Ops {
@@ -198,6 +247,30 @@ func DecodeRep(b []byte) (Rep, error) {
 			if r.Entries[k].Ops, i, err = decOps(b, i); err != nil {
 				return Rep{}, err
 			}
+		}
+	}
+	if len(b)-i < 2 {
+		return Rep{}, ErrTruncated
+	}
+	nacks := int(getU16(b[i:]))
+	i += 2
+	if nacks > MaxRepAcks {
+		return Rep{}, ErrBadFrame
+	}
+	if nacks > 0 {
+		r.Acks = make([]RepAck, nacks)
+		for k := 0; k < nacks; k++ {
+			if len(b)-i < EncodedAckSize {
+				return Rep{}, ErrTruncated
+			}
+			r.Acks[k] = RepAck{
+				Kind:     b[i],
+				Shard:    getU16(b[i+1:]),
+				Epoch:    getU64(b[i+3:]),
+				Frontier: getU64(b[i+11:]),
+				Last:     getU64(b[i+19:]),
+			}
+			i += EncodedAckSize
 		}
 	}
 	if i != len(b) {

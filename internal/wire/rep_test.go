@@ -25,7 +25,7 @@ func TestGoldenPingFrames(t *testing.T) {
 }
 
 // TestGoldenRepFrame pins a complete replication frame (§5.1): the §2.1
-// header (reqid always 0) around the 38-byte preamble and the three
+// header (reqid always 0) around the 38-byte preamble and the four
 // counted sections, one element each.
 func TestGoldenRepFrame(t *testing.T) {
 	r := &Rep{
@@ -33,6 +33,7 @@ func TestGoldenRepFrame(t *testing.T) {
 		Ops:     []service.Op{{Kind: service.OpPut, Key: "k", Val: "v", ID: 9}},
 		Results: []service.Result{{OK: true, Val: "r"}},
 		Entries: []RepEntry{{Seq: 8, Epoch: 4, Ops: []service.Op{{Kind: service.OpGet, Key: "g"}}}},
+		Acks:    []RepAck{{Kind: AckApplied, Shard: 3, Epoch: 4, Frontier: 8, Last: 4}},
 	}
 	got, err := AppendRepFrame(nil, OpcodeRepAppend, r)
 	if err != nil {
@@ -41,7 +42,7 @@ func TestGoldenRepFrame(t *testing.T) {
 	want := mustHex(t, `
 		52 50 57 31  01  0A  00 00
 		00 00 00 00 00 00 00 00
-		63 00 00 00
+		80 00 00 00
 		01 00  02 00  03 00
 		04 00 00 00 00 00 00 00
 		05 00 00 00 00 00 00 00
@@ -54,7 +55,12 @@ func TestGoldenRepFrame(t *testing.T) {
 		01 00
 		08 00 00 00 00 00 00 00  04 00 00 00 00 00 00 00
 		01 00
-		00  00 00 00 00 00 00 00 00  01 00 67  00 00  00 00`)
+		00  00 00 00 00 00 00 00 00  01 00 67  00 00  00 00
+		01 00
+		00  03 00
+		04 00 00 00 00 00 00 00
+		08 00 00 00 00 00 00 00
+		04 00 00 00 00 00 00 00`)
 	if !bytes.Equal(got, want) {
 		t.Fatalf("rep frame\n got %x\nwant %x", got, want)
 	}
@@ -77,8 +83,13 @@ func assertRepEqual(t *testing.T, got, want Rep) {
 		t.Fatalf("preamble mismatch:\n got %+v\nwant %+v", got, want)
 	}
 	if len(got.Ops) != len(want.Ops) || len(got.Results) != len(want.Results) ||
-		len(got.Entries) != len(want.Entries) {
+		len(got.Entries) != len(want.Entries) || len(got.Acks) != len(want.Acks) {
 		t.Fatalf("section counts mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	for i := range want.Acks {
+		if got.Acks[i] != want.Acks[i] {
+			t.Fatalf("ack %d: got %+v want %+v", i, got.Acks[i], want.Acks[i])
+		}
 	}
 	for i := range want.Ops {
 		if got.Ops[i] != want.Ops[i] {
@@ -125,6 +136,10 @@ func TestRepRoundTrip(t *testing.T) {
 					{Kind: service.OpPut, Key: "k2", Val: "v2", ID: 2},
 				}},
 			}},
+		{From: 2, Acks: []RepAck{
+			{Kind: AckApplied, Shard: 1, Epoch: 3, Frontier: 1<<64 - 1, Last: 3},
+			{Kind: AckCommit, Shard: 65535, Epoch: 1<<64 - 1, Frontier: 7},
+		}},
 	}
 	for i, r := range cases {
 		frame, err := AppendRepFrame(GetBuffer(), OpcodeRepAck, &r)
@@ -170,7 +185,7 @@ func TestRepMalformed(t *testing.T) {
 	}
 
 	bigEntries := AppendRep(nil, &Rep{})
-	putU16(bigEntries[len(bigEntries)-2:], MaxRepEntries+1)
+	putU16(bigEntries[len(bigEntries)-4:], MaxRepEntries+1)
 	if _, err := DecodeRep(bigEntries); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("oversized entry count: %v", err)
 	}
@@ -179,6 +194,12 @@ func TestRepMalformed(t *testing.T) {
 	putU16(bigOps[repPreambleSize:], MaxBatchOps+1)
 	if _, err := DecodeRep(bigOps); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("oversized op count: %v", err)
+	}
+
+	bigAcks := AppendRep(nil, &Rep{})
+	putU16(bigAcks[len(bigAcks)-2:], MaxRepAcks+1)
+	if _, err := DecodeRep(bigAcks); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized ack count: %v", err)
 	}
 }
 
@@ -268,9 +289,11 @@ func TestEncodedSizeAccounting(t *testing.T) {
 	}
 
 	// A Rep whose sections sum exactly to the per-item sizes must encode to
-	// preamble + 3 section counts + those sizes, and MaxRepData must be the
-	// payload budget that guarantees MaxPayload.
-	r := Rep{From: 1, Shard: 2, ReqID: 3, Ops: ops, Results: results, Entries: entries}
+	// preamble + 4 section counts + those sizes (+ the acks), and
+	// MaxRepData must be the payload budget that guarantees MaxPayload
+	// with a full MaxRepAcks complement piggybacked.
+	r := Rep{From: 1, Shard: 2, ReqID: 3, Ops: ops, Results: results, Entries: entries,
+		Acks: []RepAck{{Kind: AckApplied, Shard: 2, Epoch: 1, Frontier: 9, Last: 1}}}
 	sum := 0
 	for _, op := range r.Ops {
 		sum += EncodedOpSize(op)
@@ -281,10 +304,11 @@ func TestEncodedSizeAccounting(t *testing.T) {
 	for _, e := range r.Entries {
 		sum += EncodedEntrySize(e)
 	}
-	if got, want := len(AppendRep(nil, &r)), repPreambleSize+6+sum; got != want {
+	sum += len(r.Acks) * EncodedAckSize
+	if got, want := len(AppendRep(nil, &r)), repPreambleSize+8+sum; got != want {
 		t.Fatalf("AppendRep emits %d bytes, size accounting says %d", got, want)
 	}
-	if repPreambleSize+6+MaxRepData != MaxPayload {
+	if repPreambleSize+8+MaxRepAcks*EncodedAckSize+MaxRepData != MaxPayload {
 		t.Fatalf("MaxRepData %d does not fill MaxPayload %d", MaxRepData, MaxPayload)
 	}
 }

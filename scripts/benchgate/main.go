@@ -8,12 +8,15 @@
 //	go run ./scripts/benchgate [-benchtime 10x] [-step-benchtime 100000x]
 //	    [-ns-tol 4] [-alloc-tol 2] [-bench regex] [-baseline BENCH_3.json]
 //
-// Three suites run: the scheduler-step and memory-primitive
+// Four iteration regimes run: the scheduler-step and memory-primitive
 // micro-benchmarks with a high iteration count (-step-benchtime; they cost
 // nanoseconds per iteration, so a short run would measure setup instead of
 // the hot path), the µs-scale serving-tier and wire-transport benchmarks
-// (-serve-benchtime), and the ms-scale benchmarks (root + explorer + sim)
-// with a short count (-benchtime).
+// (-serve-benchtime), the cluster replication throughput benchmarks
+// (-repl-benchtime; they amortize a batch window across iterations, so a
+// 10-iteration run would measure the window instead of the pipeline), and
+// the ms-scale benchmarks (root + explorer + sim + cluster failover) with
+// a short count (-benchtime).
 //
 // Tolerances are generous multipliers, not noise gates: ns/op varies across
 // machines (the snapshot may come from different hardware than CI), so the
@@ -161,9 +164,10 @@ func parseResults(out string) []result {
 }
 
 func main() {
-	benchtime := flag.String("benchtime", "10x", "benchtime for the ms-scale suites (root, explorer, sim)")
+	benchtime := flag.String("benchtime", "10x", "benchtime for the ms-scale suites (root, explorer, sim, cluster failover)")
 	stepBenchtime := flag.String("step-benchtime", "100000x", "benchtime for the scheduler-step and memory-primitive micro-benchmarks")
 	serveBenchtime := flag.String("serve-benchtime", "20000x", "benchtime for the µs-scale serving-tier benchmarks")
+	replBenchtime := flag.String("repl-benchtime", "2000x", "benchtime for the cluster replication throughput benchmarks")
 	nsTol := flag.Float64("ns-tol", 4, "fail when ns/op exceeds baseline by this factor")
 	allocTol := flag.Float64("alloc-tol", 2, "fail when allocs/op exceeds baseline by this factor")
 	benchPat := flag.String("bench", ".", "benchmark regex passed to go test")
@@ -179,13 +183,21 @@ func main() {
 		}
 	}
 
+	// The cluster package splits across two suites: the failover benchmarks
+	// are ms-scale (a real election each iteration), but the replication
+	// throughput benchmarks amortize a batch window across iterations — at
+	// 10 iterations the window IS the measurement, so they need an
+	// iteration count high enough to reach steady state.
 	suites := []struct {
 		benchtime string
+		bench     string // "" = the -bench flag
 		pkgs      []string
 	}{
-		{*stepBenchtime, []string{"./internal/sched/", "./internal/memory/", "./internal/fault/", "./internal/metrics/"}},
-		{*serveBenchtime, []string{"./internal/service/", "./internal/wire/"}},
-		{*benchtime, []string{"./internal/explore/", "./internal/sim/", "./internal/cluster/", "."}},
+		{*stepBenchtime, "", []string{"./internal/sched/", "./internal/memory/", "./internal/fault/", "./internal/metrics/"}},
+		{*serveBenchtime, "", []string{"./internal/service/", "./internal/wire/"}},
+		{*replBenchtime, "^BenchmarkClusterReplicate", []string{"./internal/cluster/"}},
+		{*benchtime, "^BenchmarkFailover", []string{"./internal/cluster/"}},
+		{*benchtime, "", []string{"./internal/explore/", "./internal/sim/", "."}},
 	}
 
 	path := *baselinePath
@@ -213,7 +225,14 @@ func main() {
 
 	var results []result
 	for _, suite := range suites {
-		args := append([]string{"test", "-run", "xxx", "-bench", *benchPat,
+		pat := suite.bench
+		if pat == "" || *benchPat != "." {
+			// An explicit -bench narrows every suite uniformly (local
+			// debugging); the per-suite pattern only applies to the
+			// default full run.
+			pat = *benchPat
+		}
+		args := append([]string{"test", "-run", "xxx", "-bench", pat,
 			"-benchmem", "-benchtime", suite.benchtime}, suite.pkgs...)
 		cmd := exec.Command("go", args...)
 		cmd.Stderr = os.Stderr

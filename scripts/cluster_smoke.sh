@@ -16,8 +16,13 @@
 #   - both survivors drain all listeners and exit 0 on SIGTERM (exit 3 =
 #     final audit violation) and print the per-listener drain report.
 #
+# A second, batched pass then boots a fresh cluster with the replication
+# pipeline opened up (-max-inflight-entries 32 -batch-window 200us) and
+# drives 64-op wire batches through it: the measured ops/s must clear a
+# floor comfortably above the old stop-and-wait path's ~2568 ops/s.
+#
 # Usage:   scripts/cluster_smoke.sh
-# Env:     CLUSTER_OPS=50000  CLUSTER_BASE_PORT=7200
+# Env:     CLUSTER_OPS=50000  CLUSTER_BASE_PORT=7200  CLUSTER_BATCH_FLOOR=4000
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -121,3 +126,55 @@ if [ "$failovers" -eq 0 ]; then
 fi
 
 echo "cluster-smoke: OK — $failovers failover(s) absorbed, audit clean, no leaks"
+
+# --- Batched pass: pipelined replication throughput floor -------------------
+FLOOR="${CLUSTER_BATCH_FLOOR:-4000}"
+BBASE=$((BASE + 30))
+BPEERS="127.0.0.1:$BBASE,127.0.0.1:$((BBASE + 1)),127.0.0.1:$((BBASE + 2))"
+echo "cluster-smoke: batched pass — pipelined cluster, 64-op batches, floor $FLOOR ops/s"
+for i in 0 1 2; do
+  "$TMP/served" -node "$i" -peers "$BPEERS" -roles frontend,store -shards 2 \
+    -max-inflight-entries 32 -batch-window 200us \
+    -addr "127.0.0.1:$((BBASE + 10 + i))" -wire "127.0.0.1:$((BBASE + 20 + i))" \
+    >"$TMP/batched-$i.log" 2>&1 &
+  pids[i]=$!
+done
+for i in 0 1 2; do
+  up=0
+  for _ in $(seq 1 50); do
+    if curl -fs "http://127.0.0.1:$((BBASE + 10 + i))/healthz" >/dev/null 2>&1; then up=1; break; fi
+    sleep 0.2
+  done
+  [ "$up" = 1 ] || { echo "cluster-smoke: batched node $i never came up" >&2; cat "$TMP/batched-$i.log" >&2; exit 1; }
+done
+
+if ! "$TMP/loadgen" -proto wire -addr "127.0.0.1:$((BBASE + 20))" -conns 4 -workers 8 \
+    -batch 64 -ops "$OPS" >"$TMP/batched-load.log" 2>&1; then
+  echo "cluster-smoke: FAIL — batched loadgen reported errors or audit violations" >&2
+  cat "$TMP/batched-load.log" >&2
+  exit 1
+fi
+tail -n 3 "$TMP/batched-load.log"
+
+rate="$(awk '/ops in .* = .* ops\/s/ { for (i = 1; i < NF; i++) if ($(i+1) == "ops/s") { printf "%d", $i; exit } }' "$TMP/batched-load.log")"
+if [ -z "$rate" ]; then
+  echo "cluster-smoke: FAIL — could not parse ops/s from batched loadgen output" >&2
+  cat "$TMP/batched-load.log" >&2
+  exit 1
+fi
+if [ "$rate" -lt "$FLOOR" ]; then
+  echo "cluster-smoke: FAIL — batched throughput $rate ops/s below floor $FLOOR" >&2
+  exit 1
+fi
+
+kill -TERM "${pids[0]}" "${pids[1]}" "${pids[2]}"
+for i in 0 1 2; do
+  if ! wait "${pids[i]}"; then
+    echo "cluster-smoke: FAIL — batched node $i exit code $? (3 = audit violation)" >&2
+    tail -n 20 "$TMP/batched-$i.log" >&2
+    exit 1
+  fi
+done
+pids=()
+
+echo "cluster-smoke: OK — batched pass sustained $rate ops/s (floor $FLOOR)"
